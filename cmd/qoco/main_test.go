@@ -1,0 +1,80 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestParseSchemaSpec(t *testing.T) {
+	s, err := parseSchemaSpec("R(a, b); S(b,c)")
+	if err != nil {
+		t.Fatalf("parseSchemaSpec: %v", err)
+	}
+	if s.Len() != 2 || s.Arity("R") != 2 || s.Arity("S") != 2 {
+		t.Errorf("schema = %v", s)
+	}
+	r, _ := s.Relation("R")
+	if r.Attrs[0] != "a" || r.Attrs[1] != "b" {
+		t.Errorf("attrs = %v", r.Attrs)
+	}
+}
+
+func TestParseSchemaSpecErrors(t *testing.T) {
+	bad := []string{
+		"",
+		";",
+		"R",
+		"Ra,b)",
+		"(a,b)",
+		"R(a,b); R(c)",
+		"R(a,a)",
+	}
+	for _, spec := range bad {
+		if _, err := parseSchemaSpec(spec); err == nil {
+			t.Errorf("parseSchemaSpec(%q): want error", spec)
+		}
+	}
+}
+
+func TestLoadDatabaseBuiltins(t *testing.T) {
+	for _, ds := range []string{"figure1", "soccer", "dbgroup"} {
+		d, dg, def, err := loadDatabase(ds, "", "")
+		if err != nil {
+			t.Fatalf("loadDatabase(%s): %v", ds, err)
+		}
+		if d == nil || dg == nil || def == "" {
+			t.Errorf("loadDatabase(%s) = %v, %v, %q", ds, d, dg, def)
+		}
+	}
+	if _, _, _, err := loadDatabase("nope", "", ""); err == nil {
+		t.Errorf("unknown dataset accepted")
+	}
+}
+
+func TestLoadDatabaseCSV(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "facts.csv")
+	os.WriteFile(path, []byte("R,x,y\nS,y,z\n"), 0o644)
+	d, dg, _, err := loadDatabase("", path, "R(a,b);S(b,c)")
+	if err != nil {
+		t.Fatalf("loadDatabase: %v", err)
+	}
+	if dg != nil {
+		t.Errorf("CSV data has no ground truth; got %v", dg)
+	}
+	if d.Len() != 2 {
+		t.Errorf("loaded %d facts, want 2", d.Len())
+	}
+	// Errors: missing schemaspec, missing file, bad contents.
+	if _, _, _, err := loadDatabase("", path, ""); err == nil {
+		t.Errorf("missing schemaspec accepted")
+	}
+	if _, _, _, err := loadDatabase("", filepath.Join(dir, "nope.csv"), "R(a,b)"); err == nil {
+		t.Errorf("missing file accepted")
+	}
+	os.WriteFile(path, []byte("Bogus,x\n"), 0o644)
+	if _, _, _, err := loadDatabase("", path, "R(a,b)"); err == nil {
+		t.Errorf("bad csv contents accepted")
+	}
+}

@@ -1,0 +1,93 @@
+// Command qocobench regenerates the paper's evaluation tables (§7): the
+// perfect-oracle deletion/insertion/mixed experiments of Figures 3a-3f, the
+// imperfect-expert experiment of Figure 4, and the DBGroup report showcase of
+// §7.1. Output is one text table per figure, with the same bar series the
+// paper plots (#results / #questions / #avoided, or the question-type mix).
+//
+// Usage:
+//
+//	qocobench                 # every figure at the paper's defaults
+//	qocobench -fig 3a         # one figure
+//	qocobench -seeds 5        # average over more random seeds
+//	qocobench -tournaments 8  # smaller Soccer database for quick runs
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/dataset"
+	"repro/internal/experiment"
+)
+
+func main() {
+	fig := flag.String("fig", "all", "figure to regenerate: 3a, 3b, 3c, 3d, 3e, 3f, 4, dbgroup, sweep, errsweep, heuristics, or all")
+	seeds := flag.Int("seeds", 3, "number of random seeds to average over")
+	tournaments := flag.Int("tournaments", 0, "number of World Cup editions in the Soccer database (0 = full 20)")
+	wrong := flag.Int("wrong", 5, "wrong answers injected per query (Figures 3a, 3c, 4)")
+	missing := flag.Int("missing", 5, "missing answers injected per query (Figures 3b, 3c, 4)")
+	errRate := flag.Float64("errrate", 0.1, "per-question error rate of imperfect experts (Figure 4)")
+	flag.Parse()
+
+	cfg := experiment.Config{
+		WrongAnswers:   *wrong,
+		MissingAnswers: *missing,
+		ExpertError:    *errRate,
+		Soccer:         dataset.SoccerOpts{Tournaments: *tournaments},
+	}
+	for s := int64(1); s <= int64(*seeds); s++ {
+		cfg.Seeds = append(cfg.Seeds, s)
+	}
+
+	run := func(name string) bool { return *fig == "all" || *fig == name }
+	any := false
+	if run("3a") {
+		fmt.Print(experiment.RenderRows("Figure 3a — Deletion, multiple queries (perfect oracle)", experiment.Fig3a(cfg)), "\n")
+		any = true
+	}
+	if run("3b") {
+		fmt.Print(experiment.RenderRows("Figure 3b — Insertion, multiple queries (perfect oracle)", experiment.Fig3b(cfg)), "\n")
+		any = true
+	}
+	if run("3c") {
+		fmt.Print(experiment.RenderRows("Figure 3c — Mixed, multiple queries (perfect oracle)", experiment.Fig3c(cfg)), "\n")
+		any = true
+	}
+	if run("3d") {
+		fmt.Print(experiment.RenderRows("Figure 3d — Deletion vs number of wrong answers (Q3)", experiment.Fig3d(cfg)), "\n")
+		any = true
+	}
+	if run("3e") {
+		fmt.Print(experiment.RenderRows("Figure 3e — Insertion vs number of missing answers (Q3)", experiment.Fig3e(cfg)), "\n")
+		any = true
+	}
+	if run("3f") {
+		fmt.Print(experiment.RenderMix("Figure 3f — Mixed, question types (Q3)", experiment.Fig3f(cfg)), "\n")
+		any = true
+	}
+	if run("4") {
+		fmt.Print(experiment.RenderMix("Figure 4 — Real (imperfect) expert crowd, majority of 3", experiment.Fig4(cfg)), "\n")
+		any = true
+	}
+	if run("dbgroup") {
+		fmt.Print(experiment.RenderShowcase(experiment.DBGroupShowcase(cfg.Seeds[0])), "\n")
+		any = true
+	}
+	if run("heuristics") {
+		fmt.Print(experiment.RenderRows("Deletion-heuristic ablation (§4 alternatives, Q3)", experiment.HeuristicsAblation(cfg)), "\n")
+		any = true
+	}
+	if run("errsweep") {
+		fmt.Print(experiment.RenderErrorSweep(experiment.ErrorRateSweep(cfg, nil)), "\n")
+		any = true
+	}
+	if run("sweep") {
+		fmt.Print(experiment.RenderSweep(experiment.CleanlinessSweep(cfg, nil)), "\n")
+		any = true
+	}
+	if !any {
+		fmt.Fprintf(os.Stderr, "unknown figure %q (want 3a..3f, 4, dbgroup, all)\n", *fig)
+		os.Exit(2)
+	}
+}

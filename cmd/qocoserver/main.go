@@ -1,0 +1,48 @@
+// Command qocoserver runs QOCO as a web service (the paper's Figure 5
+// deployment): a crowd console at / serves pending questions to crowd
+// members, while cleaning jobs are started over the JSON API.
+//
+//	qocoserver -addr :8080 -dataset figure1
+//
+// then, in another terminal:
+//
+//	curl -X POST localhost:8080/clean -d '{"sql": "SELECT t.name FROM Teams t WHERE t.continent = '\''EU'\''"}'
+//
+// and answer the questions in a browser at http://localhost:8080/.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/db"
+	"repro/internal/server"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	ds := flag.String("dataset", "figure1", "built-in dataset: figure1, soccer, dbgroup")
+	flag.Parse()
+
+	var d *db.Database
+	switch *ds {
+	case "figure1":
+		d, _ = dataset.Figure1()
+	case "soccer":
+		d = dataset.Soccer(dataset.SoccerOpts{})
+	case "dbgroup":
+		d = dataset.DBGroup(dataset.DBGroupOpts{})
+	default:
+		fmt.Fprintf(os.Stderr, "qocoserver: unknown dataset %q\n", *ds)
+		os.Exit(2)
+	}
+
+	srv := server.New(d, core.Config{})
+	log.Printf("QOCO crowd console on http://localhost%s/ (dataset %s, %d tuples)", *addr, *ds, d.Len())
+	log.Fatal(http.ListenAndServe(*addr, srv.Handler()))
+}

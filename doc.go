@@ -1,0 +1,14 @@
+// Package repro is a from-scratch Go reproduction of "Query-Oriented Data
+// Cleaning with Oracles" (Bergman, Milo, Novgorodov, Tan; SIGMOD 2015): the
+// QOCO system, which removes wrong answers from and adds missing answers to
+// the result of a conjunctive query with inequalities by interacting
+// minimally with crowd oracles, translating their answers into insertion and
+// deletion edits on the underlying database.
+//
+// The implementation lives under internal/ (see DESIGN.md for the module
+// map), with runnable entry points in cmd/qoco (interactive cleaning REPL),
+// cmd/qocobench (regenerates every evaluation figure of the paper), and
+// examples/ (quickstart, worldcup, dbgroup, imperfect). The benchmarks in
+// bench_test.go exercise one target per paper table/figure plus ablations;
+// EXPERIMENTS.md records paper-versus-measured outcomes.
+package repro

@@ -1,0 +1,45 @@
+// Quickstart: clean the paper's running example (Figure 1, §1).
+//
+// The World Cup sample database contains three fake Spanish final wins and
+// lacks the fact that Italy is a European team, so the query "European teams
+// that won the World Cup at least twice" returns the wrong answer (ESP) and
+// misses (ITA). A simulated perfect oracle (backed by the ground truth)
+// answers QOCO's questions; the cleaner repairs the database and the result.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/crowd"
+	"repro/internal/dataset"
+	"repro/internal/eval"
+)
+
+func main() {
+	// D is the dirty database, DG the ground truth only the oracle sees.
+	d, dg := dataset.Figure1()
+	q := dataset.IntroQ1()
+
+	fmt.Println("Query:", q)
+	fmt.Println("Dirty result:   ", eval.Result(q, d))  // [(ESP) (GER)]
+	fmt.Println("True result:    ", eval.Result(q, dg)) // [(GER) (ITA)]
+
+	cleaner := core.New(d, crowd.NewPerfect(dg), core.Config{})
+	report, err := cleaner.Clean(q)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("Cleaned result: ", eval.Result(q, d))
+	fmt.Printf("Removed %d wrong and added %d missing answer(s) with %d edits:\n",
+		report.WrongAnswers, report.MissingAnswers, len(report.Edits))
+	for _, e := range report.Edits {
+		fmt.Println("  ", e)
+	}
+	fmt.Printf("Crowd cost: %d closed answers + %d filled variables\n",
+		report.Crowd.Closed(), report.Crowd.VariablesFilled)
+}

@@ -1,0 +1,104 @@
+// Worldcup: clean the full-scale Soccer database (§7.2) under the paper's
+// noise model and compare the deletion algorithms and split strategies.
+//
+// A ~5000-tuple synthetic World Cup history is corrupted with the §7.2 knobs
+// (degree of data cleanliness, noise skewness), the five evaluation queries
+// are cleaned with a simulated perfect oracle, and the crowd cost of QOCO is
+// compared with its baselines — a miniature of Figures 3a-3c.
+//
+// Run with: go run ./examples/worldcup
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"repro/internal/core"
+	"repro/internal/cq"
+	"repro/internal/crowd"
+	"repro/internal/dataset"
+	"repro/internal/db"
+	"repro/internal/eval"
+	"repro/internal/noise"
+	"repro/internal/split"
+)
+
+func main() {
+	dg := dataset.Soccer(dataset.SoccerOpts{})
+	fmt.Printf("Soccer ground truth: %d tuples\n", dg.Len())
+
+	// Corrupt at the paper's default: 80%% cleanliness, half wrong half missing.
+	d0 := noise.Corrupt(dg, noise.Opts{
+		Cleanliness: 0.80, Skew: 0.5, RNG: rand.New(rand.NewSource(42)),
+	})
+	fmt.Printf("Dirty copy: %d tuples (cleanliness %.2f, skew %.2f)\n\n",
+		d0.Len(), noise.DataCleanliness(d0, dg), noise.Skewness(d0, dg))
+
+	queries := dataset.SoccerQueries()
+	names := []string{"Q1 lost two finals", "Q2 same-continent rematches",
+		"Q3 knockout winners", "Q4 repeated loss scores", "Q5 beat South Americans"}
+
+	fmt.Printf("%-28s %8s %8s %10s %10s %6s\n",
+		"query", "dirty", "true", "wrong", "missing", "clean%")
+	for i, q := range queries {
+		cur := eval.Result(q, d0)
+		truth := eval.Result(q, dg)
+		wrong, missing := diffCounts(cur, truth)
+		fmt.Printf("%-28s %8d %8d %10d %10d %5.0f%%\n",
+			names[i], len(cur), len(truth), wrong, missing,
+			100*noise.ResultCleanliness(q, d0, dg))
+	}
+
+	// Clean Q2 with each deletion policy (insertion fixed to provenance) and
+	// report the crowd cost, QOCO vs its baselines.
+	fmt.Printf("\nCleaning %s with each algorithm:\n", names[1])
+	fmt.Printf("%-10s %14s %14s %12s %5s\n", "algorithm", "verify-answers", "verify-tuples", "fill-vars", "ok")
+	for _, policy := range []core.DeletionPolicy{core.PolicyQOCO, core.PolicyQOCOMinus, core.PolicyRandom} {
+		d := d0.Clone()
+		cl := core.New(d, crowd.NewPerfect(dg), core.Config{
+			Deletion: policy,
+			Split:    split.Provenance{},
+			RNG:      rand.New(rand.NewSource(7)),
+		})
+		_, err := cl.Clean(queries[1])
+		if err != nil {
+			log.Fatalf("%v: %v", policy, err)
+		}
+		ok := "yes"
+		if !sameResult(queries[1], d, dg) {
+			ok = "NO"
+		}
+		s := cl.Stats()
+		fmt.Printf("%-10s %14d %14d %12d %5s\n",
+			policy, s.VerifyAnswerQs, s.VerifyFactQs, s.VariablesFilled, ok)
+	}
+}
+
+// diffCounts returns |cur − truth| (wrong answers) and |truth − cur|
+// (missing answers).
+func diffCounts(cur, truth []db.Tuple) (wrong, missing int) {
+	truthSet := make(map[string]bool, len(truth))
+	for _, t := range truth {
+		truthSet[t.Key()] = true
+	}
+	curSet := make(map[string]bool, len(cur))
+	for _, t := range cur {
+		curSet[t.Key()] = true
+		if !truthSet[t.Key()] {
+			wrong++
+		}
+	}
+	for _, t := range truth {
+		if !curSet[t.Key()] {
+			missing++
+		}
+	}
+	return wrong, missing
+}
+
+// sameResult reports whether q yields identical results over both databases.
+func sameResult(q *cq.Query, a, b *db.Database) bool {
+	w, m := diffCounts(eval.Result(q, a), eval.Result(q, b))
+	return w == 0 && m == 0
+}

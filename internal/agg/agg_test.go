@@ -1,0 +1,223 @@
+package agg
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/cq"
+	"repro/internal/crowd"
+	"repro/internal/dataset"
+	"repro/internal/db"
+	"repro/internal/schema"
+)
+
+// winsBody groups final wins by team: head (x), aggregated variable d (the
+// distinct final dates won).
+func winsBody(t *testing.T) *Query {
+	t.Helper()
+	body := cq.MustParse("(x) :- Games(d, x, y, Final, u)")
+	q, err := New("finalWins", body, Count, "d")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return q
+}
+
+func groupMap(gs []Group) map[string]float64 {
+	out := make(map[string]float64, len(gs))
+	for _, g := range gs {
+		out[g.Key.Key()] = g.Value
+	}
+	return out
+}
+
+func TestCountFinalWins(t *testing.T) {
+	d, dg := dataset.Figure1()
+	q := winsBody(t)
+	gs, err := Eval(q, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := groupMap(gs)
+	// Over the dirty D: ESP "won" 4 finals (2010 + 3 fakes), GER 2, ITA 2, BRA 1.
+	if m[db.Tuple{"ESP"}.Key()] != 4 {
+		t.Errorf("COUNT(ESP) over D = %v, want 4", m[db.Tuple{"ESP"}.Key()])
+	}
+	if m[db.Tuple{"GER"}.Key()] != 2 {
+		t.Errorf("COUNT(GER) = %v, want 2", m[db.Tuple{"GER"}.Key()])
+	}
+	gsT, err := Eval(q, dg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mt := groupMap(gsT)
+	if mt[db.Tuple{"ESP"}.Key()] != 1 {
+		t.Errorf("COUNT(ESP) over DG = %v, want 1", mt[db.Tuple{"ESP"}.Key()])
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	body := cq.MustParse("(x) :- Games(d, x, y, Final, u)")
+	if _, err := New("bad", body, Count, "nope"); err == nil {
+		t.Errorf("unknown aggregated variable accepted")
+	}
+	if _, err := New("bad", body, Count, "x"); err == nil {
+		t.Errorf("group-by variable accepted as aggregate")
+	}
+}
+
+func TestSumMinMax(t *testing.T) {
+	s := schema.New(schema.Relation{Name: "Sales", Attrs: []string{"shop", "amount"}})
+	d := db.New(s)
+	for _, r := range [][]string{{"a", "10"}, {"a", "5"}, {"a", "10"}, {"b", "7"}} {
+		d.InsertFact(db.NewFact("Sales", r...))
+	}
+	body := cq.MustParse("(s) :- Sales(s, v)")
+	check := func(kind Kind, shop string, want float64) {
+		t.Helper()
+		q, err := New("q", body, kind, "v")
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, ok, err := GroupValue(q, d, db.Tuple{shop})
+		if err != nil || !ok {
+			t.Fatalf("%v(%s): %v %v", kind, shop, ok, err)
+		}
+		if math.Abs(got-want) > 1e-9 {
+			t.Errorf("%v(%s) = %v, want %v", kind, shop, got, want)
+		}
+	}
+	// Set semantics: the duplicate (a, 10) fact is one tuple.
+	check(Sum, "a", 15)
+	check(Min, "a", 5)
+	check(Max, "a", 10)
+	check(Count, "a", 2)
+	check(Sum, "b", 7)
+	check(Min, "b", 7)
+	check(Max, "b", 7)
+}
+
+func TestNonNumericSumFails(t *testing.T) {
+	d, _ := dataset.Figure1()
+	body := cq.MustParse("(x) :- Games(d, x, y, Final, u)")
+	q, err := New("q", body, Sum, "u") // results like "1:0" are not numbers
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Eval(q, d); err == nil {
+		t.Errorf("SUM over non-numeric values should fail")
+	}
+}
+
+func TestGroupValueAbsent(t *testing.T) {
+	d, _ := dataset.Figure1()
+	q := winsBody(t)
+	_, ok, err := GroupValue(q, d, db.Tuple{"JPN"})
+	if err != nil || ok {
+		t.Errorf("absent group = %v, %v; want ok=false", ok, err)
+	}
+}
+
+func TestDiffFindsWrongGroups(t *testing.T) {
+	d, dg := dataset.Figure1()
+	q := winsBody(t)
+	diff, err := Diff(q, d, dg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// ESP differs (4 vs 1); GER/ITA agree (2 each); FRA and ARG win only in
+	// DG (the restored true 1998/1978 finals); BRA differs too (1 in D, 2 in
+	// DG — the restored 1994 final).
+	want := map[string]bool{"ARG": true, "BRA": true, "ESP": true, "FRA": true}
+	if len(diff) != len(want) {
+		t.Fatalf("Diff = %v, want keys %v", diff, want)
+	}
+	for _, g := range diff {
+		if !want[g[0]] {
+			t.Errorf("unexpected differing group %v", g)
+		}
+	}
+}
+
+func TestMemberQuery(t *testing.T) {
+	q := winsBody(t)
+	member, err := q.MemberQuery(db.Tuple{"ESP"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(member.Head) != 1 || !member.Head[0].IsVar || member.Head[0].Name != "d" {
+		t.Errorf("member head = %v, want (d)", member.Head)
+	}
+	if member.Atoms[0].Args[1].IsVar || member.Atoms[0].Args[1].Name != "ESP" {
+		t.Errorf("group constant not bound: %v", member.Atoms[0])
+	}
+	if _, err := q.MemberQuery(db.Tuple{"too", "many"}); err == nil {
+		t.Errorf("arity mismatch accepted")
+	}
+}
+
+// TestCleanGroupRepairsAggregate is the §9 reduction end to end: the crowd
+// repairs ESP's final-win count from 4 to the true 1 by cleaning the member
+// query (the three fake finals are deleted; the missing true finals of other
+// teams are out of this group's scope).
+func TestCleanGroupRepairsAggregate(t *testing.T) {
+	d, dg := dataset.Figure1()
+	q := winsBody(t)
+	cl := core.New(d, crowd.NewPerfect(dg), core.Config{RNG: rand.New(rand.NewSource(5))})
+
+	report, err := CleanGroup(cl, q, db.Tuple{"ESP"})
+	if err != nil {
+		t.Fatalf("CleanGroup: %v", err)
+	}
+	if report.Deletions == 0 {
+		t.Errorf("no deletions; fake finals survived")
+	}
+	got, ok, err := GroupValue(q, d, db.Tuple{"ESP"})
+	if err != nil || !ok {
+		t.Fatalf("GroupValue: %v %v", ok, err)
+	}
+	if got != 1 {
+		t.Errorf("COUNT(ESP) after CleanGroup = %v, want 1", got)
+	}
+	// Other groups untouched.
+	if v, _, _ := GroupValue(q, d, db.Tuple{"GER"}); v != 2 {
+		t.Errorf("COUNT(GER) disturbed: %v", v)
+	}
+}
+
+// TestCleanAllDiffGroups drives the full aggregate-repair loop: clean every
+// differing group until the aggregate matches the ground truth everywhere.
+func TestCleanAllDiffGroups(t *testing.T) {
+	d, dg := dataset.Figure1()
+	q := winsBody(t)
+	cl := core.New(d, crowd.NewPerfect(dg), core.Config{RNG: rand.New(rand.NewSource(6))})
+	for round := 0; round < 5; round++ {
+		diff, err := Diff(q, d, dg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(diff) == 0 {
+			return // aggregates agree on every group
+		}
+		for _, g := range diff {
+			if _, err := CleanGroup(cl, q, g); err != nil {
+				t.Fatalf("CleanGroup(%v): %v", g, err)
+			}
+		}
+	}
+	diff, _ := Diff(q, d, dg)
+	if len(diff) != 0 {
+		t.Errorf("groups still differ after repair rounds: %v", diff)
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if Count.String() != "COUNT" || Sum.String() != "SUM" || Min.String() != "MIN" || Max.String() != "MAX" {
+		t.Errorf("kind names wrong")
+	}
+	if Kind(9).String() == "" {
+		t.Errorf("unknown kind should render")
+	}
+}

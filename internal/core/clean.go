@@ -1,0 +1,277 @@
+package core
+
+import (
+	"sort"
+	"sync"
+
+	"repro/internal/cq"
+	"repro/internal/db"
+	"repro/internal/enumest"
+	"repro/internal/eval"
+)
+
+// Clean implements Algorithm 3 (the main algorithm): it iteratively verifies
+// the answers of Q over the database, removes the wrong ones
+// (CrowdRemoveWrongAnswer), and asks the crowd for missing answers to add
+// (CrowdAddMissingAnswer), until every answer of Q(D) is verified and the
+// enumeration black box (§6.1) declares the result complete. Fixing one type
+// of error can surface errors of the other type (Example 6.1); each edit
+// brings D closer to DG (Prop 3.3), so with a correct crowd the loop
+// converges. ErrNoConvergence is returned if MaxIterations trips first.
+func (c *Cleaner) Clean(q *cq.Query) (*Report, error) {
+	r := &Report{}
+	verified := make(map[string]bool)
+	failedInsert := make(map[string]bool)
+	est := enumest.New()
+
+	for iter := 0; ; iter++ {
+		if iter >= c.cfg.MaxIterations {
+			r.Crowd = c.oracle.Snapshot()
+			return r, ErrNoConvergence
+		}
+		r.Iterations = iter + 1
+
+		// Deletion part (Algorithm 3 lines 2-6).
+		unverified := c.unverifiedAnswers(q, verified)
+		if iter > 0 && len(unverified) == 0 {
+			break // while-condition: Q(D) ∖ VerifiedResults = ∅
+		}
+		wrong := c.verifyAnswers(q, unverified, verified)
+		for _, t := range wrong {
+			r.WrongAnswers++
+			if err := c.removeWrongAnswer(r, q, t); err != nil {
+				r.Crowd = c.oracle.Snapshot()
+				return r, err
+			}
+		}
+
+		// Insertion part (Algorithm 3 lines 7-9).
+		for {
+			cur := eval.Result(q, c.d)
+			proposals := c.completeResults(q, cur)
+			if len(proposals) == 0 {
+				est.ObserveNull()
+				if est.ConsecutiveNulls() >= c.cfg.MinNulls {
+					break
+				}
+				continue
+			}
+			stuck := false
+			for _, t := range proposals {
+				if failedInsert[t.Key()] {
+					// The crowd keeps proposing an answer it cannot witness;
+					// don't loop on it forever.
+					stuck = true
+					continue
+				}
+				if eval.AnswerHolds(q, c.d, t) {
+					continue // an earlier proposal of this round added it
+				}
+				est.Observe(t.Key())
+				r.MissingAnswers++
+				err := c.addMissingAnswer(r, q, t)
+				switch err {
+				case nil:
+					verified[t.Key()] = true
+				case ErrCannotComplete:
+					failedInsert[t.Key()] = true
+				default:
+					r.Crowd = c.oracle.Snapshot()
+					return r, err
+				}
+			}
+			if stuck || est.Complete(c.cfg.MinSamples, c.cfg.MinNulls) {
+				break
+			}
+		}
+	}
+	r.Crowd = c.oracle.Snapshot()
+	return r, nil
+}
+
+// completeResults poses COMPL(Q(D)) to the crowd — in Parallel mode several
+// copies are posted together (§6.2: "post together multiple completion
+// questions"), and the distinct proposals are returned in deterministic
+// order. Serial mode asks once.
+func (c *Cleaner) completeResults(q *cq.Query, cur []db.Tuple) []db.Tuple {
+	if !c.cfg.Parallel {
+		if t, ok := c.oracle.CompleteResult(q, cur); ok {
+			return []db.Tuple{t}
+		}
+		return nil
+	}
+	fanout := 3
+	results := make([]db.Tuple, fanout)
+	oks := make([]bool, fanout)
+	var wg sync.WaitGroup
+	for i := 0; i < fanout; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i], oks[i] = c.oracle.CompleteResult(q, cur)
+		}(i)
+	}
+	wg.Wait()
+	seen := make(map[string]bool)
+	var out []db.Tuple
+	for i, t := range results {
+		if oks[i] && !seen[t.Key()] {
+			seen[t.Key()] = true
+			out = append(out, t)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Less(out[j]) })
+	return out
+}
+
+// unverifiedAnswers returns Q(D) ∖ VerifiedResults in deterministic order.
+func (c *Cleaner) unverifiedAnswers(q *cq.Query, verified map[string]bool) []db.Tuple {
+	var out []db.Tuple
+	for _, t := range eval.Result(q, c.d) {
+		if !verified[t.Key()] {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// verifyAnswers poses TRUE(Q, t)? for every unverified answer — concurrently
+// in Parallel mode (§6.2) — marking the true ones verified and returning the
+// wrong ones in deterministic order.
+func (c *Cleaner) verifyAnswers(q *cq.Query, tuples []db.Tuple, verified map[string]bool) []db.Tuple {
+	if len(tuples) == 0 {
+		return nil
+	}
+	answers := make([]bool, len(tuples))
+	if c.cfg.Parallel {
+		var wg sync.WaitGroup
+		for i, t := range tuples {
+			wg.Add(1)
+			go func(i int, t db.Tuple) {
+				defer wg.Done()
+				answers[i] = c.oracle.VerifyAnswer(q, t)
+			}(i, t)
+		}
+		wg.Wait()
+	} else {
+		for i, t := range tuples {
+			answers[i] = c.oracle.VerifyAnswer(q, t)
+		}
+	}
+	var wrong []db.Tuple
+	for i, t := range tuples {
+		if answers[i] {
+			verified[t.Key()] = true
+		} else {
+			wrong = append(wrong, t)
+		}
+	}
+	return wrong
+}
+
+// CleanUnion extends Clean to unions of conjunctive queries (the paper notes
+// in §2 that its results extend to UCQs). Wrong answers collect witnesses
+// from every disjunct that produces them; missing answers are inserted via
+// the first disjunct the crowd can witness.
+func (c *Cleaner) CleanUnion(u *cq.Union) (*Report, error) {
+	r := &Report{}
+	verified := make(map[string]bool)
+	failedInsert := make(map[string]bool)
+	est := enumest.New()
+
+	for iter := 0; ; iter++ {
+		if iter >= c.cfg.MaxIterations {
+			r.Crowd = c.oracle.Snapshot()
+			return r, ErrNoConvergence
+		}
+		r.Iterations = iter + 1
+
+		var unverified []db.Tuple
+		for _, t := range eval.ResultUnion(u, c.d) {
+			if !verified[t.Key()] {
+				unverified = append(unverified, t)
+			}
+		}
+		if iter > 0 && len(unverified) == 0 {
+			break
+		}
+		for _, t := range unverified {
+			// TRUE(U, t)? decomposes into per-disjunct membership: t is a
+			// true answer iff some disjunct yields it over DG.
+			isTrue := false
+			for _, q := range u.Disjuncts {
+				if c.oracle.VerifyAnswer(q, t) {
+					isTrue = true
+					break
+				}
+			}
+			if isTrue {
+				verified[t.Key()] = true
+				continue
+			}
+			r.WrongAnswers++
+			// Remove the answer from every disjunct that currently yields it.
+			for _, q := range u.Disjuncts {
+				if eval.AnswerHolds(q, c.d, t) {
+					if err := c.removeWrongAnswer(r, q, t); err != nil {
+						r.Crowd = c.oracle.Snapshot()
+						return r, err
+					}
+				}
+			}
+		}
+
+		for {
+			cur := eval.ResultUnion(u, c.d)
+			t, ok := c.completeResultUnion(u, cur)
+			if !ok {
+				est.ObserveNull()
+				if est.ConsecutiveNulls() >= c.cfg.MinNulls {
+					break
+				}
+				continue
+			}
+			if failedInsert[t.Key()] {
+				break
+			}
+			est.Observe(t.Key())
+			r.MissingAnswers++
+			inserted := false
+			for _, q := range u.Disjuncts {
+				if len(t) != q.Arity() {
+					continue
+				}
+				err := c.addMissingAnswer(r, q, t)
+				if err == nil {
+					inserted = true
+					break
+				}
+				if err != ErrCannotComplete {
+					r.Crowd = c.oracle.Snapshot()
+					return r, err
+				}
+			}
+			if inserted {
+				verified[t.Key()] = true
+			} else {
+				failedInsert[t.Key()] = true
+			}
+			if est.Complete(c.cfg.MinSamples, c.cfg.MinNulls) {
+				break
+			}
+		}
+	}
+	r.Crowd = c.oracle.Snapshot()
+	return r, nil
+}
+
+// completeResultUnion asks COMPL over the union: each disjunct is probed for
+// a missing answer against the union's current result.
+func (c *Cleaner) completeResultUnion(u *cq.Union, current []db.Tuple) (db.Tuple, bool) {
+	for _, q := range u.Disjuncts {
+		if t, ok := c.oracle.CompleteResult(q, current); ok {
+			return t, true
+		}
+	}
+	return nil, false
+}

@@ -1,0 +1,304 @@
+// Package core implements QOCO's cleaning algorithms: CrowdRemoveWrongAnswer
+// (Algorithm 1, §4), CrowdAddMissingAnswer (Algorithm 2, §5), and the main
+// iterative cleaner (Algorithm 3, §6) with its parallel, multi-expert
+// extension (§6.2). A Cleaner owns a dirty database and an oracle crowd and
+// drives question-answer-edit rounds until the query result over the database
+// matches the result over the (unknown) ground truth.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+
+	"repro/internal/crowd"
+	"repro/internal/db"
+	"repro/internal/split"
+)
+
+// DeletionPolicy selects how Algorithm 1 picks the next witness tuple to
+// verify (§7.2's deletion baselines).
+type DeletionPolicy int
+
+const (
+	// PolicyQOCO is the full Algorithm 1: greedy most-frequent choice plus
+	// the singleton rule that detects unique minimal hitting sets (Thm 4.5)
+	// and stops asking questions once one exists.
+	PolicyQOCO DeletionPolicy = iota
+	// PolicyQOCOMinus is the QOCO− baseline: greedy most-frequent choice but
+	// no unique-hitting-set detection; every deleted tuple is verified.
+	PolicyQOCOMinus
+	// PolicyRandom is the Random baseline: verifies uniformly random witness
+	// tuples until every witness is destroyed.
+	PolicyRandom
+	// PolicyResponsibility is the §4 alternative heuristic "tuples with high
+	// causality/responsibility": it asks first about the tuple with the
+	// highest responsibility for the wrong answer (1/(1+|Γ|) for a minimum
+	// contingency set Γ — approximated greedily), falling back to frequency
+	// on ties. The singleton rule still applies.
+	PolicyResponsibility
+	// PolicyTrust is the §4 alternative heuristic "tuples which are least
+	// trustworthy (assuming that they have trust scores)": it asks first
+	// about the candidate with the lowest Config.TrustScores entry
+	// (default 0.5), breaking ties by frequency. The singleton rule still
+	// applies.
+	PolicyTrust
+	// PolicyInfluence is the §4 alternative heuristic "asking the crowd first
+	// about influential tuples" (the paper's [40]): candidates are ranked by
+	// their exact influence on the answer's Boolean provenance — the
+	// probability the answer flips with the tuple — under per-tuple
+	// probabilities taken from Config.TrustScores (0.5 when absent). The
+	// singleton rule still applies.
+	PolicyInfluence
+)
+
+// String returns the paper's name for the policy.
+func (p DeletionPolicy) String() string {
+	switch p {
+	case PolicyQOCO:
+		return "QOCO"
+	case PolicyQOCOMinus:
+		return "QOCO-"
+	case PolicyRandom:
+		return "Random"
+	case PolicyResponsibility:
+		return "Responsibility"
+	case PolicyTrust:
+		return "Trust"
+	case PolicyInfluence:
+		return "Influence"
+	default:
+		return fmt.Sprintf("DeletionPolicy(%d)", int(p))
+	}
+}
+
+// usesSingletonRule reports whether the policy applies the unique-minimal-
+// hitting-set shortcut of Theorem 4.5 (all policies except the baselines
+// QOCO− and Random, which exist to measure its value).
+func (p DeletionPolicy) usesSingletonRule() bool {
+	switch p {
+	case PolicyQOCO, PolicyResponsibility, PolicyTrust, PolicyInfluence:
+		return true
+	default:
+		return false
+	}
+}
+
+// ErrCannotComplete is returned by AddMissingAnswer when the crowd cannot
+// produce a witness for the requested answer — with a perfect oracle this
+// means the tuple is not an answer over the ground truth.
+var ErrCannotComplete = errors.New("core: crowd cannot complete a witness for the answer")
+
+// ErrNoConvergence is returned by Clean when the iteration guard trips before
+// the result stabilizes (possible only with error-prone crowds).
+var ErrNoConvergence = errors.New("core: cleaning did not converge within the iteration budget")
+
+// Config tunes a Cleaner. The zero value is not usable; New applies defaults.
+type Config struct {
+	// Deletion selects the Algorithm 1 variant. Default PolicyQOCO.
+	Deletion DeletionPolicy
+	// Split is the Algorithm 2 split strategy. Default split.Provenance.
+	Split split.Strategy
+	// RNG drives random tie-breaks and the Random policies. Default seed 1.
+	RNG *rand.Rand
+	// MaxIterations bounds the outer loop of Algorithm 3. Default 50.
+	MaxIterations int
+	// AssignmentCap bounds how many subquery assignments Algorithm 2 examines
+	// per subquery before splitting further (an engineering guard keeping
+	// crowd work bounded on weakly constrained subqueries). Default 64.
+	AssignmentCap int
+	// CompositeSize batches this many tuple verifications into one composite
+	// crowd question in Algorithm 1 (the §9 extension). Default 1 (off).
+	CompositeSize int
+	// Parallel enables the §6.2 parallel mode: answer verifications of a
+	// round are posed to the crowd concurrently. The oracle must be safe for
+	// concurrent use (Perfect is; wrap others appropriately).
+	Parallel bool
+	// MinSamples and MinNulls configure the enumeration stopping rule for
+	// COMPL(Q(D)) questions (§6.1, the Chao92 black box): stop once the
+	// estimator believes the result complete, or after MinNulls consecutive
+	// "nothing missing" replies. Defaults 3 and 1.
+	MinSamples int
+	MinNulls   int
+	// UseKeys enables key-constraint inference (the §9 extension): when a
+	// fact is established true and its relation declares a key
+	// (schema.Relation.Key), every database fact agreeing on the key but
+	// differing elsewhere must be false and is marked so without asking the
+	// crowd. Default off.
+	UseKeys bool
+	// OnEdit, when non-nil, is invoked after every edit the cleaner applies
+	// to the database. The view monitor uses it to maintain materialized
+	// views incrementally while QOCO repairs the underlying data.
+	OnEdit func(db.Edit)
+	// TrustScores maps fact keys (db.Fact.Key()) to trust in [0, 1], used by
+	// PolicyTrust: less trustworthy tuples are verified first. Facts without
+	// an entry default to 0.5.
+	TrustScores map[string]float64
+	// MinimizeQueries folds redundant atoms out of the embedded query Q|t
+	// before Algorithm 2 runs (homomorphism minimization): fewer atoms mean
+	// fewer variables for the crowd to fill in the naive fallback. Off by
+	// default to match the paper's algorithms exactly.
+	MinimizeQueries bool
+}
+
+func (c *Config) applyDefaults() {
+	if c.Split == nil {
+		c.Split = split.Provenance{}
+	}
+	if c.RNG == nil {
+		c.RNG = rand.New(rand.NewSource(1))
+	}
+	if c.MaxIterations == 0 {
+		c.MaxIterations = 50
+	}
+	if c.AssignmentCap == 0 {
+		c.AssignmentCap = 64
+	}
+	if c.CompositeSize == 0 {
+		c.CompositeSize = 1
+	}
+	if c.MinSamples == 0 {
+		c.MinSamples = 3
+	}
+	if c.MinNulls == 0 {
+		c.MinNulls = 1
+	}
+}
+
+// Report summarizes one cleaning run.
+type Report struct {
+	// Edits applied to the database, in order.
+	Edits []db.Edit
+	// Deletions and Insertions are the counts of applied edits by kind.
+	Deletions, Insertions int
+	// WrongAnswers and MissingAnswers are the output errors encountered.
+	WrongAnswers, MissingAnswers int
+	// Iterations is the number of outer Algorithm 3 rounds.
+	Iterations int
+	// CompositeQuestions counts batched verification rounds when
+	// CompositeSize > 1.
+	CompositeQuestions int
+	// Crowd is the interaction accounting for the whole run.
+	Crowd crowd.Stats
+}
+
+// Cleaner drives QOCO over one database instance.
+type Cleaner struct {
+	cfg    Config
+	d      *db.Database
+	oracle *crowd.Counting
+
+	mu         sync.Mutex // guards caches and oracle during parallel phases
+	knownTrue  map[string]bool
+	knownFalse map[string]bool
+	unsat      map[string]bool // partial-assignment keys known non-satisfiable
+}
+
+// New builds a Cleaner over the database with the given oracle and config.
+// The database is mutated in place by the cleaning methods.
+func New(d *db.Database, oracle crowd.Oracle, cfg Config) *Cleaner {
+	cfg.applyDefaults()
+	return &Cleaner{
+		cfg:        cfg,
+		d:          d,
+		oracle:     crowd.NewCounting(oracle),
+		knownTrue:  make(map[string]bool),
+		knownFalse: make(map[string]bool),
+		unsat:      make(map[string]bool),
+	}
+}
+
+// Database returns the cleaner's database.
+func (c *Cleaner) Database() *db.Database { return c.d }
+
+// Stats returns the crowd interaction statistics accumulated so far.
+func (c *Cleaner) Stats() crowd.Stats { return c.oracle.Snapshot() }
+
+// verifyFact answers TRUE(R(ā))? consulting the known-answer caches first, so
+// the same question is never posed to the crowd twice (§3.2 assumes questions
+// are never repeated).
+func (c *Cleaner) verifyFact(f db.Fact) bool {
+	k := f.Key()
+	c.mu.Lock()
+	if c.knownTrue[k] {
+		c.mu.Unlock()
+		return true
+	}
+	if c.knownFalse[k] {
+		c.mu.Unlock()
+		return false
+	}
+	ans := c.oracle.VerifyFact(f)
+	if ans {
+		c.knownTrue[k] = true
+		c.inferKeyConflictsLocked(f)
+	} else {
+		c.knownFalse[k] = true
+	}
+	c.mu.Unlock()
+	return ans
+}
+
+// inferKeyConflictsLocked marks every database fact that shares a true
+// fact's key (but differs elsewhere) as false — the key-constraint inference
+// of the §9 extension. Caller holds c.mu. No crowd questions are posed.
+func (c *Cleaner) inferKeyConflictsLocked(trueFact db.Fact) {
+	if !c.cfg.UseKeys {
+		return
+	}
+	relSchema, ok := c.d.Schema().Relation(trueFact.Rel)
+	if !ok {
+		return
+	}
+	keyIdx := relSchema.KeyIndexes()
+	if keyIdx == nil {
+		return
+	}
+	rel := c.d.Relation(trueFact.Rel)
+	bindings := make([]db.Binding, len(keyIdx))
+	for i, col := range keyIdx {
+		bindings[i] = db.Binding{Col: col, Value: trueFact.Args[col]}
+	}
+	for _, tuple := range rel.Scan(bindings) {
+		if tuple.Equal(trueFact.Args) {
+			continue
+		}
+		conflict := db.Fact{Rel: trueFact.Rel, Args: tuple}
+		ck := conflict.Key()
+		if !c.knownTrue[ck] {
+			c.knownFalse[ck] = true
+		}
+	}
+}
+
+// markTrueFact records a fact as true without asking (e.g. ground atoms of
+// Q|t, or facts of a crowd-completed witness) and applies key inference.
+func (c *Cleaner) markTrueFact(f db.Fact) {
+	c.mu.Lock()
+	c.knownTrue[f.Key()] = true
+	delete(c.knownFalse, f.Key())
+	c.inferKeyConflictsLocked(f)
+	c.mu.Unlock()
+}
+
+// apply applies an edit to the database and appends it to the report.
+func (c *Cleaner) apply(r *Report, e db.Edit) error {
+	changed, err := c.d.Apply(e)
+	if err != nil {
+		return err
+	}
+	if !changed {
+		return nil
+	}
+	r.Edits = append(r.Edits, e)
+	if e.Op == db.Insert {
+		r.Insertions++
+	} else {
+		r.Deletions++
+	}
+	if c.cfg.OnEdit != nil {
+		c.cfg.OnEdit(e)
+	}
+	return nil
+}

@@ -1,0 +1,17 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/cq"
+)
+
+// mustQuery parses a query or fails the test.
+func mustQuery(t *testing.T, text string) *cq.Query {
+	t.Helper()
+	q, err := cq.Parse(text)
+	if err != nil {
+		t.Fatalf("parse %q: %v", text, err)
+	}
+	return q
+}

@@ -1,0 +1,268 @@
+package core
+
+import (
+	"sort"
+
+	"repro/internal/cq"
+	"repro/internal/db"
+	"repro/internal/eval"
+	"repro/internal/hitting"
+	"repro/internal/provenance"
+)
+
+// RemoveWrongAnswer implements Algorithm 1 (CrowdRemoveWrongAnswer) and its
+// baselines: it derives deletion edits that remove the wrong answer t from
+// Q(D) by destroying every witness, asking the crowd which witness tuples are
+// false. The edits are applied to the database and returned. If t is not in
+// Q(D) it returns no edits.
+//
+// With PolicyQOCO, singleton witness sets are resolved without questions:
+// once the singleton elements hit every remaining witness, a unique minimal
+// hitting set exists (Theorem 4.5) and its tuples must be false. PolicyQOCO
+// also consults the never-repeat caches, so a tuple whose truth is already
+// known costs nothing.
+func (c *Cleaner) RemoveWrongAnswer(q *cq.Query, t db.Tuple) ([]db.Edit, error) {
+	r := &Report{}
+	if err := c.removeWrongAnswer(r, q, t); err != nil {
+		return r.Edits, err
+	}
+	return r.Edits, nil
+}
+
+func (c *Cleaner) removeWrongAnswer(r *Report, q *cq.Query, t db.Tuple) error {
+	witnesses := eval.Witnesses(q, c.d, t)
+	if len(witnesses) == 0 {
+		return nil
+	}
+	// Build the set system over fact keys, remembering key -> fact.
+	facts := make(map[string]db.Fact)
+	ss := hitting.NewSetSystem()
+	for _, w := range witnesses {
+		keys := make([]string, 0, len(w))
+		for _, f := range w {
+			facts[f.Key()] = f
+			keys = append(keys, f.Key())
+		}
+		ss.Add(keys)
+	}
+	// The unique-minimal-hitting-set shortcut (Theorem 4.5) relies on every
+	// witness containing at least one false tuple, which holds only for
+	// negation-free queries: under negation a wrong answer can have an
+	// all-true witness whose repair is inserting a blocking fact instead.
+	useSingleton := c.cfg.Deletion.usesSingletonRule() && len(q.Negs) == 0
+	// Resolve tuples whose truth is already cached: false ones destroy their
+	// witnesses immediately, true ones are removed from every set. This keeps
+	// the "questions are never repeated" invariant across answers that share
+	// witness tuples.
+	if useSingleton {
+		c.mu.Lock()
+		for k := range facts {
+			if c.knownFalse[k] {
+				if err := c.apply(r, db.Deletion(facts[k])); err != nil {
+					c.mu.Unlock()
+					return err
+				}
+				ss.RemoveSetsContaining(k)
+			} else if c.knownTrue[k] {
+				ss.RemoveElement(k)
+			}
+		}
+		c.mu.Unlock()
+	}
+
+	for !ss.Empty() {
+		if useSingleton {
+			// Lines 2-4: singleton tuples must be false; delete without asking.
+			for _, k := range ss.Singletons() {
+				c.markFalse(k)
+				if err := c.apply(r, db.Deletion(facts[k])); err != nil {
+					return err
+				}
+				ss.RemoveSetsContaining(k)
+			}
+			if ss.Empty() {
+				break
+			}
+		}
+		batch := c.pickCandidates(ss)
+		if len(batch) > 1 {
+			r.CompositeQuestions++
+		}
+		for _, k := range batch {
+			if ss.Empty() {
+				break
+			}
+			if c.verifyFact(facts[k]) {
+				ss.RemoveElement(k)
+			} else {
+				if err := c.apply(r, db.Deletion(facts[k])); err != nil {
+					return err
+				}
+				ss.RemoveSetsContaining(k)
+			}
+		}
+	}
+	if len(q.Negs) > 0 {
+		return c.repairNegationBlockers(r, q, t)
+	}
+	return nil
+}
+
+// repairNegationBlockers handles wrong answers of queries with negated atoms
+// (the §9 negation extension): when every positive witness fact is true, the
+// answer must instead be blocked by a fact of a negated atom that is missing
+// from D. The crowd verifies each candidate blocker; true ones are inserted,
+// invalidating the assignment.
+func (c *Cleaner) repairNegationBlockers(r *Report, q *cq.Query, t db.Tuple) error {
+	for guard := 0; eval.AnswerHolds(q, c.d, t); guard++ {
+		if guard > len(q.Negs)*64+16 {
+			return nil // oracle inconsistency: stop rather than loop forever
+		}
+		progressed := false
+		for _, a := range eval.AssignmentsFor(q, c.d, t) {
+			for _, atom := range q.Negs {
+				f, ok := a.AtomFact(atom)
+				if !ok || c.d.Has(f) {
+					continue
+				}
+				if c.verifyFact(f) {
+					if err := c.apply(r, db.Insertion(f)); err != nil {
+						return err
+					}
+					progressed = true
+				}
+			}
+			if progressed {
+				break // re-evaluate the remaining assignments
+			}
+		}
+		if !progressed {
+			return nil // nothing more the crowd affirms; give up on this answer
+		}
+	}
+	return nil
+}
+
+// pickCandidates returns the next tuples to verify according to the deletion
+// policy: the single most frequent tuple (QOCO, QOCO−), a uniformly random
+// tuple (Random), the highest-responsibility tuple (Responsibility), the
+// least trustworthy tuple (Trust), or the CompositeSize most frequent tuples
+// when composite questions are enabled.
+func (c *Cleaner) pickCandidates(ss *hitting.SetSystem) []string {
+	switch c.cfg.Deletion {
+	case PolicyRandom:
+		elems := ss.Elements()
+		return []string{elems[c.cfg.RNG.Intn(len(elems))]}
+	case PolicyResponsibility:
+		return []string{c.mostResponsible(ss)}
+	case PolicyTrust:
+		return []string{c.leastTrusted(ss)}
+	case PolicyInfluence:
+		dnf := &provenance.DNF{Terms: ss.Sets()}
+		return []string{dnf.MostInfluential(c.cfg.TrustScores)}
+	}
+	if c.cfg.CompositeSize <= 1 {
+		return []string{ss.MostFrequent(c.cfg.RNG)}
+	}
+	// Composite extension: take the CompositeSize most frequent elements.
+	freq := ss.Frequencies()
+	elems := ss.Elements()
+	sort.SliceStable(elems, func(i, j int) bool { return freq[elems[i]] > freq[elems[j]] })
+	if len(elems) > c.cfg.CompositeSize {
+		elems = elems[:c.cfg.CompositeSize]
+	}
+	return elems
+}
+
+// mostResponsible picks the candidate with the highest responsibility for the
+// wrong answer in the sense of Meliou et al. (the paper's [46]): the tuple t
+// whose minimum contingency set Γ — other tuples to remove so that t alone
+// becomes counterfactual, i.e. a hitting set of the witnesses avoiding t —
+// is smallest (responsibility 1/(1+|Γ|)). The contingency is approximated
+// with the greedy hitting set. Ties break toward higher witness frequency,
+// then lexicographically.
+func (c *Cleaner) mostResponsible(ss *hitting.SetSystem) string {
+	freq := ss.Frequencies()
+	best := ""
+	bestGamma := -1
+	for _, e := range ss.Elements() {
+		// Witnesses not containing e must be destroyed by the contingency.
+		rest := hitting.NewSetSystem()
+		for _, set := range ss.Sets() {
+			contains := false
+			for _, x := range set {
+				if x == e {
+					contains = true
+					break
+				}
+			}
+			if !contains {
+				rest.Add(set)
+			}
+		}
+		gamma := len(rest.Greedy())
+		switch {
+		case best == "",
+			gamma < bestGamma,
+			gamma == bestGamma && freq[e] > freq[best],
+			gamma == bestGamma && freq[e] == freq[best] && e < best:
+			best, bestGamma = e, gamma
+		}
+	}
+	return best
+}
+
+// leastTrusted picks the candidate with the lowest trust score (default 0.5
+// for unscored facts), breaking ties toward higher witness frequency, then
+// lexicographically.
+func (c *Cleaner) leastTrusted(ss *hitting.SetSystem) string {
+	freq := ss.Frequencies()
+	trust := func(key string) float64 {
+		if s, ok := c.cfg.TrustScores[key]; ok {
+			return s
+		}
+		return 0.5
+	}
+	best := ""
+	for _, e := range ss.Elements() {
+		switch {
+		case best == "",
+			trust(e) < trust(best),
+			trust(e) == trust(best) && freq[e] > freq[best],
+			trust(e) == trust(best) && freq[e] == freq[best] && e < best:
+			best = e
+		}
+	}
+	return best
+}
+
+func (c *Cleaner) markFalse(key string) {
+	c.mu.Lock()
+	c.knownFalse[key] = true
+	delete(c.knownTrue, key)
+	c.mu.Unlock()
+}
+
+// WrongAnswerUpperBound returns the number of distinct witness tuples of t,
+// the cost of the naive algorithm that verifies every tuple of every witness
+// (the "total" bar in Figure 3a).
+func WrongAnswerUpperBound(q *cq.Query, d *db.Database, t db.Tuple) int {
+	seen := make(map[string]bool)
+	for _, w := range eval.Witnesses(q, d, t) {
+		for _, f := range w {
+			seen[f.Key()] = true
+		}
+	}
+	return len(seen)
+}
+
+// MissingAnswerUpperBound returns the number of unique variables of Q|t, the
+// worst-case number of values the crowd must provide under the naive
+// no-split insertion (the "total" bar in Figure 3b).
+func MissingAnswerUpperBound(q *cq.Query, t db.Tuple) int {
+	qt, err := q.Embed(t)
+	if err != nil {
+		return 0
+	}
+	return len(qt.Vars())
+}

@@ -1,0 +1,34 @@
+package core_test
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/core"
+	"repro/internal/crowd"
+	"repro/internal/dataset"
+	"repro/internal/eval"
+)
+
+// Example runs the paper's running example end to end: the Figure 1 database
+// is cleaned for the query "European teams that won the World Cup at least
+// twice" with a simulated perfect oracle.
+func Example() {
+	d, dg := dataset.Figure1() // dirty database and ground truth
+	q := dataset.IntroQ1()
+
+	cleaner := core.New(d, crowd.NewPerfect(dg), core.Config{
+		RNG: rand.New(rand.NewSource(3)),
+	})
+	report, err := cleaner.Clean(q)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("result:", eval.Result(q, d))
+	fmt.Println("wrong answers removed:", report.WrongAnswers)
+	fmt.Println("missing answers added:", report.MissingAnswers)
+	// Output:
+	// result: [(GER) (ITA)]
+	// wrong answers removed: 1
+	// missing answers added: 1
+}

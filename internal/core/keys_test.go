@@ -1,0 +1,121 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/crowd"
+	"repro/internal/db"
+	"repro/internal/eval"
+	"repro/internal/schema"
+)
+
+// keyedSchema has R(a, b) with key {a}: at most one b per a can be true.
+func keyedSchema() *schema.Schema {
+	return schema.New(
+		schema.Relation{Name: "R", Attrs: []string{"a", "b"}, Key: []string{"a"}},
+		schema.Relation{Name: "T", Attrs: []string{"b"}},
+	)
+}
+
+// TestKeyInferenceSavesQuestions exercises the §9 key-constraint extension:
+// once the true fact R(k, good) enters the database (via an insertion), the
+// conflicting R(k, bad) is inferred false by the key on a, and the subsequent
+// wrong-answer removal needs zero crowd questions.
+func TestKeyInferenceSavesQuestions(t *testing.T) {
+	build := func() (*db.Database, *db.Database) {
+		d := db.New(keyedSchema())
+		dg := db.New(keyedSchema())
+		d.InsertFact(db.NewFact("R", "k", "bad"))
+		d.InsertFact(db.NewFact("T", "good"))
+		d.InsertFact(db.NewFact("T", "bad"))
+		dg.InsertFact(db.NewFact("R", "k", "good"))
+		dg.InsertFact(db.NewFact("T", "good"))
+		dg.InsertFact(db.NewFact("T", "bad"))
+		return d, dg
+	}
+	qGood := mustQuery(t, "(x) :- R(x, 'good')")
+	qPair := mustQuery(t, "(x, y) :- R(x, y), T(y)")
+
+	run := func(useKeys bool) (questions int, removedClean bool) {
+		d, dg := build()
+		c := New(d, crowd.NewPerfect(dg), Config{UseKeys: useKeys})
+		// Step 1: add the missing answer (k) of qGood. Its Q|t ground atom
+		// R(k, good) is inserted and marked true.
+		if _, err := c.AddMissingAnswer(qGood, db.Tuple{"k"}); err != nil {
+			t.Fatalf("AddMissingAnswer: %v", err)
+		}
+		base := c.Stats().VerifyFactQs
+		// Step 2: remove the wrong answer (k, bad) of qPair.
+		if _, err := c.RemoveWrongAnswer(qPair, db.Tuple{"k", "bad"}); err != nil {
+			t.Fatalf("RemoveWrongAnswer: %v", err)
+		}
+		return c.Stats().VerifyFactQs - base, !eval.AnswerHolds(qPair, d, db.Tuple{"k", "bad"})
+	}
+
+	qs, clean := run(true)
+	if !clean {
+		t.Fatalf("UseKeys: wrong answer not removed")
+	}
+	if qs != 0 {
+		t.Errorf("UseKeys: removal asked %d questions, want 0 (key inference)", qs)
+	}
+	qsOff, cleanOff := run(false)
+	if !cleanOff {
+		t.Fatalf("no keys: wrong answer not removed")
+	}
+	if qsOff == 0 {
+		t.Errorf("without keys the removal should need at least one question")
+	}
+}
+
+// TestKeyInferenceFigure1Dates: verifying the true 1998 final infers the fake
+// Spanish 1998 final false via the Games date key.
+func TestKeyInferenceFigure1Dates(t *testing.T) {
+	d, dg := newFigure1Cleaner(t)
+	c := New(d, crowd.NewPerfect(dg), Config{UseKeys: true})
+	trueFinal := db.NewFact("Games", "12.07.98", "FRA", "BRA", "Final", "3:0")
+	fakeFinal := db.NewFact("Games", "12.07.98", "ESP", "NED", "Final", "4:2")
+	if !c.verifyFact(trueFinal) {
+		t.Fatalf("true 1998 final should verify")
+	}
+	c.mu.Lock()
+	inferred := c.knownFalse[fakeFinal.Key()]
+	c.mu.Unlock()
+	if !inferred {
+		t.Errorf("fake 1998 final not inferred false from the date key")
+	}
+}
+
+// TestKeyInferenceResolvesConflictsWithoutQuestions: once one fact of a key
+// group is established true, the conflicting ones answer from the inference
+// cache with zero crowd questions, and the known-true fact itself is never
+// flipped.
+func TestKeyInferenceResolvesConflictsWithoutQuestions(t *testing.T) {
+	d := db.New(keyedSchema())
+	dg := db.New(keyedSchema())
+	d.InsertFact(db.NewFact("R", "k", "v1"))
+	d.InsertFact(db.NewFact("R", "k", "v2"))
+	dg.InsertFact(db.NewFact("R", "k", "v2"))
+	c := New(d, crowd.NewPerfect(dg), Config{UseKeys: true})
+
+	c.markTrueFact(db.NewFact("R", "k", "v2"))
+	if c.verifyFact(db.NewFact("R", "k", "v1")) {
+		t.Fatal("v1 should be false (conflicts with the true v2 on key a)")
+	}
+	if got := c.Stats().VerifyFactQs; got != 0 {
+		t.Errorf("VerifyFactQs = %d, want 0 (answered from key inference)", got)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.knownFalse[db.NewFact("R", "k", "v2").Key()] {
+		t.Errorf("inference overrode a known-true fact")
+	}
+}
+
+// newFigure1Cleaner rebuilds the Figure 1 pair for key tests.
+func newFigure1Cleaner(t *testing.T) (*db.Database, *db.Database) {
+	t.Helper()
+	c, d, dg := newTestCleaner(t, Config{})
+	_ = c
+	return d, dg
+}

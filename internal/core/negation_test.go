@@ -1,0 +1,141 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/crowd"
+	"repro/internal/db"
+	"repro/internal/eval"
+	"repro/internal/schema"
+)
+
+func negCleanSchema() *schema.Schema {
+	return schema.New(
+		schema.Relation{Name: "R", Attrs: []string{"a", "b"}},
+		schema.Relation{Name: "Banned", Attrs: []string{"a"}},
+	)
+}
+
+// TestNegationWrongAnswerViaMissingBlocker: the answer (v) is wrong not
+// because a positive fact is false but because Banned(v) is missing from D.
+// The cleaner must discover and insert the blocker.
+func TestNegationWrongAnswerViaMissingBlocker(t *testing.T) {
+	d := db.New(negCleanSchema())
+	dg := db.New(negCleanSchema())
+	d.InsertFact(db.NewFact("R", "v", "1"))
+	d.InsertFact(db.NewFact("R", "u", "2"))
+	dg.InsertFact(db.NewFact("R", "v", "1"))
+	dg.InsertFact(db.NewFact("R", "u", "2"))
+	dg.InsertFact(db.NewFact("Banned", "v")) // missing from D
+
+	q := mustQuery(t, "(x) :- R(x, y), not Banned(x)")
+	c := New(d, crowd.NewPerfect(dg), Config{RNG: rand.New(rand.NewSource(1))})
+	edits, err := c.RemoveWrongAnswer(q, db.Tuple{"v"})
+	if err != nil {
+		t.Fatalf("RemoveWrongAnswer: %v", err)
+	}
+	if eval.AnswerHolds(q, d, db.Tuple{"v"}) {
+		t.Fatalf("(v) still an answer")
+	}
+	if !d.Has(db.NewFact("Banned", "v")) {
+		t.Errorf("blocker Banned(v) not inserted; edits = %v", edits)
+	}
+	// The true positive fact R(v, 1) must survive.
+	if !d.Has(db.NewFact("R", "v", "1")) {
+		t.Errorf("true positive fact deleted")
+	}
+	if !eval.AnswerHolds(q, d, db.Tuple{"u"}) {
+		t.Errorf("(u) was collateral damage")
+	}
+}
+
+// TestNegationWrongAnswerViaFalsePositiveFact: the usual case still works for
+// negated queries — a false positive fact is found and deleted.
+func TestNegationWrongAnswerViaFalsePositiveFact(t *testing.T) {
+	d := db.New(negCleanSchema())
+	dg := db.New(negCleanSchema())
+	d.InsertFact(db.NewFact("R", "v", "1")) // false fact
+	// dg has neither R(v,1) nor Banned(v).
+	q := mustQuery(t, "(x) :- R(x, y), not Banned(x)")
+	c := New(d, crowd.NewPerfect(dg), Config{})
+	if _, err := c.RemoveWrongAnswer(q, db.Tuple{"v"}); err != nil {
+		t.Fatal(err)
+	}
+	if d.Has(db.NewFact("R", "v", "1")) {
+		t.Errorf("false positive fact survived")
+	}
+}
+
+// TestNegationMissingAnswerViaBlockerDeletion: (v) is missing from Q(D) only
+// because the false blocker Banned(v) sits in D; insertion must remove it.
+func TestNegationMissingAnswerViaBlockerDeletion(t *testing.T) {
+	d := db.New(negCleanSchema())
+	dg := db.New(negCleanSchema())
+	d.InsertFact(db.NewFact("R", "v", "1"))
+	d.InsertFact(db.NewFact("Banned", "v")) // false blocker
+	dg.InsertFact(db.NewFact("R", "v", "1"))
+
+	q := mustQuery(t, "(x) :- R(x, y), not Banned(x)")
+	c := New(d, crowd.NewPerfect(dg), Config{})
+	edits, err := c.AddMissingAnswer(q, db.Tuple{"v"})
+	if err != nil {
+		t.Fatalf("AddMissingAnswer: %v", err)
+	}
+	if !eval.AnswerHolds(q, d, db.Tuple{"v"}) {
+		t.Fatalf("(v) still missing; edits = %v", edits)
+	}
+	if d.Has(db.NewFact("Banned", "v")) {
+		t.Errorf("false blocker survived")
+	}
+}
+
+// TestNegationMissingAnswerTrueBlocker: if the blocker is true, the answer
+// cannot be added and the cleaner reports ErrCannotComplete.
+func TestNegationMissingAnswerTrueBlocker(t *testing.T) {
+	d := db.New(negCleanSchema())
+	dg := db.New(negCleanSchema())
+	d.InsertFact(db.NewFact("R", "v", "1"))
+	d.InsertFact(db.NewFact("Banned", "v"))
+	dg.InsertFact(db.NewFact("R", "v", "1"))
+	dg.InsertFact(db.NewFact("Banned", "v")) // blocker is genuinely true
+
+	q := mustQuery(t, "(x) :- R(x, y), not Banned(x)")
+	c := New(d, crowd.NewPerfect(dg), Config{})
+	if _, err := c.AddMissingAnswer(q, db.Tuple{"v"}); err != ErrCannotComplete {
+		t.Errorf("err = %v, want ErrCannotComplete", err)
+	}
+	if !d.Has(db.NewFact("Banned", "v")) {
+		t.Errorf("true blocker was deleted")
+	}
+}
+
+// TestNegationFullClean runs Algorithm 3 over a mixed negated scenario.
+func TestNegationFullClean(t *testing.T) {
+	d := db.New(negCleanSchema())
+	dg := db.New(negCleanSchema())
+	// u: fine in both. v: wrongly visible (blocker missing). w: wrongly
+	// hidden (false blocker present).
+	for _, pair := range [][2]string{{"u", "1"}, {"v", "2"}, {"w", "3"}} {
+		d.InsertFact(db.NewFact("R", pair[0], pair[1]))
+		dg.InsertFact(db.NewFact("R", pair[0], pair[1]))
+	}
+	dg.InsertFact(db.NewFact("Banned", "v"))
+	d.InsertFact(db.NewFact("Banned", "w"))
+
+	q := mustQuery(t, "(x) :- R(x, y), not Banned(x)")
+	c := New(d, crowd.NewPerfect(dg), Config{RNG: rand.New(rand.NewSource(7))})
+	if _, err := c.Clean(q); err != nil {
+		t.Fatalf("Clean: %v", err)
+	}
+	got := eval.Result(q, d)
+	want := eval.Result(q, dg)
+	if len(got) != len(want) {
+		t.Fatalf("Q(D') = %v, want %v", got, want)
+	}
+	for i := range got {
+		if !got[i].Equal(want[i]) {
+			t.Fatalf("Q(D') = %v, want %v", got, want)
+		}
+	}
+}

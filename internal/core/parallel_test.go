@@ -1,0 +1,64 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/crowd"
+	"repro/internal/dataset"
+	"repro/internal/db"
+	"repro/internal/eval"
+	"repro/internal/noise"
+)
+
+// TestParallelFanOutWithRandomizingOracle: in Parallel mode the insertion
+// loop posts several COMPL(Q(D)) questions together; an expert oracle that
+// samples missing answers at random returns different proposals, all of which
+// must be processed correctly and the run must still converge.
+func TestParallelFanOutWithRandomizingOracle(t *testing.T) {
+	dg := dataset.Soccer(dataset.SoccerOpts{Tournaments: 6})
+	q := dataset.SoccerQ3()
+	d := dg.Clone()
+	rng := rand.New(rand.NewSource(5))
+	removed := noise.InjectMissing(d, dg, q, 4, rng)
+	if removed < 2 {
+		t.Skipf("injector removed only %d answers", removed)
+	}
+	// Error-free expert: correct answers, random sampling of missing ones.
+	oracle := crowd.NewExpert(dg, 0, rand.New(rand.NewSource(6)))
+	c := New(d, oracle, Config{Parallel: true, RNG: rng})
+	if _, err := c.Clean(q); err != nil {
+		t.Fatalf("Clean: %v", err)
+	}
+	got := eval.Result(q, d)
+	want := eval.Result(q, dg)
+	if len(got) != len(want) {
+		t.Fatalf("Q(D') = %d answers, want %d", len(got), len(want))
+	}
+	for i := range got {
+		if !got[i].Equal(want[i]) {
+			t.Fatalf("Q(D') differs from Q(DG) at %d: %v vs %v", i, got[i], want[i])
+		}
+	}
+}
+
+// TestCompleteResultsDedup: the fan-out deduplicates identical proposals from
+// the concurrent COMPL questions.
+func TestCompleteResultsDedup(t *testing.T) {
+	d, dg := dataset.Figure1()
+	c := New(d, crowd.NewPerfect(dg), Config{Parallel: true})
+	q := dataset.IntroQ1()
+	cur := eval.Result(q, d)
+	proposals := c.completeResults(q, cur)
+	// The perfect oracle deterministically proposes (ITA) three times; the
+	// fan-out must collapse them to one.
+	if len(proposals) != 1 || !proposals[0].Equal(db.Tuple{"ITA"}) {
+		t.Errorf("proposals = %v, want [(ITA)]", proposals)
+	}
+	// Complete result: all fan-out copies return nothing.
+	full := eval.Result(q, dg)
+	cPerfect := New(dg.Clone(), crowd.NewPerfect(dg), Config{Parallel: true})
+	if got := cPerfect.completeResults(q, full); len(got) != 0 {
+		t.Errorf("proposals on complete result = %v, want none", got)
+	}
+}

@@ -1,0 +1,52 @@
+package cq
+
+import (
+	"testing"
+)
+
+// FuzzParse feeds arbitrary strings to the query parser: it must never panic,
+// and any successfully parsed query must round-trip through String/Parse.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		"(x) :- Games(d1, x, y, Final, u1), Games(d2, x, z, Final, u2), Teams(x, EU), d1 != d2.",
+		"ans(x, y) :- R(x, y), S(y, 'quoted const'), x != y.",
+		"() :- R(A, 13.07.14).",
+		"(x) :- R(x, y), not Banned(x)",
+		"(x) :- R(x, y), x ≠ y",
+		"(x :- R(x",
+		"", ")(", "not not not", "(x) :- 'R'(x)",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, input string) {
+		q, err := Parse(input)
+		if err != nil {
+			return
+		}
+		text := q.String()
+		q2, err := Parse(text)
+		if err != nil {
+			t.Fatalf("round trip of %q failed to reparse %q: %v", input, text, err)
+		}
+		if q2.String() != text {
+			t.Fatalf("round trip not stable: %q -> %q", text, q2.String())
+		}
+	})
+}
+
+// FuzzParseUnion fuzzes the union splitter.
+func FuzzParseUnion(f *testing.F) {
+	f.Add("(x) :- R(x) ; (x) :- S(x)")
+	f.Add("(x) :- R(x, 'a;b')")
+	f.Add(";;;")
+	f.Fuzz(func(t *testing.T, input string) {
+		u, err := ParseUnion(input)
+		if err != nil {
+			return
+		}
+		if len(u.Disjuncts) == 0 {
+			t.Fatalf("union with zero disjuncts accepted: %q", input)
+		}
+	})
+}

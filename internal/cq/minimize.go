@@ -1,0 +1,115 @@
+package cq
+
+// Minimization of conjunctive queries by homomorphism folding: an atom is
+// redundant if the query maps homomorphically into itself minus that atom
+// (fixing head variables), which preserves equivalence by the classic
+// Chandra–Merlin argument. QOCO benefits directly: the embedded queries Q|t
+// of the insertion algorithm (§5) often carry redundant atoms after
+// substitution, and every removed atom means fewer variables for the crowd to
+// fill in the naive fallback.
+//
+// Minimization is only applied to negation-free queries (folding is unsound
+// for negated atoms) and treats inequalities conservatively: a fold must map
+// each inequality onto an existing inequality.
+
+// Minimize returns an equivalent query with redundant atoms removed. The
+// input is not modified. Queries with negated atoms are returned unchanged
+// (cloned).
+func Minimize(q *Query) *Query {
+	out := q.Clone()
+	if len(out.Negs) > 0 {
+		return out
+	}
+	for {
+		removed := false
+		for i := range out.Atoms {
+			if len(out.Atoms) == 1 {
+				break
+			}
+			if foldsWithout(out, i) {
+				out.Atoms = append(out.Atoms[:i], out.Atoms[i+1:]...)
+				removed = true
+				break
+			}
+		}
+		if !removed {
+			return out
+		}
+	}
+}
+
+// foldsWithout reports whether there is a homomorphism h from q's body into
+// body(q) ∖ {atom i} such that h fixes head variables, maps constants to
+// themselves, and maps every inequality onto an inequality of q.
+func foldsWithout(q *Query, drop int) bool {
+	target := make([]Atom, 0, len(q.Atoms)-1)
+	for j, a := range q.Atoms {
+		if j != drop {
+			target = append(target, a)
+		}
+	}
+	fixed := make(map[string]bool)
+	for _, h := range q.Head {
+		if h.IsVar {
+			fixed[h.Name] = true
+		}
+	}
+	// Variables of inequalities must be handled carefully: mapping them to
+	// other variables could weaken or strengthen the constraint. Fix them.
+	for _, e := range q.Ineqs {
+		if e.Left.IsVar {
+			fixed[e.Left.Name] = true
+		}
+		if e.Right.IsVar {
+			fixed[e.Right.Name] = true
+		}
+	}
+	return homExists(q.Atoms, target, fixed, map[string]Term{})
+}
+
+// homExists searches for a homomorphism mapping each source atom to some
+// target atom, consistent with the current variable mapping. Fixed variables
+// must map to themselves.
+func homExists(src, target []Atom, fixed map[string]bool, h map[string]Term) bool {
+	if len(src) == 0 {
+		return true
+	}
+	atom := src[0]
+	for _, cand := range target {
+		if cand.Rel != atom.Rel || len(cand.Args) != len(atom.Args) {
+			continue
+		}
+		bound := make([]string, 0, len(atom.Args))
+		ok := true
+		for k, term := range atom.Args {
+			want := cand.Args[k]
+			if !term.IsVar {
+				if want.IsVar || want.Name != term.Name {
+					ok = false
+					break
+				}
+				continue
+			}
+			if fixed[term.Name] && (!want.IsVar || want.Name != term.Name) {
+				ok = false
+				break
+			}
+			if prev, exists := h[term.Name]; exists {
+				if prev != want {
+					ok = false
+					break
+				}
+				continue
+			}
+			h[term.Name] = want
+			bound = append(bound, term.Name)
+		}
+		if ok && homExists(src[1:], target, fixed, h) {
+			return true
+		}
+		for _, v := range bound {
+			delete(h, v)
+		}
+	}
+	return false
+}

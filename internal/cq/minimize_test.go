@@ -1,0 +1,142 @@
+package cq_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/cq"
+	"repro/internal/db"
+	"repro/internal/eval"
+	"repro/internal/schema"
+)
+
+func minSchema() *schema.Schema {
+	return schema.New(
+		schema.Relation{Name: "R", Attrs: []string{"a", "b"}},
+		schema.Relation{Name: "S", Attrs: []string{"b", "c"}},
+	)
+}
+
+func TestMinimizeDropsSubsumedAtom(t *testing.T) {
+	// R(x, y), R(x, z) with head (x): the second atom folds into the first.
+	q := cq.MustParse("(x) :- R(x, y), R(x, z)")
+	m := cq.Minimize(q)
+	if len(m.Atoms) != 1 {
+		t.Errorf("Minimize = %s, want one atom", m)
+	}
+}
+
+func TestMinimizeKeepsCore(t *testing.T) {
+	cases := []string{
+		"(x) :- R(x, y), S(y, z)",         // chain: both atoms needed
+		"(x, y) :- R(x, y)",               // single atom
+		"(x) :- R(x, x)",                  // self-loop is not foldable away
+		"(x) :- R(x, y), R(y, x)",         // cycle: both needed
+		"(x) :- R(x, C0), R(x, C1)",       // different constants
+		"(x) :- R(x, y), R(x, z), y != z", // inequality pins y and z
+	}
+	for _, text := range cases {
+		q := cq.MustParse(text)
+		m := cq.Minimize(q)
+		if len(m.Atoms) != len(q.Atoms) {
+			t.Errorf("Minimize(%s) dropped atoms: %s", q, m)
+		}
+	}
+}
+
+func TestMinimizeHeadVariablesFixed(t *testing.T) {
+	// R(x, y), R(x, z) with head (x, y): y is a head variable, so the first
+	// atom cannot fold into the second, but R(x, z) still folds into R(x, y).
+	q := cq.MustParse("(x, y) :- R(x, y), R(x, z)")
+	m := cq.Minimize(q)
+	if len(m.Atoms) != 1 {
+		t.Fatalf("Minimize = %s, want one atom", m)
+	}
+	if m.Atoms[0].Args[1].Name != "y" {
+		t.Errorf("kept atom = %v, want R(x, y)", m.Atoms[0])
+	}
+}
+
+func TestMinimizeNegationUntouched(t *testing.T) {
+	q := cq.MustParse("(x) :- R(x, y), R(x, z), not S(y, y)")
+	m := cq.Minimize(q)
+	if len(m.Atoms) != 2 || len(m.Negs) != 1 {
+		t.Errorf("negated query minimized: %s", m)
+	}
+}
+
+func TestMinimizeDoesNotMutateInput(t *testing.T) {
+	q := cq.MustParse("(x) :- R(x, y), R(x, z)")
+	cq.Minimize(q)
+	if len(q.Atoms) != 2 {
+		t.Errorf("input mutated: %s", q)
+	}
+}
+
+// TestMinimizeEquivalenceProperty: on random queries and databases, the
+// minimized query returns exactly the same result as the original.
+func TestMinimizeEquivalenceProperty(t *testing.T) {
+	s := minSchema()
+	rng := rand.New(rand.NewSource(55))
+	vars := []string{"x", "y", "z", "w"}
+	consts := []string{"C0", "C1"}
+	vals := []string{"C0", "C1", "C2"}
+	for trial := 0; trial < 300; trial++ {
+		// Random query.
+		q := &cq.Query{}
+		nAtoms := 1 + rng.Intn(4)
+		for i := 0; i < nAtoms; i++ {
+			rel := "R"
+			if rng.Intn(2) == 0 {
+				rel = "S"
+			}
+			atom := cq.Atom{Rel: rel}
+			for j := 0; j < 2; j++ {
+				if rng.Intn(5) == 0 {
+					atom.Args = append(atom.Args, cq.Const(consts[rng.Intn(2)]))
+				} else {
+					atom.Args = append(atom.Args, cq.Var(vars[rng.Intn(4)]))
+				}
+			}
+			q.Atoms = append(q.Atoms, atom)
+		}
+		seen := map[string]bool{}
+		for _, a := range q.Atoms {
+			for v := range a.Vars() {
+				if !seen[v] && rng.Intn(2) == 0 {
+					seen[v] = true
+					q.Head = append(q.Head, cq.Var(v))
+				}
+			}
+		}
+		if err := q.Validate(s); err != nil {
+			continue
+		}
+		m := cq.Minimize(q)
+		if err := m.Validate(s); err != nil {
+			t.Fatalf("trial %d: minimized query invalid: %v (%s -> %s)", trial, err, q, m)
+		}
+		if len(m.Atoms) > len(q.Atoms) {
+			t.Fatalf("trial %d: minimization grew the query", trial)
+		}
+		// Random database; compare results.
+		d := db.New(s)
+		for i := 0; i < rng.Intn(15); i++ {
+			rel := "R"
+			if rng.Intn(2) == 0 {
+				rel = "S"
+			}
+			d.InsertFact(db.NewFact(rel, vals[rng.Intn(3)], vals[rng.Intn(3)]))
+		}
+		got := eval.Result(m, d)
+		want := eval.Result(q, d)
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: %s (min %s): %v vs %v", trial, q, m, got, want)
+		}
+		for i := range got {
+			if !got[i].Equal(want[i]) {
+				t.Fatalf("trial %d: %s (min %s): %v vs %v", trial, q, m, got, want)
+			}
+		}
+	}
+}

@@ -1,0 +1,382 @@
+package cq
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+	"unicode/utf8"
+)
+
+// Parse parses a query in Datalog-style syntax:
+//
+//	ans(x, y) :- R(x, z), S(z, y, Const), x != y, z != 'quoted const'.
+//
+// The head name ("ans") and trailing period are optional. Identifiers
+// starting with a lowercase letter are variables; quoted strings and
+// identifiers starting with an uppercase letter, digit or other character
+// are constants. Inequalities may be written != or ≠.
+func Parse(input string) (*Query, error) {
+	p := &parser{lex: newLexer(input)}
+	q, err := p.parseQuery()
+	if err != nil {
+		return nil, err
+	}
+	if tok := p.lex.next(); tok.kind != tokEOF {
+		return nil, fmt.Errorf("cq: unexpected trailing %s", tok)
+	}
+	return q, nil
+}
+
+// MustParse is Parse that panics on error; intended for fixed queries in
+// tests, examples and generators.
+func MustParse(input string) *Query {
+	q, err := Parse(input)
+	if err != nil {
+		panic(err)
+	}
+	return q
+}
+
+// ParseUnion parses one or more queries separated by ';' as a union.
+func ParseUnion(input string) (*Union, error) {
+	parts := splitTop(input, ';')
+	qs := make([]*Query, 0, len(parts))
+	for _, part := range parts {
+		if strings.TrimSpace(part) == "" {
+			continue
+		}
+		q, err := Parse(part)
+		if err != nil {
+			return nil, err
+		}
+		qs = append(qs, q)
+	}
+	return NewUnion(qs...)
+}
+
+// MustParseUnion is ParseUnion that panics on error.
+func MustParseUnion(input string) *Union {
+	u, err := ParseUnion(input)
+	if err != nil {
+		panic(err)
+	}
+	return u
+}
+
+// splitTop splits on sep outside of quotes.
+func splitTop(s string, sep byte) []string {
+	var parts []string
+	start := 0
+	inQuote := byte(0)
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case inQuote != 0:
+			if c == '\\' {
+				i++
+			} else if c == inQuote {
+				inQuote = 0
+			}
+		case c == '\'' || c == '"':
+			inQuote = c
+		case c == sep:
+			parts = append(parts, s[start:i])
+			start = i + 1
+		}
+	}
+	parts = append(parts, s[start:])
+	return parts
+}
+
+type tokKind int
+
+const (
+	tokEOF tokKind = iota
+	tokIdent
+	tokQuoted
+	tokLParen
+	tokRParen
+	tokComma
+	tokImplies // :-
+	tokNeq     // != or ≠
+	tokPeriod
+)
+
+type token struct {
+	kind tokKind
+	text string
+}
+
+func (t token) String() string {
+	switch t.kind {
+	case tokEOF:
+		return "end of input"
+	default:
+		return fmt.Sprintf("%q", t.text)
+	}
+}
+
+type lexer struct {
+	input string
+	pos   int
+	err   error
+}
+
+func newLexer(input string) *lexer { return &lexer{input: input} }
+
+func (l *lexer) next() token {
+	for l.pos < len(l.input) {
+		c := l.input[l.pos]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			l.pos++
+		case c == '(':
+			l.pos++
+			return token{tokLParen, "("}
+		case c == ')':
+			l.pos++
+			return token{tokRParen, ")"}
+		case c == ',':
+			l.pos++
+			return token{tokComma, ","}
+		case c == '.':
+			l.pos++
+			return token{tokPeriod, "."}
+		case c == ':':
+			if strings.HasPrefix(l.input[l.pos:], ":-") {
+				l.pos += 2
+				return token{tokImplies, ":-"}
+			}
+			l.err = fmt.Errorf("cq: unexpected ':' at position %d", l.pos)
+			return token{tokEOF, ""}
+		case c == '!':
+			if strings.HasPrefix(l.input[l.pos:], "!=") {
+				l.pos += 2
+				return token{tokNeq, "!="}
+			}
+			l.err = fmt.Errorf("cq: unexpected '!' at position %d", l.pos)
+			return token{tokEOF, ""}
+		case c == '\'' || c == '"':
+			return l.lexQuoted(c)
+		default:
+			if r, _ := utf8.DecodeRuneInString(l.input[l.pos:]); r == '≠' {
+				l.pos += utf8.RuneLen(r)
+				return token{tokNeq, "≠"}
+			}
+			return l.lexIdent()
+		}
+	}
+	return token{tokEOF, ""}
+}
+
+func (l *lexer) lexQuoted(quote byte) token {
+	var b strings.Builder
+	i := l.pos + 1
+	for i < len(l.input) {
+		c := l.input[i]
+		if c == '\\' && i+1 < len(l.input) {
+			b.WriteByte(l.input[i+1])
+			i += 2
+			continue
+		}
+		if c == quote {
+			l.pos = i + 1
+			return token{tokQuoted, b.String()}
+		}
+		b.WriteByte(c)
+		i++
+	}
+	l.err = fmt.Errorf("cq: unterminated quote starting at position %d", l.pos)
+	return token{tokEOF, ""}
+}
+
+func isIdentRune(r rune) bool {
+	return unicode.IsLetter(r) || unicode.IsDigit(r) ||
+		r == '_' || r == '.' || r == ':' || r == '-'
+}
+
+func (l *lexer) lexIdent() token {
+	start := l.pos
+	for l.pos < len(l.input) {
+		r, size := utf8.DecodeRuneInString(l.input[l.pos:])
+		if !isIdentRune(r) {
+			break
+		}
+		// Stop before ":-" so "x:-y" lexes as ident, implies, ident.
+		if r == ':' && strings.HasPrefix(l.input[l.pos:], ":-") {
+			break
+		}
+		// A '.' followed by whitespace/EOF is the query terminator, not part
+		// of an identifier like a date (13.07.14).
+		if r == '.' {
+			rest := l.input[l.pos+size:]
+			if rest == "" || !isIdentRune(firstRune(rest)) {
+				break
+			}
+		}
+		l.pos += size
+	}
+	if l.pos == start {
+		l.err = fmt.Errorf("cq: unexpected character %q at position %d", l.input[l.pos], l.pos)
+		l.pos++
+		return token{tokEOF, ""}
+	}
+	return token{tokIdent, l.input[start:l.pos]}
+}
+
+func firstRune(s string) rune {
+	r, _ := utf8.DecodeRuneInString(s)
+	return r
+}
+
+type parser struct {
+	lex    *lexer
+	peeked *token
+}
+
+func (p *parser) next() token {
+	if p.peeked != nil {
+		t := *p.peeked
+		p.peeked = nil
+		return t
+	}
+	return p.lex.next()
+}
+
+func (p *parser) peek() token {
+	if p.peeked == nil {
+		t := p.lex.next()
+		p.peeked = &t
+	}
+	return *p.peeked
+}
+
+func (p *parser) expect(k tokKind, what string) (token, error) {
+	t := p.next()
+	if p.lex.err != nil {
+		return t, p.lex.err
+	}
+	if t.kind != k {
+		return t, fmt.Errorf("cq: expected %s, got %s", what, t)
+	}
+	return t, nil
+}
+
+// term interprets an ident/quoted token as a variable or constant.
+func termOf(t token) Term {
+	if t.kind == tokQuoted {
+		return Const(t.text)
+	}
+	r := firstRune(t.text)
+	if unicode.IsLower(r) {
+		return Var(t.text)
+	}
+	return Const(t.text)
+}
+
+func (p *parser) parseQuery() (*Query, error) {
+	q := &Query{}
+	// Optional head name.
+	if p.peek().kind == tokIdent {
+		name := p.next()
+		q.Name = name.text
+	}
+	if _, err := p.expect(tokLParen, "'('"); err != nil {
+		return nil, err
+	}
+	// Head terms (possibly empty for boolean queries).
+	if p.peek().kind != tokRParen {
+		for {
+			t := p.next()
+			if t.kind != tokIdent && t.kind != tokQuoted {
+				return nil, fmt.Errorf("cq: expected head term, got %s", t)
+			}
+			q.Head = append(q.Head, termOf(t))
+			if p.peek().kind != tokComma {
+				break
+			}
+			p.next()
+		}
+	}
+	if _, err := p.expect(tokRParen, "')'"); err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokImplies, "':-'"); err != nil {
+		return nil, err
+	}
+	// Body: atoms, negated atoms ("not R(...)") and inequalities, separated
+	// by commas.
+	for {
+		t := p.next()
+		if t.kind != tokIdent && t.kind != tokQuoted {
+			return nil, fmt.Errorf("cq: expected atom or inequality, got %s", t)
+		}
+		negated := false
+		if t.kind == tokIdent && t.text == "not" && p.peek().kind == tokIdent {
+			negated = true
+			t = p.next()
+		}
+		switch p.peek().kind {
+		case tokLParen:
+			if t.kind == tokQuoted {
+				return nil, fmt.Errorf("cq: relation name cannot be quoted: %q", t.text)
+			}
+			p.next()
+			atom := Atom{Rel: t.text}
+			if p.peek().kind != tokRParen {
+				for {
+					at := p.next()
+					if at.kind != tokIdent && at.kind != tokQuoted {
+						return nil, fmt.Errorf("cq: expected atom argument, got %s", at)
+					}
+					atom.Args = append(atom.Args, termOf(at))
+					if p.peek().kind != tokComma {
+						break
+					}
+					p.next()
+				}
+			}
+			if _, err := p.expect(tokRParen, "')'"); err != nil {
+				return nil, err
+			}
+			if negated {
+				q.Negs = append(q.Negs, atom)
+			} else {
+				q.Atoms = append(q.Atoms, atom)
+			}
+		case tokNeq:
+			if negated {
+				return nil, fmt.Errorf("cq: 'not' must be followed by an atom, got inequality")
+			}
+			p.next()
+			rt := p.next()
+			if rt.kind != tokIdent && rt.kind != tokQuoted {
+				return nil, fmt.Errorf("cq: expected inequality right side, got %s", rt)
+			}
+			left := termOf(t)
+			right := termOf(rt)
+			if !left.IsVar && right.IsVar {
+				// Normalize const != var to var != const.
+				left, right = right, left
+			}
+			q.Ineqs = append(q.Ineqs, Ineq{Left: left, Right: right})
+		default:
+			return nil, fmt.Errorf("cq: expected '(' or '!=' after %q, got %s", t.text, p.peek())
+		}
+		switch p.peek().kind {
+		case tokComma:
+			p.next()
+			continue
+		case tokPeriod:
+			p.next()
+			if p.peek().kind != tokEOF {
+				return nil, fmt.Errorf("cq: unexpected input after '.': %s", p.peek())
+			}
+			return q, p.lex.err
+		case tokEOF:
+			return q, p.lex.err
+		default:
+			return nil, fmt.Errorf("cq: expected ',' or '.', got %s", p.peek())
+		}
+	}
+}

@@ -1,0 +1,202 @@
+package cq
+
+import (
+	"fmt"
+
+	"repro/internal/db"
+)
+
+// Embed builds the query Q|t of §5: the body is t(body(Q)) — every head
+// variable replaced by the corresponding constant of the (missing) answer t —
+// and the head consists of all variables remaining in the substituted body
+// (no projection). Completing Q|t into a witness is exactly what the
+// insertion algorithm asks the crowd to do.
+func (q *Query) Embed(t db.Tuple) (*Query, error) {
+	if len(t) != len(q.Head) {
+		return nil, fmt.Errorf("cq: answer arity %d does not match head arity %d", len(t), len(q.Head))
+	}
+	subst := make(map[string]string)
+	for i, h := range q.Head {
+		if h.IsVar {
+			if prev, ok := subst[h.Name]; ok && prev != t[i] {
+				// Repeated head variable bound to two different constants:
+				// t cannot be an answer of Q at all.
+				return nil, fmt.Errorf("cq: answer %v binds head variable %s to both %q and %q", t, h.Name, prev, t[i])
+			}
+			subst[h.Name] = t[i]
+		} else if h.Name != t[i] {
+			return nil, fmt.Errorf("cq: answer %v conflicts with head constant %q", t, h.Name)
+		}
+	}
+	out := &Query{Name: q.Name}
+	for _, a := range q.Atoms {
+		na := a.Clone()
+		for i, term := range na.Args {
+			if term.IsVar {
+				if c, ok := subst[term.Name]; ok {
+					na.Args[i] = Const(c)
+				}
+			}
+		}
+		out.Atoms = append(out.Atoms, na)
+	}
+	for _, a := range q.Negs {
+		na := a.Clone()
+		for i, term := range na.Args {
+			if term.IsVar {
+				if c, ok := subst[term.Name]; ok {
+					na.Args[i] = Const(c)
+				}
+			}
+		}
+		out.Negs = append(out.Negs, na)
+	}
+	for _, e := range q.Ineqs {
+		ne := e
+		if ne.Left.IsVar {
+			if c, ok := subst[ne.Left.Name]; ok {
+				ne.Left = Const(c)
+			}
+		}
+		if ne.Right.IsVar {
+			if c, ok := subst[ne.Right.Name]; ok {
+				ne.Right = Const(c)
+			}
+		}
+		if !ne.Left.IsVar && !ne.Right.IsVar {
+			// Fully ground inequality: keep it only if it could fail; a true
+			// ground inequality is vacuous, a false one makes Q|t
+			// unsatisfiable, which Validate/eval will surface.
+			if ne.Left.Name == ne.Right.Name {
+				return nil, fmt.Errorf("cq: answer %v violates inequality %s", t, e)
+			}
+			continue
+		}
+		if !ne.Left.IsVar {
+			ne.Left, ne.Right = ne.Right, ne.Left
+		}
+		out.Ineqs = append(out.Ineqs, ne)
+	}
+	// Head: all variables of the substituted body, in first-occurrence order.
+	seen := make(map[string]bool)
+	for _, a := range out.Atoms {
+		for _, term := range a.Args {
+			if term.IsVar && !seen[term.Name] {
+				seen[term.Name] = true
+				out.Head = append(out.Head, term)
+			}
+		}
+	}
+	return out, nil
+}
+
+// SubqueryOf builds the subquery of q induced by the given atom indexes
+// (Definition 5.3): the selected atoms, plus every inequality all of whose
+// variables occur in those atoms. The head contains all variables of the
+// selected atoms (no projection).
+func SubqueryOf(q *Query, atomIdx []int) *Query {
+	out := &Query{Name: q.Name}
+	vars := make(map[string]bool)
+	for _, i := range atomIdx {
+		a := q.Atoms[i].Clone()
+		out.Atoms = append(out.Atoms, a)
+		for v := range a.Vars() {
+			vars[v] = true
+		}
+	}
+	for _, e := range q.Ineqs {
+		ok := true
+		for v := range e.Vars() {
+			if !vars[v] {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			out.Ineqs = append(out.Ineqs, e)
+		}
+	}
+	for _, n := range q.Negs {
+		ok := true
+		for v := range n.Vars() {
+			if !vars[v] {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			out.Negs = append(out.Negs, n.Clone())
+		}
+	}
+	seen := make(map[string]bool)
+	for _, a := range out.Atoms {
+		for _, term := range a.Args {
+			if term.IsVar && !seen[term.Name] {
+				seen[term.Name] = true
+				out.Head = append(out.Head, term)
+			}
+		}
+	}
+	return out
+}
+
+// IsSubqueryOf reports whether sub ≤ q per Definition 5.3: sub's atoms are a
+// subset of q's atoms and sub's inequalities a subset of q's inequalities
+// (both up to structural equality).
+func IsSubqueryOf(sub, q *Query) bool {
+	for _, a := range sub.Atoms {
+		found := false
+		for _, b := range q.Atoms {
+			if a.Equal(b) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return false
+		}
+	}
+	for _, e := range sub.Ineqs {
+		found := false
+		for _, f := range q.Ineqs {
+			if e == f {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return false
+		}
+	}
+	for _, n := range sub.Negs {
+		found := false
+		for _, m := range q.Negs {
+			if n.Equal(m) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return false
+		}
+	}
+	return true
+}
+
+// GroundAtoms returns the facts of the all-constant atoms of q. For Q|t these
+// must hold in the ground truth whenever t is a true answer, so the insertion
+// algorithm seeds them into D without asking the crowd (Algorithm 2, line 1).
+func (q *Query) GroundAtoms() []db.Fact {
+	var out []db.Fact
+	for _, a := range q.Atoms {
+		if !a.IsGround() {
+			continue
+		}
+		args := make(db.Tuple, len(a.Args))
+		for i, t := range a.Args {
+			args[i] = t.Name
+		}
+		out = append(out, db.Fact{Rel: a.Rel, Args: args})
+	}
+	return out
+}

@@ -1,0 +1,158 @@
+package cq
+
+import (
+	"testing"
+
+	"repro/internal/db"
+)
+
+// q2Text is the paper's Q2 (§5, Example 5.4): European players who scored in
+// a World Cup final.
+const q2Text = "(x) :- Players(x, y, z, w), Goals(x, d), Games(d, y, v, Final, u), Teams(y, EU)."
+
+func TestEmbedPirlo(t *testing.T) {
+	q := MustParse(q2Text)
+	qt, err := q.Embed(db.Tuple{"Pirlo"})
+	if err != nil {
+		t.Fatalf("Embed: %v", err)
+	}
+	// Head of Q|t = all remaining variables (Example 5.4 lists z,w,d,v,u and y).
+	wantVars := map[string]bool{"y": true, "z": true, "w": true, "d": true, "v": true, "u": true}
+	if len(qt.Head) != len(wantVars) {
+		t.Fatalf("head = %v, want %d vars", qt.Head, len(wantVars))
+	}
+	for _, h := range qt.Head {
+		if !h.IsVar || !wantVars[h.Name] {
+			t.Errorf("unexpected head term %v", h)
+		}
+	}
+	// x must be substituted by Pirlo everywhere.
+	if qt.Atoms[0].Args[0].IsVar || qt.Atoms[0].Args[0].Name != "Pirlo" {
+		t.Errorf("Players atom = %v", qt.Atoms[0])
+	}
+	if qt.Atoms[1].Args[0].IsVar || qt.Atoms[1].Args[0].Name != "Pirlo" {
+		t.Errorf("Goals atom = %v", qt.Atoms[1])
+	}
+}
+
+func TestEmbedArityMismatch(t *testing.T) {
+	q := MustParse(q2Text)
+	if _, err := q.Embed(db.Tuple{"a", "b"}); err == nil {
+		t.Errorf("Embed with wrong arity: want error")
+	}
+}
+
+func TestEmbedRepeatedHeadVar(t *testing.T) {
+	q := MustParse("(x, x) :- R(x, y)")
+	if _, err := q.Embed(db.Tuple{"a", "b"}); err == nil {
+		t.Errorf("conflicting bindings for repeated head var: want error")
+	}
+	qt, err := q.Embed(db.Tuple{"a", "a"})
+	if err != nil {
+		t.Fatalf("consistent repeated head var: %v", err)
+	}
+	if qt.Atoms[0].Args[0].IsVar {
+		t.Errorf("x not substituted: %v", qt.Atoms[0])
+	}
+}
+
+func TestEmbedHeadConstant(t *testing.T) {
+	q := MustParse("(x, Final) :- Games(d, x, y, Final, u)")
+	if _, err := q.Embed(db.Tuple{"GER", "Semi"}); err == nil {
+		t.Errorf("answer conflicting with head constant: want error")
+	}
+	if _, err := q.Embed(db.Tuple{"GER", "Final"}); err != nil {
+		t.Errorf("matching head constant: %v", err)
+	}
+}
+
+func TestEmbedIneqHandling(t *testing.T) {
+	q := MustParse("(x, y) :- R(x, y), x != y, x != Const")
+	// Binding both sides to distinct constants: ground true ineq is dropped.
+	qt, err := q.Embed(db.Tuple{"a", "b"})
+	if err != nil {
+		t.Fatalf("Embed: %v", err)
+	}
+	if len(qt.Ineqs) != 0 {
+		t.Errorf("ineqs = %v, want none (all ground true)", qt.Ineqs)
+	}
+	// Binding both sides to the same constant: Q|t is contradictory.
+	if _, err := q.Embed(db.Tuple{"a", "a"}); err == nil {
+		t.Errorf("violated ground inequality: want error")
+	}
+	// Binding only one side keeps the ineq with the variable on the left.
+	q2 := MustParse("(x) :- R(x, y), x != y")
+	qt2, err := q2.Embed(db.Tuple{"a"})
+	if err != nil {
+		t.Fatalf("Embed: %v", err)
+	}
+	if len(qt2.Ineqs) != 1 || !qt2.Ineqs[0].Left.IsVar || qt2.Ineqs[0].Left.Name != "y" {
+		t.Errorf("ineqs = %v, want y != a", qt2.Ineqs)
+	}
+	if qt2.Ineqs[0].Right.Name != "a" {
+		t.Errorf("right side = %v, want a", qt2.Ineqs[0].Right)
+	}
+}
+
+func TestSubqueryOf(t *testing.T) {
+	q := MustParse("(x, y, z, w) :- R1(x, y), R2(y, z), R3(z, w), R4(z, v), z != x, w != x")
+	sub := SubqueryOf(q, []int{0, 1})
+	if len(sub.Atoms) != 2 {
+		t.Fatalf("atoms = %v", sub.Atoms)
+	}
+	// z != x is covered by {R1, R2} (vars x,y,z); w != x is not.
+	if len(sub.Ineqs) != 1 || sub.Ineqs[0].Left.Name != "z" {
+		t.Errorf("ineqs = %v, want [z != x]", sub.Ineqs)
+	}
+	// Head = all vars of the selected atoms, no projection.
+	if len(sub.Head) != 3 {
+		t.Errorf("head = %v, want x, y, z", sub.Head)
+	}
+	if !IsSubqueryOf(sub, q) {
+		t.Errorf("SubqueryOf result not a subquery per IsSubqueryOf")
+	}
+}
+
+func TestIsSubqueryOf(t *testing.T) {
+	q := MustParse("(x, y) :- R(x, y), S(y, z), x != y")
+	good := MustParse("(x, y) :- R(x, y)")
+	if !IsSubqueryOf(good, q) {
+		t.Errorf("atom subset rejected")
+	}
+	badAtom := MustParse("(x, y) :- T(x, y)")
+	if IsSubqueryOf(badAtom, q) {
+		t.Errorf("foreign atom accepted")
+	}
+	badIneq := MustParse("(y, z) :- S(y, z), y != z")
+	if IsSubqueryOf(badIneq, q) {
+		t.Errorf("foreign inequality accepted")
+	}
+}
+
+func TestGroundAtoms(t *testing.T) {
+	q := MustParse("(x) :- Teams(ITA, EU), Games(d, x, y, Final, u), Goals(Pirlo, 09.06.06)")
+	got := q.GroundAtoms()
+	if len(got) != 2 {
+		t.Fatalf("GroundAtoms = %v, want 2", got)
+	}
+	if got[0].Rel != "Teams" || got[0].Args[0] != "ITA" {
+		t.Errorf("first ground atom = %v", got[0])
+	}
+	if got[1].Rel != "Goals" || got[1].Args[1] != "09.06.06" {
+		t.Errorf("second ground atom = %v", got[1])
+	}
+}
+
+func TestEmbedThenGroundAtoms(t *testing.T) {
+	// After embedding an answer, previously variable positions become ground;
+	// single-variable atoms over the head variable become ground facts.
+	q := MustParse("(x) :- Teams(x, EU), Games(d, x, y, Final, u)")
+	qt, err := q.Embed(db.Tuple{"ITA"})
+	if err != nil {
+		t.Fatalf("Embed: %v", err)
+	}
+	got := qt.GroundAtoms()
+	if len(got) != 1 || !got[0].Equal(db.NewFact("Teams", "ITA", "EU")) {
+		t.Errorf("GroundAtoms after embed = %v", got)
+	}
+}

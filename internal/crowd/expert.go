@@ -1,0 +1,95 @@
+package crowd
+
+import (
+	"math/rand"
+	"sync"
+
+	"repro/internal/cq"
+	"repro/internal/db"
+	"repro/internal/eval"
+)
+
+// Expert is an imperfect domain expert (§6.2): it knows the ground truth but
+// errs with probability ErrorRate on each question. Closed (boolean) answers
+// are flipped; open questions fail (the expert wrongly gives up on a
+// completion, or wrongly declares the result complete). Errors are drawn from
+// the expert's own RNG so runs are reproducible; the RNG is guarded by a
+// mutex so the expert is safe for concurrent questioning.
+type Expert struct {
+	perfect   *Perfect
+	errorRate float64
+
+	mu  sync.Mutex
+	rng *rand.Rand
+}
+
+// NewExpert builds an imperfect expert over the ground truth database.
+// errorRate 0 behaves exactly like a Perfect oracle.
+func NewExpert(dg *db.Database, errorRate float64, rng *rand.Rand) *Expert {
+	return &Expert{perfect: NewPerfect(dg), errorRate: errorRate, rng: rng}
+}
+
+func (e *Expert) errs() bool {
+	if e.errorRate <= 0 {
+		return false
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.rng.Float64() < e.errorRate
+}
+
+// pick returns a random index below n using the expert's RNG.
+func (e *Expert) pick(n int) int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.rng.Intn(n)
+}
+
+// VerifyFact implements Oracle, flipping the true answer on error.
+func (e *Expert) VerifyFact(f db.Fact) bool {
+	ans := e.perfect.VerifyFact(f)
+	if e.errs() {
+		return !ans
+	}
+	return ans
+}
+
+// VerifyAnswer implements Oracle, flipping the true answer on error.
+func (e *Expert) VerifyAnswer(q *cq.Query, t db.Tuple) bool {
+	ans := e.perfect.VerifyAnswer(q, t)
+	if e.errs() {
+		return !ans
+	}
+	return ans
+}
+
+// Complete implements Oracle; on error the expert fails to find a completion.
+func (e *Expert) Complete(q *cq.Query, partial eval.Assignment) (eval.Assignment, bool) {
+	if e.errs() {
+		return nil, false
+	}
+	return e.perfect.Complete(q, partial)
+}
+
+// CompleteResult implements Oracle; on error the expert wrongly declares the
+// result complete. A correct expert picks a random missing answer (different
+// experts surface different answers, as with a real crowd).
+func (e *Expert) CompleteResult(q *cq.Query, current []db.Tuple) (db.Tuple, bool) {
+	if e.errs() {
+		return nil, false
+	}
+	have := make(map[string]bool, len(current))
+	for _, t := range current {
+		have[t.Key()] = true
+	}
+	var missing []db.Tuple
+	for _, t := range eval.Result(q, e.perfect.GroundTruth()) {
+		if !have[t.Key()] {
+			missing = append(missing, t)
+		}
+	}
+	if len(missing) == 0 {
+		return nil, false
+	}
+	return missing[e.pick(len(missing))], true
+}

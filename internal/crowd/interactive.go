@@ -1,0 +1,132 @@
+package crowd
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"repro/internal/cq"
+	"repro/internal/db"
+	"repro/internal/eval"
+)
+
+// Interactive is an Oracle backed by a human answering over an io stream —
+// the "User Interface" box of the paper's architecture (Figure 5). It is used
+// by the qoco CLI so a person can play the crowd.
+type Interactive struct {
+	in  *bufio.Scanner
+	out io.Writer
+}
+
+// NewInteractive builds an interactive oracle reading answers from in and
+// printing questions to out.
+func NewInteractive(in io.Reader, out io.Writer) *Interactive {
+	return &Interactive{in: bufio.NewScanner(in), out: out}
+}
+
+func (i *Interactive) readLine() (string, bool) {
+	if !i.in.Scan() {
+		return "", false
+	}
+	return strings.TrimSpace(i.in.Text()), true
+}
+
+// askYesNo repeats the question until it gets a y/n answer. EOF counts as no.
+func (i *Interactive) askYesNo(question string) bool {
+	for {
+		fmt.Fprintf(i.out, "%s [y/n]: ", question)
+		line, ok := i.readLine()
+		if !ok {
+			fmt.Fprintln(i.out)
+			return false
+		}
+		switch strings.ToLower(line) {
+		case "y", "yes", "true":
+			return true
+		case "n", "no", "false":
+			return false
+		}
+		fmt.Fprintln(i.out, "please answer y or n")
+	}
+}
+
+// VerifyFact implements Oracle: TRUE(R(ā))?
+func (i *Interactive) VerifyFact(f db.Fact) bool {
+	return i.askYesNo(fmt.Sprintf("Is %s true?", f))
+}
+
+// VerifyAnswer implements Oracle: TRUE(Q, t)?
+func (i *Interactive) VerifyAnswer(q *cq.Query, t db.Tuple) bool {
+	return i.askYesNo(fmt.Sprintf("Is %s a correct answer to the query?\n  %s", t, q))
+}
+
+// Complete implements Oracle: COMPL(α, Q). The human is shown the partially
+// instantiated body and prompted for each unbound variable; entering an empty
+// line declares the assignment non-satisfiable.
+func (i *Interactive) Complete(q *cq.Query, partial eval.Assignment) (eval.Assignment, bool) {
+	shown := partial.Clone()
+	fmt.Fprintf(i.out, "Complete the following into true facts (empty answer = impossible):\n")
+	for _, atom := range q.Atoms {
+		fmt.Fprintf(i.out, "  %s\n", substAtom(atom, shown))
+	}
+	unbound := make([]string, 0)
+	seen := make(map[string]bool)
+	for _, v := range q.Vars() {
+		if _, ok := shown[v]; !ok && !seen[v] {
+			seen[v] = true
+			unbound = append(unbound, v)
+		}
+	}
+	sort.Strings(unbound)
+	full := partial.Clone()
+	for _, v := range unbound {
+		fmt.Fprintf(i.out, "  value for %s: ", v)
+		line, ok := i.readLine()
+		if !ok || line == "" {
+			return nil, false
+		}
+		full[v] = line
+	}
+	return full, true
+}
+
+// CompleteResult implements Oracle: COMPL(Q(D)). The human is shown the
+// current result and asked for a missing answer as comma-separated values;
+// an empty line means the result is complete.
+func (i *Interactive) CompleteResult(q *cq.Query, current []db.Tuple) (db.Tuple, bool) {
+	fmt.Fprintf(i.out, "Current result of %s\n", q)
+	for _, t := range current {
+		fmt.Fprintf(i.out, "  %s\n", t)
+	}
+	fmt.Fprintf(i.out, "Missing answer (comma-separated %d values, empty = complete): ", len(q.Head))
+	line, ok := i.readLine()
+	if !ok || line == "" {
+		return nil, false
+	}
+	parts := strings.Split(line, ",")
+	t := make(db.Tuple, 0, len(parts))
+	for _, p := range parts {
+		t = append(t, strings.TrimSpace(p))
+	}
+	if len(t) != len(q.Head) {
+		fmt.Fprintf(i.out, "expected %d values, got %d; treating as complete\n", len(q.Head), len(t))
+		return nil, false
+	}
+	return t, true
+}
+
+// substAtom renders an atom with the partial assignment applied and unbound
+// variables shown as ?name.
+func substAtom(a cq.Atom, asg eval.Assignment) string {
+	parts := make([]string, len(a.Args))
+	for i, t := range a.Args {
+		if v, ok := asg.Resolve(t); ok {
+			parts[i] = v
+		} else {
+			parts[i] = "?" + t.Name
+		}
+	}
+	return fmt.Sprintf("%s(%s)", a.Rel, strings.Join(parts, ", "))
+}

@@ -1,0 +1,133 @@
+// Package crowd models the paper's oracle crowds (§3.2, §6.2): the four
+// question types QOCO poses, a perfect oracle backed by the ground truth
+// database, imperfect experts with a configurable error rate, a majority-vote
+// panel that aggregates several imperfect experts (asking until two agree and
+// re-verifying open answers with closed questions), an interactive oracle
+// that lets a human answer over an io stream, and question accounting
+// matching the paper's cost model (closed answers count 1; open answers count
+// the number of variables the expert filled).
+package crowd
+
+import (
+	"sync"
+
+	"repro/internal/cq"
+	"repro/internal/db"
+	"repro/internal/eval"
+)
+
+// Oracle is a crowd that can answer QOCO's four question types:
+//
+//	TRUE(R(ā))?   — VerifyFact: is the fact true in DG? (§3.2)
+//	TRUE(Q, t)?   — VerifyAnswer: is t ∈ Q(DG)? (§6.1)
+//	COMPL(α, Q)   — Complete: extend a satisfiable partial assignment to a
+//	                valid total assignment w.r.t. DG, if possible (§5)
+//	COMPL(Q(D))   — CompleteResult: name an answer of Q(DG) missing from the
+//	                given result, if any (§6.1)
+type Oracle interface {
+	// VerifyFact answers TRUE(R(ā))?.
+	VerifyFact(f db.Fact) bool
+	// VerifyAnswer answers TRUE(Q, t)?.
+	VerifyAnswer(q *cq.Query, t db.Tuple) bool
+	// Complete answers COMPL(α, Q): ok is false when α is not satisfiable
+	// w.r.t. DG (or the oracle cannot complete it).
+	Complete(q *cq.Query, partial eval.Assignment) (eval.Assignment, bool)
+	// CompleteResult answers COMPL(Q(D)): a tuple in Q(DG) missing from
+	// current, or ok = false if the oracle believes the result is complete.
+	CompleteResult(q *cq.Query, current []db.Tuple) (db.Tuple, bool)
+}
+
+// Stats counts crowd interactions using the paper's cost model (§7): each
+// answer to a closed (boolean) question adds 1; each answer to an open
+// question adds the number of unique variables the expert filled in.
+type Stats struct {
+	VerifyFactQs     int // closed TRUE(R(ā))? answers
+	VerifyAnswerQs   int // closed TRUE(Q, t)? answers
+	CompleteQs       int // open COMPL(α, Q) tasks answered
+	CompleteResultQs int // open COMPL(Q(D)) tasks answered
+	VariablesFilled  int // unique variables filled across open answers
+}
+
+// Closed returns the number of closed-question answers.
+func (s Stats) Closed() int { return s.VerifyFactQs + s.VerifyAnswerQs }
+
+// Total returns the total crowd cost: closed answers plus filled variables.
+func (s Stats) Total() int { return s.Closed() + s.VariablesFilled }
+
+// Add accumulates another Stats into s.
+func (s *Stats) Add(o Stats) {
+	s.VerifyFactQs += o.VerifyFactQs
+	s.VerifyAnswerQs += o.VerifyAnswerQs
+	s.CompleteQs += o.CompleteQs
+	s.CompleteResultQs += o.CompleteResultQs
+	s.VariablesFilled += o.VariablesFilled
+}
+
+// Counting wraps an Oracle and records interaction statistics. The wrapped
+// oracle sees exactly the same questions. Counting is safe for concurrent use
+// when the wrapped oracle is (the paper's §6.2 parallel mode poses questions
+// concurrently).
+type Counting struct {
+	Oracle Oracle
+
+	mu    sync.Mutex
+	stats Stats
+}
+
+// NewCounting wraps an oracle with fresh counters.
+func NewCounting(o Oracle) *Counting { return &Counting{Oracle: o} }
+
+// Snapshot returns a copy of the accumulated statistics.
+func (c *Counting) Snapshot() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stats
+}
+
+// VerifyFact implements Oracle.
+func (c *Counting) VerifyFact(f db.Fact) bool {
+	c.mu.Lock()
+	c.stats.VerifyFactQs++
+	c.mu.Unlock()
+	return c.Oracle.VerifyFact(f)
+}
+
+// VerifyAnswer implements Oracle.
+func (c *Counting) VerifyAnswer(q *cq.Query, t db.Tuple) bool {
+	c.mu.Lock()
+	c.stats.VerifyAnswerQs++
+	c.mu.Unlock()
+	return c.Oracle.VerifyAnswer(q, t)
+}
+
+// Complete implements Oracle. The variables newly bound by the oracle
+// (present in the reply but not in the question) are added to
+// Stats.VariablesFilled.
+func (c *Counting) Complete(q *cq.Query, partial eval.Assignment) (eval.Assignment, bool) {
+	full, ok := c.Oracle.Complete(q, partial)
+	c.mu.Lock()
+	c.stats.CompleteQs++
+	if ok {
+		for v := range full {
+			if _, had := partial[v]; !had {
+				c.stats.VariablesFilled++
+			}
+		}
+	}
+	c.mu.Unlock()
+	return full, ok
+}
+
+// CompleteResult implements Oracle. A returned missing answer counts as
+// filling one variable per answer-tuple component (the expert produced that
+// many values).
+func (c *Counting) CompleteResult(q *cq.Query, current []db.Tuple) (db.Tuple, bool) {
+	t, ok := c.Oracle.CompleteResult(q, current)
+	c.mu.Lock()
+	c.stats.CompleteResultQs++
+	if ok {
+		c.stats.VariablesFilled += len(t)
+	}
+	c.mu.Unlock()
+	return t, ok
+}

@@ -1,0 +1,167 @@
+package crowd
+
+import (
+	"sync"
+
+	"repro/internal/cq"
+	"repro/internal/db"
+	"repro/internal/eval"
+)
+
+// Panel aggregates several (imperfect) experts into one oracle, following
+// §6.2 and the real-crowd experiment of §7:
+//
+//   - Closed questions are posed to experts one by one; once Agree experts
+//     gave the same answer the decision is made and no further expert is
+//     asked (with 3 experts and Agree = 2 this is the paper's majority vote
+//     with early stopping).
+//   - Open questions are answered by a single expert and the obtained answer
+//     is then verified with closed questions: a completed assignment is
+//     checked fact-by-fact via TRUE(R(ā))?, a proposed missing answer via
+//     TRUE(Q, t)? (the paper poses "2 additional closed verification
+//     questions" per open answer). If verification fails, the next expert is
+//     tried.
+//
+// Stats (via Snapshot) records every individual expert answer, matching how
+// Figure 4 counts crowd work. Panel is safe for concurrent use; each question
+// is answered under the panel's lock, serializing access to the experts.
+type Panel struct {
+	experts []Oracle
+	agree   int
+
+	mu    sync.Mutex
+	stats Stats
+}
+
+// NewPanel builds a panel. agree is the number of identical closed answers
+// required for a decision (2 for majority-of-3). It panics if agree exceeds
+// the number of experts, which could never reach a decision.
+func NewPanel(agree int, experts ...Oracle) *Panel {
+	if agree < 1 || agree > len(experts) {
+		panic("crowd: agree must be in [1, len(experts)]")
+	}
+	return &Panel{experts: experts, agree: agree}
+}
+
+// Snapshot returns a copy of the accumulated per-expert answer statistics.
+func (p *Panel) Snapshot() Stats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.stats
+}
+
+// vote runs the early-stopping vote over a boolean question. Caller holds mu.
+func (p *Panel) vote(ask func(Oracle) bool, count *int) bool {
+	yes, no := 0, 0
+	for _, e := range p.experts {
+		*count++
+		if ask(e) {
+			yes++
+		} else {
+			no++
+		}
+		if yes >= p.agree {
+			return true
+		}
+		if no >= p.agree {
+			return false
+		}
+	}
+	// No side reached the threshold (possible only when agree > majority);
+	// fall back to the plurality.
+	return yes > no
+}
+
+// VerifyFact implements Oracle by majority vote.
+func (p *Panel) VerifyFact(f db.Fact) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.verifyFactLocked(f)
+}
+
+func (p *Panel) verifyFactLocked(f db.Fact) bool {
+	return p.vote(func(o Oracle) bool { return o.VerifyFact(f) }, &p.stats.VerifyFactQs)
+}
+
+// VerifyAnswer implements Oracle by majority vote.
+func (p *Panel) VerifyAnswer(q *cq.Query, t db.Tuple) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.verifyAnswerLocked(q, t)
+}
+
+func (p *Panel) verifyAnswerLocked(q *cq.Query, t db.Tuple) bool {
+	return p.vote(func(o Oracle) bool { return o.VerifyAnswer(q, t) }, &p.stats.VerifyAnswerQs)
+}
+
+// Complete implements Oracle: one expert completes, the panel verifies each
+// fact of the completed witness that the answer introduced by majority vote.
+func (p *Panel) Complete(q *cq.Query, partial eval.Assignment) (eval.Assignment, bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for _, e := range p.experts {
+		p.stats.CompleteQs++
+		full, ok := e.Complete(q, partial)
+		if !ok {
+			continue
+		}
+		filled := 0
+		for v := range full {
+			if _, had := partial[v]; !had {
+				filled++
+			}
+		}
+		p.stats.VariablesFilled += filled
+		if p.verifyAssignmentLocked(q, full) {
+			return full, true
+		}
+	}
+	return nil, false
+}
+
+// verifyAssignmentLocked poses closed verification questions for the facts
+// induced by the assignment (§6.2: answers to open questions are
+// re-verified). Caller holds mu.
+func (p *Panel) verifyAssignmentLocked(q *cq.Query, a eval.Assignment) bool {
+	for _, atom := range q.Atoms {
+		f, ok := a.AtomFact(atom)
+		if !ok {
+			return false // not total on atoms: cannot be a witness
+		}
+		if !p.verifyFactLocked(f) {
+			return false
+		}
+	}
+	for _, e := range q.Ineqs {
+		if !a.IneqHolds(e) {
+			return false
+		}
+	}
+	return true
+}
+
+// CompleteResult implements Oracle: one expert proposes a missing answer and
+// the panel verifies it with a closed TRUE(Q, t)? vote before accepting.
+func (p *Panel) CompleteResult(q *cq.Query, current []db.Tuple) (db.Tuple, bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	have := make(map[string]bool, len(current))
+	for _, t := range current {
+		have[t.Key()] = true
+	}
+	for _, e := range p.experts {
+		p.stats.CompleteResultQs++
+		t, ok := e.CompleteResult(q, current)
+		if !ok {
+			continue
+		}
+		if have[t.Key()] {
+			continue // expert proposed an answer that is already present
+		}
+		p.stats.VariablesFilled += len(t)
+		if p.verifyAnswerLocked(q, t) {
+			return t, true
+		}
+	}
+	return nil, false
+}

@@ -1,0 +1,65 @@
+package crowd
+
+import (
+	"sort"
+
+	"repro/internal/db"
+)
+
+// ScreenResult reports one candidate's performance on the gold questions.
+type ScreenResult struct {
+	Index    int     // position in the candidate list
+	Correct  int     // gold questions answered correctly
+	Asked    int     // gold questions asked
+	Accuracy float64 // Correct / Asked
+	Admitted bool
+}
+
+// Screen qualifies candidate crowd members with gold questions — facts whose
+// truth is known in advance — admitting those whose observed accuracy meets
+// the threshold. The paper (§8) notes that worker-quality estimation methods
+// "are complementary to our work and can be used here as a preliminary step
+// to select our experts"; this is that step. gold maps facts to their known
+// truth values; results are ordered by descending accuracy.
+func Screen(candidates []Oracle, gold map[*db.Fact]bool, threshold float64) ([]Oracle, []ScreenResult) {
+	results := make([]ScreenResult, len(candidates))
+	var admitted []Oracle
+	for i, c := range candidates {
+		r := ScreenResult{Index: i}
+		for f, truth := range gold {
+			r.Asked++
+			if c.VerifyFact(*f) == truth {
+				r.Correct++
+			}
+		}
+		if r.Asked > 0 {
+			r.Accuracy = float64(r.Correct) / float64(r.Asked)
+		}
+		r.Admitted = r.Asked > 0 && r.Accuracy >= threshold
+		results[i] = r
+		if r.Admitted {
+			admitted = append(admitted, c)
+		}
+	}
+	sort.SliceStable(results, func(i, j int) bool { return results[i].Accuracy > results[j].Accuracy })
+	return admitted, results
+}
+
+// GoldFromTruth builds a gold-question set from a ground-truth database: the
+// given true facts (present in DG) mapped to true, and the given false facts
+// to false. Intended for experiment setups; a production deployment would
+// curate gold questions by hand.
+func GoldFromTruth(dg *db.Database, trueFacts, falseFacts []db.Fact) map[*db.Fact]bool {
+	gold := make(map[*db.Fact]bool, len(trueFacts)+len(falseFacts))
+	for i := range trueFacts {
+		if dg.Has(trueFacts[i]) {
+			gold[&trueFacts[i]] = true
+		}
+	}
+	for i := range falseFacts {
+		if !dg.Has(falseFacts[i]) {
+			gold[&falseFacts[i]] = false
+		}
+	}
+	return gold
+}

@@ -1,0 +1,117 @@
+package crowd
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/db"
+)
+
+func goldSet(t *testing.T) map[*db.Fact]bool {
+	t.Helper()
+	_, dg := dataset.Figure1()
+	gold := GoldFromTruth(dg,
+		[]db.Fact{
+			db.NewFact("Teams", "ESP", "EU"),
+			db.NewFact("Teams", "ITA", "EU"),
+			db.NewFact("Games", "13.07.14", "GER", "ARG", "Final", "1:0"),
+			db.NewFact("Goals", "Andrea Pirlo", "09.07.06"),
+		},
+		[]db.Fact{
+			db.NewFact("Teams", "BRA", "EU"),
+			db.NewFact("Teams", "NED", "SA"),
+			db.NewFact("Games", "25.06.78", "ESP", "NED", "Final", "1:0"),
+			db.NewFact("Goals", "Francesco Totti", "09.07.06"),
+		})
+	if len(gold) != 8 {
+		t.Fatalf("gold set = %d questions, want 8", len(gold))
+	}
+	return gold
+}
+
+func TestScreenAdmitsGoodRejectsBad(t *testing.T) {
+	_, dg := dataset.Figure1()
+	gold := goldSet(t)
+	good := NewExpert(dg, 0, rand.New(rand.NewSource(1)))
+	bad := NewExpert(dg, 1.0, rand.New(rand.NewSource(2)))
+	mediocre := NewExpert(dg, 0.5, rand.New(rand.NewSource(3)))
+
+	admitted, results := Screen([]Oracle{good, bad, mediocre}, gold, 0.8)
+	if len(admitted) < 1 {
+		t.Fatalf("no candidates admitted")
+	}
+	// Results sorted by accuracy; the perfect expert leads with 1.0.
+	if results[0].Accuracy != 1.0 || !results[0].Admitted {
+		t.Errorf("best result = %+v, want perfect accuracy admitted", results[0])
+	}
+	// The always-wrong expert scores 0 and is rejected.
+	last := results[len(results)-1]
+	if last.Accuracy != 0 || last.Admitted {
+		t.Errorf("worst result = %+v, want accuracy 0 rejected", last)
+	}
+	// The admitted set contains the good expert.
+	found := false
+	for _, o := range admitted {
+		if o == Oracle(good) {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("perfect expert not admitted")
+	}
+}
+
+func TestScreenEmptyGold(t *testing.T) {
+	_, dg := dataset.Figure1()
+	admitted, results := Screen([]Oracle{NewPerfect(dg)}, nil, 0.5)
+	if len(admitted) != 0 {
+		t.Errorf("admitted with no gold questions")
+	}
+	if len(results) != 1 || results[0].Admitted {
+		t.Errorf("results = %+v", results)
+	}
+}
+
+func TestGoldFromTruthFiltersMislabeled(t *testing.T) {
+	_, dg := dataset.Figure1()
+	// A "true" fact that is actually false and a "false" fact that is
+	// actually true must both be dropped.
+	gold := GoldFromTruth(dg,
+		[]db.Fact{db.NewFact("Teams", "BRA", "EU")}, // not in DG
+		[]db.Fact{db.NewFact("Teams", "ESP", "EU")}, // in DG
+	)
+	if len(gold) != 0 {
+		t.Errorf("mislabeled gold questions kept: %d", len(gold))
+	}
+}
+
+// TestScreenThenPanel: the screened experts drive a panel that cleans
+// correctly — the §8 "preliminary step" wired into the main workflow.
+func TestScreenThenPanel(t *testing.T) {
+	d, dg := dataset.Figure1()
+	gold := goldSet(t)
+	candidates := []Oracle{
+		NewExpert(dg, 0, rand.New(rand.NewSource(10))),
+		NewExpert(dg, 0.9, rand.New(rand.NewSource(11))),
+		NewExpert(dg, 0.05, rand.New(rand.NewSource(12))),
+		NewExpert(dg, 1.0, rand.New(rand.NewSource(13))),
+		NewExpert(dg, 0.1, rand.New(rand.NewSource(14))),
+	}
+	admitted, _ := Screen(candidates, gold, 0.75)
+	if len(admitted) < 2 {
+		t.Skipf("screening admitted only %d experts with this seed", len(admitted))
+	}
+	agree := 2
+	if len(admitted) < 2 {
+		agree = 1
+	}
+	panel := NewPanel(agree, admitted...)
+	if !panel.VerifyFact(db.NewFact("Teams", "ESP", "EU")) {
+		t.Errorf("screened panel wrong on true fact")
+	}
+	if panel.VerifyFact(db.NewFact("Teams", "BRA", "EU")) {
+		t.Errorf("screened panel wrong on false fact")
+	}
+	_ = d
+}

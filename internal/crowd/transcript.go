@@ -1,0 +1,114 @@
+package crowd
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"time"
+
+	"repro/internal/cq"
+	"repro/internal/db"
+	"repro/internal/eval"
+)
+
+// Transcript wraps an oracle and logs every question and answer as one text
+// line to a writer — the audit trail a deployed cleaning session keeps of its
+// crowd interactions. It is safe for concurrent use.
+type Transcript struct {
+	Oracle Oracle
+
+	mu sync.Mutex
+	w  io.Writer
+	n  int
+}
+
+// NewTranscript wraps an oracle, logging to w.
+func NewTranscript(o Oracle, w io.Writer) *Transcript {
+	return &Transcript{Oracle: o, w: w}
+}
+
+func (t *Transcript) log(format string, args ...interface{}) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.n++
+	fmt.Fprintf(t.w, "[%03d] %s\n", t.n, fmt.Sprintf(format, args...))
+}
+
+// Lines returns the number of logged interactions.
+func (t *Transcript) Lines() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.n
+}
+
+// VerifyFact implements Oracle.
+func (t *Transcript) VerifyFact(f db.Fact) bool {
+	ans := t.Oracle.VerifyFact(f)
+	t.log("TRUE(%s)? -> %v", f, ans)
+	return ans
+}
+
+// VerifyAnswer implements Oracle.
+func (t *Transcript) VerifyAnswer(q *cq.Query, tp db.Tuple) bool {
+	ans := t.Oracle.VerifyAnswer(q, tp)
+	name := q.Name
+	if name == "" {
+		name = "Q"
+	}
+	t.log("TRUE(%s, %s)? -> %v", name, tp, ans)
+	return ans
+}
+
+// Complete implements Oracle.
+func (t *Transcript) Complete(q *cq.Query, partial eval.Assignment) (eval.Assignment, bool) {
+	full, ok := t.Oracle.Complete(q, partial)
+	if ok {
+		t.log("COMPL(%s, %s) -> %s", partial, q, full)
+	} else {
+		t.log("COMPL(%s, %s) -> non-satisfiable", partial, q)
+	}
+	return full, ok
+}
+
+// CompleteResult implements Oracle.
+func (t *Transcript) CompleteResult(q *cq.Query, current []db.Tuple) (db.Tuple, bool) {
+	tp, ok := t.Oracle.CompleteResult(q, current)
+	if ok {
+		t.log("COMPL(Q(D)) over %d rows -> %s", len(current), tp)
+	} else {
+		t.log("COMPL(Q(D)) over %d rows -> complete", len(current))
+	}
+	return tp, ok
+}
+
+// Delayed wraps an oracle and sleeps before every answer, simulating human
+// crowd latency. The §6.2 parallel mode exists exactly because real crowd
+// answers take time; benchmarks use Delayed to show the wall-clock effect.
+type Delayed struct {
+	Oracle Oracle
+	Delay  time.Duration
+}
+
+// VerifyFact implements Oracle.
+func (d Delayed) VerifyFact(f db.Fact) bool {
+	time.Sleep(d.Delay)
+	return d.Oracle.VerifyFact(f)
+}
+
+// VerifyAnswer implements Oracle.
+func (d Delayed) VerifyAnswer(q *cq.Query, t db.Tuple) bool {
+	time.Sleep(d.Delay)
+	return d.Oracle.VerifyAnswer(q, t)
+}
+
+// Complete implements Oracle.
+func (d Delayed) Complete(q *cq.Query, partial eval.Assignment) (eval.Assignment, bool) {
+	time.Sleep(d.Delay)
+	return d.Oracle.Complete(q, partial)
+}
+
+// CompleteResult implements Oracle.
+func (d Delayed) CompleteResult(q *cq.Query, current []db.Tuple) (db.Tuple, bool) {
+	time.Sleep(d.Delay)
+	return d.Oracle.CompleteResult(q, current)
+}

@@ -1,0 +1,83 @@
+package crowd
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/dataset"
+	"repro/internal/db"
+	"repro/internal/eval"
+)
+
+func TestTranscriptLogsAllQuestionTypes(t *testing.T) {
+	_, dg := dataset.Figure1()
+	var buf strings.Builder
+	tr := NewTranscript(NewPerfect(dg), &buf)
+	q := dataset.IntroQ1()
+
+	if !tr.VerifyFact(db.NewFact("Teams", "ESP", "EU")) {
+		t.Errorf("VerifyFact passthrough wrong")
+	}
+	if tr.VerifyAnswer(q, db.Tuple{"ESP"}) {
+		t.Errorf("VerifyAnswer passthrough wrong")
+	}
+	qt, _ := dataset.IntroQ2().Embed(db.Tuple{"Andrea Pirlo"})
+	if _, ok := tr.Complete(qt, eval.Assignment{"y": "ITA"}); !ok {
+		t.Errorf("Complete passthrough wrong")
+	}
+	if _, ok := tr.Complete(qt, eval.Assignment{"y": "GER"}); ok {
+		t.Errorf("unsatisfiable Complete passthrough wrong")
+	}
+	if _, ok := tr.CompleteResult(q, nil); !ok {
+		t.Errorf("CompleteResult passthrough wrong")
+	}
+	if _, ok := tr.CompleteResult(q, eval.Result(q, dg)); ok {
+		t.Errorf("complete CompleteResult passthrough wrong")
+	}
+
+	out := buf.String()
+	if tr.Lines() != 6 {
+		t.Errorf("Lines = %d, want 6", tr.Lines())
+	}
+	for _, want := range []string{
+		"TRUE(Teams(ESP, EU))? -> true",
+		"-> false",
+		"COMPL(",
+		"non-satisfiable",
+		"COMPL(Q(D))",
+		"complete",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("transcript missing %q:\n%s", want, out)
+		}
+	}
+	// Lines are numbered sequentially.
+	if !strings.HasPrefix(out, "[001]") || !strings.Contains(out, "[006]") {
+		t.Errorf("transcript numbering wrong:\n%s", out)
+	}
+}
+
+func TestDelayedSleepsAndPassesThrough(t *testing.T) {
+	_, dg := dataset.Figure1()
+	d := Delayed{Oracle: NewPerfect(dg), Delay: 20 * time.Millisecond}
+	start := time.Now()
+	ans := d.VerifyFact(db.NewFact("Teams", "ESP", "EU"))
+	if !ans {
+		t.Errorf("passthrough wrong")
+	}
+	if elapsed := time.Since(start); elapsed < 15*time.Millisecond {
+		t.Errorf("no delay observed: %v", elapsed)
+	}
+	q := dataset.IntroQ1()
+	if d.VerifyAnswer(q, db.Tuple{"ESP"}) {
+		t.Errorf("VerifyAnswer passthrough wrong")
+	}
+	if _, ok := d.CompleteResult(q, nil); !ok {
+		t.Errorf("CompleteResult passthrough wrong")
+	}
+	qt, _ := dataset.IntroQ2().Embed(db.Tuple{"Andrea Pirlo"})
+	if _, ok := d.Complete(qt, eval.Assignment{"y": "ITA"}); !ok {
+		t.Errorf("Complete passthrough wrong")
+	}
+}

@@ -1,0 +1,46 @@
+package db
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+)
+
+// WriteCSV serializes the database as CSV records of the form
+// rel,v1,...,vk in deterministic order. The format round-trips through
+// LoadCSV given a database of the same schema.
+func (d *Database) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	for _, f := range d.Facts() {
+		rec := make([]string, 0, len(f.Args)+1)
+		rec = append(rec, f.Rel)
+		rec = append(rec, f.Args...)
+		if err := cw.Write(rec); err != nil {
+			return fmt.Errorf("db: writing csv: %w", err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// LoadCSV reads CSV records (rel,v1,...,vk) into the database, validating
+// each record against the schema. Records are appended to existing contents.
+func (d *Database) LoadCSV(r io.Reader) error {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = -1 // arity varies by relation
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			return nil
+		}
+		if err != nil {
+			return fmt.Errorf("db: reading csv: %w", err)
+		}
+		if len(rec) < 2 {
+			return fmt.Errorf("db: csv record too short: %v", rec)
+		}
+		if _, err := d.InsertFact(NewFact(rec[0], rec[1:]...)); err != nil {
+			return err
+		}
+	}
+}

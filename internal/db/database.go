@@ -1,0 +1,167 @@
+package db
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/schema"
+)
+
+// Database is an instance of a schema: one Relation per relation symbol.
+// It is the paper's D (or the ground truth DG). Databases are not safe for
+// concurrent mutation; the cleaner serializes edits.
+type Database struct {
+	schema *schema.Schema
+	rels   map[string]*Relation
+}
+
+// New creates an empty database instance of the given schema.
+func New(s *schema.Schema) *Database {
+	d := &Database{schema: s, rels: make(map[string]*Relation, s.Len())}
+	for _, name := range s.Names() {
+		rel, _ := s.Relation(name)
+		d.rels[name] = NewRelation(name, rel.Arity())
+	}
+	return d
+}
+
+// Schema returns the database schema.
+func (d *Database) Schema() *schema.Schema { return d.schema }
+
+// Relation returns the named relation instance, or nil if the schema has no
+// such relation.
+func (d *Database) Relation(name string) *Relation { return d.rels[name] }
+
+// Has reports whether the fact is present in the database.
+func (d *Database) Has(f Fact) bool {
+	r := d.rels[f.Rel]
+	return r != nil && r.Has(f.Args)
+}
+
+// InsertFact adds the fact, returning true if it was newly inserted.
+// It returns an error for unknown relations or arity mismatches.
+func (d *Database) InsertFact(f Fact) (bool, error) {
+	r := d.rels[f.Rel]
+	if r == nil {
+		return false, fmt.Errorf("db: unknown relation %q", f.Rel)
+	}
+	if len(f.Args) != r.Arity() {
+		return false, fmt.Errorf("db: arity mismatch for %s: got %d, want %d", f.Rel, len(f.Args), r.Arity())
+	}
+	return r.Insert(f.Args), nil
+}
+
+// DeleteFact removes the fact, returning true if it was present.
+func (d *Database) DeleteFact(f Fact) (bool, error) {
+	r := d.rels[f.Rel]
+	if r == nil {
+		return false, fmt.Errorf("db: unknown relation %q", f.Rel)
+	}
+	return r.Delete(f.Args), nil
+}
+
+// Apply applies a single edit (the paper's D ⊕ e). Edits are idempotent:
+// inserting a present fact or deleting an absent one changes nothing and
+// reports changed = false.
+func (d *Database) Apply(e Edit) (changed bool, err error) {
+	if e.Op == Insert {
+		return d.InsertFact(e.Fact)
+	}
+	return d.DeleteFact(e.Fact)
+}
+
+// ApplyAll applies the edits in order, returning the number that changed the
+// database. It stops at the first error.
+func (d *Database) ApplyAll(edits []Edit) (changed int, err error) {
+	for _, e := range edits {
+		ch, err := d.Apply(e)
+		if err != nil {
+			return changed, err
+		}
+		if ch {
+			changed++
+		}
+	}
+	return changed, nil
+}
+
+// Len returns the total number of facts across all relations.
+func (d *Database) Len() int {
+	n := 0
+	for _, r := range d.rels {
+		n += r.Len()
+	}
+	return n
+}
+
+// Facts returns every fact in the database in deterministic order
+// (relations sorted by name, tuples lexicographically).
+func (d *Database) Facts() []Fact {
+	names := make([]string, 0, len(d.rels))
+	for n := range d.rels {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	out := make([]Fact, 0, d.Len())
+	for _, n := range names {
+		for _, t := range d.rels[n].Tuples() {
+			out = append(out, Fact{Rel: n, Args: t})
+		}
+	}
+	return out
+}
+
+// Clone returns a deep copy sharing the (immutable) schema.
+func (d *Database) Clone() *Database {
+	out := &Database{schema: d.schema, rels: make(map[string]*Relation, len(d.rels))}
+	for n, r := range d.rels {
+		out.rels[n] = r.Clone()
+	}
+	return out
+}
+
+// Distance returns the size of the symmetric difference |D − D′| + |D′ − D|.
+// The paper writes |D − D′| for this quantity and uses it to show each
+// oracle-derived edit moves D closer to DG (Prop 3.3).
+func (d *Database) Distance(o *Database) int {
+	n := 0
+	for name, r := range d.rels {
+		or := o.rels[name]
+		r.Each(func(t Tuple) bool {
+			if or == nil || !or.Has(t) {
+				n++
+			}
+			return true
+		})
+	}
+	for name, or := range o.rels {
+		r := d.rels[name]
+		or.Each(func(t Tuple) bool {
+			if r == nil || !r.Has(t) {
+				n++
+			}
+			return true
+		})
+	}
+	return n
+}
+
+// Equal reports whether both databases contain exactly the same facts.
+func (d *Database) Equal(o *Database) bool { return d.Distance(o) == 0 }
+
+// Diff returns the edits that transform d into o: deletions of facts in
+// d − o followed by insertions of facts in o − d, in deterministic order.
+func (d *Database) Diff(o *Database) []Edit {
+	var edits []Edit
+	for _, f := range d.Facts() {
+		if !o.Has(f) {
+			edits = append(edits, Deletion(f))
+		}
+	}
+	for _, f := range o.Facts() {
+		if !d.Has(f) {
+			edits = append(edits, Insertion(f))
+		}
+	}
+	return edits
+}

@@ -1,0 +1,178 @@
+package db
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Relation is an in-memory set of same-arity tuples with per-column hash
+// indexes. Indexes are maintained incrementally on insert/delete and used by
+// the evaluator for index-nested-loop joins.
+type Relation struct {
+	name   string
+	arity  int
+	tuples map[string]Tuple            // key -> tuple
+	index  []map[string]map[string]int // column -> value -> set of tuple keys (value is refcount placeholder, always 1)
+}
+
+// NewRelation creates an empty relation with the given name and arity.
+func NewRelation(name string, arity int) *Relation {
+	r := &Relation{
+		name:   name,
+		arity:  arity,
+		tuples: make(map[string]Tuple),
+		index:  make([]map[string]map[string]int, arity),
+	}
+	for i := range r.index {
+		r.index[i] = make(map[string]map[string]int)
+	}
+	return r
+}
+
+// Name returns the relation name.
+func (r *Relation) Name() string { return r.name }
+
+// Arity returns the relation arity.
+func (r *Relation) Arity() int { return r.arity }
+
+// Len returns the number of tuples.
+func (r *Relation) Len() int { return len(r.tuples) }
+
+// Has reports whether the tuple is present.
+func (r *Relation) Has(t Tuple) bool {
+	_, ok := r.tuples[t.Key()]
+	return ok
+}
+
+// Insert adds the tuple, returning true if it was not already present.
+// It panics on arity mismatch: callers validate against the schema first.
+func (r *Relation) Insert(t Tuple) bool {
+	if len(t) != r.arity {
+		panic(fmt.Sprintf("db: arity mismatch inserting %v into %s/%d", t, r.name, r.arity))
+	}
+	k := t.Key()
+	if _, ok := r.tuples[k]; ok {
+		return false
+	}
+	t = t.Clone()
+	r.tuples[k] = t
+	for col, v := range t {
+		m := r.index[col][v]
+		if m == nil {
+			m = make(map[string]int)
+			r.index[col][v] = m
+		}
+		m[k] = 1
+	}
+	return true
+}
+
+// Delete removes the tuple, returning true if it was present.
+func (r *Relation) Delete(t Tuple) bool {
+	if len(t) != r.arity {
+		return false
+	}
+	k := t.Key()
+	old, ok := r.tuples[k]
+	if !ok {
+		return false
+	}
+	delete(r.tuples, k)
+	for col, v := range old {
+		if m := r.index[col][v]; m != nil {
+			delete(m, k)
+			if len(m) == 0 {
+				delete(r.index[col], v)
+			}
+		}
+	}
+	return true
+}
+
+// Tuples returns all tuples in deterministic (lexicographic) order.
+func (r *Relation) Tuples() []Tuple {
+	out := make([]Tuple, 0, len(r.tuples))
+	for _, t := range r.tuples {
+		out = append(out, t)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Less(out[j]) })
+	return out
+}
+
+// Each calls fn for every tuple in unspecified order; fn must not mutate the
+// relation. It stops early if fn returns false.
+func (r *Relation) Each(fn func(Tuple) bool) {
+	for _, t := range r.tuples {
+		if !fn(t) {
+			return
+		}
+	}
+}
+
+// Binding is a required (column, value) pair for an index scan.
+type Binding struct {
+	Col   int
+	Value string
+}
+
+// Scan returns the tuples matching all bindings. With no bindings it returns
+// every tuple. It starts from the most selective bound column's index and
+// filters on the remaining bindings.
+func (r *Relation) Scan(bindings []Binding) []Tuple {
+	if len(bindings) == 0 {
+		out := make([]Tuple, 0, len(r.tuples))
+		for _, t := range r.tuples {
+			out = append(out, t)
+		}
+		return out
+	}
+	// Pick the most selective binding to drive the scan.
+	best := -1
+	bestSize := 0
+	for i, b := range bindings {
+		if b.Col < 0 || b.Col >= r.arity {
+			return nil
+		}
+		m := r.index[b.Col][b.Value]
+		if m == nil {
+			return nil
+		}
+		if best == -1 || len(m) < bestSize {
+			best, bestSize = i, len(m)
+		}
+	}
+	drive := r.index[bindings[best].Col][bindings[best].Value]
+	out := make([]Tuple, 0, len(drive))
+outer:
+	for k := range drive {
+		t := r.tuples[k]
+		for i, b := range bindings {
+			if i == best {
+				continue
+			}
+			if t[b.Col] != b.Value {
+				continue outer
+			}
+		}
+		out = append(out, t)
+	}
+	return out
+}
+
+// MatchCount returns the number of tuples matching all bindings, without
+// materializing them (used for join-order selectivity estimates).
+func (r *Relation) MatchCount(bindings []Binding) int {
+	if len(bindings) == 0 {
+		return len(r.tuples)
+	}
+	return len(r.Scan(bindings))
+}
+
+// Clone returns a deep copy of the relation.
+func (r *Relation) Clone() *Relation {
+	out := NewRelation(r.name, r.arity)
+	for _, t := range r.tuples {
+		out.Insert(t)
+	}
+	return out
+}

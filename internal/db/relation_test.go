@@ -1,0 +1,176 @@
+package db
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestRelationInsertDeleteHas(t *testing.T) {
+	r := NewRelation("Teams", 2)
+	if r.Len() != 0 {
+		t.Fatalf("new relation not empty")
+	}
+	if !r.Insert(Tuple{"GER", "EU"}) {
+		t.Errorf("first Insert = false")
+	}
+	if r.Insert(Tuple{"GER", "EU"}) {
+		t.Errorf("duplicate Insert = true")
+	}
+	if !r.Has(Tuple{"GER", "EU"}) {
+		t.Errorf("Has = false after insert")
+	}
+	if r.Len() != 1 {
+		t.Errorf("Len = %d, want 1", r.Len())
+	}
+	if !r.Delete(Tuple{"GER", "EU"}) {
+		t.Errorf("Delete of present tuple = false")
+	}
+	if r.Delete(Tuple{"GER", "EU"}) {
+		t.Errorf("Delete of absent tuple = true")
+	}
+	if r.Has(Tuple{"GER", "EU"}) || r.Len() != 0 {
+		t.Errorf("tuple still present after delete")
+	}
+}
+
+func TestRelationInsertCopiesTuple(t *testing.T) {
+	r := NewRelation("R", 1)
+	in := Tuple{"a"}
+	r.Insert(in)
+	in[0] = "mutated"
+	if !r.Has(Tuple{"a"}) {
+		t.Errorf("relation aliased caller's tuple")
+	}
+}
+
+func TestRelationInsertArityPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Errorf("Insert with wrong arity did not panic")
+		}
+	}()
+	NewRelation("R", 2).Insert(Tuple{"only-one"})
+}
+
+func TestRelationTuplesSorted(t *testing.T) {
+	r := NewRelation("R", 1)
+	for _, v := range []string{"c", "a", "b"} {
+		r.Insert(Tuple{v})
+	}
+	got := r.Tuples()
+	want := []string{"a", "b", "c"}
+	for i, w := range want {
+		if got[i][0] != w {
+			t.Fatalf("Tuples()[%d] = %v, want %s", i, got[i], w)
+		}
+	}
+}
+
+func TestRelationScan(t *testing.T) {
+	r := NewRelation("Games", 3)
+	r.Insert(Tuple{"2014", "GER", "ARG"})
+	r.Insert(Tuple{"2010", "ESP", "NED"})
+	r.Insert(Tuple{"1990", "GER", "ARG"})
+
+	got := r.Scan([]Binding{{Col: 1, Value: "GER"}})
+	if len(got) != 2 {
+		t.Fatalf("Scan(winner=GER) = %d tuples, want 2", len(got))
+	}
+	got = r.Scan([]Binding{{Col: 1, Value: "GER"}, {Col: 0, Value: "2014"}})
+	if len(got) != 1 || got[0][2] != "ARG" {
+		t.Fatalf("Scan(winner=GER,year=2014) = %v", got)
+	}
+	if got := r.Scan([]Binding{{Col: 1, Value: "BRA"}}); len(got) != 0 {
+		t.Errorf("Scan of absent value = %v, want empty", got)
+	}
+	if got := r.Scan(nil); len(got) != 3 {
+		t.Errorf("full Scan = %d tuples, want 3", len(got))
+	}
+	if got := r.Scan([]Binding{{Col: 9, Value: "x"}}); got != nil {
+		t.Errorf("Scan with out-of-range column = %v, want nil", got)
+	}
+}
+
+func TestRelationScanAfterDelete(t *testing.T) {
+	r := NewRelation("R", 2)
+	r.Insert(Tuple{"a", "1"})
+	r.Insert(Tuple{"a", "2"})
+	r.Delete(Tuple{"a", "1"})
+	got := r.Scan([]Binding{{Col: 0, Value: "a"}})
+	if len(got) != 1 || got[0][1] != "2" {
+		t.Fatalf("Scan after delete = %v", got)
+	}
+}
+
+func TestRelationMatchCount(t *testing.T) {
+	r := NewRelation("R", 2)
+	r.Insert(Tuple{"a", "1"})
+	r.Insert(Tuple{"a", "2"})
+	r.Insert(Tuple{"b", "1"})
+	if got := r.MatchCount(nil); got != 3 {
+		t.Errorf("MatchCount(nil) = %d, want 3", got)
+	}
+	if got := r.MatchCount([]Binding{{Col: 0, Value: "a"}}); got != 2 {
+		t.Errorf("MatchCount(a) = %d, want 2", got)
+	}
+}
+
+func TestRelationCloneIndependence(t *testing.T) {
+	r := NewRelation("R", 1)
+	r.Insert(Tuple{"x"})
+	c := r.Clone()
+	c.Insert(Tuple{"y"})
+	r.Delete(Tuple{"x"})
+	if !c.Has(Tuple{"x"}) || !c.Has(Tuple{"y"}) {
+		t.Errorf("clone affected by original mutation")
+	}
+	if r.Has(Tuple{"y"}) {
+		t.Errorf("original affected by clone mutation")
+	}
+}
+
+// TestRelationIndexConsistency fuzzes random insert/delete sequences and
+// checks that index scans always agree with a full filter.
+func TestRelationIndexConsistency(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	r := NewRelation("R", 2)
+	vals := []string{"a", "b", "c", "d"}
+	ref := make(map[string]Tuple)
+	for step := 0; step < 2000; step++ {
+		tp := Tuple{vals[rng.Intn(len(vals))], vals[rng.Intn(len(vals))]}
+		if rng.Intn(2) == 0 {
+			r.Insert(tp)
+			ref[tp.Key()] = tp.Clone()
+		} else {
+			r.Delete(tp)
+			delete(ref, tp.Key())
+		}
+		if r.Len() != len(ref) {
+			t.Fatalf("step %d: Len = %d, ref = %d", step, r.Len(), len(ref))
+		}
+		// Compare an indexed scan against a naive filter.
+		v := vals[rng.Intn(len(vals))]
+		col := rng.Intn(2)
+		got := r.Scan([]Binding{{Col: col, Value: v}})
+		want := 0
+		for _, tp := range ref {
+			if tp[col] == v {
+				want++
+			}
+		}
+		if len(got) != want {
+			t.Fatalf("step %d: Scan(col %d = %s) = %d tuples, want %d", step, col, v, len(got), want)
+		}
+	}
+}
+
+func TestRelationEachEarlyStop(t *testing.T) {
+	r := NewRelation("R", 1)
+	r.Insert(Tuple{"a"})
+	r.Insert(Tuple{"b"})
+	n := 0
+	r.Each(func(Tuple) bool { n++; return false })
+	if n != 1 {
+		t.Errorf("Each did not stop early: visited %d", n)
+	}
+}

@@ -1,0 +1,128 @@
+package db
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestTupleKeyEqual(t *testing.T) {
+	a := Tuple{"GER", "EU"}
+	b := Tuple{"GER", "EU"}
+	c := Tuple{"GER", "SA"}
+	if a.Key() != b.Key() {
+		t.Errorf("equal tuples have different keys")
+	}
+	if a.Key() == c.Key() {
+		t.Errorf("distinct tuples share a key")
+	}
+	if !a.Equal(b) || a.Equal(c) {
+		t.Errorf("Equal mismatch")
+	}
+	if a.Equal(Tuple{"GER"}) {
+		t.Errorf("Equal across arities")
+	}
+}
+
+func TestTupleKeyInjective(t *testing.T) {
+	// Values that would collide under naive comma-joining.
+	a := Tuple{"a,b", "c"}
+	b := Tuple{"a", "b,c"}
+	if a.Key() == b.Key() {
+		t.Errorf("Key not injective for comma-bearing values")
+	}
+}
+
+func TestTupleCloneIndependent(t *testing.T) {
+	a := Tuple{"x", "y"}
+	b := a.Clone()
+	b[0] = "z"
+	if a[0] != "x" {
+		t.Errorf("Clone aliases the original")
+	}
+}
+
+func TestTupleLessTotalOrder(t *testing.T) {
+	cases := []struct {
+		a, b Tuple
+		want bool
+	}{
+		{Tuple{"a"}, Tuple{"b"}, true},
+		{Tuple{"b"}, Tuple{"a"}, false},
+		{Tuple{"a"}, Tuple{"a", "b"}, true},
+		{Tuple{"a", "b"}, Tuple{"a"}, false},
+		{Tuple{"a"}, Tuple{"a"}, false},
+	}
+	for _, c := range cases {
+		if got := c.a.Less(c.b); got != c.want {
+			t.Errorf("%v.Less(%v) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestTupleLessProperties(t *testing.T) {
+	// Irreflexivity and asymmetry via testing/quick.
+	irrefl := func(vals []string) bool {
+		tp := Tuple(vals)
+		return !tp.Less(tp)
+	}
+	if err := quick.Check(irrefl, nil); err != nil {
+		t.Errorf("Less not irreflexive: %v", err)
+	}
+	asym := func(a, b []string) bool {
+		x, y := Tuple(a), Tuple(b)
+		if x.Less(y) && y.Less(x) {
+			return false
+		}
+		// Totality: for distinct tuples one direction must hold.
+		if !x.Equal(y) && !x.Less(y) && !y.Less(x) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(asym, nil); err != nil {
+		t.Errorf("Less not a strict total order: %v", err)
+	}
+}
+
+func TestFactBasics(t *testing.T) {
+	f := NewFact("Teams", "ESP", "EU")
+	if f.Rel != "Teams" || len(f.Args) != 2 {
+		t.Fatalf("NewFact = %+v", f)
+	}
+	if got, want := f.String(), "Teams(ESP, EU)"; got != want {
+		t.Errorf("String = %q, want %q", got, want)
+	}
+	g := NewFact("Teams", "ESP", "EU")
+	if !f.Equal(g) {
+		t.Errorf("Equal facts not equal")
+	}
+	if f.Equal(NewFact("Games", "ESP", "EU")) {
+		t.Errorf("facts of different relations equal")
+	}
+	if f.Key() == NewFact("TeamsESP", "EU").Key() {
+		t.Errorf("Key collides across rel/arg boundary")
+	}
+}
+
+func TestFactLess(t *testing.T) {
+	a := NewFact("A", "z")
+	b := NewFact("B", "a")
+	if !a.Less(b) || b.Less(a) {
+		t.Errorf("Less should order by relation name first")
+	}
+	c := NewFact("A", "a")
+	if !c.Less(a) {
+		t.Errorf("Less should order by tuple within a relation")
+	}
+}
+
+func TestEditString(t *testing.T) {
+	ins := Insertion(NewFact("Teams", "ITA", "EU"))
+	del := Deletion(NewFact("Teams", "BRA", "EU"))
+	if got, want := ins.String(), "Teams(ITA, EU)+"; got != want {
+		t.Errorf("insert String = %q, want %q", got, want)
+	}
+	if got, want := del.String(), "Teams(BRA, EU)-"; got != want {
+		t.Errorf("delete String = %q, want %q", got, want)
+	}
+}

@@ -1,0 +1,292 @@
+package eval
+
+import (
+	"sort"
+
+	"repro/internal/cq"
+	"repro/internal/db"
+)
+
+// Eval returns all valid total assignments A(Q,D) in deterministic order.
+func Eval(q *cq.Query, d *db.Database) []Assignment {
+	var out []Assignment
+	search(q, d, Assignment{}, func(a Assignment) bool {
+		out = append(out, a.Clone())
+		return true
+	})
+	sort.Slice(out, func(i, j int) bool { return out[i].Key() < out[j].Key() })
+	return out
+}
+
+// Result returns Q(D): the distinct answer tuples α(head(Q)) over all valid
+// assignments, in deterministic (lexicographic) order.
+func Result(q *cq.Query, d *db.Database) []db.Tuple {
+	seen := make(map[string]db.Tuple)
+	search(q, d, Assignment{}, func(a Assignment) bool {
+		t, ok := a.HeadTuple(q)
+		if !ok {
+			return true
+		}
+		seen[t.Key()] = t
+		return true
+	})
+	return sortTuples(seen)
+}
+
+// ResultUnion returns the union of Result over the disjuncts of a UCQ.
+func ResultUnion(u *cq.Union, d *db.Database) []db.Tuple {
+	seen := make(map[string]db.Tuple)
+	for _, q := range u.Disjuncts {
+		for _, t := range Result(q, d) {
+			seen[t.Key()] = t
+		}
+	}
+	return sortTuples(seen)
+}
+
+// Extensions returns all valid total assignments extending the partial
+// assignment seed, in deterministic order.
+func Extensions(q *cq.Query, d *db.Database, seed Assignment) []Assignment {
+	var out []Assignment
+	search(q, d, seed, func(a Assignment) bool {
+		out = append(out, a.Clone())
+		return true
+	})
+	sort.Slice(out, func(i, j int) bool { return out[i].Key() < out[j].Key() })
+	return out
+}
+
+// AssignmentsFor returns A(t,Q,D): the valid assignments of Q w.r.t. D that
+// yield answer t. It returns nil when t conflicts with the head shape.
+func AssignmentsFor(q *cq.Query, d *db.Database, t db.Tuple) []Assignment {
+	seed, ok := PartialFromAnswer(q, t)
+	if !ok {
+		return nil
+	}
+	var out []Assignment
+	search(q, d, seed, func(a Assignment) bool {
+		out = append(out, a.Clone())
+		return true
+	})
+	sort.Slice(out, func(i, j int) bool { return out[i].Key() < out[j].Key() })
+	return out
+}
+
+// Witnesses returns the witness sets for answer t: one set of facts per valid
+// assignment in A(t,Q,D), deduplicated (distinct assignments can induce the
+// same witness, e.g. by permuting symmetric atoms).
+func Witnesses(q *cq.Query, d *db.Database, t db.Tuple) [][]db.Fact {
+	asgs := AssignmentsFor(q, d, t)
+	seen := make(map[string]bool)
+	var out [][]db.Fact
+	for _, a := range asgs {
+		w := a.Witness(q)
+		k := witnessKey(w)
+		if !seen[k] {
+			seen[k] = true
+			out = append(out, w)
+		}
+	}
+	return out
+}
+
+func witnessKey(w []db.Fact) string {
+	k := ""
+	for _, f := range w {
+		k += f.Key() + "\x1e"
+	}
+	return k
+}
+
+// Holds reports whether the boolean query (or the body of q under the given
+// seed) has at least one valid extension w.r.t. D — i.e. whether the partial
+// assignment is satisfiable (§2).
+func Holds(q *cq.Query, d *db.Database, seed Assignment) bool {
+	found := false
+	search(q, d, seed, func(Assignment) bool {
+		found = true
+		return false // stop at first
+	})
+	return found
+}
+
+// Satisfiable reports whether the partial assignment α for Q is satisfiable
+// w.r.t. D: some extension to a total assignment is valid (§2).
+func Satisfiable(q *cq.Query, d *db.Database, partial Assignment) bool {
+	return Holds(q, d, partial)
+}
+
+// AnswerHolds reports whether tuple t ∈ Q(D).
+func AnswerHolds(q *cq.Query, d *db.Database, t db.Tuple) bool {
+	seed, ok := PartialFromAnswer(q, t)
+	if !ok {
+		return false
+	}
+	return Holds(q, d, seed)
+}
+
+// AnswerHoldsUnion reports whether t is an answer of the union over D.
+func AnswerHoldsUnion(u *cq.Union, d *db.Database, t db.Tuple) bool {
+	for _, q := range u.Disjuncts {
+		if AnswerHolds(q, d, t) {
+			return true
+		}
+	}
+	return false
+}
+
+// search enumerates all valid total assignments extending seed, invoking
+// yield for each; yield returns false to stop the enumeration. It uses
+// index-nested-loop joins with a greedy "fewest matching tuples first" atom
+// order, re-planned at every step against the current bindings.
+func search(q *cq.Query, d *db.Database, seed Assignment, yield func(Assignment) bool) {
+	// Validate seeded inequalities and ground atoms up front.
+	a := seed.Clone()
+	for _, e := range q.Ineqs {
+		if !a.IneqHolds(e) {
+			return
+		}
+	}
+	remaining := make([]int, 0, len(q.Atoms))
+	for i := range q.Atoms {
+		remaining = append(remaining, i)
+	}
+	searchRec(q, d, a, remaining, yield)
+}
+
+// searchRec extends a over the remaining atoms. Returns false if the caller
+// should stop enumerating.
+func searchRec(q *cq.Query, d *db.Database, a Assignment, remaining []int, yield func(Assignment) bool) bool {
+	if len(remaining) == 0 {
+		if !negsHold(q, d, a) {
+			return true // blocked by a negated atom; keep enumerating
+		}
+		return yield(a)
+	}
+	// Pick the most selective remaining atom under current bindings.
+	bestPos := -1
+	bestCount := -1
+	var bestBindings []db.Binding
+	for pos, ai := range remaining {
+		atom := q.Atoms[ai]
+		rel := d.Relation(atom.Rel)
+		if rel == nil {
+			return true // unknown relation: no matches, prune this branch
+		}
+		bindings := bindingsFor(atom, a)
+		n := rel.MatchCount(bindings)
+		if bestPos == -1 || n < bestCount {
+			bestPos, bestCount, bestBindings = pos, n, bindings
+		}
+		if n == 0 {
+			break // cannot do better than an empty atom
+		}
+	}
+	ai := remaining[bestPos]
+	atom := q.Atoms[ai]
+	rel := d.Relation(atom.Rel)
+	rest := make([]int, 0, len(remaining)-1)
+	rest = append(rest, remaining[:bestPos]...)
+	rest = append(rest, remaining[bestPos+1:]...)
+
+	for _, tuple := range rel.Scan(bestBindings) {
+		bound, ok := bind(a, atom, tuple)
+		if !ok {
+			continue // bind rolled back already
+		}
+		okIneq := true
+		for _, e := range q.Ineqs {
+			if !a.IneqHolds(e) {
+				okIneq = false
+				break
+			}
+		}
+		if okIneq && !searchRec(q, d, a, rest, yield) {
+			rollback(a, bound)
+			return false
+		}
+		rollback(a, bound)
+	}
+	return true
+}
+
+// negsHold checks the query's negated atoms under a total assignment: none
+// may resolve to a fact present in D. Unbound variables in a negated atom
+// (possible only for unsafe queries) make the check vacuously true for that
+// atom.
+func negsHold(q *cq.Query, d *db.Database, a Assignment) bool {
+	for _, atom := range q.Negs {
+		f, ok := a.AtomFact(atom)
+		if !ok {
+			continue
+		}
+		if d.Has(f) {
+			return false
+		}
+	}
+	return true
+}
+
+// BlockingFacts returns the facts of D that ground the query's negated atoms
+// under the assignment — the tuples whose presence blocks the assignment from
+// being valid. Used by the cleaner to repair answers of queries with
+// negation.
+func BlockingFacts(q *cq.Query, d *db.Database, a Assignment) []db.Fact {
+	var out []db.Fact
+	for _, atom := range q.Negs {
+		f, ok := a.AtomFact(atom)
+		if !ok {
+			continue
+		}
+		if d.Has(f) {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// bindingsFor computes the index bindings an atom imposes given current
+// variable bindings and its constants. Repeated variables are checked during
+// extend; only the first occurrence produces a binding here (subsequent ones
+// are equal-by-construction when bound).
+func bindingsFor(atom cq.Atom, a Assignment) []db.Binding {
+	var out []db.Binding
+	for col, t := range atom.Args {
+		if v, ok := a.Resolve(t); ok {
+			out = append(out, db.Binding{Col: col, Value: v})
+		}
+	}
+	return out
+}
+
+// bind unifies the atom with the tuple, mutating a in place. On success it
+// returns the names of the variables it newly bound (to be rolled back by the
+// caller after recursion); on conflict it rolls back itself and reports
+// ok = false.
+func bind(a Assignment, atom cq.Atom, tuple db.Tuple) (bound []string, ok bool) {
+	for col, t := range atom.Args {
+		if !t.IsVar {
+			if t.Name != tuple[col] {
+				rollback(a, bound)
+				return nil, false
+			}
+			continue
+		}
+		if v, exists := a[t.Name]; exists {
+			if v != tuple[col] {
+				rollback(a, bound)
+				return nil, false
+			}
+			continue
+		}
+		a[t.Name] = tuple[col]
+		bound = append(bound, t.Name)
+	}
+	return bound, true
+}
+
+func rollback(a Assignment, bound []string) {
+	for _, v := range bound {
+		delete(a, v)
+	}
+}

@@ -1,0 +1,69 @@
+package eval
+
+import (
+	"sort"
+
+	"repro/internal/cq"
+	"repro/internal/db"
+)
+
+func sortTuples(seen map[string]db.Tuple) []db.Tuple {
+	out := make([]db.Tuple, 0, len(seen))
+	for _, t := range seen {
+		out = append(out, t)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Less(out[j]) })
+	return out
+}
+
+// NaiveEval enumerates A(Q,D) by an unoptimized nested-loop product in atom
+// order, checking constraints only at the leaves. It exists as an oracle for
+// correctness tests of the indexed evaluator and for ablation benchmarks;
+// production callers use Eval.
+func NaiveEval(q *cq.Query, d *db.Database) []Assignment {
+	var out []Assignment
+	var rec func(i int, a Assignment)
+	rec = func(i int, a Assignment) {
+		if i == len(q.Atoms) {
+			for _, e := range q.Ineqs {
+				l, lok := a.Resolve(e.Left)
+				r, rok := a.Resolve(e.Right)
+				if !lok || !rok || l == r {
+					return
+				}
+			}
+			if !negsHold(q, d, a) {
+				return
+			}
+			out = append(out, a.Clone())
+			return
+		}
+		atom := q.Atoms[i]
+		rel := d.Relation(atom.Rel)
+		if rel == nil {
+			return
+		}
+		for _, tuple := range rel.Tuples() {
+			bound, ok := bind(a, atom, tuple)
+			if !ok {
+				continue
+			}
+			rec(i+1, a)
+			rollback(a, bound)
+		}
+	}
+	rec(0, Assignment{})
+	sort.Slice(out, func(i, j int) bool { return out[i].Key() < out[j].Key() })
+	return out
+}
+
+// NaiveResult computes Q(D) via NaiveEval.
+func NaiveResult(q *cq.Query, d *db.Database) []db.Tuple {
+	seen := make(map[string]db.Tuple)
+	for _, a := range NaiveEval(q, d) {
+		if t, ok := a.HeadTuple(q); ok {
+			seen[t.Key()] = t
+		}
+	}
+	return sortTuples(seen)
+}

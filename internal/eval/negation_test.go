@@ -1,0 +1,97 @@
+package eval
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/cq"
+	"repro/internal/db"
+	"repro/internal/schema"
+)
+
+func negSchema() *schema.Schema {
+	return schema.New(
+		schema.Relation{Name: "R", Attrs: []string{"a", "b"}},
+		schema.Relation{Name: "Banned", Attrs: []string{"a"}},
+	)
+}
+
+func TestNegationFiltersAnswers(t *testing.T) {
+	d := db.New(negSchema())
+	d.InsertFact(db.NewFact("R", "u", "1"))
+	d.InsertFact(db.NewFact("R", "v", "2"))
+	d.InsertFact(db.NewFact("Banned", "v"))
+	q := cq.MustParse("(x) :- R(x, y), not Banned(x)")
+	got := Result(q, d)
+	if len(got) != 1 || got[0][0] != "u" {
+		t.Errorf("Result = %v, want [(u)]", got)
+	}
+	if AnswerHolds(q, d, db.Tuple{"v"}) {
+		t.Errorf("(v) should be blocked by Banned(v)")
+	}
+	if !AnswerHolds(q, d, db.Tuple{"u"}) {
+		t.Errorf("(u) should hold")
+	}
+}
+
+func TestBlockingFacts(t *testing.T) {
+	d := db.New(negSchema())
+	d.InsertFact(db.NewFact("R", "v", "2"))
+	d.InsertFact(db.NewFact("Banned", "v"))
+	q := cq.MustParse("(x) :- R(x, y), not Banned(x)")
+	a := Assignment{"x": "v", "y": "2"}
+	blockers := BlockingFacts(q, d, a)
+	if len(blockers) != 1 || !blockers[0].Equal(db.NewFact("Banned", "v")) {
+		t.Errorf("BlockingFacts = %v", blockers)
+	}
+	a2 := Assignment{"x": "u", "y": "1"}
+	if got := BlockingFacts(q, d, a2); len(got) != 0 {
+		t.Errorf("unblocked assignment has blockers: %v", got)
+	}
+}
+
+func TestNegationAgainstNaive(t *testing.T) {
+	queries := []*cq.Query{
+		cq.MustParse("(x) :- R(x, y), not Banned(x)"),
+		cq.MustParse("(x, y) :- R(x, y), not R(y, x)"),
+		cq.MustParse("(x) :- R(x, y), not Banned(x), x != y"),
+	}
+	rng := rand.New(rand.NewSource(21))
+	vals := []string{"a", "b", "c"}
+	for trial := 0; trial < 30; trial++ {
+		d := db.New(negSchema())
+		for i := 0; i < 12; i++ {
+			d.InsertFact(db.NewFact("R", vals[rng.Intn(3)], vals[rng.Intn(3)]))
+			if rng.Intn(2) == 0 {
+				d.InsertFact(db.NewFact("Banned", vals[rng.Intn(3)]))
+			}
+		}
+		for qi, q := range queries {
+			fast := Eval(q, d)
+			slow := NaiveEval(q, d)
+			if len(fast) != len(slow) {
+				t.Fatalf("trial %d query %d: %d vs %d assignments", trial, qi, len(fast), len(slow))
+			}
+			for i := range fast {
+				if fast[i].Key() != slow[i].Key() {
+					t.Fatalf("trial %d query %d: assignment %d differs", trial, qi, i)
+				}
+			}
+		}
+	}
+}
+
+func TestDoubleNegationStructure(t *testing.T) {
+	// Two negated atoms: both must be absent.
+	d := db.New(negSchema())
+	d.InsertFact(db.NewFact("R", "a", "b"))
+	d.InsertFact(db.NewFact("R", "b", "a"))
+	q := cq.MustParse("(x, y) :- R(x, y), not Banned(x), not Banned(y)")
+	if got := Result(q, d); len(got) != 2 {
+		t.Fatalf("Result = %v, want both pairs", got)
+	}
+	d.InsertFact(db.NewFact("Banned", "a"))
+	if got := Result(q, d); len(got) != 0 {
+		t.Errorf("Result = %v, want empty (a banned on either side)", got)
+	}
+}

@@ -1,0 +1,80 @@
+package experiment
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/crowd"
+	"repro/internal/dataset"
+	"repro/internal/noise"
+	"repro/internal/split"
+)
+
+// ErrorRateRow is one point of the expert-error-rate sweep: how robust the
+// majority-vote crowd machinery of §6.2 is as individual experts get worse.
+type ErrorRateRow struct {
+	ErrorRate float64
+	Converged int // runs that converged to the exact true result
+	Runs      int
+	Answers   int // average individual expert answers per run
+	FilledVar int // average variables filled per run
+}
+
+// ErrorRateSweep cleans Q2 with 5 wrong + 5 missing answers under a
+// majority-of-3 panel whose experts err at each rate, reporting convergence
+// and crowd cost. At rate 0 the panel behaves like the perfect oracle; the
+// paper's Figure 4 sits at low error rates where majority voting absorbs
+// mistakes; at high rates convergence degrades.
+func ErrorRateSweep(cfg Config, rates []float64) []ErrorRateRow {
+	cfg.applyDefaults()
+	if len(rates) == 0 {
+		rates = []float64{0, 0.05, 0.1, 0.2, 0.3}
+	}
+	q := dataset.SoccerQ2()
+	var rows []ErrorRateRow
+	for _, rate := range rates {
+		row := ErrorRateRow{ErrorRate: rate}
+		for _, seed := range cfg.Seeds {
+			rng := rand.New(rand.NewSource(seed))
+			dg := dataset.Soccer(cfg.Soccer)
+			d := dg.Clone()
+			noise.InjectMissing(d, dg, q, cfg.MissingAnswers, rng)
+			noise.InjectWrong(d, dg, q, cfg.WrongAnswers, rng)
+
+			panel := crowd.NewPanel(2,
+				crowd.NewExpert(dg, rate, rand.New(rand.NewSource(seed*17+1))),
+				crowd.NewExpert(dg, rate, rand.New(rand.NewSource(seed*17+2))),
+				crowd.NewExpert(dg, rate, rand.New(rand.NewSource(seed*17+3))),
+			)
+			cl := core.New(d, panel, core.Config{
+				Split: split.Provenance{}, RNG: rng, MinNulls: 2, MaxIterations: 100,
+			})
+			_, err := cl.Clean(q)
+			row.Runs++
+			if err == nil && noise.ResultCleanliness(q, d, dg) >= 1 {
+				row.Converged++
+			}
+			s := panel.Snapshot()
+			row.Answers += s.Closed()
+			row.FilledVar += s.VariablesFilled
+		}
+		row.Answers /= row.Runs
+		row.FilledVar /= row.Runs
+		rows = append(rows, row)
+	}
+	return rows
+}
+
+// RenderErrorSweep formats the sweep as a text table.
+func RenderErrorSweep(rows []ErrorRateRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Expert-error-rate sweep (Q2, majority of 3, 5 wrong + 5 missing)\n")
+	fmt.Fprintf(&b, "%10s %11s %15s %12s\n", "error rate", "converged", "closed answers", "filled vars")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%9.0f%% %6d/%-4d %15d %12d\n",
+			100*r.ErrorRate, r.Converged, r.Runs, r.Answers, r.FilledVar)
+	}
+	return b.String()
+}

@@ -1,0 +1,78 @@
+package experiment
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/crowd"
+	"repro/internal/dataset"
+	"repro/internal/noise"
+)
+
+// SweepRow is one point of the data-cleanliness sweep: the §7.2 noise knob
+// the paper varies "from 60% to 95%" with default 80%.
+type SweepRow struct {
+	Cleanliness float64 // requested degree of data cleanliness
+	ResultClean float64 // resulting degree of result cleanliness (Q3)
+	Questions   int     // total crowd cost (closed answers + filled variables)
+	Edits       int     // database edits applied
+	Converged   bool
+}
+
+// CleanlinessSweep corrupts the Soccer ground truth at each cleanliness level
+// (skew 0.5: equal wrong and missing tuples, the mixed default) and cleans Q3
+// with the Mixed algorithm, reporting how crowd work scales as the database
+// gets dirtier.
+func CleanlinessSweep(cfg Config, levels []float64) []SweepRow {
+	cfg.applyDefaults()
+	if len(levels) == 0 {
+		levels = []float64{0.60, 0.70, 0.80, 0.90, 0.95}
+	}
+	q := dataset.SoccerQ3()
+	var rows []SweepRow
+	for _, c := range levels {
+		row := SweepRow{Cleanliness: c, Converged: true}
+		for _, seed := range cfg.Seeds {
+			rng := rand.New(rand.NewSource(seed))
+			dg := dataset.Soccer(cfg.Soccer)
+			d := noise.Corrupt(dg, noise.Opts{Cleanliness: c, Skew: 0.5, RNG: rng})
+			row.ResultClean += noise.ResultCleanliness(q, d, dg)
+
+			cl := core.New(d, crowd.NewPerfect(dg), core.Config{RNG: rng})
+			report, err := cl.Clean(q)
+			if err != nil {
+				row.Converged = false
+			}
+			row.Questions += cl.Stats().Total()
+			row.Edits += len(report.Edits)
+			// Sanity: the result must now match the truth.
+			if row.Converged && noise.ResultCleanliness(q, d, dg) < 1 {
+				row.Converged = false
+			}
+		}
+		n := len(cfg.Seeds)
+		row.ResultClean /= float64(n)
+		row.Questions /= n
+		row.Edits /= n
+		rows = append(rows, row)
+	}
+	return rows
+}
+
+// RenderSweep formats the sweep as a text table.
+func RenderSweep(rows []SweepRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Data-cleanliness sweep (Q3, mixed noise, perfect oracle)\n")
+	fmt.Fprintf(&b, "%12s %14s %10s %7s %s\n", "cleanliness", "result-clean", "questions", "edits", "ok")
+	for _, r := range rows {
+		ok := "yes"
+		if !r.Converged {
+			ok = "NO"
+		}
+		fmt.Fprintf(&b, "%11.0f%% %13.0f%% %10d %7d %s\n",
+			100*r.Cleanliness, 100*r.ResultClean, r.Questions, r.Edits, ok)
+	}
+	return b.String()
+}

@@ -1,0 +1,242 @@
+// Package graph provides small weighted undirected graphs and the two cut
+// algorithms the paper's query-directed split relies on (§5.2, citing
+// Edmonds–Karp [20]): a Stoer–Wagner global minimum cut and an Edmonds–Karp
+// maximum flow / s-t minimum cut. Graphs here are tiny (one vertex per query
+// atom), so simple adjacency-matrix implementations are appropriate.
+package graph
+
+import "fmt"
+
+// Graph is a weighted undirected graph over vertices 0..n-1. Parallel edges
+// accumulate weight; self-loops are ignored for cut purposes.
+type Graph struct {
+	n int
+	w [][]int64
+}
+
+// New creates a graph with n vertices and no edges.
+func New(n int) *Graph {
+	g := &Graph{n: n, w: make([][]int64, n)}
+	for i := range g.w {
+		g.w[i] = make([]int64, n)
+	}
+	return g
+}
+
+// N returns the number of vertices.
+func (g *Graph) N() int { return g.n }
+
+// AddEdge adds weight w to the undirected edge {u, v}. Negative weights and
+// out-of-range vertices panic: the query graph construction controls both.
+func (g *Graph) AddEdge(u, v int, w int64) {
+	if u < 0 || u >= g.n || v < 0 || v >= g.n {
+		panic(fmt.Sprintf("graph: edge (%d,%d) out of range n=%d", u, v, g.n))
+	}
+	if w < 0 {
+		panic("graph: negative edge weight")
+	}
+	if u == v {
+		return
+	}
+	g.w[u][v] += w
+	g.w[v][u] += w
+}
+
+// Weight returns the weight of edge {u, v} (0 if absent).
+func (g *Graph) Weight(u, v int) int64 { return g.w[u][v] }
+
+// GlobalMinCut computes a global minimum cut with the Stoer–Wagner
+// algorithm. It returns the cut weight and a side assignment: side[v] is true
+// for vertices in one (non-empty, proper) part. For n < 2 it returns (0, nil).
+// Disconnected graphs yield weight 0 with a connected-component side.
+func (g *Graph) GlobalMinCut() (int64, []bool) {
+	if g.n < 2 {
+		return 0, nil
+	}
+	// Work on a copy: vertices are merged during the algorithm.
+	n := g.n
+	w := make([][]int64, n)
+	for i := range w {
+		w[i] = append([]int64(nil), g.w[i]...)
+	}
+	// members[i] = original vertices merged into contracted vertex i.
+	members := make([][]int, n)
+	for i := range members {
+		members[i] = []int{i}
+	}
+	active := make([]int, n)
+	for i := range active {
+		active[i] = i
+	}
+
+	bestWeight := int64(-1)
+	var bestSide []int
+
+	for len(active) > 1 {
+		// Maximum adjacency (minimum cut phase) starting from active[0].
+		inA := make(map[int]bool, len(active))
+		weights := make(map[int]int64, len(active))
+		order := make([]int, 0, len(active))
+		for len(order) < len(active) {
+			// Select the most tightly connected vertex not yet in A.
+			sel, selW := -1, int64(-1)
+			for _, v := range active {
+				if inA[v] {
+					continue
+				}
+				if weights[v] > selW {
+					sel, selW = v, weights[v]
+				}
+			}
+			inA[sel] = true
+			order = append(order, sel)
+			for _, v := range active {
+				if !inA[v] {
+					weights[v] += w[sel][v]
+				}
+			}
+		}
+		tt := order[len(order)-1]
+		s := order[len(order)-2]
+		cutOfPhase := weights[tt]
+		if bestWeight < 0 || cutOfPhase < bestWeight {
+			bestWeight = cutOfPhase
+			bestSide = append([]int(nil), members[tt]...)
+		}
+		// Merge t into s.
+		for _, v := range active {
+			if v == s || v == tt {
+				continue
+			}
+			w[s][v] += w[tt][v]
+			w[v][s] = w[s][v]
+		}
+		members[s] = append(members[s], members[tt]...)
+		// Remove t from the active list.
+		next := active[:0]
+		for _, v := range active {
+			if v != tt {
+				next = append(next, v)
+			}
+		}
+		active = next
+	}
+
+	side := make([]bool, g.n)
+	for _, v := range bestSide {
+		side[v] = true
+	}
+	return bestWeight, side
+}
+
+// MaxFlow computes the maximum s-t flow with the Edmonds–Karp algorithm,
+// treating each undirected edge {u,v} of weight w as capacity w in both
+// directions.
+func (g *Graph) MaxFlow(s, t int) int64 {
+	if s == t {
+		return 0
+	}
+	cap := make([][]int64, g.n)
+	for i := range cap {
+		cap[i] = append([]int64(nil), g.w[i]...)
+	}
+	var flow int64
+	for {
+		// BFS for a shortest augmenting path.
+		parent := make([]int, g.n)
+		for i := range parent {
+			parent[i] = -1
+		}
+		parent[s] = s
+		queue := []int{s}
+		for len(queue) > 0 && parent[t] == -1 {
+			u := queue[0]
+			queue = queue[1:]
+			for v := 0; v < g.n; v++ {
+				if parent[v] == -1 && cap[u][v] > 0 {
+					parent[v] = u
+					queue = append(queue, v)
+				}
+			}
+		}
+		if parent[t] == -1 {
+			return flow
+		}
+		// Find bottleneck.
+		aug := int64(1<<62 - 1)
+		for v := t; v != s; v = parent[v] {
+			u := parent[v]
+			if cap[u][v] < aug {
+				aug = cap[u][v]
+			}
+		}
+		for v := t; v != s; v = parent[v] {
+			u := parent[v]
+			cap[u][v] -= aug
+			cap[v][u] += aug
+		}
+		flow += aug
+	}
+}
+
+// MinCutST returns the weight and side assignment of a minimum s-t cut
+// (side[v] true for the s-side), computed via Edmonds–Karp max flow and a
+// final residual-reachability pass.
+func (g *Graph) MinCutST(s, t int) (int64, []bool) {
+	if s == t {
+		panic("graph: MinCutST with s == t")
+	}
+	cap := make([][]int64, g.n)
+	for i := range cap {
+		cap[i] = append([]int64(nil), g.w[i]...)
+	}
+	var flow int64
+	for {
+		parent := make([]int, g.n)
+		for i := range parent {
+			parent[i] = -1
+		}
+		parent[s] = s
+		queue := []int{s}
+		for len(queue) > 0 && parent[t] == -1 {
+			u := queue[0]
+			queue = queue[1:]
+			for v := 0; v < g.n; v++ {
+				if parent[v] == -1 && cap[u][v] > 0 {
+					parent[v] = u
+					queue = append(queue, v)
+				}
+			}
+		}
+		if parent[t] == -1 {
+			break
+		}
+		aug := int64(1<<62 - 1)
+		for v := t; v != s; v = parent[v] {
+			u := parent[v]
+			if cap[u][v] < aug {
+				aug = cap[u][v]
+			}
+		}
+		for v := t; v != s; v = parent[v] {
+			u := parent[v]
+			cap[u][v] -= aug
+			cap[v][u] += aug
+		}
+		flow += aug
+	}
+	side := make([]bool, g.n)
+	side[s] = true
+	queue := []int{s}
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for v := 0; v < g.n; v++ {
+			if !side[v] && cap[u][v] > 0 {
+				side[v] = true
+				queue = append(queue, v)
+			}
+		}
+	}
+	return flow, side
+}

@@ -1,0 +1,274 @@
+// Package provenance computes Boolean why-provenance for query answers. The
+// paper grounds its witness machinery in provenance semirings ("a witness can
+// in fact be extracted from a semiring of polynomials", §2, citing Green et
+// al.); this package realizes that connection: the provenance of an answer is
+// the DNF over fact variables whose disjuncts are the answer's witnesses.
+//
+// On top of the DNF it computes exact tuple influence — the probability that
+// the answer's truth flips with the tuple, under independent tuple
+// probabilities — which backs the §4 alternative deletion heuristic "asking
+// the crowd first about influential tuples" (the paper's [40], Kanagal et
+// al.'s sensitivity analysis).
+package provenance
+
+import (
+	"sort"
+	"strings"
+
+	"repro/internal/cq"
+	"repro/internal/db"
+	"repro/internal/eval"
+)
+
+// DNF is the why-provenance of an answer: a disjunction of conjunctions of
+// fact keys (each conjunct is one witness). The zero value is the constant
+// false (no witnesses).
+type DNF struct {
+	// Terms are the conjuncts; each term lists distinct fact keys, sorted.
+	Terms [][]string
+	facts map[string]db.Fact
+}
+
+// Of computes the why-provenance of answer t for q over d: one term per
+// witness.
+func Of(q *cq.Query, d *db.Database, t db.Tuple) *DNF {
+	p := &DNF{facts: make(map[string]db.Fact)}
+	for _, w := range eval.Witnesses(q, d, t) {
+		term := make([]string, 0, len(w))
+		for _, f := range w {
+			p.facts[f.Key()] = f
+			term = append(term, f.Key())
+		}
+		sort.Strings(term)
+		p.Terms = append(p.Terms, term)
+	}
+	return p
+}
+
+// Fact resolves a fact key back to the fact.
+func (p *DNF) Fact(key string) (db.Fact, bool) {
+	f, ok := p.facts[key]
+	return f, ok
+}
+
+// Variables returns the sorted distinct fact keys of the formula.
+func (p *DNF) Variables() []string {
+	set := make(map[string]bool)
+	for _, term := range p.Terms {
+		for _, v := range term {
+			set[v] = true
+		}
+	}
+	out := make([]string, 0, len(set))
+	for v := range set {
+		out = append(out, v)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Eval evaluates the formula under a truth assignment (facts absent from the
+// map count as false).
+func (p *DNF) Eval(truth map[string]bool) bool {
+	for _, term := range p.Terms {
+		all := true
+		for _, v := range term {
+			if !truth[v] {
+				all = false
+				break
+			}
+		}
+		if all {
+			return true
+		}
+	}
+	return false
+}
+
+// Probability computes P(formula true) exactly under independent per-fact
+// probabilities (default 0.5 for facts without an entry), by Shannon
+// expansion with memoization. Exponential in the worst case; witness sets in
+// the cleaner are small.
+func (p *DNF) Probability(prob map[string]float64) float64 {
+	vars := p.Variables()
+	memo := make(map[string]float64)
+	var rec func(assign map[string]bool, i int) float64
+	rec = func(assign map[string]bool, i int) float64 {
+		// Short-circuit: already true, or no undecided variable can help.
+		if p.evalPartial(assign, i, vars) == yes {
+			return 1
+		}
+		if p.evalPartial(assign, i, vars) == no {
+			return 0
+		}
+		if i == len(vars) {
+			if p.Eval(assign) {
+				return 1
+			}
+			return 0
+		}
+		key := memoKey(assign, vars[:i]) + "|" + vars[i]
+		if v, ok := memo[key]; ok {
+			return v
+		}
+		v := vars[i]
+		pv := 0.5
+		if q, ok := prob[v]; ok {
+			pv = q
+		}
+		assign[v] = true
+		pt := rec(assign, i+1)
+		assign[v] = false
+		pf := rec(assign, i+1)
+		delete(assign, v)
+		r := pv*pt + (1-pv)*pf
+		memo[key] = r
+		return r
+	}
+	return rec(make(map[string]bool), 0)
+}
+
+type tri int
+
+const (
+	maybe tri = iota
+	yes
+	no
+)
+
+// evalPartial decides the formula under a partial assignment where vars[:i]
+// are decided: yes if some term is fully true, no if every term has a false
+// variable, maybe otherwise.
+func (p *DNF) evalPartial(assign map[string]bool, i int, vars []string) tri {
+	decided := make(map[string]bool, i)
+	for _, v := range vars[:i] {
+		decided[v] = true
+	}
+	anyOpen := false
+	for _, term := range p.Terms {
+		termFalse := false
+		termOpen := false
+		for _, v := range term {
+			if decided[v] {
+				if !assign[v] {
+					termFalse = true
+					break
+				}
+			} else {
+				termOpen = true
+			}
+		}
+		if termFalse {
+			continue
+		}
+		if !termOpen {
+			return yes
+		}
+		anyOpen = true
+	}
+	if !anyOpen {
+		return no
+	}
+	return maybe
+}
+
+func memoKey(assign map[string]bool, decided []string) string {
+	var b strings.Builder
+	for _, v := range decided {
+		if assign[v] {
+			b.WriteByte('1')
+		} else {
+			b.WriteByte('0')
+		}
+	}
+	return b.String()
+}
+
+// Influence returns the influence of each fact on the formula: the
+// probability that the formula's value flips with the fact, i.e.
+// P(true | fact true) − P(true | fact false), under independent per-fact
+// probabilities (0.5 by default). Monotone DNF makes this non-negative.
+func (p *DNF) Influence(prob map[string]float64) map[string]float64 {
+	out := make(map[string]float64)
+	for _, v := range p.Variables() {
+		condTrue := withProb(prob, v, 1)
+		condFalse := withProb(prob, v, 0)
+		out[v] = p.Probability(condTrue) - p.Probability(condFalse)
+	}
+	return out
+}
+
+func withProb(prob map[string]float64, v string, pv float64) map[string]float64 {
+	out := make(map[string]float64, len(prob)+1)
+	for k, p := range prob {
+		out[k] = p
+	}
+	out[v] = pv
+	return out
+}
+
+// MostInfluential returns the fact key with the highest influence, breaking
+// ties lexicographically. Empty formula returns "".
+func (p *DNF) MostInfluential(prob map[string]float64) string {
+	inf := p.Influence(prob)
+	best := ""
+	for _, v := range p.Variables() {
+		if best == "" || inf[v] > inf[best] || (inf[v] == inf[best] && v < best) {
+			best = v
+		}
+	}
+	return best
+}
+
+// Minimize removes subsumed terms (a term that is a superset of another is
+// redundant in a monotone DNF).
+func (p *DNF) Minimize() {
+	var keep [][]string
+	for i, t1 := range p.Terms {
+		subsumed := false
+		for j, t2 := range p.Terms {
+			if i == j {
+				continue
+			}
+			if isSubset(t2, t1) && (len(t2) < len(t1) || j < i) {
+				subsumed = true
+				break
+			}
+		}
+		if !subsumed {
+			keep = append(keep, t1)
+		}
+	}
+	p.Terms = keep
+}
+
+// isSubset reports whether sorted slice a ⊆ sorted slice b.
+func isSubset(a, b []string) bool {
+	i := 0
+	for _, x := range b {
+		if i < len(a) && a[i] == x {
+			i++
+		}
+	}
+	return i == len(a)
+}
+
+// String renders the formula as (k1 ∧ k2) ∨ (k3) using short fact renderings.
+func (p *DNF) String() string {
+	if len(p.Terms) == 0 {
+		return "false"
+	}
+	parts := make([]string, len(p.Terms))
+	for i, term := range p.Terms {
+		lits := make([]string, len(term))
+		for j, v := range term {
+			if f, ok := p.facts[v]; ok {
+				lits[j] = f.String()
+			} else {
+				lits[j] = v
+			}
+		}
+		parts[i] = "(" + strings.Join(lits, " ∧ ") + ")"
+	}
+	return strings.Join(parts, " ∨ ")
+}

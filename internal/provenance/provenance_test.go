@@ -1,0 +1,175 @@
+package provenance
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/db"
+)
+
+func TestOfESPWitnesses(t *testing.T) {
+	d, _ := dataset.Figure1()
+	q := dataset.IntroQ1()
+	p := Of(q, d, db.Tuple{"ESP"})
+	if len(p.Terms) != 6 {
+		t.Fatalf("terms = %d, want 6 (Example 4.6 witnesses)", len(p.Terms))
+	}
+	teamKey := db.NewFact("Teams", "ESP", "EU").Key()
+	for _, term := range p.Terms {
+		found := false
+		for _, v := range term {
+			if v == teamKey {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("term %v misses the Teams fact", term)
+		}
+	}
+	if f, ok := p.Fact(teamKey); !ok || f.Rel != "Teams" {
+		t.Errorf("Fact lookup = %v, %v", f, ok)
+	}
+	if len(p.Variables()) != 5 {
+		t.Errorf("variables = %d, want 5 distinct facts", len(p.Variables()))
+	}
+}
+
+func TestEvalTruthTable(t *testing.T) {
+	p := &DNF{Terms: [][]string{{"a", "b"}, {"c"}}}
+	cases := []struct {
+		truth map[string]bool
+		want  bool
+	}{
+		{map[string]bool{"a": true, "b": true}, true},
+		{map[string]bool{"a": true}, false},
+		{map[string]bool{"c": true}, true},
+		{map[string]bool{}, false},
+	}
+	for _, c := range cases {
+		if got := p.Eval(c.truth); got != c.want {
+			t.Errorf("Eval(%v) = %v, want %v", c.truth, got, c.want)
+		}
+	}
+}
+
+func TestProbabilityExactSmall(t *testing.T) {
+	// (a ∧ b) ∨ c with p = 0.5 each: P = 1 - (1-0.25)(1-0.5) = 0.625.
+	p := &DNF{Terms: [][]string{{"a", "b"}, {"c"}}}
+	got := p.Probability(nil)
+	if math.Abs(got-0.625) > 1e-9 {
+		t.Errorf("Probability = %v, want 0.625", got)
+	}
+	// Non-uniform probabilities: a=1, b=1, c=0 -> formula surely true.
+	got2 := p.Probability(map[string]float64{"a": 1, "b": 1, "c": 0})
+	if math.Abs(got2-1) > 1e-9 {
+		t.Errorf("Probability = %v, want 1", got2)
+	}
+	// Empty formula is false.
+	if got := (&DNF{}).Probability(nil); got != 0 {
+		t.Errorf("empty Probability = %v", got)
+	}
+}
+
+// TestProbabilityAgainstBruteForce enumerates all assignments on random
+// formulas and compares with the Shannon-expansion computation.
+func TestProbabilityAgainstBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	vars := []string{"a", "b", "c", "d", "e"}
+	for trial := 0; trial < 60; trial++ {
+		var p DNF
+		nTerms := 1 + rng.Intn(4)
+		for i := 0; i < nTerms; i++ {
+			var term []string
+			for _, v := range vars {
+				if rng.Intn(3) == 0 {
+					term = append(term, v)
+				}
+			}
+			if len(term) == 0 {
+				term = []string{vars[rng.Intn(5)]}
+			}
+			p.Terms = append(p.Terms, term)
+		}
+		prob := map[string]float64{}
+		for _, v := range vars {
+			prob[v] = rng.Float64()
+		}
+		// Brute force over 2^5 assignments.
+		want := 0.0
+		for mask := 0; mask < 32; mask++ {
+			truth := map[string]bool{}
+			weight := 1.0
+			for i, v := range vars {
+				if mask&(1<<i) != 0 {
+					truth[v] = true
+					weight *= prob[v]
+				} else {
+					weight *= 1 - prob[v]
+				}
+			}
+			if p.Eval(truth) {
+				want += weight
+			}
+		}
+		got := p.Probability(prob)
+		if math.Abs(got-want) > 1e-9 {
+			t.Fatalf("trial %d: Probability = %v, brute force = %v (terms %v)", trial, got, want, p.Terms)
+		}
+	}
+}
+
+func TestInfluenceOrdering(t *testing.T) {
+	// c alone carries a term; a and b only matter together: c is the most
+	// influential at p = 0.5.
+	p := &DNF{Terms: [][]string{{"a", "b"}, {"c"}}}
+	inf := p.Influence(nil)
+	if inf["c"] <= inf["a"] || inf["c"] <= inf["b"] {
+		t.Errorf("influence = %v, want c highest", inf)
+	}
+	if got := p.MostInfluential(nil); got != "c" {
+		t.Errorf("MostInfluential = %q, want c", got)
+	}
+	if got := (&DNF{}).MostInfluential(nil); got != "" {
+		t.Errorf("empty MostInfluential = %q", got)
+	}
+}
+
+func TestInfluenceESP(t *testing.T) {
+	// On the ESP provenance, the Teams fact appears in every witness and must
+	// dominate the influence ranking (it is counterfactual).
+	d, _ := dataset.Figure1()
+	p := Of(dataset.IntroQ1(), d, db.Tuple{"ESP"})
+	teamKey := db.NewFact("Teams", "ESP", "EU").Key()
+	if got := p.MostInfluential(nil); got != teamKey {
+		t.Errorf("MostInfluential = %v, want the Teams fact", got)
+	}
+	inf := p.Influence(nil)
+	for v, i := range inf {
+		if v != teamKey && i >= inf[teamKey] {
+			t.Errorf("influence(%v) = %v ≥ influence(Teams) = %v", v, i, inf[teamKey])
+		}
+	}
+}
+
+func TestMinimize(t *testing.T) {
+	p := &DNF{Terms: [][]string{{"a"}, {"a", "b"}, {"c", "d"}, {"c", "d"}}}
+	p.Minimize()
+	if len(p.Terms) != 2 {
+		t.Fatalf("terms after Minimize = %v", p.Terms)
+	}
+	if len(p.Terms[0]) != 1 || p.Terms[0][0] != "a" {
+		t.Errorf("first term = %v", p.Terms[0])
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	if got := (&DNF{}).String(); got != "false" {
+		t.Errorf("empty String = %q", got)
+	}
+	p := &DNF{Terms: [][]string{{"k1"}}}
+	if got := p.String(); got != "(k1)" {
+		t.Errorf("String = %q", got)
+	}
+}

@@ -1,0 +1,207 @@
+// Package server exposes QOCO over HTTP, mirroring the prototype
+// architecture of the paper's Figure 5: a QOCO Manager drives the cleaning
+// algorithms while crowd members answer questions through a web interface.
+// Questions are queued as JSON resources; each Oracle call blocks until some
+// crowd member posts an answer, so many members can work in parallel
+// (the §6.2 deployment).
+package server
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/cq"
+	"repro/internal/db"
+	"repro/internal/eval"
+)
+
+// QuestionKind enumerates the paper's four crowd question types.
+type QuestionKind string
+
+// Question kinds.
+const (
+	KindVerifyFact     QuestionKind = "verify-fact"     // TRUE(R(ā))?
+	KindVerifyAnswer   QuestionKind = "verify-answer"   // TRUE(Q, t)?
+	KindComplete       QuestionKind = "complete"        // COMPL(α, Q)
+	KindCompleteResult QuestionKind = "complete-result" // COMPL(Q(D))
+)
+
+// Question is one pending crowd task, serialized to the web UI.
+type Question struct {
+	ID   int          `json:"id"`
+	Kind QuestionKind `json:"kind"`
+	Text string       `json:"text"` // human-readable rendering
+
+	// Kind-specific payloads.
+	Fact    []string          `json:"fact,omitempty"`    // relation, v1, ..., vk
+	Query   string            `json:"query,omitempty"`   // cq text
+	Tuple   []string          `json:"tuple,omitempty"`   // answer tuple
+	Partial map[string]string `json:"partial,omitempty"` // bound variables
+	Unbound []string          `json:"unbound,omitempty"` // variables to fill
+	Current [][]string        `json:"current,omitempty"` // current result rows
+
+	reply chan Answer
+}
+
+// Answer is a crowd member's reply to a question.
+type Answer struct {
+	// Bool answers verify-fact / verify-answer questions.
+	Bool *bool `json:"bool,omitempty"`
+	// None declares a completion impossible / the result complete.
+	None bool `json:"none,omitempty"`
+	// Bindings answers complete questions: values for the unbound variables.
+	Bindings map[string]string `json:"bindings,omitempty"`
+	// Tuple answers complete-result questions: a missing answer.
+	Tuple []string `json:"tuple,omitempty"`
+}
+
+// Queue is a crowd.Oracle whose answers arrive asynchronously over HTTP.
+type Queue struct {
+	mu      sync.Mutex
+	nextID  int
+	pending map[int]*Question
+	closed  bool
+}
+
+// NewQueue creates an empty question queue.
+func NewQueue() *Queue {
+	return &Queue{pending: make(map[int]*Question)}
+}
+
+// Pending returns the open questions ordered by ID.
+func (q *Queue) Pending() []*Question {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	out := make([]*Question, 0, len(q.pending))
+	for _, qu := range q.pending {
+		out = append(out, qu)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Answer resolves a pending question. It fails for unknown IDs (including
+// already-answered questions).
+func (q *Queue) Answer(id int, a Answer) error {
+	q.mu.Lock()
+	qu, ok := q.pending[id]
+	if ok {
+		delete(q.pending, id)
+	}
+	q.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("server: no pending question %d", id)
+	}
+	qu.reply <- a
+	return nil
+}
+
+// closedAnswer is the shutdown reply: it causes no database edits — boolean
+// questions read "true" (nothing gets deleted or inserted on its account),
+// completion questions read "nothing to complete".
+func closedAnswer() Answer {
+	yes := true
+	return Answer{Bool: &yes, None: true}
+}
+
+// Close unblocks all pending and future questions with edit-free default
+// answers, letting an in-flight cleaning run terminate without corrupting
+// the database when the server shuts down.
+func (q *Queue) Close() {
+	q.mu.Lock()
+	q.closed = true
+	pend := q.pending
+	q.pending = make(map[int]*Question)
+	q.mu.Unlock()
+	for _, qu := range pend {
+		qu.reply <- closedAnswer()
+	}
+}
+
+// ask enqueues a question and blocks until it is answered.
+func (q *Queue) ask(qu *Question) Answer {
+	qu.reply = make(chan Answer, 1)
+	q.mu.Lock()
+	if q.closed {
+		q.mu.Unlock()
+		return closedAnswer()
+	}
+	q.nextID++
+	qu.ID = q.nextID
+	q.pending[qu.ID] = qu
+	q.mu.Unlock()
+	return <-qu.reply
+}
+
+// VerifyFact implements crowd.Oracle.
+func (q *Queue) VerifyFact(f db.Fact) bool {
+	fact := append([]string{f.Rel}, f.Args...)
+	a := q.ask(&Question{
+		Kind: KindVerifyFact,
+		Text: fmt.Sprintf("Is %s true?", f),
+		Fact: fact,
+	})
+	return a.Bool != nil && *a.Bool
+}
+
+// VerifyAnswer implements crowd.Oracle.
+func (q *Queue) VerifyAnswer(query *cq.Query, t db.Tuple) bool {
+	a := q.ask(&Question{
+		Kind:  KindVerifyAnswer,
+		Text:  fmt.Sprintf("Is %s a correct answer to %s?", t, query),
+		Query: query.String(),
+		Tuple: t,
+	})
+	return a.Bool != nil && *a.Bool
+}
+
+// Complete implements crowd.Oracle.
+func (q *Queue) Complete(query *cq.Query, partial eval.Assignment) (eval.Assignment, bool) {
+	var unbound []string
+	seen := make(map[string]bool)
+	for _, v := range query.Vars() {
+		if _, ok := partial[v]; !ok && !seen[v] {
+			seen[v] = true
+			unbound = append(unbound, v)
+		}
+	}
+	sort.Strings(unbound)
+	a := q.ask(&Question{
+		Kind:    KindComplete,
+		Text:    fmt.Sprintf("Complete %s into true facts (variables: %v)", query, unbound),
+		Query:   query.String(),
+		Partial: map[string]string(partial.Clone()),
+		Unbound: unbound,
+	})
+	if a.None || a.Bindings == nil {
+		return nil, false
+	}
+	full := partial.Clone()
+	for _, v := range unbound {
+		val, ok := a.Bindings[v]
+		if !ok || val == "" {
+			return nil, false
+		}
+		full[v] = val
+	}
+	return full, true
+}
+
+// CompleteResult implements crowd.Oracle.
+func (q *Queue) CompleteResult(query *cq.Query, current []db.Tuple) (db.Tuple, bool) {
+	rows := make([][]string, len(current))
+	for i, t := range current {
+		rows[i] = t
+	}
+	a := q.ask(&Question{
+		Kind:    KindCompleteResult,
+		Text:    fmt.Sprintf("Name an answer missing from the result of %s (or declare it complete)", query),
+		Query:   query.String(),
+		Current: rows,
+	})
+	if a.None || len(a.Tuple) != len(query.Head) {
+		return nil, false
+	}
+	return db.Tuple(a.Tuple), true
+}

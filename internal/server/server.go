@@ -1,0 +1,285 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/cq"
+	"repro/internal/crowd"
+	"repro/internal/db"
+	"repro/internal/eval"
+	"repro/internal/sqlfe"
+	"repro/internal/view"
+)
+
+// JobState is the lifecycle of a cleaning job.
+type JobState string
+
+// Job states.
+const (
+	JobRunning JobState = "running"
+	JobDone    JobState = "done"
+	JobFailed  JobState = "failed"
+)
+
+// Job tracks one asynchronous cleaning run.
+type Job struct {
+	ID     int          `json:"id"`
+	Query  string       `json:"query"`
+	State  JobState     `json:"state"`
+	Error  string       `json:"error,omitempty"`
+	Report *core.Report `json:"report,omitempty"`
+}
+
+// Server is the HTTP face of QOCO (Figure 5): it owns the dirty database,
+// queues crowd questions, and runs cleaning jobs in the background.
+//
+// API:
+//
+//	GET  /questions           pending crowd questions (JSON array)
+//	POST /questions/{id}      answer a question (JSON Answer body)
+//	POST /clean               start a job: {"query": "(x) :- ..."} or {"sql": "SELECT ..."}
+//	GET  /jobs/{id}           job status and report
+//	GET  /query?q=...         evaluate a query against the current database
+//	GET  /                    minimal built-in crowd UI
+type Server struct {
+	queue   *Queue
+	d       *db.Database
+	cfg     core.Config
+	mux     *http.ServeMux
+	monitor *view.Monitor
+
+	// dbMu serializes database access: cleaning jobs hold the write lock for
+	// their full duration (crowd answers arrive through the lock-free
+	// question queue), while query/view reads take the read lock.
+	dbMu sync.RWMutex
+
+	mu      sync.Mutex
+	nextJob int
+	jobs    map[int]*Job
+}
+
+// New builds a server over the database. cfg configures the cleaner; its
+// Oracle is the server's own question queue. cfg.Parallel is honored.
+func New(d *db.Database, cfg core.Config) *Server {
+	s := &Server{
+		queue:   NewQueue(),
+		d:       d,
+		cfg:     cfg,
+		mux:     http.NewServeMux(),
+		monitor: view.NewMonitor(d),
+		jobs:    make(map[int]*Job),
+	}
+	// Keep registered views fresh through every cleaning edit, preserving any
+	// caller-provided hook.
+	userHook := s.cfg.OnEdit
+	monitorHook := s.monitor.EditHook()
+	s.cfg.OnEdit = func(e db.Edit) {
+		monitorHook(e)
+		if userHook != nil {
+			userHook(e)
+		}
+	}
+	s.mux.HandleFunc("/questions", s.handleQuestions)
+	s.mux.HandleFunc("/questions/", s.handleAnswer)
+	s.mux.HandleFunc("/clean", s.handleClean)
+	s.mux.HandleFunc("/jobs/", s.handleJob)
+	s.mux.HandleFunc("/query", s.handleQuery)
+	s.mux.HandleFunc("/views", s.handleViews)
+	s.mux.HandleFunc("/views/", s.handleView)
+	s.mux.HandleFunc("/", s.handleIndex)
+	return s
+}
+
+// Handler returns the HTTP handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Queue exposes the question queue (for embedding and tests).
+func (s *Server) Queue() *Queue { return s.queue }
+
+// Close unblocks pending questions so background jobs can exit.
+func (s *Server) Close() { s.queue.Close() }
+
+func writeJSON(w http.ResponseWriter, status int, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}
+
+func (s *Server) handleQuestions(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("GET only"))
+		return
+	}
+	writeJSON(w, http.StatusOK, s.queue.Pending())
+}
+
+func (s *Server) handleAnswer(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("POST only"))
+		return
+	}
+	idText := strings.TrimPrefix(r.URL.Path, "/questions/")
+	id, err := strconv.Atoi(idText)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("bad question id %q", idText))
+		return
+	}
+	var a Answer
+	if err := json.NewDecoder(r.Body).Decode(&a); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("bad answer body: %w", err))
+		return
+	}
+	if err := s.queue.Answer(id, a); err != nil {
+		writeError(w, http.StatusNotFound, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]bool{"ok": true})
+}
+
+type cleanRequest struct {
+	Query string `json:"query"` // cq syntax
+	SQL   string `json:"sql"`   // or SQL
+}
+
+func (s *Server) parseQuery(req cleanRequest) (*cq.Query, error) {
+	switch {
+	case req.Query != "" && req.SQL != "":
+		return nil, fmt.Errorf("give either query or sql, not both")
+	case req.Query != "":
+		q, err := cq.Parse(req.Query)
+		if err != nil {
+			return nil, err
+		}
+		return q, q.Validate(s.d.Schema())
+	case req.SQL != "":
+		return sqlfe.Parse(s.d.Schema(), req.SQL)
+	default:
+		return nil, fmt.Errorf("missing query")
+	}
+}
+
+func (s *Server) handleClean(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("POST only"))
+		return
+	}
+	var req cleanRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+		return
+	}
+	q, err := s.parseQuery(req)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	job := s.startJob(q)
+	writeJSON(w, http.StatusAccepted, job)
+}
+
+// startJob launches a cleaning run against the crowd queue.
+func (s *Server) startJob(q *cq.Query) *Job {
+	s.mu.Lock()
+	s.nextJob++
+	job := &Job{ID: s.nextJob, Query: q.String(), State: JobRunning}
+	s.jobs[job.ID] = job
+	s.mu.Unlock()
+
+	go func() {
+		s.dbMu.Lock()
+		cleaner := s.newCleaner()
+		report, err := cleaner.Clean(q)
+		s.dbMu.Unlock()
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		job.Report = report
+		if err != nil {
+			job.State = JobFailed
+			job.Error = err.Error()
+			return
+		}
+		job.State = JobDone
+	}()
+	return job
+}
+
+// newCleaner builds a cleaner over the server's database, question queue and
+// configuration. Callers hold dbMu.
+func (s *Server) newCleaner() *core.Cleaner {
+	var oracle crowd.Oracle = s.queue
+	return core.New(s.d, oracle, s.cfg)
+}
+
+// reportOfEdits summarizes a targeted repair as a Report.
+func reportOfEdits(edits []db.Edit) *core.Report {
+	r := &core.Report{Edits: edits}
+	for _, e := range edits {
+		if e.Op == db.Insert {
+			r.Insertions++
+		} else {
+			r.Deletions++
+		}
+	}
+	return r
+}
+
+func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("GET only"))
+		return
+	}
+	idText := strings.TrimPrefix(r.URL.Path, "/jobs/")
+	id, err := strconv.Atoi(idText)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("bad job id %q", idText))
+		return
+	}
+	s.mu.Lock()
+	job, ok := s.jobs[id]
+	s.mu.Unlock()
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("no job %d", id))
+		return
+	}
+	writeJSON(w, http.StatusOK, job)
+}
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("GET only"))
+		return
+	}
+	req := cleanRequest{Query: r.URL.Query().Get("q"), SQL: r.URL.Query().Get("sql")}
+	q, err := s.parseQuery(req)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	s.dbMu.RLock()
+	rows := eval.Result(q, s.d)
+	s.dbMu.RUnlock()
+	out := make([][]string, len(rows))
+	for i, t := range rows {
+		out[i] = t
+	}
+	writeJSON(w, http.StatusOK, map[string]interface{}{"query": q.String(), "rows": out})
+}
+
+func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path != "/" {
+		http.NotFound(w, r)
+		return
+	}
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	_, _ = w.Write([]byte(indexHTML))
+}

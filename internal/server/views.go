@@ -1,0 +1,150 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+
+	"repro/internal/cq"
+	"repro/internal/db"
+)
+
+// viewRequest registers a materialized view.
+type viewRequest struct {
+	Name  string `json:"name"`
+	Query string `json:"query"`
+	SQL   string `json:"sql"`
+}
+
+// reportRequest flags a wrong or missing answer in a view.
+type reportRequest struct {
+	Tuple []string `json:"tuple"`
+}
+
+func (s *Server) handleViews(w http.ResponseWriter, r *http.Request) {
+	switch r.Method {
+	case http.MethodGet:
+		s.dbMu.RLock()
+		defer s.dbMu.RUnlock()
+		out := make([]map[string]interface{}, 0)
+		for _, name := range s.monitor.Names() {
+			v := s.monitor.View(name)
+			out = append(out, map[string]interface{}{
+				"name": name, "query": v.Query.String(), "rows": v.Len(),
+			})
+		}
+		writeJSON(w, http.StatusOK, out)
+	case http.MethodPost:
+		var req viewRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("bad view body: %w", err))
+			return
+		}
+		if req.Name == "" {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("missing view name"))
+			return
+		}
+		q, err := s.parseQuery(cleanRequest{Query: req.Query, SQL: req.SQL})
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		s.dbMu.Lock()
+		_, err = s.monitor.Register(req.Name, q)
+		s.dbMu.Unlock()
+		if err != nil {
+			writeError(w, http.StatusConflict, err)
+			return
+		}
+		writeJSON(w, http.StatusCreated, map[string]string{"name": req.Name, "query": q.String()})
+	default:
+		writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("GET or POST"))
+	}
+}
+
+// handleView serves one view's rows and the wrong/missing report actions:
+//
+//	GET  /views/{name}           materialized rows
+//	POST /views/{name}/wrong     {"tuple": [...]} — remove a wrong answer
+//	POST /views/{name}/missing   {"tuple": [...]} — add a missing answer
+func (s *Server) handleView(w http.ResponseWriter, r *http.Request) {
+	rest := strings.TrimPrefix(r.URL.Path, "/views/")
+	parts := strings.SplitN(rest, "/", 2)
+	name := parts[0]
+	s.dbMu.RLock()
+	v := s.monitor.View(name)
+	s.dbMu.RUnlock()
+	if v == nil {
+		writeError(w, http.StatusNotFound, fmt.Errorf("no view %q", name))
+		return
+	}
+	action := ""
+	if len(parts) == 2 {
+		action = parts[1]
+	}
+	switch {
+	case action == "" && r.Method == http.MethodGet:
+		s.dbMu.RLock()
+		rows := v.Rows()
+		s.dbMu.RUnlock()
+		out := make([][]string, len(rows))
+		for i, t := range rows {
+			out[i] = t
+		}
+		writeJSON(w, http.StatusOK, map[string]interface{}{
+			"name": name, "query": v.Query.String(), "rows": out,
+		})
+	case (action == "wrong" || action == "missing") && r.Method == http.MethodPost:
+		var req reportRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("bad report body: %w", err))
+			return
+		}
+		if len(req.Tuple) != v.Query.Arity() {
+			writeError(w, http.StatusBadRequest,
+				fmt.Errorf("tuple arity %d, view has arity %d", len(req.Tuple), v.Query.Arity()))
+			return
+		}
+		job := s.startRepairJob(v.Query, db.Tuple(req.Tuple), action)
+		writeJSON(w, http.StatusAccepted, job)
+	default:
+		writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("unsupported view action %q", action))
+	}
+}
+
+// startRepairJob launches a targeted wrong-answer removal or missing-answer
+// insertion for a reported view error — the paper's §1 workflow: "whenever an
+// error is reported in a view, QOCO can take over to clean the underlying
+// database".
+func (s *Server) startRepairJob(q *cq.Query, t db.Tuple, action string) *Job {
+	s.mu.Lock()
+	s.nextJob++
+	job := &Job{ID: s.nextJob, Query: fmt.Sprintf("%s %s %s", action, t, q), State: JobRunning}
+	s.jobs[job.ID] = job
+	s.mu.Unlock()
+
+	go func() {
+		s.dbMu.Lock()
+		cleaner := s.newCleaner()
+		var err error
+		var edits []db.Edit
+		if action == "wrong" {
+			edits, err = cleaner.RemoveWrongAnswer(q, t)
+		} else {
+			edits, err = cleaner.AddMissingAnswer(q, t)
+		}
+		s.dbMu.Unlock()
+
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		job.Report = reportOfEdits(edits)
+		if err != nil {
+			job.State = JobFailed
+			job.Error = err.Error()
+			return
+		}
+		job.State = JobDone
+	}()
+	return job
+}

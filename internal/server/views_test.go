@@ -1,0 +1,216 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/crowd"
+	"repro/internal/dataset"
+)
+
+// newViewServer builds a test server over Figure 1 with a simulated HTTP
+// crowd member answering from the ground truth.
+func newViewServer(t *testing.T) (*httptest.Server, func()) {
+	t.Helper()
+	d, dg := dataset.Figure1()
+	srv := New(d, core.Config{})
+	ts := httptest.NewServer(srv.Handler())
+	member := &httpCrowd{base: ts.URL, oracle: crowd.NewPerfect(dg), t: t, stop: make(chan struct{})}
+	go member.run()
+	return ts, func() {
+		close(member.stop)
+		srv.Close()
+		ts.Close()
+	}
+}
+
+func TestViewRegisterAndFetch(t *testing.T) {
+	ts, done := newViewServer(t)
+	defer done()
+
+	res := postJSON(t, ts.URL+"/views", viewRequest{Name: "winners", Query: dataset.IntroQ1().String()})
+	if res.StatusCode != http.StatusCreated {
+		t.Fatalf("POST /views status = %d", res.StatusCode)
+	}
+	res.Body.Close()
+
+	// Duplicate registration conflicts.
+	res2 := postJSON(t, ts.URL+"/views", viewRequest{Name: "winners", Query: dataset.IntroQ1().String()})
+	if res2.StatusCode != http.StatusConflict {
+		t.Errorf("duplicate view status = %d, want 409", res2.StatusCode)
+	}
+	res2.Body.Close()
+
+	// Listing includes the view.
+	lres, err := http.Get(ts.URL + "/views")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var list []map[string]interface{}
+	json.NewDecoder(lres.Body).Decode(&list)
+	lres.Body.Close()
+	if len(list) != 1 || list[0]["name"] != "winners" {
+		t.Errorf("view list = %v", list)
+	}
+
+	// Rows of the dirty view: (ESP) and (GER).
+	rres, err := http.Get(ts.URL + "/views/winners")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out struct {
+		Rows [][]string `json:"rows"`
+	}
+	json.NewDecoder(rres.Body).Decode(&out)
+	rres.Body.Close()
+	if len(out.Rows) != 2 {
+		t.Fatalf("rows = %v", out.Rows)
+	}
+}
+
+func waitJob(t *testing.T, base string, id int) Job {
+	t.Helper()
+	deadline := time.Now().Add(20 * time.Second)
+	for {
+		if time.Now().After(deadline) {
+			t.Fatalf("job %d did not finish", id)
+		}
+		r, err := http.Get(fmt.Sprintf("%s/jobs/%d", base, id))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var cur Job
+		json.NewDecoder(r.Body).Decode(&cur)
+		r.Body.Close()
+		if cur.State != JobRunning {
+			return cur
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestViewReportWrongAnswer drives the §1 workflow over HTTP: a user reports
+// (ESP) as wrong in the winners view; QOCO removes it and the materialized
+// view updates incrementally.
+func TestViewReportWrongAnswer(t *testing.T) {
+	ts, done := newViewServer(t)
+	defer done()
+
+	postJSON(t, ts.URL+"/views", viewRequest{Name: "winners", Query: dataset.IntroQ1().String()}).Body.Close()
+
+	res := postJSON(t, ts.URL+"/views/winners/wrong", reportRequest{Tuple: []string{"ESP"}})
+	if res.StatusCode != http.StatusAccepted {
+		t.Fatalf("report status = %d", res.StatusCode)
+	}
+	var job Job
+	json.NewDecoder(res.Body).Decode(&job)
+	res.Body.Close()
+
+	final := waitJob(t, ts.URL, job.ID)
+	if final.State != JobDone {
+		t.Fatalf("job = %+v", final)
+	}
+	if final.Report == nil || final.Report.Deletions == 0 {
+		t.Errorf("report = %+v, want deletions", final.Report)
+	}
+
+	// The view no longer contains (ESP) — updated through the edit hook.
+	rres, _ := http.Get(ts.URL + "/views/winners")
+	var out struct {
+		Rows [][]string `json:"rows"`
+	}
+	json.NewDecoder(rres.Body).Decode(&out)
+	rres.Body.Close()
+	for _, row := range out.Rows {
+		if row[0] == "ESP" {
+			t.Errorf("view still lists ESP: %v", out.Rows)
+		}
+	}
+}
+
+// TestViewReportMissingAnswer: reporting (ITA) as missing inserts its witness
+// and the view gains the row.
+func TestViewReportMissingAnswer(t *testing.T) {
+	ts, done := newViewServer(t)
+	defer done()
+
+	postJSON(t, ts.URL+"/views", viewRequest{Name: "winners", Query: dataset.IntroQ1().String()}).Body.Close()
+	res := postJSON(t, ts.URL+"/views/winners/missing", reportRequest{Tuple: []string{"ITA"}})
+	if res.StatusCode != http.StatusAccepted {
+		t.Fatalf("report status = %d", res.StatusCode)
+	}
+	var job Job
+	json.NewDecoder(res.Body).Decode(&job)
+	res.Body.Close()
+
+	final := waitJob(t, ts.URL, job.ID)
+	if final.State != JobDone {
+		t.Fatalf("job = %+v", final)
+	}
+	rres, _ := http.Get(ts.URL + "/views/winners")
+	var out struct {
+		Rows [][]string `json:"rows"`
+	}
+	json.NewDecoder(rres.Body).Decode(&out)
+	rres.Body.Close()
+	found := false
+	for _, row := range out.Rows {
+		if row[0] == "ITA" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("view missing ITA after repair: %v", out.Rows)
+	}
+}
+
+func TestViewEndpointErrors(t *testing.T) {
+	ts, done := newViewServer(t)
+	defer done()
+
+	cases := []struct {
+		method, path string
+		body         interface{}
+		want         int
+	}{
+		{"POST", "/views", viewRequest{Query: "(x) :- Teams(x, EU)"}, http.StatusBadRequest}, // no name
+		{"POST", "/views", viewRequest{Name: "v", Query: "garbage"}, http.StatusBadRequest},  // bad query
+		{"GET", "/views/nope", nil, http.StatusNotFound},                                     // unknown view
+		{"POST", "/views/nope/wrong", reportRequest{Tuple: []string{"x"}}, http.StatusNotFound},
+	}
+	for _, c := range cases {
+		var res *http.Response
+		var err error
+		if c.method == "POST" {
+			res = postJSON(t, ts.URL+c.path, c.body)
+		} else {
+			res, err = http.Get(ts.URL + c.path)
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+		if res.StatusCode != c.want {
+			t.Errorf("%s %s: status %d, want %d", c.method, c.path, res.StatusCode, c.want)
+		}
+		res.Body.Close()
+	}
+
+	// Arity mismatch on a real view.
+	postJSON(t, ts.URL+"/views", viewRequest{Name: "w", Query: dataset.IntroQ1().String()}).Body.Close()
+	res := postJSON(t, ts.URL+"/views/w/wrong", reportRequest{Tuple: []string{"a", "b"}})
+	if res.StatusCode != http.StatusBadRequest {
+		t.Errorf("arity mismatch status = %d", res.StatusCode)
+	}
+	res.Body.Close()
+	// Unsupported action.
+	res2 := postJSON(t, ts.URL+"/views/w/zap", reportRequest{Tuple: []string{"a"}})
+	if res2.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("bad action status = %d", res2.StatusCode)
+	}
+	res2.Body.Close()
+}

@@ -1,0 +1,169 @@
+// Package split implements the Split() heuristics at the heart of the
+// insertion algorithm (§5.2): Naive (no split), Random, query-directed
+// Min-Cut over the weighted query graph, and the provenance-directed split
+// that cuts at the WhyNot? frontier picky join. All strategies return the two
+// subqueries of Definition 5.3, each carrying every inequality its variables
+// cover.
+package split
+
+import (
+	"math/rand"
+
+	"repro/internal/cq"
+	"repro/internal/db"
+	"repro/internal/graph"
+	"repro/internal/whynot"
+)
+
+// Strategy splits a query into two subqueries. ok is false when the query
+// cannot or should not be split (fewer than two atoms, or the Naive strategy
+// that never splits — Algorithm 2 then falls back to asking the crowd for a
+// whole witness).
+type Strategy interface {
+	Name() string
+	Split(q *cq.Query, d *db.Database) (left, right *cq.Query, ok bool)
+}
+
+// Naive never splits; with it Algorithm 2 degenerates to the naive approach
+// of asking the crowd to complete the entire witness (§5, the upper bound in
+// Figure 3b).
+type Naive struct{}
+
+// Name implements Strategy.
+func (Naive) Name() string { return "Naive" }
+
+// Split implements Strategy; it always reports ok = false.
+func (Naive) Split(*cq.Query, *db.Database) (*cq.Query, *cq.Query, bool) {
+	return nil, nil, false
+}
+
+// Random splits the atoms into two non-empty parts uniformly at random
+// (§7.2's Random baseline). The zero value is unusable; construct with
+// NewRandom.
+type Random struct {
+	rng *rand.Rand
+}
+
+// NewRandom builds a Random strategy driven by the given RNG.
+func NewRandom(rng *rand.Rand) *Random { return &Random{rng: rng} }
+
+// Name implements Strategy.
+func (*Random) Name() string { return "Random" }
+
+// Split implements Strategy.
+func (r *Random) Split(q *cq.Query, _ *db.Database) (*cq.Query, *cq.Query, bool) {
+	n := len(q.Atoms)
+	if n < 2 {
+		return nil, nil, false
+	}
+	for {
+		var left, right []int
+		for i := 0; i < n; i++ {
+			if r.rng.Intn(2) == 0 {
+				left = append(left, i)
+			} else {
+				right = append(right, i)
+			}
+		}
+		if len(left) == 0 || len(right) == 0 {
+			continue // resample until both sides are non-empty
+		}
+		return cq.SubqueryOf(q, left), cq.SubqueryOf(q, right), true
+	}
+}
+
+// MinCut splits along a global minimum cut of the weighted query graph
+// (§5.2, query-directed approach): vertices are atoms, and the weight of edge
+// {i, j} is the number of shared variables plus the number of inequalities
+// relevant to the variables of atoms i and j. Cutting a minimum-weight edge
+// set keeps tightly joined atoms together and loses as few inequalities as
+// possible.
+type MinCut struct{}
+
+// Name implements Strategy.
+func (MinCut) Name() string { return "Min-Cut" }
+
+// Split implements Strategy.
+func (MinCut) Split(q *cq.Query, _ *db.Database) (*cq.Query, *cq.Query, bool) {
+	n := len(q.Atoms)
+	if n < 2 {
+		return nil, nil, false
+	}
+	g := QueryGraph(q)
+	_, side := g.GlobalMinCut()
+	var left, right []int
+	for i := 0; i < n; i++ {
+		if side[i] {
+			left = append(left, i)
+		} else {
+			right = append(right, i)
+		}
+	}
+	return cq.SubqueryOf(q, left), cq.SubqueryOf(q, right), true
+}
+
+// QueryGraph builds the weighted query graph of §5.2 for a query.
+func QueryGraph(q *cq.Query) *graph.Graph {
+	n := len(q.Atoms)
+	g := graph.New(n)
+	vars := make([]map[string]bool, n)
+	for i, a := range q.Atoms {
+		vars[i] = a.Vars()
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			var w int64
+			for v := range vars[i] {
+				if vars[j][v] {
+					w++
+				}
+			}
+			for _, e := range q.Ineqs {
+				if ineqRelevant(e, vars[i], vars[j]) {
+					w++
+				}
+			}
+			if w > 0 {
+				g.AddEdge(i, j, w)
+			}
+		}
+	}
+	return g
+}
+
+// ineqRelevant reports whether the inequality concerns the variables of both
+// atoms: every variable of e occurs in vars(i) ∪ vars(j), and the pair is
+// genuinely involved — for var ≠ var, the two variables are spread over (or
+// shared by) both atoms; for var ≠ const, the variable occurs in both.
+func ineqRelevant(e cq.Ineq, vi, vj map[string]bool) bool {
+	if e.Right.IsVar {
+		l, r := e.Left.Name, e.Right.Name
+		cover := (vi[l] || vj[l]) && (vi[r] || vj[r])
+		touchBoth := (vi[l] || vi[r]) && (vj[l] || vj[r])
+		return cover && touchBoth
+	}
+	return vi[e.Left.Name] && vj[e.Left.Name]
+}
+
+// Provenance splits at the WhyNot? frontier picky join (§5.2,
+// provenance-directed approach): the prefix subquery that still has valid
+// assignments in D versus the rest. When the whole query already has
+// assignments (nothing picky), it falls back to cutting the connected atom
+// order in half.
+type Provenance struct{}
+
+// Name implements Strategy.
+func (Provenance) Name() string { return "Provenance" }
+
+// Split implements Strategy.
+func (Provenance) Split(q *cq.Query, d *db.Database) (*cq.Query, *cq.Query, bool) {
+	if len(q.Atoms) < 2 {
+		return nil, nil, false
+	}
+	ex, ok := whynot.Explain(q, d)
+	if !ok {
+		half := len(ex.Order) / 2
+		return cq.SubqueryOf(q, ex.Order[:half]), cq.SubqueryOf(q, ex.Order[half:]), true
+	}
+	return cq.SubqueryOf(q, ex.Left()), cq.SubqueryOf(q, ex.Right()), true
+}

@@ -1,0 +1,224 @@
+package split
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/cq"
+	"repro/internal/dataset"
+	"repro/internal/db"
+	"repro/internal/schema"
+)
+
+// fig2Query is the input query of Figure 2.
+const fig2Query = "(x, y, z, w) :- R1(x, y), R2(y, z), R3(z, w), R4(z, v), z != x, w != x"
+
+func fig2Schema() *schema.Schema {
+	return schema.New(
+		schema.Relation{Name: "R1", Attrs: []string{"a", "b"}},
+		schema.Relation{Name: "R2", Attrs: []string{"b", "c"}},
+		schema.Relation{Name: "R3", Attrs: []string{"c", "d"}},
+		schema.Relation{Name: "R4", Attrs: []string{"c", "e"}},
+	)
+}
+
+func atomNames(q *cq.Query) map[string]bool {
+	out := make(map[string]bool)
+	for _, a := range q.Atoms {
+		out[a.Rel] = true
+	}
+	return out
+}
+
+func checkPartition(t *testing.T, orig, left, right *cq.Query) {
+	t.Helper()
+	if len(left.Atoms) == 0 || len(right.Atoms) == 0 {
+		t.Fatalf("split produced an empty side: %v | %v", left, right)
+	}
+	if len(left.Atoms)+len(right.Atoms) != len(orig.Atoms) {
+		t.Fatalf("split lost or duplicated atoms: %v | %v", left, right)
+	}
+	if !cq.IsSubqueryOf(left, orig) || !cq.IsSubqueryOf(right, orig) {
+		t.Fatalf("split sides are not subqueries of the original")
+	}
+}
+
+func TestNaiveNeverSplits(t *testing.T) {
+	q := cq.MustParse(fig2Query)
+	d := db.New(fig2Schema())
+	if _, _, ok := (Naive{}).Split(q, d); ok {
+		t.Errorf("Naive.Split returned ok = true")
+	}
+}
+
+// TestMinCutFigure2 reproduces Figure 2 (left): the min-cut split isolates
+// R4(z, v) — its single shared variable z gives the unique weight-1 cut —
+// and keeps both inequalities on the larger side.
+func TestMinCutFigure2(t *testing.T) {
+	q := cq.MustParse(fig2Query)
+	d := db.New(fig2Schema())
+	left, right, ok := (MinCut{}).Split(q, d)
+	if !ok {
+		t.Fatalf("MinCut.Split: ok = false")
+	}
+	checkPartition(t, q, left, right)
+	small, big := left, right
+	if len(small.Atoms) > len(big.Atoms) {
+		small, big = big, small
+	}
+	if len(small.Atoms) != 1 || small.Atoms[0].Rel != "R4" {
+		t.Errorf("small side = %v, want just R4", small)
+	}
+	if len(big.Ineqs) != 2 {
+		t.Errorf("big side ineqs = %v, want both z != x and w != x", big.Ineqs)
+	}
+}
+
+func TestQueryGraphWeights(t *testing.T) {
+	q := cq.MustParse(fig2Query)
+	g := QueryGraph(q)
+	// R1-R2 share y; inequality z != x touches R1 (x) and R2 (z): weight 2.
+	if got := g.Weight(0, 1); got != 2 {
+		t.Errorf("w(R1,R2) = %d, want 2", got)
+	}
+	// R2-R3 share z: weight 1.
+	if got := g.Weight(1, 2); got != 1 {
+		t.Errorf("w(R2,R3) = %d, want 1", got)
+	}
+	// R3-R4 share z: weight 1.
+	if got := g.Weight(2, 3); got != 1 {
+		t.Errorf("w(R3,R4) = %d, want 1", got)
+	}
+	// R1-R3: no shared vars, but z != x spans them (x in R1, z in R3) and
+	// w != x spans them too (w in R3): weight 2.
+	if got := g.Weight(0, 2); got != 2 {
+		t.Errorf("w(R1,R3) = %d, want 2", got)
+	}
+	// R1-R4: z != x spans (z in R4, x in R1): weight 1.
+	if got := g.Weight(0, 3); got != 1 {
+		t.Errorf("w(R1,R4) = %d, want 1", got)
+	}
+}
+
+func TestQueryGraphVarConstIneq(t *testing.T) {
+	q := cq.MustParse("(x) :- R1(x, y), R2(y, x), x != C")
+	g := QueryGraph(q)
+	// Shared vars x and y (2) plus x != C with x in both atoms (1).
+	if got := g.Weight(0, 1); got != 3 {
+		t.Errorf("w = %d, want 3", got)
+	}
+}
+
+func TestRandomSplitPartition(t *testing.T) {
+	q := cq.MustParse(fig2Query)
+	d := db.New(fig2Schema())
+	r := NewRandom(rand.New(rand.NewSource(9)))
+	for i := 0; i < 40; i++ {
+		left, right, ok := r.Split(q, d)
+		if !ok {
+			t.Fatalf("Random.Split: ok = false")
+		}
+		checkPartition(t, q, left, right)
+	}
+}
+
+func TestRandomSplitTwoAtoms(t *testing.T) {
+	q := cq.MustParse("(x, z) :- R1(x, y), R2(y, z)")
+	d := db.New(fig2Schema())
+	r := NewRandom(rand.New(rand.NewSource(1)))
+	left, right, ok := r.Split(q, d)
+	if !ok {
+		t.Fatalf("ok = false")
+	}
+	checkPartition(t, q, left, right)
+	if len(left.Atoms) != 1 || len(right.Atoms) != 1 {
+		t.Errorf("two-atom split = %d | %d atoms", len(left.Atoms), len(right.Atoms))
+	}
+}
+
+// TestProvenanceFigure2 reproduces Figure 2 (right): with data where R1⋈R2
+// and R3⋈R4 are each satisfiable but their join is empty, the provenance
+// split separates {R1, R2} from {R3, R4} and the spanning inequality w != x
+// is lost.
+func TestProvenanceFigure2(t *testing.T) {
+	d := db.New(fig2Schema())
+	d.InsertFact(db.NewFact("R1", "a1", "b1"))
+	d.InsertFact(db.NewFact("R2", "b1", "c1"))
+	d.InsertFact(db.NewFact("R3", "c2", "d1"))
+	d.InsertFact(db.NewFact("R4", "c2", "e1"))
+	q := cq.MustParse(fig2Query)
+
+	left, right, ok := (Provenance{}).Split(q, d)
+	if !ok {
+		t.Fatalf("Provenance.Split: ok = false")
+	}
+	checkPartition(t, q, left, right)
+	ln, rn := atomNames(left), atomNames(right)
+	if !ln["R1"] || !ln["R2"] || ln["R3"] || ln["R4"] {
+		t.Errorf("left side = %v, want {R1, R2}", left)
+	}
+	if !rn["R3"] || !rn["R4"] {
+		t.Errorf("right side = %v, want {R3, R4}", right)
+	}
+	// z != x is covered by the left side; w != x is lost (as in the paper).
+	if len(left.Ineqs) != 1 || left.Ineqs[0].Left.Name != "z" {
+		t.Errorf("left ineqs = %v, want [z != x]", left.Ineqs)
+	}
+	if len(right.Ineqs) != 0 {
+		t.Errorf("right ineqs = %v, want none", right.Ineqs)
+	}
+}
+
+func TestProvenanceFallbackWhenNonEmpty(t *testing.T) {
+	d := db.New(fig2Schema())
+	d.InsertFact(db.NewFact("R1", "a", "b"))
+	d.InsertFact(db.NewFact("R2", "b", "c"))
+	q := cq.MustParse("(x, y, z) :- R1(x, y), R2(y, z)")
+	left, right, ok := (Provenance{}).Split(q, d)
+	if !ok {
+		t.Fatalf("fallback split: ok = false")
+	}
+	checkPartition(t, q, left, right)
+}
+
+func TestSingleAtomNotSplit(t *testing.T) {
+	q := cq.MustParse("(x, y) :- R1(x, y)")
+	d := db.New(fig2Schema())
+	for _, s := range []Strategy{MinCut{}, Provenance{}, NewRandom(rand.New(rand.NewSource(2)))} {
+		if _, _, ok := s.Split(q, d); ok {
+			t.Errorf("%s split a single-atom query", s.Name())
+		}
+	}
+}
+
+// TestPirloProvenanceSplit checks the paper's Example 5.4 split shape on the
+// Figure 1 database: Q2|Pirlo splits into Players+Goals+Games vs Teams.
+func TestPirloProvenanceSplit(t *testing.T) {
+	d, _ := dataset.Figure1()
+	qt, err := dataset.IntroQ2().Embed(db.Tuple{"Andrea Pirlo"})
+	if err != nil {
+		t.Fatalf("Embed: %v", err)
+	}
+	left, right, ok := (Provenance{}).Split(qt, d)
+	if !ok {
+		t.Fatalf("Provenance.Split: ok = false")
+	}
+	checkPartition(t, qt, left, right)
+	small, big := right, left
+	if len(small.Atoms) > len(big.Atoms) {
+		small, big = big, small
+	}
+	if len(small.Atoms) != 1 || small.Atoms[0].Rel != "Teams" {
+		t.Errorf("small side = %v, want the Teams atom (Example 5.4's Q'')", small)
+	}
+	if len(big.Atoms) != 3 {
+		t.Errorf("big side = %v, want Players+Goals+Games (Example 5.4's Q')", big)
+	}
+}
+
+func TestStrategyNames(t *testing.T) {
+	if (Naive{}).Name() != "Naive" || (MinCut{}).Name() != "Min-Cut" ||
+		(Provenance{}).Name() != "Provenance" || NewRandom(rand.New(rand.NewSource(0))).Name() != "Random" {
+		t.Errorf("unexpected strategy names")
+	}
+}

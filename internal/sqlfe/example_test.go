@@ -1,0 +1,37 @@
+package sqlfe_test
+
+import (
+	"fmt"
+
+	"repro/internal/dataset"
+	"repro/internal/eval"
+	"repro/internal/sqlfe"
+)
+
+// ExampleParse lowers a SQL join to a conjunctive query and evaluates it.
+func ExampleParse() {
+	d, _ := dataset.Figure1()
+	q, err := sqlfe.Parse(d.Schema(), `
+		SELECT p.name FROM Players p, Goals g
+		WHERE p.name = g.player AND g.date = '13.07.14'`)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(eval.Result(q, d))
+	// Output: [(Mario Götze)]
+}
+
+// ExampleParseUnion lowers a UNION of SELECTs to a union of conjunctive
+// queries.
+func ExampleParseUnion() {
+	d, _ := dataset.Figure1()
+	u, err := sqlfe.ParseUnion(d.Schema(), `
+		SELECT name FROM Teams WHERE continent = 'EU'
+		UNION
+		SELECT name FROM Teams WHERE continent = 'SA'`)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(len(u.Disjuncts), "disjuncts,", len(eval.ResultUnion(u, d)), "teams")
+	// Output: 2 disjuncts, 4 teams
+}

@@ -1,0 +1,38 @@
+package sqlfe
+
+import (
+	"testing"
+
+	"repro/internal/dataset"
+)
+
+// FuzzParse feeds arbitrary strings to the SQL front-end: it must never
+// panic, and successfully translated queries must validate against the
+// schema.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		"SELECT name FROM Teams",
+		"SELECT g1.winner FROM Games g1, Games g2 WHERE g1.winner = g2.winner AND g1.date <> g2.date",
+		"SELECT DISTINCT continent FROM Teams WHERE name = 'O''Land'",
+		"SELECT * FROM Goals",
+		"select a from b where c = 'unterminated",
+		"SELECT name FROM Teams UNION SELECT player FROM Goals",
+		"", "UNION", "SELECT", "SELECT FROM WHERE",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	s := dataset.WorldCupSchema()
+	f.Fuzz(func(t *testing.T, input string) {
+		q, err := Parse(s, input)
+		if err != nil {
+			return
+		}
+		if err := q.Validate(s); err != nil {
+			t.Fatalf("translated query invalid for %q: %v", input, err)
+		}
+		if _, err := ParseUnion(s, input); err != nil {
+			t.Fatalf("plain SELECT accepted but union parse failed for %q: %v", input, err)
+		}
+	})
+}

@@ -1,0 +1,167 @@
+// Package sqlfe is a SQL front-end for the cleaner: it translates a
+// SELECT-FROM-WHERE subset of SQL into the conjunctive queries with
+// inequalities (CQ≠) that QOCO cleans. The paper's prototype exposed queries
+// over MySQL; this package plays the same role for the Go reproduction, so a
+// user can write
+//
+//	SELECT g1.winner FROM Games g1, Games g2, Teams t
+//	WHERE g1.winner = g2.winner AND t.name = g1.winner
+//	  AND g1.stage = 'Final' AND g2.stage = 'Final'
+//	  AND t.continent = 'EU' AND g1.date <> g2.date
+//
+// instead of the Datalog-style syntax of package cq. Supported: FROM lists
+// with optional aliases, WHERE conjunctions (AND) of `col = col`,
+// `col = literal`, `col <> col` and `col <> literal` predicates, qualified or
+// unqualified column references, quoted and numeric literals, and SELECT
+// DISTINCT (a no-op: evaluation has set semantics).
+package sqlfe
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+	"unicode/utf8"
+)
+
+type tokKind int
+
+const (
+	tokEOF tokKind = iota
+	tokIdent
+	tokString // 'quoted' or "quoted"
+	tokNumber
+	tokComma
+	tokDot
+	tokEq
+	tokNeq // <> or !=
+	tokStar
+	tokLParen
+	tokRParen
+)
+
+type token struct {
+	kind tokKind
+	text string
+	pos  int
+}
+
+func (t token) String() string {
+	if t.kind == tokEOF {
+		return "end of query"
+	}
+	return fmt.Sprintf("%q", t.text)
+}
+
+type lexer struct {
+	input string
+	pos   int
+	err   error
+}
+
+func (l *lexer) fail(format string, args ...interface{}) token {
+	if l.err == nil {
+		l.err = fmt.Errorf("sqlfe: "+format, args...)
+	}
+	return token{kind: tokEOF, pos: l.pos}
+}
+
+func (l *lexer) next() token {
+	for l.pos < len(l.input) {
+		c := l.input[l.pos]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			l.pos++
+		case c == ',':
+			l.pos++
+			return token{tokComma, ",", l.pos - 1}
+		case c == '.':
+			l.pos++
+			return token{tokDot, ".", l.pos - 1}
+		case c == '*':
+			l.pos++
+			return token{tokStar, "*", l.pos - 1}
+		case c == '(':
+			l.pos++
+			return token{tokLParen, "(", l.pos - 1}
+		case c == ')':
+			l.pos++
+			return token{tokRParen, ")", l.pos - 1}
+		case c == '=':
+			l.pos++
+			return token{tokEq, "=", l.pos - 1}
+		case c == '<':
+			if strings.HasPrefix(l.input[l.pos:], "<>") {
+				l.pos += 2
+				return token{tokNeq, "<>", l.pos - 2}
+			}
+			return l.fail("unsupported operator at position %d (only = and <> are supported)", l.pos)
+		case c == '!':
+			if strings.HasPrefix(l.input[l.pos:], "!=") {
+				l.pos += 2
+				return token{tokNeq, "!=", l.pos - 2}
+			}
+			return l.fail("unexpected '!' at position %d", l.pos)
+		case c == '\'' || c == '"':
+			return l.lexString(c)
+		case c >= '0' && c <= '9':
+			return l.lexNumber()
+		default:
+			return l.lexIdent()
+		}
+	}
+	return token{kind: tokEOF, pos: l.pos}
+}
+
+func (l *lexer) lexString(quote byte) token {
+	start := l.pos
+	var b strings.Builder
+	i := l.pos + 1
+	for i < len(l.input) {
+		c := l.input[i]
+		if c == quote {
+			// SQL escapes quotes by doubling them.
+			if i+1 < len(l.input) && l.input[i+1] == quote {
+				b.WriteByte(quote)
+				i += 2
+				continue
+			}
+			l.pos = i + 1
+			return token{tokString, b.String(), start}
+		}
+		b.WriteByte(c)
+		i++
+	}
+	return l.fail("unterminated string starting at position %d", start)
+}
+
+func (l *lexer) lexNumber() token {
+	start := l.pos
+	for l.pos < len(l.input) {
+		c := l.input[l.pos]
+		if (c >= '0' && c <= '9') || c == '.' || c == ':' {
+			l.pos++
+			continue
+		}
+		break
+	}
+	return token{tokNumber, l.input[start:l.pos], start}
+}
+
+func isSQLIdentRune(r rune) bool {
+	return unicode.IsLetter(r) || unicode.IsDigit(r) || r == '_'
+}
+
+func (l *lexer) lexIdent() token {
+	start := l.pos
+	for l.pos < len(l.input) {
+		r, size := utf8.DecodeRuneInString(l.input[l.pos:])
+		if !isSQLIdentRune(r) {
+			break
+		}
+		l.pos += size
+	}
+	if l.pos == start {
+		return l.fail("unexpected character %q at position %d", l.input[start], start)
+	}
+	return token{tokIdent, l.input[start:l.pos], start}
+}

@@ -1,0 +1,239 @@
+package sqlfe
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/db"
+	"repro/internal/eval"
+)
+
+// introQ1SQL is the paper's Q1 written as SQL.
+const introQ1SQL = `
+SELECT g1.winner FROM Games g1, Games g2, Teams t
+WHERE g1.winner = g2.winner AND t.name = g1.winner
+  AND g1.stage = 'Final' AND g2.stage = 'Final'
+  AND t.continent = 'EU' AND g1.date <> g2.date`
+
+func TestParseIntroQ1Equivalence(t *testing.T) {
+	d, dg := dataset.Figure1()
+	q, err := Parse(d.Schema(), introQ1SQL)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	want := eval.Result(dataset.IntroQ1(), d)
+	got := eval.Result(q, d)
+	if len(got) != len(want) {
+		t.Fatalf("SQL Q1(D) = %v, datalog Q1(D) = %v", got, want)
+	}
+	for i := range got {
+		if !got[i].Equal(want[i]) {
+			t.Fatalf("SQL Q1(D) = %v, datalog Q1(D) = %v", got, want)
+		}
+	}
+	// Also over the ground truth.
+	if got, want := eval.Result(q, dg), eval.Result(dataset.IntroQ1(), dg); len(got) != len(want) {
+		t.Errorf("SQL Q1(DG) = %v, want %v", got, want)
+	}
+}
+
+func TestParseUnqualifiedColumns(t *testing.T) {
+	d, _ := dataset.Figure1()
+	q, err := Parse(d.Schema(), "SELECT player FROM Goals WHERE date = '13.07.14'")
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	got := eval.Result(q, d)
+	if len(got) != 1 || got[0][0] != "Mario Götze" {
+		t.Errorf("result = %v, want Götze", got)
+	}
+}
+
+func TestParseStar(t *testing.T) {
+	d, _ := dataset.Figure1()
+	q, err := Parse(d.Schema(), "SELECT * FROM Teams")
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if len(q.Head) != 2 {
+		t.Fatalf("head = %v, want both Teams columns", q.Head)
+	}
+	if got := eval.Result(q, d); len(got) != 4 {
+		t.Errorf("SELECT * FROM Teams = %d rows, want 4", len(got))
+	}
+}
+
+func TestParseJoinOnEquality(t *testing.T) {
+	d, _ := dataset.Figure1()
+	// Players joined with Goals: who scored?
+	q, err := Parse(d.Schema(), `
+		SELECT p.name, g.date FROM Players p, Goals g WHERE p.name = g.player`)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	got := eval.Result(q, d)
+	if len(got) != 3 {
+		t.Errorf("join result = %v, want 3 scorer rows", got)
+	}
+}
+
+func TestParseDistinctKeyword(t *testing.T) {
+	d, _ := dataset.Figure1()
+	q, err := Parse(d.Schema(), "SELECT DISTINCT continent FROM Teams")
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if got := eval.Result(q, d); len(got) != 2 {
+		t.Errorf("distinct continents = %v, want [EU SA]", got)
+	}
+}
+
+func TestParseAsAlias(t *testing.T) {
+	d, _ := dataset.Figure1()
+	q, err := Parse(d.Schema(), "SELECT x.name FROM Teams AS x WHERE x.continent = 'EU'")
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if got := eval.Result(q, d); len(got) != 3 {
+		t.Errorf("EU teams in D = %v, want 3 (GER, ESP, BRA-wrong)", got)
+	}
+}
+
+func TestParseNumericLiteral(t *testing.T) {
+	d, _ := dataset.Figure1()
+	q, err := Parse(d.Schema(), "SELECT name FROM Players WHERE birthyear = 1979")
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	got := eval.Result(q, d)
+	if len(got) != 1 || got[0][0] != "Andrea Pirlo" {
+		t.Errorf("result = %v, want Pirlo", got)
+	}
+}
+
+func TestParseNeqLiteral(t *testing.T) {
+	d, _ := dataset.Figure1()
+	q, err := Parse(d.Schema(), "SELECT name FROM Teams WHERE continent <> 'EU'")
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	got := eval.Result(q, d)
+	if len(got) != 1 || got[0][0] != "NED" {
+		t.Errorf("result = %v, want [NED]", got)
+	}
+}
+
+func TestParseSQLQuoteEscapes(t *testing.T) {
+	d, _ := dataset.Figure1()
+	dd := d.Clone()
+	dd.InsertFact(db.NewFact("Teams", "O'Land", "EU"))
+	q, err := Parse(d.Schema(), "SELECT continent FROM Teams WHERE name = 'O''Land'")
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	got := eval.Result(q, dd)
+	if len(got) != 1 || got[0][0] != "EU" {
+		t.Errorf("result = %v", got)
+	}
+}
+
+func TestUnsatisfiableQueries(t *testing.T) {
+	d, _ := dataset.Figure1()
+	cases := []string{
+		"SELECT name FROM Teams WHERE continent = 'EU' AND continent = 'SA'",
+		"SELECT name FROM Teams WHERE name <> name",
+		"SELECT g1.winner FROM Games g1 WHERE g1.stage = 'Final' AND g1.stage <> 'Final'",
+	}
+	for _, sql := range cases {
+		_, err := Parse(d.Schema(), sql)
+		if !errors.Is(err, ErrAlwaysEmpty) {
+			t.Errorf("Parse(%q) err = %v, want ErrAlwaysEmpty", sql, err)
+		}
+	}
+}
+
+func TestTriviallyTrueNeqDropped(t *testing.T) {
+	d, _ := dataset.Figure1()
+	q, err := Parse(d.Schema(), "SELECT name FROM Teams WHERE continent = 'EU' AND continent <> 'SA'")
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if len(q.Ineqs) != 0 {
+		t.Errorf("trivially true <> should be dropped: %v", q.Ineqs)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	d, _ := dataset.Figure1()
+	cases := []struct{ name, sql, wantSub string }{
+		{"no select", "FROM Teams", "expected SELECT"},
+		{"no from", "SELECT name", "expected FROM"},
+		{"unknown table", "SELECT x FROM Nope", "unknown table"},
+		{"unknown column", "SELECT nope FROM Teams", "unknown column"},
+		{"unknown alias", "SELECT z.name FROM Teams t", "unknown table alias"},
+		{"bad alias column", "SELECT t.nope FROM Teams t", "no column"},
+		{"ambiguous", "SELECT date FROM Games, Goals", "ambiguous"},
+		{"dup alias", "SELECT t.name FROM Teams t, Games t", "duplicate table alias"},
+		{"bad operator", "SELECT name FROM Teams WHERE name < 'x'", "unsupported operator"},
+		{"trailing", "SELECT name FROM Teams extra garbage ,", "unexpected trailing"},
+		{"unterminated", "SELECT name FROM Teams WHERE name = 'oops", "unterminated string"},
+		{"empty pred", "SELECT name FROM Teams WHERE", "expected column"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, err := Parse(d.Schema(), c.sql)
+			if err == nil {
+				t.Fatalf("Parse(%q): want error", c.sql)
+			}
+			if !strings.Contains(err.Error(), c.wantSub) {
+				t.Errorf("err = %v, want substring %q", err, c.wantSub)
+			}
+		})
+	}
+}
+
+func TestCaseInsensitiveKeywords(t *testing.T) {
+	d, _ := dataset.Figure1()
+	q, err := Parse(d.Schema(), "select name from Teams where continent = 'EU'")
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if got := eval.Result(q, d); len(got) != 3 {
+		t.Errorf("lowercase keywords result = %v", got)
+	}
+}
+
+// TestSoccerQ4SQL rewrites §7.2's Q4 (teams that lost two games with the same
+// score) in SQL and checks equivalence with the Datalog phrasing over the
+// generated Soccer database.
+func TestSoccerQ4SQL(t *testing.T) {
+	d := dataset.Soccer(dataset.SoccerOpts{Tournaments: 6})
+	q, err := Parse(d.Schema(), `
+		SELECT g1.loser FROM Games g1, Games g2
+		WHERE g1.loser = g2.loser AND g1.result = g2.result AND g1.date <> g2.date`)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	want := eval.Result(dataset.SoccerQ4(), d)
+	got := eval.Result(q, d)
+	if len(got) != len(want) {
+		t.Fatalf("SQL Q4 = %d rows, datalog Q4 = %d rows", len(got), len(want))
+	}
+	for i := range got {
+		if !got[i].Equal(want[i]) {
+			t.Fatalf("row %d: %v vs %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestMustParsePanics(t *testing.T) {
+	d, _ := dataset.Figure1()
+	defer func() {
+		if recover() == nil {
+			t.Errorf("MustParse on bad SQL did not panic")
+		}
+	}()
+	MustParse(d.Schema(), "not sql")
+}

@@ -1,0 +1,234 @@
+package sqlfe
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/cq"
+	"repro/internal/schema"
+)
+
+// ErrAlwaysEmpty is wrapped by translate when the WHERE clause is
+// contradictory (e.g. a column equated with two different literals, or
+// `x <> x`): the query would return no answers over any database.
+var ErrAlwaysEmpty = fmt.Errorf("sqlfe: query is unsatisfiable (always empty)")
+
+// cell identifies one column position of one FROM item.
+type cell struct {
+	item int // index into stmt.from
+	col  int // attribute position
+}
+
+// translate lowers a parsed SELECT into a CQ≠ via union-find over column
+// cells: every FROM item becomes an atom of fresh variables, equality
+// predicates merge variable classes or bind them to constants, and
+// inequality predicates become the query's ≠ atoms.
+func translate(s *schema.Schema, stmt *selectStmt) (*cq.Query, error) {
+	if len(stmt.from) == 0 {
+		return nil, fmt.Errorf("sqlfe: empty FROM list")
+	}
+	// Resolve FROM items against the schema; aliases must be unique.
+	rels := make([]schema.Relation, len(stmt.from))
+	byAlias := make(map[string]int)
+	for i, f := range stmt.from {
+		rel, ok := s.Relation(f.rel)
+		if !ok {
+			return nil, fmt.Errorf("sqlfe: unknown table %q", f.rel)
+		}
+		rels[i] = rel
+		key := strings.ToLower(f.alias)
+		if _, dup := byAlias[key]; dup {
+			return nil, fmt.Errorf("sqlfe: duplicate table alias %q", f.alias)
+		}
+		byAlias[key] = i
+	}
+
+	// Union-find over cells, with an optional constant binding per class.
+	uf := newUnionFind(stmt.from, rels)
+
+	resolve := func(c colRef) (cell, error) { return resolveCol(c, stmt, rels, byAlias) }
+
+	// First pass: apply equality predicates.
+	for _, pr := range stmt.preds {
+		if !pr.eq {
+			continue
+		}
+		l, err := resolve(pr.left)
+		if err != nil {
+			return nil, err
+		}
+		if pr.right.isCol {
+			r, err := resolve(pr.right.col)
+			if err != nil {
+				return nil, err
+			}
+			if err := uf.union(l, r); err != nil {
+				return nil, err
+			}
+		} else if err := uf.bind(l, pr.right.lit); err != nil {
+			return nil, err
+		}
+	}
+
+	// Build atoms from the resolved classes.
+	q := &cq.Query{}
+	for i, rel := range rels {
+		atom := cq.Atom{Rel: rel.Name, Args: make([]cq.Term, rel.Arity())}
+		for col := range rel.Attrs {
+			atom.Args[col] = uf.term(cell{item: i, col: col})
+		}
+		q.Atoms = append(q.Atoms, atom)
+	}
+
+	// Second pass: inequality predicates.
+	for _, pr := range stmt.preds {
+		if pr.eq {
+			continue
+		}
+		l, err := resolve(pr.left)
+		if err != nil {
+			return nil, err
+		}
+		lt := uf.term(l)
+		var rt cq.Term
+		if pr.right.isCol {
+			r, err := resolve(pr.right.col)
+			if err != nil {
+				return nil, err
+			}
+			rt = uf.term(r)
+		} else {
+			rt = cq.Const(pr.right.lit)
+		}
+		switch {
+		case lt.IsVar && rt.IsVar && lt.Name == rt.Name:
+			return nil, fmt.Errorf("%w: %s <> %s", ErrAlwaysEmpty, pr.left, pr.right.col)
+		case !lt.IsVar && !rt.IsVar:
+			if lt.Name == rt.Name {
+				return nil, fmt.Errorf("%w: both sides of <> resolve to %q", ErrAlwaysEmpty, lt.Name)
+			}
+			continue // trivially true: drop
+		case !lt.IsVar:
+			lt, rt = rt, lt // normalize: variable on the left
+		}
+		q.Ineqs = append(q.Ineqs, cq.Ineq{Left: lt, Right: rt})
+	}
+
+	// Head.
+	if stmt.star {
+		for i := range rels {
+			for col := range rels[i].Attrs {
+				q.Head = append(q.Head, uf.term(cell{item: i, col: col}))
+			}
+		}
+	} else {
+		for _, c := range stmt.columns {
+			cc, err := resolve(c)
+			if err != nil {
+				return nil, err
+			}
+			q.Head = append(q.Head, uf.term(cc))
+		}
+	}
+	return q, nil
+}
+
+// resolveCol maps a column reference to a cell, checking qualification and
+// ambiguity.
+func resolveCol(c colRef, stmt *selectStmt, rels []schema.Relation, byAlias map[string]int) (cell, error) {
+	if c.qualifier != "" {
+		i, ok := byAlias[strings.ToLower(c.qualifier)]
+		if !ok {
+			return cell{}, fmt.Errorf("sqlfe: unknown table alias %q in %s", c.qualifier, c)
+		}
+		col := rels[i].AttrIndex(c.column)
+		if col < 0 {
+			return cell{}, fmt.Errorf("sqlfe: table %s has no column %q", stmt.from[i].rel, c.column)
+		}
+		return cell{item: i, col: col}, nil
+	}
+	found := cell{item: -1}
+	for i := range rels {
+		if col := rels[i].AttrIndex(c.column); col >= 0 {
+			if found.item >= 0 {
+				return cell{}, fmt.Errorf("sqlfe: ambiguous column %q (in %s and %s)",
+					c.column, stmt.from[found.item].rel, stmt.from[i].rel)
+			}
+			found = cell{item: i, col: col}
+		}
+	}
+	if found.item < 0 {
+		return cell{}, fmt.Errorf("sqlfe: unknown column %q", c.column)
+	}
+	return found, nil
+}
+
+// unionFind merges column cells into classes with optional constant bindings.
+type unionFind struct {
+	parent map[cell]cell
+	consts map[cell]string // root -> bound literal
+	names  map[cell]string // root -> variable name
+}
+
+func newUnionFind(from []fromItem, rels []schema.Relation) *unionFind {
+	uf := &unionFind{
+		parent: make(map[cell]cell),
+		consts: make(map[cell]string),
+		names:  make(map[cell]string),
+	}
+	for i := range from {
+		for col := range rels[i].Attrs {
+			c := cell{item: i, col: col}
+			uf.parent[c] = c
+			// Variable names follow the alias and attribute: g1_date. Aliases
+			// are lowered so names lex as variables in the cq syntax.
+			uf.names[c] = fmt.Sprintf("%s_%s", strings.ToLower(from[i].alias), rels[i].Attrs[col])
+		}
+	}
+	return uf
+}
+
+func (uf *unionFind) find(c cell) cell {
+	for uf.parent[c] != c {
+		uf.parent[c] = uf.parent[uf.parent[c]]
+		c = uf.parent[c]
+	}
+	return c
+}
+
+func (uf *unionFind) union(a, b cell) error {
+	ra, rb := uf.find(a), uf.find(b)
+	if ra == rb {
+		return nil
+	}
+	ca, hasA := uf.consts[ra]
+	cb, hasB := uf.consts[rb]
+	if hasA && hasB && ca != cb {
+		return fmt.Errorf("%w: column equated with both %q and %q", ErrAlwaysEmpty, ca, cb)
+	}
+	uf.parent[rb] = ra
+	if hasB && !hasA {
+		uf.consts[ra] = cb
+	}
+	delete(uf.consts, rb)
+	return nil
+}
+
+func (uf *unionFind) bind(c cell, lit string) error {
+	r := uf.find(c)
+	if prev, ok := uf.consts[r]; ok && prev != lit {
+		return fmt.Errorf("%w: column equated with both %q and %q", ErrAlwaysEmpty, prev, lit)
+	}
+	uf.consts[r] = lit
+	return nil
+}
+
+// term returns the CQ term of a cell's class: its bound constant, or the
+// class representative's variable name.
+func (uf *unionFind) term(c cell) cq.Term {
+	r := uf.find(c)
+	if lit, ok := uf.consts[r]; ok {
+		return cq.Const(lit)
+	}
+	return cq.Var(uf.names[r])
+}

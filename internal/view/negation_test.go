@@ -1,0 +1,112 @@
+package view
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/cq"
+	"repro/internal/db"
+	"repro/internal/schema"
+)
+
+func negViewSchema() *schema.Schema {
+	return schema.New(
+		schema.Relation{Name: "R", Attrs: []string{"a", "b"}},
+		schema.Relation{Name: "Banned", Attrs: []string{"a"}},
+	)
+}
+
+// TestViewNegationInsertBlocker: inserting a fact matching a negated atom
+// removes the blocked answers from the view incrementally.
+func TestViewNegationInsertBlocker(t *testing.T) {
+	d := db.New(negViewSchema())
+	d.InsertFact(db.NewFact("R", "u", "1"))
+	d.InsertFact(db.NewFact("R", "v", "2"))
+	q := cq.MustParse("(x) :- R(x, y), not Banned(x)")
+	v := New("ok", q, d)
+	if v.Len() != 2 {
+		t.Fatalf("initial Len = %d, want 2", v.Len())
+	}
+	blocker := db.NewFact("Banned", "v")
+	d.InsertFact(blocker)
+	appeared, disappeared := v.Apply(d, db.Insertion(blocker))
+	if len(appeared) != 0 {
+		t.Errorf("appeared = %v, want none", appeared)
+	}
+	if len(disappeared) != 1 || !disappeared[0].Equal(db.Tuple{"v"}) {
+		t.Errorf("disappeared = %v, want [(v)]", disappeared)
+	}
+	if v.Has(db.Tuple{"v"}) || !v.Has(db.Tuple{"u"}) {
+		t.Errorf("view state wrong after blocker insert")
+	}
+}
+
+// TestViewNegationDeleteBlocker: deleting a blocker re-admits the answers.
+func TestViewNegationDeleteBlocker(t *testing.T) {
+	d := db.New(negViewSchema())
+	d.InsertFact(db.NewFact("R", "v", "2"))
+	d.InsertFact(db.NewFact("Banned", "v"))
+	q := cq.MustParse("(x) :- R(x, y), not Banned(x)")
+	v := New("ok", q, d)
+	if v.Len() != 0 {
+		t.Fatalf("initial Len = %d, want 0", v.Len())
+	}
+	blocker := db.NewFact("Banned", "v")
+	d.DeleteFact(blocker)
+	appeared, disappeared := v.Apply(d, db.Deletion(blocker))
+	if len(appeared) != 1 || !appeared[0].Equal(db.Tuple{"v"}) {
+		t.Errorf("appeared = %v, want [(v)]", appeared)
+	}
+	if len(disappeared) != 0 {
+		t.Errorf("disappeared = %v, want none", disappeared)
+	}
+}
+
+// TestViewNegationIncrementalMatchesRefresh fuzzes edits over a negated query
+// and cross-checks the incremental view against recomputation.
+func TestViewNegationIncrementalMatchesRefresh(t *testing.T) {
+	queries := []*cq.Query{
+		cq.MustParse("(x) :- R(x, y), not Banned(x)"),
+		cq.MustParse("(x, y) :- R(x, y), not R(y, x)"),
+		cq.MustParse("(x) :- R(x, y), not Banned(y), x != y"),
+	}
+	vals := []string{"a", "b", "c"}
+	rng := rand.New(rand.NewSource(31))
+	for qi, q := range queries {
+		d := db.New(negViewSchema())
+		v := New("v", q, d)
+		for step := 0; step < 250; step++ {
+			var f db.Fact
+			if rng.Intn(3) == 0 {
+				f = db.NewFact("Banned", vals[rng.Intn(3)])
+			} else {
+				f = db.NewFact("R", vals[rng.Intn(3)], vals[rng.Intn(3)])
+			}
+			var e db.Edit
+			if rng.Intn(2) == 0 {
+				e = db.Insertion(f)
+			} else {
+				e = db.Deletion(f)
+			}
+			changed, err := d.Apply(e)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !changed {
+				continue
+			}
+			v.Apply(d, e)
+			ref := New("ref", q, d)
+			if rowsKey(v.Rows()) != rowsKey(ref.Rows()) {
+				t.Fatalf("query %d step %d (%v): incremental %v != recomputed %v",
+					qi, step, e, v.Rows(), ref.Rows())
+			}
+			for _, tp := range ref.Rows() {
+				if v.Support(tp) != ref.Support(tp) {
+					t.Fatalf("query %d step %d: support(%v) = %d, want %d",
+						qi, step, tp, v.Support(tp), ref.Support(tp))
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,277 @@
+// Package view implements materialized views with incremental maintenance
+// and the view-monitoring workflow of the paper's introduction: "materialized
+// views (views which are defined through user queries) are used as a trigger
+// for identifying incorrect or missing information ... QOCO can be activated
+// to monitor the views that are served to users/applications. Whenever an
+// error is reported in a view, QOCO can take over to clean the underlying
+// database."
+//
+// A View materializes the answers of a CQ≠ over a database and keeps, per
+// answer, the number of valid assignments supporting it; edits flowing
+// through the Monitor update that support incrementally (delta evaluation)
+// instead of recomputing the view.
+package view
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/cq"
+	"repro/internal/db"
+	"repro/internal/eval"
+)
+
+// View is a materialized CQ≠ view: the current answer tuples plus the number
+// of valid assignments supporting each.
+type View struct {
+	Name  string
+	Query *cq.Query
+
+	rows    map[string]db.Tuple
+	support map[string]int // answer key -> |A(t, Q, D)|
+}
+
+// New materializes the query over the database.
+func New(name string, q *cq.Query, d *db.Database) *View {
+	v := &View{Name: name, Query: q}
+	v.Refresh(d)
+	return v
+}
+
+// Refresh recomputes the materialization from scratch.
+func (v *View) Refresh(d *db.Database) {
+	v.rows = make(map[string]db.Tuple)
+	v.support = make(map[string]int)
+	for _, a := range eval.Eval(v.Query, d) {
+		t, ok := a.HeadTuple(v.Query)
+		if !ok {
+			continue
+		}
+		k := t.Key()
+		v.rows[k] = t
+		v.support[k]++
+	}
+}
+
+// Rows returns the materialized answers in deterministic order.
+func (v *View) Rows() []db.Tuple {
+	out := make([]db.Tuple, 0, len(v.rows))
+	for _, t := range v.rows {
+		out = append(out, t)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Less(out[j]) })
+	return out
+}
+
+// Len returns the number of materialized answers.
+func (v *View) Len() int { return len(v.rows) }
+
+// Has reports whether the answer is currently in the view.
+func (v *View) Has(t db.Tuple) bool {
+	_, ok := v.rows[t.Key()]
+	return ok
+}
+
+// Support returns the number of valid assignments supporting the answer.
+func (v *View) Support(t db.Tuple) int { return v.support[t.Key()] }
+
+// Apply updates the materialization for a single edit. The database must
+// already reflect the edit (for insertions the fact is present; for deletions
+// it is absent). It returns the answers whose membership flipped.
+//
+// Negated atoms are handled symmetrically: an inserted fact can block
+// previously valid assignments (support losses), and a deleted fact can
+// unblock assignments (support gains).
+func (v *View) Apply(d *db.Database, e db.Edit) (appeared, disappeared []db.Tuple) {
+	f := e.Fact
+	var gains, losses map[string]int
+	if e.Op == db.Insert {
+		gains = v.matchPositive(d, f, false)
+		losses = v.matchNegative(d, f, true)
+	} else {
+		losses = v.matchPositive(d, f, true)
+		gains = v.matchNegative(d, f, false)
+	}
+	for k, n := range gains {
+		if v.support[k] == 0 {
+			appeared = append(appeared, v.rows[k])
+		}
+		v.support[k] += n
+	}
+	for k, n := range losses {
+		v.support[k] -= n
+		if v.support[k] <= 0 {
+			if t, ok := v.rows[k]; ok {
+				disappeared = append(disappeared, t)
+			}
+			delete(v.support, k)
+			delete(v.rows, k)
+		}
+	}
+	sortTuples(appeared)
+	sortTuples(disappeared)
+	return appeared, disappeared
+}
+
+// matchPositive counts, per answer key, the valid assignments that use the
+// fact in at least one positive atom. With tempInsert the fact is absent from
+// d (a deletion happened) and is re-inserted temporarily to evaluate the
+// pre-delete state.
+func (v *View) matchPositive(d *db.Database, f db.Fact, tempInsert bool) map[string]int {
+	if tempInsert {
+		if changed, _ := d.InsertFact(f); changed {
+			defer d.DeleteFact(f)
+		}
+	}
+	return v.matchAtoms(d, v.Query.Atoms, f)
+}
+
+// matchNegative counts, per answer key, the assignments whose negated atom
+// grounds to the fact and that are valid when the fact is absent. With
+// tempDelete the fact is present in d (an insertion happened) and is removed
+// temporarily to evaluate the pre-insert state.
+func (v *View) matchNegative(d *db.Database, f db.Fact, tempDelete bool) map[string]int {
+	if len(v.Query.Negs) == 0 {
+		return nil
+	}
+	if tempDelete {
+		if changed, _ := d.DeleteFact(f); changed {
+			defer d.InsertFact(f)
+		}
+	}
+	return v.matchAtoms(d, v.Query.Negs, f)
+}
+
+// matchAtoms enumerates valid assignments (over d's current state) that
+// ground one of the given atoms to the fact, deduplicated across atom
+// positions, counted per answer key. Answer tuples are cached in rows.
+func (v *View) matchAtoms(d *db.Database, atoms []cq.Atom, f db.Fact) map[string]int {
+	seen := make(map[string]bool)
+	deltas := make(map[string]int)
+	for _, atom := range atoms {
+		if atom.Rel != f.Rel {
+			continue
+		}
+		seed, ok := unifyAtom(atom, f.Args)
+		if !ok {
+			continue
+		}
+		for _, a := range eval.Extensions(v.Query, d, seed) {
+			ak := a.Key()
+			if seen[ak] {
+				continue
+			}
+			seen[ak] = true
+			t, ok := a.HeadTuple(v.Query)
+			if !ok {
+				continue
+			}
+			k := t.Key()
+			deltas[k]++
+			v.rows[k] = t
+		}
+	}
+	return deltas
+}
+
+// unifyAtom binds the atom's variables against the fact, returning false on a
+// constant mismatch or conflicting repeated-variable binding.
+func unifyAtom(atom cq.Atom, args db.Tuple) (eval.Assignment, bool) {
+	if len(atom.Args) != len(args) {
+		return nil, false
+	}
+	seed := eval.Assignment{}
+	for i, term := range atom.Args {
+		if !term.IsVar {
+			if term.Name != args[i] {
+				return nil, false
+			}
+			continue
+		}
+		if prev, ok := seed[term.Name]; ok && prev != args[i] {
+			return nil, false
+		}
+		seed[term.Name] = args[i]
+	}
+	return seed, true
+}
+
+func sortTuples(ts []db.Tuple) {
+	sort.Slice(ts, func(i, j int) bool { return ts[i].Less(ts[j]) })
+}
+
+// Monitor owns a database and a set of materialized views and keeps them
+// consistent: every edit must flow through Apply. It is the "QOCO monitors
+// the views served to users" deployment mode of §1.
+type Monitor struct {
+	d     *db.Database
+	views map[string]*View
+	order []string
+}
+
+// NewMonitor creates a monitor over the database.
+func NewMonitor(d *db.Database) *Monitor {
+	return &Monitor{d: d, views: make(map[string]*View)}
+}
+
+// Database returns the monitored database.
+func (m *Monitor) Database() *db.Database { return m.d }
+
+// Register materializes a query as a named view.
+func (m *Monitor) Register(name string, q *cq.Query) (*View, error) {
+	if _, dup := m.views[name]; dup {
+		return nil, fmt.Errorf("view: duplicate view %q", name)
+	}
+	if err := q.Validate(m.d.Schema()); err != nil {
+		return nil, err
+	}
+	v := New(name, q, m.d)
+	m.views[name] = v
+	m.order = append(m.order, name)
+	return v, nil
+}
+
+// View returns the named view, or nil.
+func (m *Monitor) View(name string) *View { return m.views[name] }
+
+// Names returns the registered view names in registration order.
+func (m *Monitor) Names() []string {
+	out := make([]string, len(m.order))
+	copy(out, m.order)
+	return out
+}
+
+// Apply applies an edit to the database and incrementally updates every
+// view. It reports, per view, the answers that appeared or disappeared.
+func (m *Monitor) Apply(e db.Edit) (map[string][]db.Tuple, map[string][]db.Tuple, error) {
+	changed, err := m.d.Apply(e)
+	if err != nil {
+		return nil, nil, err
+	}
+	appeared := make(map[string][]db.Tuple)
+	disappeared := make(map[string][]db.Tuple)
+	if !changed {
+		return appeared, disappeared, nil
+	}
+	for _, name := range m.order {
+		a, dis := m.views[name].Apply(m.d, e)
+		if len(a) > 0 {
+			appeared[name] = a
+		}
+		if len(dis) > 0 {
+			disappeared[name] = dis
+		}
+	}
+	return appeared, disappeared, nil
+}
+
+// EditHook returns a function suitable for core.Config.OnEdit: the cleaner
+// applies edits to the monitor's database itself, so the hook only refreshes
+// the views incrementally.
+func (m *Monitor) EditHook() func(db.Edit) {
+	return func(e db.Edit) {
+		for _, name := range m.order {
+			m.views[name].Apply(m.d, e)
+		}
+	}
+}

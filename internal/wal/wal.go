@@ -1,0 +1,227 @@
+// Package wal persists a database as a CSV snapshot plus an append-only edit
+// journal (write-ahead log). The paper's prototype kept its data in MySQL;
+// this package gives the Go reproduction durable cleaning sessions: every
+// oracle-derived edit is journaled as it is applied, a crashed or restarted
+// process replays the journal over the last snapshot, and Compact folds the
+// journal into a fresh snapshot.
+package wal
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"repro/internal/db"
+	"repro/internal/schema"
+)
+
+const (
+	snapshotFile = "snapshot.csv"
+	journalFile  = "journal.log"
+)
+
+// record is one journaled edit, one JSON object per line.
+type record struct {
+	Op   string   `json:"op"` // "+" or "-"
+	Rel  string   `json:"rel"`
+	Args []string `json:"args"`
+}
+
+func recordOf(e db.Edit) record {
+	return record{Op: e.Op.String(), Rel: e.Fact.Rel, Args: e.Fact.Args}
+}
+
+func (r record) edit() (db.Edit, error) {
+	f := db.Fact{Rel: r.Rel, Args: db.Tuple(r.Args)}
+	switch r.Op {
+	case "+":
+		return db.Insertion(f), nil
+	case "-":
+		return db.Deletion(f), nil
+	default:
+		return db.Edit{}, fmt.Errorf("wal: bad op %q", r.Op)
+	}
+}
+
+// Store is a directory holding a snapshot and a journal, together with the
+// live in-memory database they encode.
+type Store struct {
+	dir     string
+	d       *db.Database
+	journal *os.File
+	w       *bufio.Writer
+}
+
+// Open loads the store in dir (creating it if empty): the snapshot is read
+// first, then the journal is replayed over it. The schema must match the one
+// the store was created with.
+func Open(dir string, s *schema.Schema) (*Store, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("wal: creating %s: %w", dir, err)
+	}
+	d := db.New(s)
+	// Snapshot (optional).
+	snap, err := os.Open(filepath.Join(dir, snapshotFile))
+	if err == nil {
+		loadErr := d.LoadCSV(snap)
+		snap.Close()
+		if loadErr != nil {
+			return nil, fmt.Errorf("wal: loading snapshot: %w", loadErr)
+		}
+	} else if !os.IsNotExist(err) {
+		return nil, fmt.Errorf("wal: opening snapshot: %w", err)
+	}
+	// Journal replay (optional).
+	if err := replay(filepath.Join(dir, journalFile), d); err != nil {
+		return nil, err
+	}
+	// Open the journal for appending.
+	j, err := os.OpenFile(filepath.Join(dir, journalFile), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("wal: opening journal: %w", err)
+	}
+	return &Store{dir: dir, d: d, journal: j, w: bufio.NewWriter(j)}, nil
+}
+
+// replay applies the journal at path to d. A torn final line (from a crash
+// mid-write) is tolerated and ignored; corruption elsewhere is an error.
+func replay(path string, d *db.Database) error {
+	f, err := os.Open(path)
+	if os.IsNotExist(err) {
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("wal: opening journal: %w", err)
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<22)
+	var lastErr error
+	for sc.Scan() {
+		if lastErr != nil {
+			// A malformed record followed by more records is corruption, not
+			// a torn tail.
+			return fmt.Errorf("wal: corrupt journal record: %w", lastErr)
+		}
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var r record
+		if err := json.Unmarshal(line, &r); err != nil {
+			lastErr = err
+			continue
+		}
+		e, err := r.edit()
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		if _, err := d.Apply(e); err != nil {
+			return fmt.Errorf("wal: replaying %v: %w", e, err)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return fmt.Errorf("wal: reading journal: %w", err)
+	}
+	return nil
+}
+
+// Database returns the live database. Mutations must flow through Apply (or
+// the EditHook) to be durable.
+func (s *Store) Database() *db.Database { return s.d }
+
+// Apply journals and applies an edit. No-op edits (inserting a present fact,
+// deleting an absent one) are not journaled.
+func (s *Store) Apply(e db.Edit) (changed bool, err error) {
+	changed, err = s.d.Apply(e)
+	if err != nil || !changed {
+		return changed, err
+	}
+	return true, s.append(e)
+}
+
+func (s *Store) append(e db.Edit) error {
+	raw, err := json.Marshal(recordOf(e))
+	if err != nil {
+		return fmt.Errorf("wal: encoding edit: %w", err)
+	}
+	if _, err := s.w.Write(raw); err != nil {
+		return fmt.Errorf("wal: writing journal: %w", err)
+	}
+	if err := s.w.WriteByte('\n'); err != nil {
+		return fmt.Errorf("wal: writing journal: %w", err)
+	}
+	return nil
+}
+
+// EditHook returns a function for core.Config.OnEdit: the cleaner applies
+// edits to the store's database itself, so the hook only journals them.
+func (s *Store) EditHook() func(db.Edit) {
+	return func(e db.Edit) {
+		_ = s.append(e) // best effort; Sync/Close surface write errors
+	}
+}
+
+// Sync flushes buffered journal records to stable storage.
+func (s *Store) Sync() error {
+	if err := s.w.Flush(); err != nil {
+		return fmt.Errorf("wal: flushing journal: %w", err)
+	}
+	if err := s.journal.Sync(); err != nil {
+		return fmt.Errorf("wal: syncing journal: %w", err)
+	}
+	return nil
+}
+
+// Compact writes a fresh snapshot of the live database and truncates the
+// journal. The snapshot is written to a temporary file and renamed, so a
+// crash mid-compaction leaves the previous snapshot+journal intact.
+func (s *Store) Compact() error {
+	if err := s.Sync(); err != nil {
+		return err
+	}
+	tmp, err := os.CreateTemp(s.dir, "snapshot-*.tmp")
+	if err != nil {
+		return fmt.Errorf("wal: creating snapshot: %w", err)
+	}
+	if err := s.d.WriteCSV(tmp); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("wal: writing snapshot: %w", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("wal: syncing snapshot: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("wal: closing snapshot: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), filepath.Join(s.dir, snapshotFile)); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("wal: installing snapshot: %w", err)
+	}
+	// Truncate the journal now that its effects are in the snapshot.
+	if err := s.journal.Truncate(0); err != nil {
+		return fmt.Errorf("wal: truncating journal: %w", err)
+	}
+	if _, err := s.journal.Seek(0, io.SeekStart); err != nil {
+		return fmt.Errorf("wal: rewinding journal: %w", err)
+	}
+	s.w.Reset(s.journal)
+	return nil
+}
+
+// Close flushes and closes the journal. The Store must not be used after.
+func (s *Store) Close() error {
+	if err := s.Sync(); err != nil {
+		s.journal.Close()
+		return err
+	}
+	return s.journal.Close()
+}

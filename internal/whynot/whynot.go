@@ -1,0 +1,106 @@
+// Package whynot locates the "picky" join that explains why a query has no
+// answers over a database, in the spirit of the WhyNot? system of Tran & Chan
+// that the paper's provenance-directed split builds on (§5.2). Given Q|t with
+// Q|t(D) = ∅, it orders the atoms into a connected left-deep plan, finds the
+// longest prefix whose subquery still has valid assignments in D, and reports
+// the join between that prefix and the remaining atoms as the frontier picky
+// operator. The provenance split cuts the query exactly there, so both sides
+// are likely to have assignments in D (mirroring Figure 2, right).
+package whynot
+
+import (
+	"repro/internal/cq"
+	"repro/internal/db"
+	"repro/internal/eval"
+)
+
+// Explanation describes the frontier picky join of a query over a database.
+type Explanation struct {
+	// Order is a connected left-deep ordering of atom indexes into the query.
+	Order []int
+	// PickyPos is the length of the longest prefix of Order whose induced
+	// subquery (with covered inequalities) has at least one valid assignment
+	// in D. The picky join combines Order[:PickyPos] with Order[PickyPos:].
+	// PickyPos is clamped to [1, len(Order)-1] so both sides are non-empty
+	// as atom sets; PickyPos == len(Order) means the whole query already has
+	// assignments (nothing is picky — only possible when Q(D) ≠ ∅).
+	PickyPos int
+}
+
+// Left returns the atom indexes on the non-empty (prefix) side of the join.
+func (e Explanation) Left() []int { return e.Order[:e.PickyPos] }
+
+// Right returns the atom indexes on the other side of the picky join.
+func (e Explanation) Right() []int { return e.Order[e.PickyPos:] }
+
+// Explain computes the Explanation for q over d. Queries with fewer than two
+// atoms have no join to blame; ok is false for those.
+func Explain(q *cq.Query, d *db.Database) (Explanation, bool) {
+	if len(q.Atoms) < 2 {
+		return Explanation{}, false
+	}
+	order := ConnectedOrder(q)
+	// Longest non-empty prefix. The empty prefix is vacuously non-empty, so
+	// start at 1: even if the first atom scans to nothing, the "join" we
+	// report is scan(atom0) ⋈ rest.
+	picky := 1
+	for k := 1; k <= len(order); k++ {
+		sub := cq.SubqueryOf(q, order[:k])
+		if !eval.Holds(sub, d, eval.Assignment{}) {
+			break
+		}
+		picky = k
+	}
+	if picky == len(order) {
+		return Explanation{Order: order, PickyPos: picky}, false
+	}
+	return Explanation{Order: order, PickyPos: picky}, true
+}
+
+// ConnectedOrder orders atom indexes so that each atom (when possible) shares
+// a variable with some earlier atom, producing a connected left-deep plan.
+// Ties are broken by original position, so the order is deterministic.
+func ConnectedOrder(q *cq.Query) []int {
+	n := len(q.Atoms)
+	used := make([]bool, n)
+	order := make([]int, 0, n)
+	boundVars := make(map[string]bool)
+
+	add := func(i int) {
+		used[i] = true
+		order = append(order, i)
+		for v := range q.Atoms[i].Vars() {
+			boundVars[v] = true
+		}
+	}
+	add(0)
+	for len(order) < n {
+		next := -1
+		for i := 0; i < n; i++ {
+			if used[i] {
+				continue
+			}
+			connected := false
+			for v := range q.Atoms[i].Vars() {
+				if boundVars[v] {
+					connected = true
+					break
+				}
+			}
+			if connected {
+				next = i
+				break
+			}
+		}
+		if next == -1 { // disconnected query: start a new component
+			for i := 0; i < n; i++ {
+				if !used[i] {
+					next = i
+					break
+				}
+			}
+		}
+		add(next)
+	}
+	return order
+}

@@ -1,0 +1,132 @@
+package whynot
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/cq"
+	"repro/internal/dataset"
+	"repro/internal/db"
+	"repro/internal/eval"
+	"repro/internal/schema"
+)
+
+func chainSchema() *schema.Schema {
+	return schema.New(
+		schema.Relation{Name: "R1", Attrs: []string{"a", "b"}},
+		schema.Relation{Name: "R2", Attrs: []string{"b", "c"}},
+		schema.Relation{Name: "R3", Attrs: []string{"c", "d"}},
+		schema.Relation{Name: "R4", Attrs: []string{"c", "e"}},
+	)
+}
+
+func TestConnectedOrderChain(t *testing.T) {
+	q := cq.MustParse("(x, y, z, w) :- R1(x, y), R3(z, w), R2(y, z)")
+	// R3 does not connect to R1 directly; R2 does, then R3 connects via z.
+	got := ConnectedOrder(q)
+	want := []int{0, 2, 1}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("ConnectedOrder = %v, want %v", got, want)
+	}
+}
+
+func TestConnectedOrderDisconnected(t *testing.T) {
+	q := cq.MustParse("(x, z) :- R1(x, y), R3(z, w)")
+	got := ConnectedOrder(q)
+	if len(got) != 2 {
+		t.Fatalf("order = %v", got)
+	}
+}
+
+// TestExplainFigure2 mirrors Figure 2 (right): a 4-atom chain where both the
+// first two atoms and the last two have assignments, but their join is empty.
+func TestExplainFigure2(t *testing.T) {
+	d := db.New(chainSchema())
+	// R1 ⋈ R2 non-empty via b=b1; R3 ⋈ R4 non-empty via c=c2; but R2's c
+	// values (c1) never meet R3/R4's (c2), so the top join is picky.
+	d.InsertFact(db.NewFact("R1", "a1", "b1"))
+	d.InsertFact(db.NewFact("R2", "b1", "c1"))
+	d.InsertFact(db.NewFact("R3", "c2", "d1"))
+	d.InsertFact(db.NewFact("R4", "c2", "e1"))
+	q := cq.MustParse("(x, y, z, w) :- R1(x, y), R2(y, z), R3(z, w), R4(z, v), z != x, w != x")
+
+	ex, ok := Explain(q, d)
+	if !ok {
+		t.Fatalf("Explain: no picky join found")
+	}
+	if ex.PickyPos != 2 {
+		t.Fatalf("PickyPos = %d, want 2 (R1⋈R2 vs R3,R4)", ex.PickyPos)
+	}
+	left := cq.SubqueryOf(q, ex.Left())
+	right := cq.SubqueryOf(q, ex.Right())
+	if !eval.Holds(left, d, eval.Assignment{}) {
+		t.Errorf("left side %v should have assignments", left)
+	}
+	if !eval.Holds(right, d, eval.Assignment{}) {
+		t.Errorf("right side %v should have assignments", right)
+	}
+	// The inequality z != x is covered by the left side (vars x,y,z).
+	if len(left.Ineqs) != 1 || left.Ineqs[0].Left.Name != "z" {
+		t.Errorf("left ineqs = %v, want [z != x]", left.Ineqs)
+	}
+}
+
+func TestExplainFirstAtomEmpty(t *testing.T) {
+	d := db.New(chainSchema())
+	d.InsertFact(db.NewFact("R2", "b1", "c1"))
+	q := cq.MustParse("(x, y, z) :- R1(x, y), R2(y, z)")
+	ex, ok := Explain(q, d)
+	if !ok {
+		t.Fatalf("Explain: want picky join")
+	}
+	if ex.PickyPos != 1 {
+		t.Errorf("PickyPos = %d, want 1 (clamped at first scan)", ex.PickyPos)
+	}
+}
+
+func TestExplainWholeQueryNonEmpty(t *testing.T) {
+	d := db.New(chainSchema())
+	d.InsertFact(db.NewFact("R1", "a1", "b1"))
+	d.InsertFact(db.NewFact("R2", "b1", "c1"))
+	q := cq.MustParse("(x, y, z) :- R1(x, y), R2(y, z)")
+	ex, ok := Explain(q, d)
+	if ok {
+		t.Errorf("Explain = %v, want ok=false when Q(D) non-empty", ex)
+	}
+	if ex.PickyPos != 2 {
+		t.Errorf("PickyPos = %d, want len(order)", ex.PickyPos)
+	}
+}
+
+func TestExplainSingleAtom(t *testing.T) {
+	d := db.New(chainSchema())
+	q := cq.MustParse("(x, y) :- R1(x, y)")
+	if _, ok := Explain(q, d); ok {
+		t.Errorf("single-atom query has no join to blame")
+	}
+}
+
+// TestExplainPirlo drives Explain on the paper's Example 5.4: Q2|Pirlo over
+// the Figure 1 database. The Players+Goals+Games prefix joins fine; the
+// Teams(ITA, EU) atom is missing from D, so the picky join is at the end.
+func TestExplainPirlo(t *testing.T) {
+	d, _ := dataset.Figure1()
+	q := dataset.IntroQ2()
+	qt, err := q.Embed(db.Tuple{"Andrea Pirlo"})
+	if err != nil {
+		t.Fatalf("Embed: %v", err)
+	}
+	ex, ok := Explain(qt, d)
+	if !ok {
+		t.Fatalf("Explain: want a picky join for the Pirlo query")
+	}
+	// Atoms: 0 Players, 1 Goals, 2 Games, 3 Teams. The first three join; the
+	// Teams atom kills the result.
+	if ex.PickyPos != 3 {
+		t.Errorf("PickyPos = %d, want 3", ex.PickyPos)
+	}
+	right := ex.Right()
+	if len(right) != 1 || qt.Atoms[right[0]].Rel != "Teams" {
+		t.Errorf("right side = %v, want the Teams atom", right)
+	}
+}
