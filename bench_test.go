@@ -1,6 +1,7 @@
 package repro
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 	"time"
@@ -209,7 +210,7 @@ func BenchmarkCompositeAblation(b *testing.B) {
 				cl := core.New(d, crowd.NewPerfect(dg), core.Config{
 					CompositeSize: size, RNG: rand.New(rand.NewSource(int64(i))),
 				})
-				if _, err := cl.RemoveWrongAnswer(dataset.IntroQ1(), db.Tuple{"ESP"}); err != nil {
+				if _, err := cl.RemoveWrongAnswer(context.Background(), dataset.IntroQ1(), db.Tuple{"ESP"}); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -218,15 +219,22 @@ func BenchmarkCompositeAblation(b *testing.B) {
 }
 
 // BenchmarkCleanFigure1 times a full Algorithm 3 run on the paper's running
-// example.
+// example, reporting the Report.Timings phase breakdown as custom metrics.
 func BenchmarkCleanFigure1(b *testing.B) {
+	var total core.Timings
 	for i := 0; i < b.N; i++ {
 		d, dg := dataset.Figure1()
 		cl := core.New(d, crowd.NewPerfect(dg), core.Config{RNG: rand.New(rand.NewSource(1))})
-		if _, err := cl.Clean(dataset.IntroQ1()); err != nil {
+		rep, err := cl.Clean(context.Background(), dataset.IntroQ1())
+		if err != nil {
 			b.Fatal(err)
 		}
+		total.Add(rep.Timings)
 	}
+	n := float64(b.N)
+	b.ReportMetric(float64(total.Verify)/n, "verify-ns/op")
+	b.ReportMetric(float64(total.Delete)/n, "delete-ns/op")
+	b.ReportMetric(float64(total.Insert)/n, "insert-ns/op")
 }
 
 // BenchmarkCleanlinessSweep regenerates the data-cleanliness sweep (§7.2's
@@ -299,7 +307,7 @@ func BenchmarkParallelVsSerialVerification(b *testing.B) {
 				cl := core.New(d, oracle, core.Config{
 					Parallel: parallel, RNG: rand.New(rand.NewSource(1)),
 				})
-				if _, err := cl.Clean(dataset.IntroQ1()); err != nil {
+				if _, err := cl.Clean(context.Background(), dataset.IntroQ1()); err != nil {
 					b.Fatal(err)
 				}
 			}

@@ -16,6 +16,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -99,7 +100,7 @@ func run() error {
 	}
 
 	cleaner := core.New(d, oracle, core.Config{})
-	report, err := cleaner.Clean(q)
+	report, err := cleaner.Clean(context.Background(), q)
 	if err != nil {
 		return err
 	}

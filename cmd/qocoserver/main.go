@@ -1,48 +1,124 @@
 // Command qocoserver runs QOCO as a web service (the paper's Figure 5
 // deployment): a crowd console at / serves pending questions to crowd
-// members, while cleaning jobs are started over the JSON API.
+// members, while cleaning jobs are started over the versioned JSON API.
 //
 //	qocoserver -addr :8080 -dataset figure1
 //
 // then, in another terminal:
 //
-//	curl -X POST localhost:8080/clean -d '{"sql": "SELECT t.name FROM Teams t WHERE t.continent = '\''EU'\''"}'
+//	curl -X POST localhost:8080/api/v1/clean -d '{"sql": "SELECT t.name FROM Teams t WHERE t.continent = '\''EU'\''"}'
 //
-// and answer the questions in a browser at http://localhost:8080/.
+// and answer the questions in a browser at http://localhost:8080/. Live
+// process metrics are served at /api/v1/metrics; -debug additionally mounts
+// the net/http/pprof profiling handlers under /debug/pprof/. The server
+// shuts down cleanly on SIGINT/SIGTERM: pending crowd questions are released
+// with edit-free answers and in-flight requests get a grace period.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"os"
+	"os/signal"
+	"syscall"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/dataset"
 	"repro/internal/db"
+	"repro/internal/eval"
 	"repro/internal/server"
 )
 
 func main() {
+	if err := run(); err != nil {
+		fmt.Fprintf(os.Stderr, "qocoserver: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// loadDataset builds the named built-in database. For figure1 it also
+// returns the ground truth (the paper's DG) so the caller can report how far
+// the dirty instance is from it; the synthetic generators are their own
+// ground truth and return nil.
+func loadDataset(name string) (d, dg *db.Database, err error) {
+	switch name {
+	case "figure1":
+		d, dg = dataset.Figure1()
+		return d, dg, nil
+	case "soccer":
+		return dataset.Soccer(dataset.SoccerOpts{}), nil, nil
+	case "dbgroup":
+		return dataset.DBGroup(dataset.DBGroupOpts{}), nil, nil
+	default:
+		return nil, nil, fmt.Errorf("unknown dataset %q (want figure1, soccer, or dbgroup)", name)
+	}
+}
+
+func run() error {
 	addr := flag.String("addr", ":8080", "listen address")
 	ds := flag.String("dataset", "figure1", "built-in dataset: figure1, soccer, dbgroup")
+	debug := flag.Bool("debug", false, "mount net/http/pprof under /debug/pprof/")
+	grace := flag.Duration("grace", 5*time.Second, "shutdown grace period for in-flight requests")
 	flag.Parse()
 
-	var d *db.Database
-	switch *ds {
-	case "figure1":
-		d, _ = dataset.Figure1()
-	case "soccer":
-		d = dataset.Soccer(dataset.SoccerOpts{})
-	case "dbgroup":
-		d = dataset.DBGroup(dataset.DBGroupOpts{})
-	default:
-		fmt.Fprintf(os.Stderr, "qocoserver: unknown dataset %q\n", *ds)
-		os.Exit(2)
+	d, dg, err := loadDataset(*ds)
+	if err != nil {
+		return err
 	}
 
 	srv := server.New(d, core.Config{})
+	// Route evaluator metrics (witness enumeration latencies and sizes) into
+	// the same recorder the server serves at /api/v1/metrics.
+	eval.Instrument(srv.Obs())
+
+	mux := http.NewServeMux()
+	mux.Handle("/", srv.Handler())
+	if *debug {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
+
+	httpSrv := &http.Server{Addr: *addr, Handler: mux}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpSrv.ListenAndServe() }()
+
 	log.Printf("QOCO crowd console on http://localhost%s/ (dataset %s, %d tuples)", *addr, *ds, d.Len())
-	log.Fatal(http.ListenAndServe(*addr, srv.Handler()))
+	if dg != nil {
+		log.Printf("ground truth loaded: %d tuples (the crowd is expected to know it)", dg.Len())
+	}
+	if *debug {
+		log.Printf("pprof enabled at http://localhost%s/debug/pprof/", *addr)
+	}
+
+	select {
+	case err := <-errCh:
+		return err // ListenAndServe failed before any signal
+	case <-ctx.Done():
+	}
+	log.Printf("shutting down: releasing pending crowd questions")
+	// Unblock oracle calls first so background cleaning jobs finish with
+	// edit-free answers instead of holding Shutdown past the grace period.
+	srv.Close()
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), *grace)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutdownCtx); err != nil {
+		return fmt.Errorf("shutdown: %w", err)
+	}
+	if err := <-errCh; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	return nil
 }

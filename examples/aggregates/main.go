@@ -12,6 +12,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
@@ -55,7 +56,7 @@ func main() {
 
 	cleaner := core.New(d, crowd.NewPerfect(dg), core.Config{RNG: rand.New(rand.NewSource(1))})
 	for _, g := range diff {
-		report, err := agg.CleanGroup(cleaner, wins, g)
+		report, err := agg.CleanGroup(context.Background(), cleaner, wins, g)
 		if err != nil {
 			log.Fatal(err)
 		}

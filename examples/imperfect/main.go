@@ -11,6 +11,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
@@ -41,7 +42,7 @@ func main() {
 			MinNulls:      2,
 			MaxIterations: 100,
 		})
-		_, err := cl.Clean(q)
+		_, err := cl.Clean(context.Background(), q)
 		converged := "yes"
 		if err != nil {
 			converged = "no (" + err.Error() + ")"

@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -29,7 +30,7 @@ func main() {
 	fmt.Println("True result:    ", eval.Result(q, dg)) // [(GER) (ITA)]
 
 	cleaner := core.New(d, crowd.NewPerfect(dg), core.Config{})
-	report, err := cleaner.Clean(q)
+	report, err := cleaner.Clean(context.Background(), q)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
@@ -61,7 +62,7 @@ func main() {
 			Split:    split.Provenance{},
 			RNG:      rand.New(rand.NewSource(7)),
 		})
-		_, err := cl.Clean(queries[1])
+		_, err := cl.Clean(context.Background(), queries[1])
 		if err != nil {
 			log.Fatalf("%v: %v", policy, err)
 		}

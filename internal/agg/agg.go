@@ -14,6 +14,7 @@
 package agg
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strconv"
@@ -223,10 +224,10 @@ func (q *Query) MemberQuery(group db.Tuple) (*cq.Query, error) {
 // CleanGroup repairs the aggregate value of one group by running the general
 // cleaner on the group's member query. The cleaner carries the oracle, the
 // database and all configuration.
-func CleanGroup(c *core.Cleaner, q *Query, group db.Tuple) (*core.Report, error) {
+func CleanGroup(ctx context.Context, c *core.Cleaner, q *Query, group db.Tuple) (*core.Report, error) {
 	member, err := q.MemberQuery(group)
 	if err != nil {
 		return nil, err
 	}
-	return c.Clean(member)
+	return c.Clean(ctx, member)
 }

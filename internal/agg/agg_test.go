@@ -1,6 +1,7 @@
 package agg
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"testing"
@@ -167,7 +168,7 @@ func TestCleanGroupRepairsAggregate(t *testing.T) {
 	q := winsBody(t)
 	cl := core.New(d, crowd.NewPerfect(dg), core.Config{RNG: rand.New(rand.NewSource(5))})
 
-	report, err := CleanGroup(cl, q, db.Tuple{"ESP"})
+	report, err := CleanGroup(context.Background(), cl, q, db.Tuple{"ESP"})
 	if err != nil {
 		t.Fatalf("CleanGroup: %v", err)
 	}
@@ -202,7 +203,7 @@ func TestCleanAllDiffGroups(t *testing.T) {
 			return // aggregates agree on every group
 		}
 		for _, g := range diff {
-			if _, err := CleanGroup(cl, q, g); err != nil {
+			if _, err := CleanGroup(context.Background(), cl, q, g); err != nil {
 				t.Fatalf("CleanGroup(%v): %v", g, err)
 			}
 		}

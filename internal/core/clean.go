@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"sort"
 	"sync"
 
@@ -18,37 +19,64 @@ import (
 // of error can surface errors of the other type (Example 6.1); each edit
 // brings D closer to DG (Prop 3.3), so with a correct crowd the loop
 // converges. ErrNoConvergence is returned if MaxIterations trips first.
-func (c *Cleaner) Clean(q *cq.Query) (*Report, error) {
+//
+// Cancelling ctx stops the run between questions: Clean returns ctx.Err()
+// (with the partial report) without waiting for outstanding crowd answers.
+func (c *Cleaner) Clean(ctx context.Context, q *cq.Query) (*Report, error) {
 	r := &Report{}
+	finish := func(err error) (*Report, error) {
+		r.Crowd = c.oracle.Snapshot()
+		return r, err
+	}
+	defer c.phase(MetricCleanSeconds, &r.Timings.Total)()
 	verified := make(map[string]bool)
 	failedInsert := make(map[string]bool)
 	est := enumest.New()
 
 	for iter := 0; ; iter++ {
+		if err := ctx.Err(); err != nil {
+			return finish(err)
+		}
 		if iter >= c.cfg.MaxIterations {
-			r.Crowd = c.oracle.Snapshot()
-			return r, ErrNoConvergence
+			return finish(ErrNoConvergence)
 		}
 		r.Iterations = iter + 1
+		c.setIteration(iter + 1)
 
 		// Deletion part (Algorithm 3 lines 2-6).
 		unverified := c.unverifiedAnswers(q, verified)
 		if iter > 0 && len(unverified) == 0 {
 			break // while-condition: Q(D) ∖ VerifiedResults = ∅
 		}
-		wrong := c.verifyAnswers(q, unverified, verified)
+		stopVerify := c.phase(MetricVerifySeconds, &r.Timings.Verify)
+		wrong := c.verifyAnswers(ctx, q, unverified, verified)
+		stopVerify()
+		if err := ctx.Err(); err != nil {
+			return finish(err)
+		}
+		stopDelete := c.phase(MetricDeleteSeconds, &r.Timings.Delete)
 		for _, t := range wrong {
 			r.WrongAnswers++
-			if err := c.removeWrongAnswer(r, q, t); err != nil {
-				r.Crowd = c.oracle.Snapshot()
-				return r, err
+			if err := c.removeWrongAnswer(ctx, r, q, t); err != nil {
+				stopDelete()
+				return finish(err)
 			}
 		}
+		stopDelete()
 
 		// Insertion part (Algorithm 3 lines 7-9).
+		stopInsert := c.phase(MetricInsertSeconds, &r.Timings.Insert)
 		for {
+			if err := ctx.Err(); err != nil {
+				stopInsert()
+				return finish(err)
+			}
 			cur := eval.Result(q, c.d)
-			proposals := c.completeResults(q, cur)
+			proposals := c.completeResults(ctx, q, cur)
+			if err := ctx.Err(); err != nil {
+				stopInsert()
+				return finish(err)
+			}
 			if len(proposals) == 0 {
 				est.ObserveNull()
 				if est.ConsecutiveNulls() >= c.cfg.MinNulls {
@@ -69,33 +97,33 @@ func (c *Cleaner) Clean(q *cq.Query) (*Report, error) {
 				}
 				est.Observe(t.Key())
 				r.MissingAnswers++
-				err := c.addMissingAnswer(r, q, t)
+				err := c.addMissingAnswer(ctx, r, q, t)
 				switch err {
 				case nil:
 					verified[t.Key()] = true
 				case ErrCannotComplete:
 					failedInsert[t.Key()] = true
 				default:
-					r.Crowd = c.oracle.Snapshot()
-					return r, err
+					stopInsert()
+					return finish(err)
 				}
 			}
 			if stuck || est.Complete(c.cfg.MinSamples, c.cfg.MinNulls) {
 				break
 			}
 		}
+		stopInsert()
 	}
-	r.Crowd = c.oracle.Snapshot()
-	return r, nil
+	return finish(nil)
 }
 
 // completeResults poses COMPL(Q(D)) to the crowd — in Parallel mode several
 // copies are posted together (§6.2: "post together multiple completion
 // questions"), and the distinct proposals are returned in deterministic
 // order. Serial mode asks once.
-func (c *Cleaner) completeResults(q *cq.Query, cur []db.Tuple) []db.Tuple {
+func (c *Cleaner) completeResults(ctx context.Context, q *cq.Query, cur []db.Tuple) []db.Tuple {
 	if !c.cfg.Parallel {
-		if t, ok := c.oracle.CompleteResult(q, cur); ok {
+		if t, ok := c.oracle.CompleteResult(ctx, q, cur); ok {
 			return []db.Tuple{t}
 		}
 		return nil
@@ -108,7 +136,7 @@ func (c *Cleaner) completeResults(q *cq.Query, cur []db.Tuple) []db.Tuple {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			results[i], oks[i] = c.oracle.CompleteResult(q, cur)
+			results[i], oks[i] = c.oracle.CompleteResult(ctx, q, cur)
 		}(i)
 	}
 	wg.Wait()
@@ -137,8 +165,9 @@ func (c *Cleaner) unverifiedAnswers(q *cq.Query, verified map[string]bool) []db.
 
 // verifyAnswers poses TRUE(Q, t)? for every unverified answer — concurrently
 // in Parallel mode (§6.2) — marking the true ones verified and returning the
-// wrong ones in deterministic order.
-func (c *Cleaner) verifyAnswers(q *cq.Query, tuples []db.Tuple, verified map[string]bool) []db.Tuple {
+// wrong ones in deterministic order. On a cancelled context the edit-free
+// default answers mark nothing wrong.
+func (c *Cleaner) verifyAnswers(ctx context.Context, q *cq.Query, tuples []db.Tuple, verified map[string]bool) []db.Tuple {
 	if len(tuples) == 0 {
 		return nil
 	}
@@ -149,14 +178,17 @@ func (c *Cleaner) verifyAnswers(q *cq.Query, tuples []db.Tuple, verified map[str
 			wg.Add(1)
 			go func(i int, t db.Tuple) {
 				defer wg.Done()
-				answers[i] = c.oracle.VerifyAnswer(q, t)
+				answers[i] = c.oracle.VerifyAnswer(ctx, q, t)
 			}(i, t)
 		}
 		wg.Wait()
 	} else {
 		for i, t := range tuples {
-			answers[i] = c.oracle.VerifyAnswer(q, t)
+			answers[i] = c.oracle.VerifyAnswer(ctx, q, t)
 		}
+	}
+	if ctx.Err() != nil {
+		return nil // cancelled mid-round: don't trust or record the defaults
 	}
 	var wrong []db.Tuple
 	for i, t := range tuples {
@@ -173,18 +205,26 @@ func (c *Cleaner) verifyAnswers(q *cq.Query, tuples []db.Tuple, verified map[str
 // in §2 that its results extend to UCQs). Wrong answers collect witnesses
 // from every disjunct that produces them; missing answers are inserted via
 // the first disjunct the crowd can witness.
-func (c *Cleaner) CleanUnion(u *cq.Union) (*Report, error) {
+func (c *Cleaner) CleanUnion(ctx context.Context, u *cq.Union) (*Report, error) {
 	r := &Report{}
+	finish := func(err error) (*Report, error) {
+		r.Crowd = c.oracle.Snapshot()
+		return r, err
+	}
+	defer c.phase(MetricCleanSeconds, &r.Timings.Total)()
 	verified := make(map[string]bool)
 	failedInsert := make(map[string]bool)
 	est := enumest.New()
 
 	for iter := 0; ; iter++ {
+		if err := ctx.Err(); err != nil {
+			return finish(err)
+		}
 		if iter >= c.cfg.MaxIterations {
-			r.Crowd = c.oracle.Snapshot()
-			return r, ErrNoConvergence
+			return finish(ErrNoConvergence)
 		}
 		r.Iterations = iter + 1
+		c.setIteration(iter + 1)
 
 		var unverified []db.Tuple
 		for _, t := range eval.ResultUnion(u, c.d) {
@@ -196,14 +236,22 @@ func (c *Cleaner) CleanUnion(u *cq.Union) (*Report, error) {
 			break
 		}
 		for _, t := range unverified {
+			if err := ctx.Err(); err != nil {
+				return finish(err)
+			}
 			// TRUE(U, t)? decomposes into per-disjunct membership: t is a
 			// true answer iff some disjunct yields it over DG.
+			stopVerify := c.phase(MetricVerifySeconds, &r.Timings.Verify)
 			isTrue := false
 			for _, q := range u.Disjuncts {
-				if c.oracle.VerifyAnswer(q, t) {
+				if c.oracle.VerifyAnswer(ctx, q, t) {
 					isTrue = true
 					break
 				}
+			}
+			stopVerify()
+			if err := ctx.Err(); err != nil {
+				return finish(err)
 			}
 			if isTrue {
 				verified[t.Key()] = true
@@ -211,19 +259,30 @@ func (c *Cleaner) CleanUnion(u *cq.Union) (*Report, error) {
 			}
 			r.WrongAnswers++
 			// Remove the answer from every disjunct that currently yields it.
+			stopDelete := c.phase(MetricDeleteSeconds, &r.Timings.Delete)
 			for _, q := range u.Disjuncts {
 				if eval.AnswerHolds(q, c.d, t) {
-					if err := c.removeWrongAnswer(r, q, t); err != nil {
-						r.Crowd = c.oracle.Snapshot()
-						return r, err
+					if err := c.removeWrongAnswer(ctx, r, q, t); err != nil {
+						stopDelete()
+						return finish(err)
 					}
 				}
 			}
+			stopDelete()
 		}
 
+		stopInsert := c.phase(MetricInsertSeconds, &r.Timings.Insert)
 		for {
+			if err := ctx.Err(); err != nil {
+				stopInsert()
+				return finish(err)
+			}
 			cur := eval.ResultUnion(u, c.d)
-			t, ok := c.completeResultUnion(u, cur)
+			t, ok := c.completeResultUnion(ctx, u, cur)
+			if err := ctx.Err(); err != nil {
+				stopInsert()
+				return finish(err)
+			}
 			if !ok {
 				est.ObserveNull()
 				if est.ConsecutiveNulls() >= c.cfg.MinNulls {
@@ -241,14 +300,14 @@ func (c *Cleaner) CleanUnion(u *cq.Union) (*Report, error) {
 				if len(t) != q.Arity() {
 					continue
 				}
-				err := c.addMissingAnswer(r, q, t)
+				err := c.addMissingAnswer(ctx, r, q, t)
 				if err == nil {
 					inserted = true
 					break
 				}
 				if err != ErrCannotComplete {
-					r.Crowd = c.oracle.Snapshot()
-					return r, err
+					stopInsert()
+					return finish(err)
 				}
 			}
 			if inserted {
@@ -260,16 +319,16 @@ func (c *Cleaner) CleanUnion(u *cq.Union) (*Report, error) {
 				break
 			}
 		}
+		stopInsert()
 	}
-	r.Crowd = c.oracle.Snapshot()
-	return r, nil
+	return finish(nil)
 }
 
 // completeResultUnion asks COMPL over the union: each disjunct is probed for
 // a missing answer against the union's current result.
-func (c *Cleaner) completeResultUnion(u *cq.Union, current []db.Tuple) (db.Tuple, bool) {
+func (c *Cleaner) completeResultUnion(ctx context.Context, u *cq.Union, current []db.Tuple) (db.Tuple, bool) {
 	for _, q := range u.Disjuncts {
-		if t, ok := c.oracle.CompleteResult(q, current); ok {
+		if t, ok := c.oracle.CompleteResult(ctx, q, current); ok {
 			return t, true
 		}
 	}

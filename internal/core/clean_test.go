@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"testing"
@@ -30,7 +31,7 @@ func TestCleanIntroQ1(t *testing.T) {
 	c := New(d, crowd.NewPerfect(dg), Config{RNG: rand.New(rand.NewSource(3))})
 	q := dataset.IntroQ1()
 
-	r, err := c.Clean(q)
+	r, err := c.Clean(context.Background(), q)
 	if err != nil {
 		t.Fatalf("Clean: %v", err)
 	}
@@ -67,7 +68,7 @@ func TestCleanExample61Cascade(t *testing.T) {
 	c := New(d, crowd.NewPerfect(dg), Config{RNG: rand.New(rand.NewSource(1))})
 	q := dataset.IntroQ2()
 
-	r, err := c.Clean(q)
+	r, err := c.Clean(context.Background(), q)
 	if err != nil {
 		t.Fatalf("Clean: %v", err)
 	}
@@ -101,12 +102,12 @@ func TestCleanParallelMatchesSerial(t *testing.T) {
 	q := dataset.IntroQ1()
 	dSerial, dg := dataset.Figure1()
 	cSerial := New(dSerial, crowd.NewPerfect(dg), Config{RNG: rand.New(rand.NewSource(2))})
-	if _, err := cSerial.Clean(q); err != nil {
+	if _, err := cSerial.Clean(context.Background(), q); err != nil {
 		t.Fatalf("serial Clean: %v", err)
 	}
 	dPar, dg2 := dataset.Figure1()
 	cPar := New(dPar, crowd.NewPerfect(dg2), Config{RNG: rand.New(rand.NewSource(2)), Parallel: true})
-	if _, err := cPar.Clean(q); err != nil {
+	if _, err := cPar.Clean(context.Background(), q); err != nil {
 		t.Fatalf("parallel Clean: %v", err)
 	}
 	if tuplesKey(eval.Result(q, dSerial)) != tuplesKey(eval.Result(q, dPar)) {
@@ -123,7 +124,7 @@ func TestCleanEmptyInitialResult(t *testing.T) {
 	dg.InsertFact(db.NewFact("R", "x", "y"))
 	q := mustQuery(t, "(a) :- R(a, b)")
 	c := New(d, crowd.NewPerfect(dg), Config{})
-	if _, err := c.Clean(q); err != nil {
+	if _, err := c.Clean(context.Background(), q); err != nil {
 		t.Fatalf("Clean: %v", err)
 	}
 	if !eval.AnswerHolds(q, d, db.Tuple{"x"}) {
@@ -137,7 +138,7 @@ func TestCleanAlreadyClean(t *testing.T) {
 	d := dg.Clone()
 	c := New(d, crowd.NewPerfect(dg), Config{})
 	q := dataset.IntroQ1()
-	r, err := c.Clean(q)
+	r, err := c.Clean(context.Background(), q)
 	if err != nil {
 		t.Fatalf("Clean: %v", err)
 	}
@@ -187,7 +188,7 @@ func TestCleanConvergenceRandomized(t *testing.T) {
 		for qi, q := range queries {
 			dd := d.Clone()
 			c := New(dd, crowd.NewPerfect(dg), Config{RNG: rand.New(rand.NewSource(seed + 100))})
-			r, err := c.Clean(q)
+			r, err := c.Clean(context.Background(), q)
 			if err != nil {
 				t.Fatalf("seed %d query %d: Clean: %v", seed, qi, err)
 			}
@@ -213,7 +214,7 @@ func TestCleanDistanceMonotone(t *testing.T) {
 	d, dg := dataset.Figure1()
 	before := d.Distance(dg)
 	c := New(d, crowd.NewPerfect(dg), Config{})
-	if _, err := c.Clean(dataset.IntroQ1()); err != nil {
+	if _, err := c.Clean(context.Background(), dataset.IntroQ1()); err != nil {
 		t.Fatalf("Clean: %v", err)
 	}
 	after := d.Distance(dg)
@@ -237,7 +238,7 @@ func TestCleanWithImperfectPanel(t *testing.T) {
 	)
 	c := New(d, panel, Config{RNG: rng, MinNulls: 2, MaxIterations: 100})
 	q := dataset.IntroQ1()
-	if _, err := c.Clean(q); err != nil {
+	if _, err := c.Clean(context.Background(), q); err != nil {
 		t.Fatalf("Clean with panel: %v", err)
 	}
 	if tuplesKey(eval.Result(q, d)) != tuplesKey(eval.Result(q, dg)) {
@@ -251,7 +252,7 @@ func TestCleanUnion(t *testing.T) {
 	u := cq.MustParseUnion(
 		"(x) :- Games(d1, x, y, Final, u1), Teams(x, EU) ; (x) :- Games(d1, x, y, Final, u1), Teams(x, SA)")
 	c := New(d, crowd.NewPerfect(dg), Config{RNG: rand.New(rand.NewSource(4))})
-	if _, err := c.CleanUnion(u); err != nil {
+	if _, err := c.CleanUnion(context.Background(), u); err != nil {
 		t.Fatalf("CleanUnion: %v", err)
 	}
 	got := eval.ResultUnion(u, d)
@@ -271,12 +272,12 @@ func TestCleanUnionSingleDisjunctMatchesClean(t *testing.T) {
 	}
 	d1, dg := dataset.Figure1()
 	c1 := New(d1, crowd.NewPerfect(dg), Config{RNG: rand.New(rand.NewSource(7))})
-	if _, err := c1.Clean(q); err != nil {
+	if _, err := c1.Clean(context.Background(), q); err != nil {
 		t.Fatal(err)
 	}
 	d2, dg2 := dataset.Figure1()
 	c2 := New(d2, crowd.NewPerfect(dg2), Config{RNG: rand.New(rand.NewSource(7))})
-	if _, err := c2.CleanUnion(u); err != nil {
+	if _, err := c2.CleanUnion(context.Background(), u); err != nil {
 		t.Fatal(err)
 	}
 	if tuplesKey(eval.Result(q, d1)) != tuplesKey(eval.Result(q, d2)) {
@@ -290,7 +291,7 @@ func TestCleanMaxIterationsGuard(t *testing.T) {
 	d, dg := dataset.Figure1()
 	liar := crowd.NewExpert(dg, 1.0, rand.New(rand.NewSource(1)))
 	c := New(d, liar, Config{MaxIterations: 5})
-	_, err := c.Clean(dataset.IntroQ1())
+	_, err := c.Clean(context.Background(), dataset.IntroQ1())
 	if err == nil {
 		t.Skip("liar happened to terminate (possible depending on flow)")
 	}
@@ -304,7 +305,7 @@ func TestCleanMaxIterationsGuard(t *testing.T) {
 func TestCleanReportFields(t *testing.T) {
 	d, dg := dataset.Figure1()
 	c := New(d, crowd.NewPerfect(dg), Config{})
-	r, err := c.Clean(dataset.IntroQ1())
+	r, err := c.Clean(context.Background(), dataset.IntroQ1())
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -7,14 +7,36 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math/rand"
 	"sync"
+	"time"
 
 	"repro/internal/crowd"
 	"repro/internal/db"
+	"repro/internal/obs"
 	"repro/internal/split"
+)
+
+// Metric names the cleaner records under when Config.Obs is set.
+const (
+	// MetricEditsInsert / MetricEditsDelete count edits applied to D.
+	MetricEditsInsert = "clean.edits.insert"
+	MetricEditsDelete = "clean.edits.delete"
+	// MetricIterations counts outer Algorithm 3 rounds across all runs.
+	MetricIterations = "clean.iterations"
+	// MetricWitnessSets is the distribution of witness-set counts per wrong
+	// answer handled by Algorithm 1.
+	MetricWitnessSets = "clean.witness_sets"
+	// Phase latency histograms, in seconds: answer verification (Algorithm 3
+	// lines 2-4), wrong-answer removal (Algorithm 1), missing-answer insertion
+	// (Algorithm 2 plus the §6.1 enumeration loop), and whole runs.
+	MetricVerifySeconds = "clean.phase.verify.seconds"
+	MetricDeleteSeconds = "clean.phase.delete.seconds"
+	MetricInsertSeconds = "clean.phase.insert.seconds"
+	MetricCleanSeconds  = "clean.total.seconds"
 )
 
 // DeletionPolicy selects how Algorithm 1 picks the next witness tuple to
@@ -140,6 +162,11 @@ type Config struct {
 	// fewer variables for the crowd to fill in the naive fallback. Off by
 	// default to match the paper's algorithms exactly.
 	MinimizeQueries bool
+	// Obs, when non-nil, receives live metrics from the run: question counts
+	// by kind (via the crowd.Counting wrapper), edits applied, phase
+	// latencies, witness-set sizes, and hitting-set solver node counts. Nil
+	// disables recording at zero cost.
+	Obs *obs.Recorder
 }
 
 func (c *Config) applyDefaults() {
@@ -166,6 +193,25 @@ func (c *Config) applyDefaults() {
 	}
 }
 
+// Timings breaks a run's wall-clock time into the phases of Algorithm 3:
+// verifying answers, removing wrong answers (Algorithm 1), and inserting
+// missing answers (Algorithm 2 with the §6.1 enumeration loop). Total is the
+// whole run, including result evaluation between phases.
+type Timings struct {
+	Verify time.Duration `json:"verify"`
+	Delete time.Duration `json:"delete"`
+	Insert time.Duration `json:"insert"`
+	Total  time.Duration `json:"total"`
+}
+
+// Add accumulates another Timings into t.
+func (t *Timings) Add(o Timings) {
+	t.Verify += o.Verify
+	t.Delete += o.Delete
+	t.Insert += o.Insert
+	t.Total += o.Total
+}
+
 // Report summarizes one cleaning run.
 type Report struct {
 	// Edits applied to the database, in order.
@@ -181,6 +227,15 @@ type Report struct {
 	CompositeQuestions int
 	// Crowd is the interaction accounting for the whole run.
 	Crowd crowd.Stats
+	// Timings is the phase breakdown of the run's wall-clock time.
+	Timings Timings
+}
+
+// Progress is a point-in-time view of a run for live monitoring: which outer
+// Algorithm 3 round is executing and the crowd cost accumulated so far.
+type Progress struct {
+	Iteration int         `json:"iteration"`
+	Crowd     crowd.Stats `json:"crowd"`
 }
 
 // Cleaner drives QOCO over one database instance.
@@ -193,16 +248,19 @@ type Cleaner struct {
 	knownTrue  map[string]bool
 	knownFalse map[string]bool
 	unsat      map[string]bool // partial-assignment keys known non-satisfiable
+	iteration  int             // current Algorithm 3 round, for Progress
 }
 
 // New builds a Cleaner over the database with the given oracle and config.
 // The database is mutated in place by the cleaning methods.
 func New(d *db.Database, oracle crowd.Oracle, cfg Config) *Cleaner {
 	cfg.applyDefaults()
+	counting := crowd.NewCounting(oracle)
+	counting.Obs = cfg.Obs
 	return &Cleaner{
 		cfg:        cfg,
 		d:          d,
-		oracle:     crowd.NewCounting(oracle),
+		oracle:     counting,
 		knownTrue:  make(map[string]bool),
 		knownFalse: make(map[string]bool),
 		unsat:      make(map[string]bool),
@@ -215,10 +273,40 @@ func (c *Cleaner) Database() *db.Database { return c.d }
 // Stats returns the crowd interaction statistics accumulated so far.
 func (c *Cleaner) Stats() crowd.Stats { return c.oracle.Snapshot() }
 
+// Progress returns the cleaner's current iteration and crowd cost. Safe to
+// call concurrently with a running Clean; the server uses it to report
+// incremental job progress.
+func (c *Cleaner) Progress() Progress {
+	c.mu.Lock()
+	iter := c.iteration
+	c.mu.Unlock()
+	return Progress{Iteration: iter, Crowd: c.oracle.Snapshot()}
+}
+
+// setIteration records the current Algorithm 3 round and bumps the iteration
+// counter metric.
+func (c *Cleaner) setIteration(iter int) {
+	c.mu.Lock()
+	c.iteration = iter
+	c.mu.Unlock()
+	c.cfg.Obs.Inc(MetricIterations)
+}
+
+// phase starts timing one algorithm phase; the returned func stops the clock,
+// accumulating into the Timings field and the recorder histogram.
+func (c *Cleaner) phase(metric string, acc *time.Duration) func() {
+	start := time.Now()
+	return func() {
+		d := time.Since(start)
+		*acc += d
+		c.cfg.Obs.ObserveDuration(metric, d)
+	}
+}
+
 // verifyFact answers TRUE(R(ā))? consulting the known-answer caches first, so
 // the same question is never posed to the crowd twice (§3.2 assumes questions
 // are never repeated).
-func (c *Cleaner) verifyFact(f db.Fact) bool {
+func (c *Cleaner) verifyFact(ctx context.Context, f db.Fact) bool {
 	k := f.Key()
 	c.mu.Lock()
 	if c.knownTrue[k] {
@@ -229,7 +317,13 @@ func (c *Cleaner) verifyFact(f db.Fact) bool {
 		c.mu.Unlock()
 		return false
 	}
-	ans := c.oracle.VerifyFact(f)
+	ans := c.oracle.VerifyFact(ctx, f)
+	if ctx.Err() != nil {
+		// A cancelled question yields the edit-free default; don't let it
+		// poison the never-repeat caches.
+		c.mu.Unlock()
+		return ans
+	}
 	if ans {
 		c.knownTrue[k] = true
 		c.inferKeyConflictsLocked(f)
@@ -294,8 +388,10 @@ func (c *Cleaner) apply(r *Report, e db.Edit) error {
 	r.Edits = append(r.Edits, e)
 	if e.Op == db.Insert {
 		r.Insertions++
+		c.cfg.Obs.Inc(MetricEditsInsert)
 	} else {
 		r.Deletions++
+		c.cfg.Obs.Inc(MetricEditsDelete)
 	}
 	if c.cfg.OnEdit != nil {
 		c.cfg.OnEdit(e)

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"sort"
 
 	"repro/internal/cq"
@@ -21,22 +22,25 @@ import (
 // hitting set exists (Theorem 4.5) and its tuples must be false. PolicyQOCO
 // also consults the never-repeat caches, so a tuple whose truth is already
 // known costs nothing.
-func (c *Cleaner) RemoveWrongAnswer(q *cq.Query, t db.Tuple) ([]db.Edit, error) {
+func (c *Cleaner) RemoveWrongAnswer(ctx context.Context, q *cq.Query, t db.Tuple) ([]db.Edit, error) {
 	r := &Report{}
-	if err := c.removeWrongAnswer(r, q, t); err != nil {
+	defer c.phase(MetricDeleteSeconds, &r.Timings.Delete)()
+	if err := c.removeWrongAnswer(ctx, r, q, t); err != nil {
 		return r.Edits, err
 	}
 	return r.Edits, nil
 }
 
-func (c *Cleaner) removeWrongAnswer(r *Report, q *cq.Query, t db.Tuple) error {
+func (c *Cleaner) removeWrongAnswer(ctx context.Context, r *Report, q *cq.Query, t db.Tuple) error {
 	witnesses := eval.Witnesses(q, c.d, t)
+	c.cfg.Obs.Observe(MetricWitnessSets, float64(len(witnesses)))
 	if len(witnesses) == 0 {
 		return nil
 	}
 	// Build the set system over fact keys, remembering key -> fact.
 	facts := make(map[string]db.Fact)
 	ss := hitting.NewSetSystem()
+	ss.Obs = c.cfg.Obs
 	for _, w := range witnesses {
 		keys := make([]string, 0, len(w))
 		for _, f := range w {
@@ -71,6 +75,9 @@ func (c *Cleaner) removeWrongAnswer(r *Report, q *cq.Query, t db.Tuple) error {
 	}
 
 	for !ss.Empty() {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		if useSingleton {
 			// Lines 2-4: singleton tuples must be false; delete without asking.
 			for _, k := range ss.Singletons() {
@@ -92,9 +99,12 @@ func (c *Cleaner) removeWrongAnswer(r *Report, q *cq.Query, t db.Tuple) error {
 			if ss.Empty() {
 				break
 			}
-			if c.verifyFact(facts[k]) {
+			if c.verifyFact(ctx, facts[k]) {
 				ss.RemoveElement(k)
 			} else {
+				if err := ctx.Err(); err != nil {
+					return err // the "true" default above kept this branch edit-free
+				}
 				if err := c.apply(r, db.Deletion(facts[k])); err != nil {
 					return err
 				}
@@ -103,7 +113,7 @@ func (c *Cleaner) removeWrongAnswer(r *Report, q *cq.Query, t db.Tuple) error {
 		}
 	}
 	if len(q.Negs) > 0 {
-		return c.repairNegationBlockers(r, q, t)
+		return c.repairNegationBlockers(ctx, r, q, t)
 	}
 	return nil
 }
@@ -113,8 +123,11 @@ func (c *Cleaner) removeWrongAnswer(r *Report, q *cq.Query, t db.Tuple) error {
 // answer must instead be blocked by a fact of a negated atom that is missing
 // from D. The crowd verifies each candidate blocker; true ones are inserted,
 // invalidating the assignment.
-func (c *Cleaner) repairNegationBlockers(r *Report, q *cq.Query, t db.Tuple) error {
+func (c *Cleaner) repairNegationBlockers(ctx context.Context, r *Report, q *cq.Query, t db.Tuple) error {
 	for guard := 0; eval.AnswerHolds(q, c.d, t); guard++ {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		if guard > len(q.Negs)*64+16 {
 			return nil // oracle inconsistency: stop rather than loop forever
 		}
@@ -125,7 +138,7 @@ func (c *Cleaner) repairNegationBlockers(r *Report, q *cq.Query, t db.Tuple) err
 				if !ok || c.d.Has(f) {
 					continue
 				}
-				if c.verifyFact(f) {
+				if c.verifyFact(ctx, f) && ctx.Err() == nil {
 					if err := c.apply(r, db.Insertion(f)); err != nil {
 						return err
 					}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -31,7 +32,7 @@ func TestRemoveWrongAnswerESP(t *testing.T) {
 		if ub := WrongAnswerUpperBound(q, d, db.Tuple{"ESP"}); ub != 5 {
 			t.Fatalf("upper bound = %d, want 5 distinct witness tuples", ub)
 		}
-		edits, err := c.RemoveWrongAnswer(q, db.Tuple{"ESP"})
+		edits, err := c.RemoveWrongAnswer(context.Background(), q, db.Tuple{"ESP"})
 		if err != nil {
 			t.Fatalf("seed %d: RemoveWrongAnswer: %v", seed, err)
 		}
@@ -73,7 +74,7 @@ func TestExample46ScriptedFlow(t *testing.T) {
 	for seed := int64(0); seed < 200; seed++ {
 		d, dg := dataset.Figure1()
 		c := New(d, crowd.NewPerfect(dg), Config{RNG: rand.New(rand.NewSource(seed))})
-		if _, err := c.RemoveWrongAnswer(q, db.Tuple{"ESP"}); err != nil {
+		if _, err := c.RemoveWrongAnswer(context.Background(), q, db.Tuple{"ESP"}); err != nil {
 			t.Fatalf("RemoveWrongAnswer: %v", err)
 		}
 		if c.Stats().VerifyFactQs == 3 && c.Database().Distance(dg) >= 0 {
@@ -100,7 +101,7 @@ func TestSingletonRuleNoQuestions(t *testing.T) {
 	d.InsertFact(db.NewFact("R", "v", "w2"))
 	q := mustQuery(t, "(x) :- R(x, y)")
 	c := New(d, crowd.NewPerfect(dg), Config{})
-	edits, err := c.RemoveWrongAnswer(q, db.Tuple{"v"})
+	edits, err := c.RemoveWrongAnswer(context.Background(), q, db.Tuple{"v"})
 	if err != nil {
 		t.Fatalf("RemoveWrongAnswer: %v", err)
 	}
@@ -126,11 +127,11 @@ func TestQOCOMinusAsksMore(t *testing.T) {
 
 	d1, dg1 := build()
 	qoco := New(d1, crowd.NewPerfect(dg1), Config{Deletion: PolicyQOCO})
-	qoco.RemoveWrongAnswer(q, db.Tuple{"v"})
+	qoco.RemoveWrongAnswer(context.Background(), q, db.Tuple{"v"})
 
 	d2, dg2 := build()
 	minus := New(d2, crowd.NewPerfect(dg2), Config{Deletion: PolicyQOCOMinus})
-	minus.RemoveWrongAnswer(q, db.Tuple{"v"})
+	minus.RemoveWrongAnswer(context.Background(), q, db.Tuple{"v"})
 
 	if qoco.Stats().VerifyFactQs != 0 {
 		t.Errorf("QOCO asked %d, want 0", qoco.Stats().VerifyFactQs)
@@ -152,7 +153,7 @@ func TestDeletionPoliciesAllCorrect(t *testing.T) {
 			for seed := int64(0); seed < 5; seed++ {
 				d, dg := dataset.Figure1()
 				c := New(d, crowd.NewPerfect(dg), Config{Deletion: policy, RNG: rand.New(rand.NewSource(seed))})
-				edits, err := c.RemoveWrongAnswer(q, db.Tuple{"ESP"})
+				edits, err := c.RemoveWrongAnswer(context.Background(), q, db.Tuple{"ESP"})
 				if err != nil {
 					t.Fatalf("%v seed %d: %v", policy, seed, err)
 				}
@@ -178,7 +179,7 @@ func TestRandomPolicyCostAtLeastQOCO(t *testing.T) {
 		for seed := int64(0); seed < 20; seed++ {
 			d, dg := dataset.Figure1()
 			c := New(d, crowd.NewPerfect(dg), Config{Deletion: policy, RNG: rand.New(rand.NewSource(seed))})
-			if _, err := c.RemoveWrongAnswer(q, db.Tuple{"ESP"}); err != nil {
+			if _, err := c.RemoveWrongAnswer(context.Background(), q, db.Tuple{"ESP"}); err != nil {
 				t.Fatalf("%v: %v", policy, err)
 			}
 			total[policy] += c.Stats().VerifyFactQs
@@ -193,7 +194,7 @@ func TestRandomPolicyCostAtLeastQOCO(t *testing.T) {
 func TestRemoveAbsentAnswerNoop(t *testing.T) {
 	c, _, _ := newTestCleaner(t, Config{})
 	q := dataset.IntroQ1()
-	edits, err := c.RemoveWrongAnswer(q, db.Tuple{"ITA"})
+	edits, err := c.RemoveWrongAnswer(context.Background(), q, db.Tuple{"ITA"})
 	if err != nil || len(edits) != 0 {
 		t.Errorf("edits = %v, err = %v; want none", edits, err)
 	}
@@ -220,7 +221,7 @@ func TestNeverRepeatAcrossAnswers(t *testing.T) {
 	q := mustQuery(t, "(x) :- R(x, y), T(y, z)")
 
 	c := New(d, crowd.NewPerfect(dg), Config{RNG: rand.New(rand.NewSource(0))})
-	if _, err := c.RemoveWrongAnswer(q, db.Tuple{"a1"}); err != nil {
+	if _, err := c.RemoveWrongAnswer(context.Background(), q, db.Tuple{"a1"}); err != nil {
 		t.Fatal(err)
 	}
 	q1 := c.Stats().VerifyFactQs
@@ -228,7 +229,7 @@ func TestNeverRepeatAcrossAnswers(t *testing.T) {
 	if eval.AnswerHolds(q, d, db.Tuple{"a2"}) {
 		t.Fatalf("(a2) should be gone after the shared false tuple was deleted")
 	}
-	if _, err := c.RemoveWrongAnswer(q, db.Tuple{"a2"}); err != nil {
+	if _, err := c.RemoveWrongAnswer(context.Background(), q, db.Tuple{"a2"}); err != nil {
 		t.Fatal(err)
 	}
 	if c.Stats().VerifyFactQs != q1 {
@@ -242,7 +243,7 @@ func TestCompositeQuestions(t *testing.T) {
 	q := dataset.IntroQ1()
 	d, dg := dataset.Figure1()
 	c := New(d, crowd.NewPerfect(dg), Config{CompositeSize: 3, RNG: rand.New(rand.NewSource(1))})
-	edits, err := c.RemoveWrongAnswer(q, db.Tuple{"ESP"})
+	edits, err := c.RemoveWrongAnswer(context.Background(), q, db.Tuple{"ESP"})
 	if err != nil {
 		t.Fatalf("RemoveWrongAnswer: %v", err)
 	}

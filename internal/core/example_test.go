@@ -1,6 +1,7 @@
 package core_test
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
@@ -20,7 +21,7 @@ func Example() {
 	cleaner := core.New(d, crowd.NewPerfect(dg), core.Config{
 		RNG: rand.New(rand.NewSource(3)),
 	})
-	report, err := cleaner.Clean(q)
+	report, err := cleaner.Clean(context.Background(), q)
 	if err != nil {
 		panic(err)
 	}

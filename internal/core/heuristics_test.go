@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -22,7 +23,7 @@ func TestAlternativeHeuristicsCorrect(t *testing.T) {
 				c := New(d, crowd.NewPerfect(dg), Config{
 					Deletion: policy, RNG: rand.New(rand.NewSource(seed)),
 				})
-				edits, err := c.RemoveWrongAnswer(q, db.Tuple{"ESP"})
+				edits, err := c.RemoveWrongAnswer(context.Background(), q, db.Tuple{"ESP"})
 				if err != nil {
 					t.Fatalf("seed %d: %v", seed, err)
 				}
@@ -53,7 +54,7 @@ func TestResponsibilityPrefersCounterfactual(t *testing.T) {
 	// run continues afterwards; we just check the first question.
 	probe := &firstQuestionOracle{Oracle: crowd.NewPerfect(dg)}
 	c.oracle = crowd.NewCounting(probe)
-	if _, err := c.RemoveWrongAnswer(q, db.Tuple{"ESP"}); err != nil {
+	if _, err := c.RemoveWrongAnswer(context.Background(), q, db.Tuple{"ESP"}); err != nil {
 		t.Fatal(err)
 	}
 	want := db.NewFact("Teams", "ESP", "EU")
@@ -68,12 +69,12 @@ type firstQuestionOracle struct {
 	first *db.Fact
 }
 
-func (o *firstQuestionOracle) VerifyFact(f db.Fact) bool {
+func (o *firstQuestionOracle) VerifyFact(ctx context.Context, f db.Fact) bool {
 	if o.first == nil {
 		g := f.Clone()
 		o.first = &g
 	}
-	return o.Oracle.VerifyFact(f)
+	return o.Oracle.VerifyFact(ctx, f)
 }
 
 // TestTrustScoresDriveOrder: with trust scores naming the false tuples as
@@ -89,7 +90,7 @@ func TestTrustScoresDriveOrder(t *testing.T) {
 	}
 	c := New(d, crowd.NewPerfect(dg), Config{Deletion: PolicyTrust, TrustScores: scores})
 	q := dataset.IntroQ1()
-	if _, err := c.RemoveWrongAnswer(q, db.Tuple{"ESP"}); err != nil {
+	if _, err := c.RemoveWrongAnswer(context.Background(), q, db.Tuple{"ESP"}); err != nil {
 		t.Fatal(err)
 	}
 	// Perfect trust prior: at most the 3 false tuples are asked about (the
@@ -122,7 +123,7 @@ func TestInfluencePolicyCorrect(t *testing.T) {
 	probe := &firstQuestionOracle{Oracle: crowd.NewPerfect(dg)}
 	c.oracle = crowd.NewCounting(probe)
 	q := dataset.IntroQ1()
-	edits, err := c.RemoveWrongAnswer(q, db.Tuple{"ESP"})
+	edits, err := c.RemoveWrongAnswer(context.Background(), q, db.Tuple{"ESP"})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"sort"
 
 	"repro/internal/cq"
@@ -13,15 +14,16 @@ import (
 // split strategy to direct the crowd with data that already exists in D. The
 // edits are applied and returned. ErrCannotComplete is reported when the
 // crowd cannot produce a witness (with a perfect oracle: t ∉ Q(DG)).
-func (c *Cleaner) AddMissingAnswer(q *cq.Query, t db.Tuple) ([]db.Edit, error) {
+func (c *Cleaner) AddMissingAnswer(ctx context.Context, q *cq.Query, t db.Tuple) ([]db.Edit, error) {
 	r := &Report{}
-	if err := c.addMissingAnswer(r, q, t); err != nil {
+	defer c.phase(MetricInsertSeconds, &r.Timings.Insert)()
+	if err := c.addMissingAnswer(ctx, r, q, t); err != nil {
 		return r.Edits, err
 	}
 	return r.Edits, nil
 }
 
-func (c *Cleaner) addMissingAnswer(r *Report, q *cq.Query, t db.Tuple) error {
+func (c *Cleaner) addMissingAnswer(ctx context.Context, r *Report, q *cq.Query, t db.Tuple) error {
 	qt, err := q.Embed(t)
 	if err != nil {
 		return err
@@ -61,9 +63,12 @@ func (c *Cleaner) addMissingAnswer(r *Report, q *cq.Query, t db.Tuple) error {
 	}
 	// Lines 4-17: process subqueries until a witness materializes.
 	for len(queue) > 0 && !eval.Holds(qt, c.d, eval.Assignment{}) {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		currQ := queue[0]
 		queue = queue[1:]
-		done, err := c.trySubquery(r, qt, currQ)
+		done, err := c.trySubquery(ctx, r, qt, currQ)
 		if err != nil {
 			return err
 		}
@@ -80,18 +85,21 @@ func (c *Cleaner) addMissingAnswer(r *Report, q *cq.Query, t db.Tuple) error {
 		return nil
 	}
 	// Line 18: fall back to asking the crowd for an entire witness.
-	full, ok := c.complete(qt, eval.Assignment{})
+	full, ok := c.complete(ctx, qt, eval.Assignment{})
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	if !ok {
 		return ErrCannotComplete
 	}
-	return c.insertWitness(r, qt, full)
+	return c.insertWitness(ctx, r, qt, full)
 }
 
 // trySubquery evaluates one subquery (Algorithm 2 lines 6-15): for each of
 // its assignments over D, verify the induced grounded part of Q|t with the
 // crowd, and either recognize a total valid assignment or ask the crowd to
 // complete a satisfiable partial one.
-func (c *Cleaner) trySubquery(r *Report, qt, currQ *cq.Query) (bool, error) {
+func (c *Cleaner) trySubquery(ctx context.Context, r *Report, qt, currQ *cq.Query) (bool, error) {
 	asgs := eval.Eval(currQ, c.d)
 	// Prefer assignments that ground more of Q|t: they are closer to full
 	// witnesses and need less crowd completion work. Rank before capping so
@@ -103,19 +111,25 @@ func (c *Cleaner) trySubquery(r *Report, qt, currQ *cq.Query) (bool, error) {
 		asgs = asgs[:c.cfg.AssignmentCap]
 	}
 	for _, a := range asgs {
-		if !c.verifyGrounded(qt, a) {
+		if err := ctx.Err(); err != nil {
+			return false, err
+		}
+		if !c.verifyGrounded(ctx, qt, a) {
 			continue // some induced fact is false or a ground inequality fails
 		}
 		if a.TotalFor(qt) {
 			// Line 8-10: a total valid assignment w.r.t. DG.
-			return true, c.insertWitness(r, qt, a)
+			return true, c.insertWitness(ctx, r, qt, a)
 		}
 		// Lines 12-15: ask the crowd to complete the partial assignment.
-		full, ok := c.complete(qt, a)
+		full, ok := c.complete(ctx, qt, a)
+		if err := ctx.Err(); err != nil {
+			return false, err
+		}
 		if !ok {
 			continue
 		}
-		return true, c.insertWitness(r, qt, full)
+		return true, c.insertWitness(ctx, r, qt, full)
 	}
 	return false, nil
 }
@@ -124,7 +138,7 @@ func (c *Cleaner) trySubquery(r *Report, qt, currQ *cq.Query) (bool, error) {
 // atom must be a true fact, every grounded inequality must hold, and no
 // grounded negated atom may denote a true fact. Atoms with unbound variables
 // are skipped (they are not yet facts).
-func (c *Cleaner) verifyGrounded(qt *cq.Query, a eval.Assignment) bool {
+func (c *Cleaner) verifyGrounded(ctx context.Context, qt *cq.Query, a eval.Assignment) bool {
 	for _, e := range qt.Ineqs {
 		if !a.IneqHolds(e) {
 			return false
@@ -135,7 +149,7 @@ func (c *Cleaner) verifyGrounded(qt *cq.Query, a eval.Assignment) bool {
 		if !ok {
 			continue
 		}
-		if !c.verifyFact(f) {
+		if !c.verifyFact(ctx, f) {
 			return false
 		}
 	}
@@ -144,7 +158,7 @@ func (c *Cleaner) verifyGrounded(qt *cq.Query, a eval.Assignment) bool {
 		if !ok {
 			continue
 		}
-		if c.verifyFact(f) {
+		if c.verifyFact(ctx, f) {
 			return false // the negated atom's fact is true: α cannot hold
 		}
 	}
@@ -153,15 +167,15 @@ func (c *Cleaner) verifyGrounded(qt *cq.Query, a eval.Assignment) bool {
 
 // complete poses COMPL(α, Q|t), consulting the non-satisfiable cache so the
 // same hopeless partial assignment is never sent to the crowd twice.
-func (c *Cleaner) complete(qt *cq.Query, a eval.Assignment) (eval.Assignment, bool) {
+func (c *Cleaner) complete(ctx context.Context, qt *cq.Query, a eval.Assignment) (eval.Assignment, bool) {
 	key := qt.String() + "\x1d" + a.Key()
 	c.mu.Lock()
 	if c.unsat[key] {
 		c.mu.Unlock()
 		return nil, false
 	}
-	full, ok := c.oracle.Complete(qt, a)
-	if !ok {
+	full, ok := c.oracle.Complete(ctx, qt, a)
+	if !ok && ctx.Err() == nil {
 		c.unsat[key] = true
 	}
 	c.mu.Unlock()
@@ -174,7 +188,7 @@ func (c *Cleaner) complete(qt *cq.Query, a eval.Assignment) (eval.Assignment, bo
 // the assignment are then verified with the crowd: false blockers are
 // deleted; a true blocker means this witness cannot hold in the ground truth
 // (ErrCannotComplete).
-func (c *Cleaner) insertWitness(r *Report, qt *cq.Query, a eval.Assignment) error {
+func (c *Cleaner) insertWitness(ctx context.Context, r *Report, qt *cq.Query, a eval.Assignment) error {
 	for _, f := range a.Witness(qt) {
 		c.markTrueFact(f)
 		if err := c.apply(r, db.Insertion(f)); err != nil {
@@ -182,7 +196,7 @@ func (c *Cleaner) insertWitness(r *Report, qt *cq.Query, a eval.Assignment) erro
 		}
 	}
 	for _, f := range eval.BlockingFacts(qt, c.d, a) {
-		if c.verifyFact(f) {
+		if c.verifyFact(ctx, f) && ctx.Err() == nil {
 			return ErrCannotComplete // a true fact blocks this witness
 		}
 		if err := c.apply(r, db.Deletion(f)); err != nil {

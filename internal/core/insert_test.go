@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"math/rand"
 	"testing"
@@ -22,7 +23,7 @@ func TestAddMissingAnswerPirloProvenance(t *testing.T) {
 	c := New(d, crowd.NewPerfect(dg), Config{Split: split.Provenance{}})
 	q := dataset.IntroQ2()
 
-	edits, err := c.AddMissingAnswer(q, db.Tuple{"Andrea Pirlo"})
+	edits, err := c.AddMissingAnswer(context.Background(), q, db.Tuple{"Andrea Pirlo"})
 	if err != nil {
 		t.Fatalf("AddMissingAnswer: %v", err)
 	}
@@ -44,7 +45,7 @@ func TestAddMissingAnswerNaive(t *testing.T) {
 	c := New(d, crowd.NewPerfect(dg), Config{Split: split.Naive{}})
 	q := dataset.IntroQ2()
 
-	if _, err := c.AddMissingAnswer(q, db.Tuple{"Andrea Pirlo"}); err != nil {
+	if _, err := c.AddMissingAnswer(context.Background(), q, db.Tuple{"Andrea Pirlo"}); err != nil {
 		t.Fatalf("AddMissingAnswer: %v", err)
 	}
 	if !eval.AnswerHolds(q, d, db.Tuple{"Andrea Pirlo"}) {
@@ -71,7 +72,7 @@ func TestSplitStrategiesAllInsert(t *testing.T) {
 		t.Run(s.Name(), func(t *testing.T) {
 			d, dg := dataset.Figure1()
 			c := New(d, crowd.NewPerfect(dg), Config{Split: s})
-			edits, err := c.AddMissingAnswer(q, db.Tuple{"Andrea Pirlo"})
+			edits, err := c.AddMissingAnswer(context.Background(), q, db.Tuple{"Andrea Pirlo"})
 			if err != nil {
 				t.Fatalf("AddMissingAnswer: %v", err)
 			}
@@ -103,7 +104,7 @@ func TestAddMissingAnswerGroundAtomSeeding(t *testing.T) {
 	// ITA into Q1: Q1|ITA contains the ground atom Teams(ITA, EU).
 	c := New(d, crowd.NewPerfect(dg), Config{Split: split.Provenance{}})
 	q := dataset.IntroQ1()
-	edits, err := c.AddMissingAnswer(q, db.Tuple{"ITA"})
+	edits, err := c.AddMissingAnswer(context.Background(), q, db.Tuple{"ITA"})
 	if err != nil {
 		t.Fatalf("AddMissingAnswer: %v", err)
 	}
@@ -126,7 +127,7 @@ func TestAddMissingAnswerAlreadyPresent(t *testing.T) {
 	d, dg := dataset.Figure1()
 	c := New(d, crowd.NewPerfect(dg), Config{})
 	q := dataset.IntroQ1()
-	edits, err := c.AddMissingAnswer(q, db.Tuple{"GER"})
+	edits, err := c.AddMissingAnswer(context.Background(), q, db.Tuple{"GER"})
 	if err != nil {
 		t.Fatalf("AddMissingAnswer: %v", err)
 	}
@@ -146,7 +147,7 @@ func TestAddMissingAnswerNotAnAnswer(t *testing.T) {
 	d, dg := dataset.Figure1()
 	c := New(d, crowd.NewPerfect(dg), Config{Split: split.Naive{}})
 	q := dataset.IntroQ1()
-	_, err := c.AddMissingAnswer(q, db.Tuple{"NED"}) // NED never won
+	_, err := c.AddMissingAnswer(context.Background(), q, db.Tuple{"NED"}) // NED never won
 	if !errors.Is(err, ErrCannotComplete) {
 		t.Errorf("err = %v, want ErrCannotComplete", err)
 	}
@@ -156,7 +157,7 @@ func TestAddMissingAnswerNotAnAnswer(t *testing.T) {
 func TestAddMissingAnswerBadArity(t *testing.T) {
 	d, dg := dataset.Figure1()
 	c := New(d, crowd.NewPerfect(dg), Config{})
-	if _, err := c.AddMissingAnswer(dataset.IntroQ1(), db.Tuple{"a", "b"}); err == nil {
+	if _, err := c.AddMissingAnswer(context.Background(), dataset.IntroQ1(), db.Tuple{"a", "b"}); err == nil {
 		t.Errorf("want error for arity mismatch")
 	}
 }
@@ -167,12 +168,12 @@ func TestUnsatCacheAvoidsRepeatCompletions(t *testing.T) {
 	d, dg := dataset.Figure1()
 	c := New(d, crowd.NewPerfect(dg), Config{Split: split.Provenance{}})
 	q := dataset.IntroQ2()
-	if _, err := c.AddMissingAnswer(q, db.Tuple{"Andrea Pirlo"}); err != nil {
+	if _, err := c.AddMissingAnswer(context.Background(), q, db.Tuple{"Andrea Pirlo"}); err != nil {
 		t.Fatal(err)
 	}
 	before := c.Stats().CompleteQs
 	// Re-adding the same (now present) answer must not pose new completions.
-	if _, err := c.AddMissingAnswer(q, db.Tuple{"Andrea Pirlo"}); err != nil {
+	if _, err := c.AddMissingAnswer(context.Background(), q, db.Tuple{"Andrea Pirlo"}); err != nil {
 		t.Fatal(err)
 	}
 	if c.Stats().CompleteQs != before {
@@ -196,12 +197,12 @@ func TestMinimizeQueriesReducesNaiveCost(t *testing.T) {
 
 	d1, dg1 := build()
 	plain := New(d1, crowd.NewPerfect(dg1), Config{Split: split.Naive{}})
-	if _, err := plain.AddMissingAnswer(q, db.Tuple{"k"}); err != nil {
+	if _, err := plain.AddMissingAnswer(context.Background(), q, db.Tuple{"k"}); err != nil {
 		t.Fatalf("plain: %v", err)
 	}
 	d2, dg2 := build()
 	min := New(d2, crowd.NewPerfect(dg2), Config{Split: split.Naive{}, MinimizeQueries: true})
-	if _, err := min.AddMissingAnswer(q, db.Tuple{"k"}); err != nil {
+	if _, err := min.AddMissingAnswer(context.Background(), q, db.Tuple{"k"}); err != nil {
 		t.Fatalf("minimized: %v", err)
 	}
 	if !eval.AnswerHolds(q, d2, db.Tuple{"k"}) {

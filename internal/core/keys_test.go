@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/crowd"
@@ -41,12 +42,12 @@ func TestKeyInferenceSavesQuestions(t *testing.T) {
 		c := New(d, crowd.NewPerfect(dg), Config{UseKeys: useKeys})
 		// Step 1: add the missing answer (k) of qGood. Its Q|t ground atom
 		// R(k, good) is inserted and marked true.
-		if _, err := c.AddMissingAnswer(qGood, db.Tuple{"k"}); err != nil {
+		if _, err := c.AddMissingAnswer(context.Background(), qGood, db.Tuple{"k"}); err != nil {
 			t.Fatalf("AddMissingAnswer: %v", err)
 		}
 		base := c.Stats().VerifyFactQs
 		// Step 2: remove the wrong answer (k, bad) of qPair.
-		if _, err := c.RemoveWrongAnswer(qPair, db.Tuple{"k", "bad"}); err != nil {
+		if _, err := c.RemoveWrongAnswer(context.Background(), qPair, db.Tuple{"k", "bad"}); err != nil {
 			t.Fatalf("RemoveWrongAnswer: %v", err)
 		}
 		return c.Stats().VerifyFactQs - base, !eval.AnswerHolds(qPair, d, db.Tuple{"k", "bad"})
@@ -75,7 +76,7 @@ func TestKeyInferenceFigure1Dates(t *testing.T) {
 	c := New(d, crowd.NewPerfect(dg), Config{UseKeys: true})
 	trueFinal := db.NewFact("Games", "12.07.98", "FRA", "BRA", "Final", "3:0")
 	fakeFinal := db.NewFact("Games", "12.07.98", "ESP", "NED", "Final", "4:2")
-	if !c.verifyFact(trueFinal) {
+	if !c.verifyFact(context.Background(), trueFinal) {
 		t.Fatalf("true 1998 final should verify")
 	}
 	c.mu.Lock()
@@ -99,7 +100,7 @@ func TestKeyInferenceResolvesConflictsWithoutQuestions(t *testing.T) {
 	c := New(d, crowd.NewPerfect(dg), Config{UseKeys: true})
 
 	c.markTrueFact(db.NewFact("R", "k", "v2"))
-	if c.verifyFact(db.NewFact("R", "k", "v1")) {
+	if c.verifyFact(context.Background(), db.NewFact("R", "k", "v1")) {
 		t.Fatal("v1 should be false (conflicts with the true v2 on key a)")
 	}
 	if got := c.Stats().VerifyFactQs; got != 0 {

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -31,7 +32,7 @@ func TestNegationWrongAnswerViaMissingBlocker(t *testing.T) {
 
 	q := mustQuery(t, "(x) :- R(x, y), not Banned(x)")
 	c := New(d, crowd.NewPerfect(dg), Config{RNG: rand.New(rand.NewSource(1))})
-	edits, err := c.RemoveWrongAnswer(q, db.Tuple{"v"})
+	edits, err := c.RemoveWrongAnswer(context.Background(), q, db.Tuple{"v"})
 	if err != nil {
 		t.Fatalf("RemoveWrongAnswer: %v", err)
 	}
@@ -59,7 +60,7 @@ func TestNegationWrongAnswerViaFalsePositiveFact(t *testing.T) {
 	// dg has neither R(v,1) nor Banned(v).
 	q := mustQuery(t, "(x) :- R(x, y), not Banned(x)")
 	c := New(d, crowd.NewPerfect(dg), Config{})
-	if _, err := c.RemoveWrongAnswer(q, db.Tuple{"v"}); err != nil {
+	if _, err := c.RemoveWrongAnswer(context.Background(), q, db.Tuple{"v"}); err != nil {
 		t.Fatal(err)
 	}
 	if d.Has(db.NewFact("R", "v", "1")) {
@@ -78,7 +79,7 @@ func TestNegationMissingAnswerViaBlockerDeletion(t *testing.T) {
 
 	q := mustQuery(t, "(x) :- R(x, y), not Banned(x)")
 	c := New(d, crowd.NewPerfect(dg), Config{})
-	edits, err := c.AddMissingAnswer(q, db.Tuple{"v"})
+	edits, err := c.AddMissingAnswer(context.Background(), q, db.Tuple{"v"})
 	if err != nil {
 		t.Fatalf("AddMissingAnswer: %v", err)
 	}
@@ -102,7 +103,7 @@ func TestNegationMissingAnswerTrueBlocker(t *testing.T) {
 
 	q := mustQuery(t, "(x) :- R(x, y), not Banned(x)")
 	c := New(d, crowd.NewPerfect(dg), Config{})
-	if _, err := c.AddMissingAnswer(q, db.Tuple{"v"}); err != ErrCannotComplete {
+	if _, err := c.AddMissingAnswer(context.Background(), q, db.Tuple{"v"}); err != ErrCannotComplete {
 		t.Errorf("err = %v, want ErrCannotComplete", err)
 	}
 	if !d.Has(db.NewFact("Banned", "v")) {
@@ -125,7 +126,7 @@ func TestNegationFullClean(t *testing.T) {
 
 	q := mustQuery(t, "(x) :- R(x, y), not Banned(x)")
 	c := New(d, crowd.NewPerfect(dg), Config{RNG: rand.New(rand.NewSource(7))})
-	if _, err := c.Clean(q); err != nil {
+	if _, err := c.Clean(context.Background(), q); err != nil {
 		t.Fatalf("Clean: %v", err)
 	}
 	got := eval.Result(q, d)

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -27,7 +28,7 @@ func TestParallelFanOutWithRandomizingOracle(t *testing.T) {
 	// Error-free expert: correct answers, random sampling of missing ones.
 	oracle := crowd.NewExpert(dg, 0, rand.New(rand.NewSource(6)))
 	c := New(d, oracle, Config{Parallel: true, RNG: rng})
-	if _, err := c.Clean(q); err != nil {
+	if _, err := c.Clean(context.Background(), q); err != nil {
 		t.Fatalf("Clean: %v", err)
 	}
 	got := eval.Result(q, d)
@@ -49,7 +50,7 @@ func TestCompleteResultsDedup(t *testing.T) {
 	c := New(d, crowd.NewPerfect(dg), Config{Parallel: true})
 	q := dataset.IntroQ1()
 	cur := eval.Result(q, d)
-	proposals := c.completeResults(q, cur)
+	proposals := c.completeResults(context.Background(), q, cur)
 	// The perfect oracle deterministically proposes (ITA) three times; the
 	// fan-out must collapse them to one.
 	if len(proposals) != 1 || !proposals[0].Equal(db.Tuple{"ITA"}) {
@@ -58,7 +59,7 @@ func TestCompleteResultsDedup(t *testing.T) {
 	// Complete result: all fan-out copies return nothing.
 	full := eval.Result(q, dg)
 	cPerfect := New(dg.Clone(), crowd.NewPerfect(dg), Config{Parallel: true})
-	if got := cPerfect.completeResults(q, full); len(got) != 0 {
+	if got := cPerfect.completeResults(context.Background(), q, full); len(got) != 0 {
 		t.Errorf("proposals on complete result = %v, want none", got)
 	}
 }

@@ -14,13 +14,13 @@ import (
 func TestPerfectVerifyFact(t *testing.T) {
 	_, dg := dataset.Figure1()
 	o := NewPerfect(dg)
-	if !o.VerifyFact(db.NewFact("Teams", "ESP", "EU")) {
+	if !o.VerifyFact(bg, db.NewFact("Teams", "ESP", "EU")) {
 		t.Errorf("Teams(ESP, EU) should be true (Example 4.6: t3 ∈ DG)")
 	}
-	if o.VerifyFact(db.NewFact("Games", "25.06.78", "ESP", "NED", "Final", "1:0")) {
+	if o.VerifyFact(bg, db.NewFact("Games", "25.06.78", "ESP", "NED", "Final", "1:0")) {
 		t.Errorf("the 1978 ESP final should be false (t5 ∉ DG)")
 	}
-	if !o.VerifyFact(db.NewFact("Teams", "ITA", "EU")) {
+	if !o.VerifyFact(bg, db.NewFact("Teams", "ITA", "EU")) {
 		t.Errorf("Teams(ITA, EU) should be true in DG")
 	}
 }
@@ -29,10 +29,10 @@ func TestPerfectVerifyAnswer(t *testing.T) {
 	_, dg := dataset.Figure1()
 	o := NewPerfect(dg)
 	q := dataset.IntroQ1()
-	if o.VerifyAnswer(q, db.Tuple{"ESP"}) {
+	if o.VerifyAnswer(bg, q, db.Tuple{"ESP"}) {
 		t.Errorf("(ESP) should be a wrong answer")
 	}
-	if !o.VerifyAnswer(q, db.Tuple{"GER"}) || !o.VerifyAnswer(q, db.Tuple{"ITA"}) {
+	if !o.VerifyAnswer(bg, q, db.Tuple{"GER"}) || !o.VerifyAnswer(bg, q, db.Tuple{"ITA"}) {
 		t.Errorf("(GER) and (ITA) should be true answers")
 	}
 }
@@ -47,7 +47,7 @@ func TestPerfectComplete(t *testing.T) {
 	// The Example 5.4 α1 prefix is satisfiable w.r.t. DG; completion must
 	// extend it to the full witness.
 	partial := eval.Assignment{"y": "ITA", "d": "09.07.06"}
-	full, ok := o.Complete(qt, partial)
+	full, ok := o.Complete(bg, qt, partial)
 	if !ok {
 		t.Fatalf("Complete: not satisfiable, want completion")
 	}
@@ -55,7 +55,7 @@ func TestPerfectComplete(t *testing.T) {
 		t.Errorf("completion = %v", full)
 	}
 	// A non-satisfiable partial assignment (Pirlo playing for GER).
-	if _, ok := o.Complete(qt, eval.Assignment{"y": "GER"}); ok {
+	if _, ok := o.Complete(bg, qt, eval.Assignment{"y": "GER"}); ok {
 		t.Errorf("Complete should fail for y -> GER")
 	}
 }
@@ -65,12 +65,12 @@ func TestPerfectCompleteResult(t *testing.T) {
 	o := NewPerfect(dg)
 	q := dataset.IntroQ1()
 	cur := eval.Result(q, d) // {ESP, GER}
-	missing, ok := o.CompleteResult(q, cur)
+	missing, ok := o.CompleteResult(bg, q, cur)
 	if !ok || !missing.Equal(db.Tuple{"ITA"}) {
 		t.Errorf("CompleteResult = %v, %v; want (ITA)", missing, ok)
 	}
 	full := eval.Result(q, dg)
-	if _, ok := o.CompleteResult(q, full); ok {
+	if _, ok := o.CompleteResult(bg, q, full); ok {
 		t.Errorf("CompleteResult on complete result: want ok = false")
 	}
 }
@@ -79,16 +79,16 @@ func TestCountingStats(t *testing.T) {
 	_, dg := dataset.Figure1()
 	c := NewCounting(NewPerfect(dg))
 	q := dataset.IntroQ1()
-	c.VerifyFact(db.NewFact("Teams", "ESP", "EU"))
-	c.VerifyAnswer(q, db.Tuple{"GER"})
+	c.VerifyFact(bg, db.NewFact("Teams", "ESP", "EU"))
+	c.VerifyAnswer(bg, q, db.Tuple{"GER"})
 	qt, _ := dataset.IntroQ2().Embed(db.Tuple{"Andrea Pirlo"})
 	partial := eval.Assignment{"y": "ITA"}
-	full, ok := c.Complete(qt, partial)
+	full, ok := c.Complete(bg, qt, partial)
 	if !ok {
 		t.Fatalf("Complete failed")
 	}
 	wantFilled := len(full) - len(partial)
-	c.CompleteResult(q, nil)
+	c.CompleteResult(bg, q, nil)
 
 	s := c.Snapshot()
 	if s.VerifyFactQs != 1 || s.VerifyAnswerQs != 1 || s.CompleteQs != 1 || s.CompleteResultQs != 1 {
@@ -122,12 +122,12 @@ func TestExpertZeroErrorMatchesPerfect(t *testing.T) {
 		db.NewFact("Games", "13.07.14", "GER", "ARG", "Final", "1:0"),
 	}
 	for _, f := range facts {
-		if e.VerifyFact(f) != p.VerifyFact(f) {
+		if e.VerifyFact(bg, f) != p.VerifyFact(bg, f) {
 			t.Errorf("expert differs from perfect on %v", f)
 		}
 	}
 	for _, tp := range []db.Tuple{{"GER"}, {"ESP"}, {"ITA"}} {
-		if e.VerifyAnswer(q, tp) != p.VerifyAnswer(q, tp) {
+		if e.VerifyAnswer(bg, q, tp) != p.VerifyAnswer(bg, q, tp) {
 			t.Errorf("expert differs from perfect on answer %v", tp)
 		}
 	}
@@ -140,7 +140,7 @@ func TestExpertErrorRateApproximate(t *testing.T) {
 	wrong := 0
 	const n = 2000
 	for i := 0; i < n; i++ {
-		if !e.VerifyFact(f) {
+		if !e.VerifyFact(bg, f) {
 			wrong++
 		}
 	}
@@ -156,7 +156,7 @@ func TestExpertCompleteResultRandomizes(t *testing.T) {
 	q := cq.MustParse("(x) :- Teams(x, EU)")
 	seen := make(map[string]bool)
 	for i := 0; i < 60; i++ {
-		tp, ok := e.CompleteResult(q, nil)
+		tp, ok := e.CompleteResult(bg, q, nil)
 		if !ok {
 			t.Fatalf("CompleteResult failed")
 		}
@@ -173,10 +173,10 @@ func TestPanelMajorityOutvotesFaultyExpert(t *testing.T) {
 	// One always-wrong expert between two perfect ones: majority must win.
 	liar := NewExpert(dg, 1.0, rng)
 	panel := NewPanel(2, NewPerfect(dg), liar, NewPerfect(dg))
-	if !panel.VerifyFact(db.NewFact("Teams", "ESP", "EU")) {
+	if !panel.VerifyFact(bg, db.NewFact("Teams", "ESP", "EU")) {
 		t.Errorf("panel verdict wrong on true fact")
 	}
-	if panel.VerifyFact(db.NewFact("Teams", "BRA", "EU")) {
+	if panel.VerifyFact(bg, db.NewFact("Teams", "BRA", "EU")) {
 		t.Errorf("panel verdict wrong on false fact")
 	}
 }
@@ -184,7 +184,7 @@ func TestPanelMajorityOutvotesFaultyExpert(t *testing.T) {
 func TestPanelEarlyStopCounts(t *testing.T) {
 	_, dg := dataset.Figure1()
 	panel := NewPanel(2, NewPerfect(dg), NewPerfect(dg), NewPerfect(dg))
-	panel.VerifyFact(db.NewFact("Teams", "ESP", "EU"))
+	panel.VerifyFact(bg, db.NewFact("Teams", "ESP", "EU"))
 	// Two agreeing perfect answers suffice; the third expert is never asked.
 	if panel.Snapshot().VerifyFactQs != 2 {
 		t.Errorf("VerifyFactQs = %d, want 2 (early stop)", panel.Snapshot().VerifyFactQs)
@@ -195,7 +195,7 @@ func TestPanelCompleteVerifiesOpenAnswer(t *testing.T) {
 	_, dg := dataset.Figure1()
 	panel := NewPanel(2, NewPerfect(dg), NewPerfect(dg), NewPerfect(dg))
 	qt, _ := dataset.IntroQ2().Embed(db.Tuple{"Andrea Pirlo"})
-	full, ok := panel.Complete(qt, eval.Assignment{"y": "ITA"})
+	full, ok := panel.Complete(bg, qt, eval.Assignment{"y": "ITA"})
 	if !ok {
 		t.Fatalf("panel Complete failed")
 	}
@@ -217,7 +217,7 @@ func TestPanelCompleteResultVerifies(t *testing.T) {
 	q := dataset.IntroQ1()
 	panel := NewPanel(2, NewPerfect(dg), NewPerfect(dg), NewPerfect(dg))
 	cur := eval.Result(q, d)
-	missing, ok := panel.CompleteResult(q, cur)
+	missing, ok := panel.CompleteResult(bg, q, cur)
 	if !ok || !missing.Equal(db.Tuple{"ITA"}) {
 		t.Errorf("CompleteResult = %v, %v", missing, ok)
 	}
@@ -227,7 +227,7 @@ func TestPanelCompleteResultVerifies(t *testing.T) {
 	// All-failing experts: panel reports complete.
 	rng := rand.New(rand.NewSource(4))
 	bad := NewPanel(2, NewExpert(dg, 1, rng), NewExpert(dg, 1, rng), NewExpert(dg, 1, rng))
-	if _, ok := bad.CompleteResult(q, cur); ok {
+	if _, ok := bad.CompleteResult(bg, q, cur); ok {
 		t.Errorf("all-error panel should fail to complete")
 	}
 }
@@ -246,7 +246,7 @@ func TestInteractiveVerifyFact(t *testing.T) {
 	in := strings.NewReader("maybe\ny\n")
 	var out strings.Builder
 	o := NewInteractive(in, &out)
-	if !o.VerifyFact(db.NewFact("Teams", "ESP", "EU")) {
+	if !o.VerifyFact(bg, db.NewFact("Teams", "ESP", "EU")) {
 		t.Errorf("want true after 'y'")
 	}
 	if !strings.Contains(out.String(), "Teams(ESP, EU)") {
@@ -259,7 +259,7 @@ func TestInteractiveVerifyFact(t *testing.T) {
 
 func TestInteractiveEOFMeansNo(t *testing.T) {
 	o := NewInteractive(strings.NewReader(""), &strings.Builder{})
-	if o.VerifyFact(db.NewFact("Teams", "ESP", "EU")) {
+	if o.VerifyFact(bg, db.NewFact("Teams", "ESP", "EU")) {
 		t.Errorf("EOF should mean no")
 	}
 }
@@ -269,13 +269,13 @@ func TestInteractiveComplete(t *testing.T) {
 	in := strings.NewReader("ITA\nEU\n")
 	var out strings.Builder
 	o := NewInteractive(in, &out)
-	full, ok := o.Complete(q, eval.Assignment{})
+	full, ok := o.Complete(bg, q, eval.Assignment{})
 	if !ok || full["x"] != "ITA" || full["y"] != "EU" {
 		t.Errorf("Complete = %v, %v", full, ok)
 	}
 	// Empty line = impossible.
 	o2 := NewInteractive(strings.NewReader("\n"), &strings.Builder{})
-	if _, ok := o2.Complete(q, eval.Assignment{}); ok {
+	if _, ok := o2.Complete(bg, q, eval.Assignment{}); ok {
 		t.Errorf("empty answer should mean non-satisfiable")
 	}
 }
@@ -283,18 +283,18 @@ func TestInteractiveComplete(t *testing.T) {
 func TestInteractiveCompleteResult(t *testing.T) {
 	q := cq.MustParse("(x, y) :- Teams(x, y)")
 	o := NewInteractive(strings.NewReader("ITA, EU\n"), &strings.Builder{})
-	tp, ok := o.CompleteResult(q, []db.Tuple{{"GER", "EU"}})
+	tp, ok := o.CompleteResult(bg, q, []db.Tuple{{"GER", "EU"}})
 	if !ok || !tp.Equal(db.Tuple{"ITA", "EU"}) {
 		t.Errorf("CompleteResult = %v, %v", tp, ok)
 	}
 	// Wrong arity -> treated as complete.
 	o2 := NewInteractive(strings.NewReader("justone\n"), &strings.Builder{})
-	if _, ok := o2.CompleteResult(q, nil); ok {
+	if _, ok := o2.CompleteResult(bg, q, nil); ok {
 		t.Errorf("arity mismatch should be rejected")
 	}
 	// Empty -> complete.
 	o3 := NewInteractive(strings.NewReader("\n"), &strings.Builder{})
-	if _, ok := o3.CompleteResult(q, nil); ok {
+	if _, ok := o3.CompleteResult(bg, q, nil); ok {
 		t.Errorf("empty line should mean complete")
 	}
 }

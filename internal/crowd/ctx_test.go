@@ -1,0 +1,7 @@
+package crowd
+
+import "context"
+
+// bg is the background context used by tests that do not exercise
+// cancellation.
+var bg = context.Background()

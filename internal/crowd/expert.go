@@ -1,6 +1,7 @@
 package crowd
 
 import (
+	"context"
 	"math/rand"
 	"sync"
 
@@ -46,8 +47,8 @@ func (e *Expert) pick(n int) int {
 }
 
 // VerifyFact implements Oracle, flipping the true answer on error.
-func (e *Expert) VerifyFact(f db.Fact) bool {
-	ans := e.perfect.VerifyFact(f)
+func (e *Expert) VerifyFact(ctx context.Context, f db.Fact) bool {
+	ans := e.perfect.VerifyFact(ctx, f)
 	if e.errs() {
 		return !ans
 	}
@@ -55,8 +56,8 @@ func (e *Expert) VerifyFact(f db.Fact) bool {
 }
 
 // VerifyAnswer implements Oracle, flipping the true answer on error.
-func (e *Expert) VerifyAnswer(q *cq.Query, t db.Tuple) bool {
-	ans := e.perfect.VerifyAnswer(q, t)
+func (e *Expert) VerifyAnswer(ctx context.Context, q *cq.Query, t db.Tuple) bool {
+	ans := e.perfect.VerifyAnswer(ctx, q, t)
 	if e.errs() {
 		return !ans
 	}
@@ -64,17 +65,17 @@ func (e *Expert) VerifyAnswer(q *cq.Query, t db.Tuple) bool {
 }
 
 // Complete implements Oracle; on error the expert fails to find a completion.
-func (e *Expert) Complete(q *cq.Query, partial eval.Assignment) (eval.Assignment, bool) {
+func (e *Expert) Complete(ctx context.Context, q *cq.Query, partial eval.Assignment) (eval.Assignment, bool) {
 	if e.errs() {
 		return nil, false
 	}
-	return e.perfect.Complete(q, partial)
+	return e.perfect.Complete(ctx, q, partial)
 }
 
 // CompleteResult implements Oracle; on error the expert wrongly declares the
 // result complete. A correct expert picks a random missing answer (different
 // experts surface different answers, as with a real crowd).
-func (e *Expert) CompleteResult(q *cq.Query, current []db.Tuple) (db.Tuple, bool) {
+func (e *Expert) CompleteResult(_ context.Context, q *cq.Query, current []db.Tuple) (db.Tuple, bool) {
 	if e.errs() {
 		return nil, false
 	}

@@ -2,6 +2,7 @@ package crowd
 
 import (
 	"bufio"
+	"context"
 	"fmt"
 	"io"
 	"sort"
@@ -53,19 +54,19 @@ func (i *Interactive) askYesNo(question string) bool {
 }
 
 // VerifyFact implements Oracle: TRUE(R(ā))?
-func (i *Interactive) VerifyFact(f db.Fact) bool {
+func (i *Interactive) VerifyFact(_ context.Context, f db.Fact) bool {
 	return i.askYesNo(fmt.Sprintf("Is %s true?", f))
 }
 
 // VerifyAnswer implements Oracle: TRUE(Q, t)?
-func (i *Interactive) VerifyAnswer(q *cq.Query, t db.Tuple) bool {
+func (i *Interactive) VerifyAnswer(_ context.Context, q *cq.Query, t db.Tuple) bool {
 	return i.askYesNo(fmt.Sprintf("Is %s a correct answer to the query?\n  %s", t, q))
 }
 
 // Complete implements Oracle: COMPL(α, Q). The human is shown the partially
 // instantiated body and prompted for each unbound variable; entering an empty
 // line declares the assignment non-satisfiable.
-func (i *Interactive) Complete(q *cq.Query, partial eval.Assignment) (eval.Assignment, bool) {
+func (i *Interactive) Complete(_ context.Context, q *cq.Query, partial eval.Assignment) (eval.Assignment, bool) {
 	shown := partial.Clone()
 	fmt.Fprintf(i.out, "Complete the following into true facts (empty answer = impossible):\n")
 	for _, atom := range q.Atoms {
@@ -95,7 +96,7 @@ func (i *Interactive) Complete(q *cq.Query, partial eval.Assignment) (eval.Assig
 // CompleteResult implements Oracle: COMPL(Q(D)). The human is shown the
 // current result and asked for a missing answer as comma-separated values;
 // an empty line means the result is complete.
-func (i *Interactive) CompleteResult(q *cq.Query, current []db.Tuple) (db.Tuple, bool) {
+func (i *Interactive) CompleteResult(_ context.Context, q *cq.Query, current []db.Tuple) (db.Tuple, bool) {
 	fmt.Fprintf(i.out, "Current result of %s\n", q)
 	for _, t := range current {
 		fmt.Fprintf(i.out, "  %s\n", t)

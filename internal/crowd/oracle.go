@@ -9,11 +9,14 @@
 package crowd
 
 import (
+	"context"
 	"sync"
+	"time"
 
 	"repro/internal/cq"
 	"repro/internal/db"
 	"repro/internal/eval"
+	"repro/internal/obs"
 )
 
 // Oracle is a crowd that can answer QOCO's four question types:
@@ -24,17 +27,24 @@ import (
 //	                valid total assignment w.r.t. DG, if possible (§5)
 //	COMPL(Q(D))   — CompleteResult: name an answer of Q(DG) missing from the
 //	                given result, if any (§6.1)
+//
+// Every method takes a context: a crowd answer can be minutes away (a human
+// behind an HTTP queue), and a cancelled cleaning job must not stay blocked
+// on it. Implementations return promptly once ctx is done, answering with an
+// edit-free default (booleans read as their no-edit value, completions as
+// "nothing to complete"); callers that care about cancellation check ctx.Err
+// after the call, as the cleaner does.
 type Oracle interface {
 	// VerifyFact answers TRUE(R(ā))?.
-	VerifyFact(f db.Fact) bool
+	VerifyFact(ctx context.Context, f db.Fact) bool
 	// VerifyAnswer answers TRUE(Q, t)?.
-	VerifyAnswer(q *cq.Query, t db.Tuple) bool
+	VerifyAnswer(ctx context.Context, q *cq.Query, t db.Tuple) bool
 	// Complete answers COMPL(α, Q): ok is false when α is not satisfiable
 	// w.r.t. DG (or the oracle cannot complete it).
-	Complete(q *cq.Query, partial eval.Assignment) (eval.Assignment, bool)
+	Complete(ctx context.Context, q *cq.Query, partial eval.Assignment) (eval.Assignment, bool)
 	// CompleteResult answers COMPL(Q(D)): a tuple in Q(DG) missing from
 	// current, or ok = false if the oracle believes the result is complete.
-	CompleteResult(q *cq.Query, current []db.Tuple) (db.Tuple, bool)
+	CompleteResult(ctx context.Context, q *cq.Query, current []db.Tuple) (db.Tuple, bool)
 }
 
 // Stats counts crowd interactions using the paper's cost model (§7): each
@@ -63,12 +73,26 @@ func (s *Stats) Add(o Stats) {
 	s.VariablesFilled += o.VariablesFilled
 }
 
+// Metric names Counting records under, by question kind. The per-question
+// latency lands in QuestionSecondsMetric with the same kind suffix.
+const (
+	MetricVerifyFact      = "crowd.questions.verify_fact"
+	MetricVerifyAnswer    = "crowd.questions.verify_answer"
+	MetricComplete        = "crowd.questions.complete"
+	MetricCompleteResult  = "crowd.questions.complete_result"
+	MetricVariablesFilled = "crowd.variables_filled"
+	MetricQuestionSeconds = "crowd.question.seconds"
+)
+
 // Counting wraps an Oracle and records interaction statistics. The wrapped
 // oracle sees exactly the same questions. Counting is safe for concurrent use
 // when the wrapped oracle is (the paper's §6.2 parallel mode poses questions
-// concurrently).
+// concurrently). When Obs is set, every question also lands in the recorder:
+// a counter per question kind, the filled-variable total, and an answer
+// latency histogram — the live view of the paper's §7 cost metric.
 type Counting struct {
 	Oracle Oracle
+	Obs    *obs.Recorder
 
 	mu    sync.Mutex
 	stats Stats
@@ -85,49 +109,69 @@ func (c *Counting) Snapshot() Stats {
 }
 
 // VerifyFact implements Oracle.
-func (c *Counting) VerifyFact(f db.Fact) bool {
+func (c *Counting) VerifyFact(ctx context.Context, f db.Fact) bool {
 	c.mu.Lock()
 	c.stats.VerifyFactQs++
 	c.mu.Unlock()
-	return c.Oracle.VerifyFact(f)
+	c.Obs.Inc(MetricVerifyFact)
+	start := time.Now()
+	ans := c.Oracle.VerifyFact(ctx, f)
+	c.Obs.ObserveDuration(MetricQuestionSeconds, time.Since(start))
+	return ans
 }
 
 // VerifyAnswer implements Oracle.
-func (c *Counting) VerifyAnswer(q *cq.Query, t db.Tuple) bool {
+func (c *Counting) VerifyAnswer(ctx context.Context, q *cq.Query, t db.Tuple) bool {
 	c.mu.Lock()
 	c.stats.VerifyAnswerQs++
 	c.mu.Unlock()
-	return c.Oracle.VerifyAnswer(q, t)
+	c.Obs.Inc(MetricVerifyAnswer)
+	start := time.Now()
+	ans := c.Oracle.VerifyAnswer(ctx, q, t)
+	c.Obs.ObserveDuration(MetricQuestionSeconds, time.Since(start))
+	return ans
 }
 
 // Complete implements Oracle. The variables newly bound by the oracle
 // (present in the reply but not in the question) are added to
 // Stats.VariablesFilled.
-func (c *Counting) Complete(q *cq.Query, partial eval.Assignment) (eval.Assignment, bool) {
-	full, ok := c.Oracle.Complete(q, partial)
+func (c *Counting) Complete(ctx context.Context, q *cq.Query, partial eval.Assignment) (eval.Assignment, bool) {
+	start := time.Now()
+	full, ok := c.Oracle.Complete(ctx, q, partial)
+	c.Obs.ObserveDuration(MetricQuestionSeconds, time.Since(start))
 	c.mu.Lock()
 	c.stats.CompleteQs++
+	filled := 0
 	if ok {
 		for v := range full {
 			if _, had := partial[v]; !had {
-				c.stats.VariablesFilled++
+				filled++
 			}
 		}
+		c.stats.VariablesFilled += filled
 	}
 	c.mu.Unlock()
+	c.Obs.Inc(MetricComplete)
+	c.Obs.Add(MetricVariablesFilled, int64(filled))
 	return full, ok
 }
 
 // CompleteResult implements Oracle. A returned missing answer counts as
 // filling one variable per answer-tuple component (the expert produced that
 // many values).
-func (c *Counting) CompleteResult(q *cq.Query, current []db.Tuple) (db.Tuple, bool) {
-	t, ok := c.Oracle.CompleteResult(q, current)
+func (c *Counting) CompleteResult(ctx context.Context, q *cq.Query, current []db.Tuple) (db.Tuple, bool) {
+	start := time.Now()
+	t, ok := c.Oracle.CompleteResult(ctx, q, current)
+	c.Obs.ObserveDuration(MetricQuestionSeconds, time.Since(start))
 	c.mu.Lock()
 	c.stats.CompleteResultQs++
+	filled := 0
 	if ok {
-		c.stats.VariablesFilled += len(t)
+		filled = len(t)
+		c.stats.VariablesFilled += filled
 	}
 	c.mu.Unlock()
+	c.Obs.Inc(MetricCompleteResult)
+	c.Obs.Add(MetricVariablesFilled, int64(filled))
 	return t, ok
 }

@@ -1,6 +1,7 @@
 package crowd
 
 import (
+	"context"
 	"sync"
 
 	"repro/internal/cq"
@@ -73,35 +74,35 @@ func (p *Panel) vote(ask func(Oracle) bool, count *int) bool {
 }
 
 // VerifyFact implements Oracle by majority vote.
-func (p *Panel) VerifyFact(f db.Fact) bool {
+func (p *Panel) VerifyFact(ctx context.Context, f db.Fact) bool {
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	return p.verifyFactLocked(f)
+	return p.verifyFactLocked(ctx, f)
 }
 
-func (p *Panel) verifyFactLocked(f db.Fact) bool {
-	return p.vote(func(o Oracle) bool { return o.VerifyFact(f) }, &p.stats.VerifyFactQs)
+func (p *Panel) verifyFactLocked(ctx context.Context, f db.Fact) bool {
+	return p.vote(func(o Oracle) bool { return o.VerifyFact(ctx, f) }, &p.stats.VerifyFactQs)
 }
 
 // VerifyAnswer implements Oracle by majority vote.
-func (p *Panel) VerifyAnswer(q *cq.Query, t db.Tuple) bool {
+func (p *Panel) VerifyAnswer(ctx context.Context, q *cq.Query, t db.Tuple) bool {
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	return p.verifyAnswerLocked(q, t)
+	return p.verifyAnswerLocked(ctx, q, t)
 }
 
-func (p *Panel) verifyAnswerLocked(q *cq.Query, t db.Tuple) bool {
-	return p.vote(func(o Oracle) bool { return o.VerifyAnswer(q, t) }, &p.stats.VerifyAnswerQs)
+func (p *Panel) verifyAnswerLocked(ctx context.Context, q *cq.Query, t db.Tuple) bool {
+	return p.vote(func(o Oracle) bool { return o.VerifyAnswer(ctx, q, t) }, &p.stats.VerifyAnswerQs)
 }
 
 // Complete implements Oracle: one expert completes, the panel verifies each
 // fact of the completed witness that the answer introduced by majority vote.
-func (p *Panel) Complete(q *cq.Query, partial eval.Assignment) (eval.Assignment, bool) {
+func (p *Panel) Complete(ctx context.Context, q *cq.Query, partial eval.Assignment) (eval.Assignment, bool) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	for _, e := range p.experts {
 		p.stats.CompleteQs++
-		full, ok := e.Complete(q, partial)
+		full, ok := e.Complete(ctx, q, partial)
 		if !ok {
 			continue
 		}
@@ -112,7 +113,7 @@ func (p *Panel) Complete(q *cq.Query, partial eval.Assignment) (eval.Assignment,
 			}
 		}
 		p.stats.VariablesFilled += filled
-		if p.verifyAssignmentLocked(q, full) {
+		if p.verifyAssignmentLocked(ctx, q, full) {
 			return full, true
 		}
 	}
@@ -122,13 +123,13 @@ func (p *Panel) Complete(q *cq.Query, partial eval.Assignment) (eval.Assignment,
 // verifyAssignmentLocked poses closed verification questions for the facts
 // induced by the assignment (§6.2: answers to open questions are
 // re-verified). Caller holds mu.
-func (p *Panel) verifyAssignmentLocked(q *cq.Query, a eval.Assignment) bool {
+func (p *Panel) verifyAssignmentLocked(ctx context.Context, q *cq.Query, a eval.Assignment) bool {
 	for _, atom := range q.Atoms {
 		f, ok := a.AtomFact(atom)
 		if !ok {
 			return false // not total on atoms: cannot be a witness
 		}
-		if !p.verifyFactLocked(f) {
+		if !p.verifyFactLocked(ctx, f) {
 			return false
 		}
 	}
@@ -142,7 +143,7 @@ func (p *Panel) verifyAssignmentLocked(q *cq.Query, a eval.Assignment) bool {
 
 // CompleteResult implements Oracle: one expert proposes a missing answer and
 // the panel verifies it with a closed TRUE(Q, t)? vote before accepting.
-func (p *Panel) CompleteResult(q *cq.Query, current []db.Tuple) (db.Tuple, bool) {
+func (p *Panel) CompleteResult(ctx context.Context, q *cq.Query, current []db.Tuple) (db.Tuple, bool) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	have := make(map[string]bool, len(current))
@@ -151,7 +152,7 @@ func (p *Panel) CompleteResult(q *cq.Query, current []db.Tuple) (db.Tuple, bool)
 	}
 	for _, e := range p.experts {
 		p.stats.CompleteResultQs++
-		t, ok := e.CompleteResult(q, current)
+		t, ok := e.CompleteResult(ctx, q, current)
 		if !ok {
 			continue
 		}
@@ -159,7 +160,7 @@ func (p *Panel) CompleteResult(q *cq.Query, current []db.Tuple) (db.Tuple, bool)
 			continue // expert proposed an answer that is already present
 		}
 		p.stats.VariablesFilled += len(t)
-		if p.verifyAnswerLocked(q, t) {
+		if p.verifyAnswerLocked(ctx, q, t) {
 			return t, true
 		}
 	}

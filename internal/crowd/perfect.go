@@ -1,6 +1,8 @@
 package crowd
 
 import (
+	"context"
+
 	"repro/internal/cq"
 	"repro/internal/db"
 	"repro/internal/eval"
@@ -21,17 +23,17 @@ func NewPerfect(dg *db.Database) *Perfect { return &Perfect{dg: dg} }
 func (p *Perfect) GroundTruth() *db.Database { return p.dg }
 
 // VerifyFact implements Oracle: TRUE(R(ā))? holds iff R(ā) ∈ DG.
-func (p *Perfect) VerifyFact(f db.Fact) bool { return p.dg.Has(f) }
+func (p *Perfect) VerifyFact(_ context.Context, f db.Fact) bool { return p.dg.Has(f) }
 
 // VerifyAnswer implements Oracle: TRUE(Q, t)? holds iff t ∈ Q(DG).
-func (p *Perfect) VerifyAnswer(q *cq.Query, t db.Tuple) bool {
+func (p *Perfect) VerifyAnswer(_ context.Context, q *cq.Query, t db.Tuple) bool {
 	return eval.AnswerHolds(q, p.dg, t)
 }
 
 // Complete implements Oracle: if the partial assignment is satisfiable
 // w.r.t. DG it returns the first valid total extension in the evaluator's
 // deterministic order; otherwise ok = false.
-func (p *Perfect) Complete(q *cq.Query, partial eval.Assignment) (eval.Assignment, bool) {
+func (p *Perfect) Complete(_ context.Context, q *cq.Query, partial eval.Assignment) (eval.Assignment, bool) {
 	exts := eval.Extensions(q, p.dg, partial)
 	if len(exts) == 0 {
 		return nil, false
@@ -42,7 +44,7 @@ func (p *Perfect) Complete(q *cq.Query, partial eval.Assignment) (eval.Assignmen
 // CompleteResult implements Oracle: it returns the lexicographically smallest
 // answer of Q(DG) not present in current, or ok = false when current covers
 // Q(DG).
-func (p *Perfect) CompleteResult(q *cq.Query, current []db.Tuple) (db.Tuple, bool) {
+func (p *Perfect) CompleteResult(_ context.Context, q *cq.Query, current []db.Tuple) (db.Tuple, bool) {
 	have := make(map[string]bool, len(current))
 	for _, t := range current {
 		have[t.Key()] = true

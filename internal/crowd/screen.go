@@ -1,6 +1,7 @@
 package crowd
 
 import (
+	"context"
 	"sort"
 
 	"repro/internal/db"
@@ -21,14 +22,14 @@ type ScreenResult struct {
 // "are complementary to our work and can be used here as a preliminary step
 // to select our experts"; this is that step. gold maps facts to their known
 // truth values; results are ordered by descending accuracy.
-func Screen(candidates []Oracle, gold map[*db.Fact]bool, threshold float64) ([]Oracle, []ScreenResult) {
+func Screen(ctx context.Context, candidates []Oracle, gold map[*db.Fact]bool, threshold float64) ([]Oracle, []ScreenResult) {
 	results := make([]ScreenResult, len(candidates))
 	var admitted []Oracle
 	for i, c := range candidates {
 		r := ScreenResult{Index: i}
 		for f, truth := range gold {
 			r.Asked++
-			if c.VerifyFact(*f) == truth {
+			if c.VerifyFact(ctx, *f) == truth {
 				r.Correct++
 			}
 		}

@@ -37,7 +37,7 @@ func TestScreenAdmitsGoodRejectsBad(t *testing.T) {
 	bad := NewExpert(dg, 1.0, rand.New(rand.NewSource(2)))
 	mediocre := NewExpert(dg, 0.5, rand.New(rand.NewSource(3)))
 
-	admitted, results := Screen([]Oracle{good, bad, mediocre}, gold, 0.8)
+	admitted, results := Screen(bg, []Oracle{good, bad, mediocre}, gold, 0.8)
 	if len(admitted) < 1 {
 		t.Fatalf("no candidates admitted")
 	}
@@ -64,7 +64,7 @@ func TestScreenAdmitsGoodRejectsBad(t *testing.T) {
 
 func TestScreenEmptyGold(t *testing.T) {
 	_, dg := dataset.Figure1()
-	admitted, results := Screen([]Oracle{NewPerfect(dg)}, nil, 0.5)
+	admitted, results := Screen(bg, []Oracle{NewPerfect(dg)}, nil, 0.5)
 	if len(admitted) != 0 {
 		t.Errorf("admitted with no gold questions")
 	}
@@ -98,7 +98,7 @@ func TestScreenThenPanel(t *testing.T) {
 		NewExpert(dg, 1.0, rand.New(rand.NewSource(13))),
 		NewExpert(dg, 0.1, rand.New(rand.NewSource(14))),
 	}
-	admitted, _ := Screen(candidates, gold, 0.75)
+	admitted, _ := Screen(bg, candidates, gold, 0.75)
 	if len(admitted) < 2 {
 		t.Skipf("screening admitted only %d experts with this seed", len(admitted))
 	}
@@ -107,10 +107,10 @@ func TestScreenThenPanel(t *testing.T) {
 		agree = 1
 	}
 	panel := NewPanel(agree, admitted...)
-	if !panel.VerifyFact(db.NewFact("Teams", "ESP", "EU")) {
+	if !panel.VerifyFact(bg, db.NewFact("Teams", "ESP", "EU")) {
 		t.Errorf("screened panel wrong on true fact")
 	}
-	if panel.VerifyFact(db.NewFact("Teams", "BRA", "EU")) {
+	if panel.VerifyFact(bg, db.NewFact("Teams", "BRA", "EU")) {
 		t.Errorf("screened panel wrong on false fact")
 	}
 	_ = d

@@ -1,6 +1,7 @@
 package crowd
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"sync"
@@ -42,15 +43,15 @@ func (t *Transcript) Lines() int {
 }
 
 // VerifyFact implements Oracle.
-func (t *Transcript) VerifyFact(f db.Fact) bool {
-	ans := t.Oracle.VerifyFact(f)
+func (t *Transcript) VerifyFact(ctx context.Context, f db.Fact) bool {
+	ans := t.Oracle.VerifyFact(ctx, f)
 	t.log("TRUE(%s)? -> %v", f, ans)
 	return ans
 }
 
 // VerifyAnswer implements Oracle.
-func (t *Transcript) VerifyAnswer(q *cq.Query, tp db.Tuple) bool {
-	ans := t.Oracle.VerifyAnswer(q, tp)
+func (t *Transcript) VerifyAnswer(ctx context.Context, q *cq.Query, tp db.Tuple) bool {
+	ans := t.Oracle.VerifyAnswer(ctx, q, tp)
 	name := q.Name
 	if name == "" {
 		name = "Q"
@@ -60,8 +61,8 @@ func (t *Transcript) VerifyAnswer(q *cq.Query, tp db.Tuple) bool {
 }
 
 // Complete implements Oracle.
-func (t *Transcript) Complete(q *cq.Query, partial eval.Assignment) (eval.Assignment, bool) {
-	full, ok := t.Oracle.Complete(q, partial)
+func (t *Transcript) Complete(ctx context.Context, q *cq.Query, partial eval.Assignment) (eval.Assignment, bool) {
+	full, ok := t.Oracle.Complete(ctx, q, partial)
 	if ok {
 		t.log("COMPL(%s, %s) -> %s", partial, q, full)
 	} else {
@@ -71,8 +72,8 @@ func (t *Transcript) Complete(q *cq.Query, partial eval.Assignment) (eval.Assign
 }
 
 // CompleteResult implements Oracle.
-func (t *Transcript) CompleteResult(q *cq.Query, current []db.Tuple) (db.Tuple, bool) {
-	tp, ok := t.Oracle.CompleteResult(q, current)
+func (t *Transcript) CompleteResult(ctx context.Context, q *cq.Query, current []db.Tuple) (db.Tuple, bool) {
+	tp, ok := t.Oracle.CompleteResult(ctx, q, current)
 	if ok {
 		t.log("COMPL(Q(D)) over %d rows -> %s", len(current), tp)
 	} else {
@@ -89,26 +90,51 @@ type Delayed struct {
 	Delay  time.Duration
 }
 
+// sleep waits the configured delay but returns early (false) when the
+// context is cancelled first — a cancelled job must not wait out a simulated
+// crowd member.
+func (d Delayed) sleep(ctx context.Context) bool {
+	if d.Delay <= 0 {
+		return ctx.Err() == nil
+	}
+	timer := time.NewTimer(d.Delay)
+	defer timer.Stop()
+	select {
+	case <-timer.C:
+		return true
+	case <-ctx.Done():
+		return false
+	}
+}
+
 // VerifyFact implements Oracle.
-func (d Delayed) VerifyFact(f db.Fact) bool {
-	time.Sleep(d.Delay)
-	return d.Oracle.VerifyFact(f)
+func (d Delayed) VerifyFact(ctx context.Context, f db.Fact) bool {
+	if !d.sleep(ctx) {
+		return true // edit-free default: nothing gets deleted on its account
+	}
+	return d.Oracle.VerifyFact(ctx, f)
 }
 
 // VerifyAnswer implements Oracle.
-func (d Delayed) VerifyAnswer(q *cq.Query, t db.Tuple) bool {
-	time.Sleep(d.Delay)
-	return d.Oracle.VerifyAnswer(q, t)
+func (d Delayed) VerifyAnswer(ctx context.Context, q *cq.Query, t db.Tuple) bool {
+	if !d.sleep(ctx) {
+		return true
+	}
+	return d.Oracle.VerifyAnswer(ctx, q, t)
 }
 
 // Complete implements Oracle.
-func (d Delayed) Complete(q *cq.Query, partial eval.Assignment) (eval.Assignment, bool) {
-	time.Sleep(d.Delay)
-	return d.Oracle.Complete(q, partial)
+func (d Delayed) Complete(ctx context.Context, q *cq.Query, partial eval.Assignment) (eval.Assignment, bool) {
+	if !d.sleep(ctx) {
+		return nil, false
+	}
+	return d.Oracle.Complete(ctx, q, partial)
 }
 
 // CompleteResult implements Oracle.
-func (d Delayed) CompleteResult(q *cq.Query, current []db.Tuple) (db.Tuple, bool) {
-	time.Sleep(d.Delay)
-	return d.Oracle.CompleteResult(q, current)
+func (d Delayed) CompleteResult(ctx context.Context, q *cq.Query, current []db.Tuple) (db.Tuple, bool) {
+	if !d.sleep(ctx) {
+		return nil, false
+	}
+	return d.Oracle.CompleteResult(ctx, q, current)
 }

@@ -16,23 +16,23 @@ func TestTranscriptLogsAllQuestionTypes(t *testing.T) {
 	tr := NewTranscript(NewPerfect(dg), &buf)
 	q := dataset.IntroQ1()
 
-	if !tr.VerifyFact(db.NewFact("Teams", "ESP", "EU")) {
+	if !tr.VerifyFact(bg, db.NewFact("Teams", "ESP", "EU")) {
 		t.Errorf("VerifyFact passthrough wrong")
 	}
-	if tr.VerifyAnswer(q, db.Tuple{"ESP"}) {
+	if tr.VerifyAnswer(bg, q, db.Tuple{"ESP"}) {
 		t.Errorf("VerifyAnswer passthrough wrong")
 	}
 	qt, _ := dataset.IntroQ2().Embed(db.Tuple{"Andrea Pirlo"})
-	if _, ok := tr.Complete(qt, eval.Assignment{"y": "ITA"}); !ok {
+	if _, ok := tr.Complete(bg, qt, eval.Assignment{"y": "ITA"}); !ok {
 		t.Errorf("Complete passthrough wrong")
 	}
-	if _, ok := tr.Complete(qt, eval.Assignment{"y": "GER"}); ok {
+	if _, ok := tr.Complete(bg, qt, eval.Assignment{"y": "GER"}); ok {
 		t.Errorf("unsatisfiable Complete passthrough wrong")
 	}
-	if _, ok := tr.CompleteResult(q, nil); !ok {
+	if _, ok := tr.CompleteResult(bg, q, nil); !ok {
 		t.Errorf("CompleteResult passthrough wrong")
 	}
-	if _, ok := tr.CompleteResult(q, eval.Result(q, dg)); ok {
+	if _, ok := tr.CompleteResult(bg, q, eval.Result(q, dg)); ok {
 		t.Errorf("complete CompleteResult passthrough wrong")
 	}
 
@@ -62,7 +62,7 @@ func TestDelayedSleepsAndPassesThrough(t *testing.T) {
 	_, dg := dataset.Figure1()
 	d := Delayed{Oracle: NewPerfect(dg), Delay: 20 * time.Millisecond}
 	start := time.Now()
-	ans := d.VerifyFact(db.NewFact("Teams", "ESP", "EU"))
+	ans := d.VerifyFact(bg, db.NewFact("Teams", "ESP", "EU"))
 	if !ans {
 		t.Errorf("passthrough wrong")
 	}
@@ -70,14 +70,14 @@ func TestDelayedSleepsAndPassesThrough(t *testing.T) {
 		t.Errorf("no delay observed: %v", elapsed)
 	}
 	q := dataset.IntroQ1()
-	if d.VerifyAnswer(q, db.Tuple{"ESP"}) {
+	if d.VerifyAnswer(bg, q, db.Tuple{"ESP"}) {
 		t.Errorf("VerifyAnswer passthrough wrong")
 	}
-	if _, ok := d.CompleteResult(q, nil); !ok {
+	if _, ok := d.CompleteResult(bg, q, nil); !ok {
 		t.Errorf("CompleteResult passthrough wrong")
 	}
 	qt, _ := dataset.IntroQ2().Embed(db.Tuple{"Andrea Pirlo"})
-	if _, ok := d.Complete(qt, eval.Assignment{"y": "ITA"}); !ok {
+	if _, ok := d.Complete(bg, qt, eval.Assignment{"y": "ITA"}); !ok {
 		t.Errorf("Complete passthrough wrong")
 	}
 }

@@ -2,6 +2,7 @@ package eval
 
 import (
 	"sort"
+	"time"
 
 	"repro/internal/cq"
 	"repro/internal/db"
@@ -21,6 +22,9 @@ func Eval(q *cq.Query, d *db.Database) []Assignment {
 // Result returns Q(D): the distinct answer tuples α(head(Q)) over all valid
 // assignments, in deterministic (lexicographic) order.
 func Result(q *cq.Query, d *db.Database) []db.Tuple {
+	if r := rec(); r != nil {
+		defer r.Timer(MetricResultSeconds)()
+	}
 	seen := make(map[string]db.Tuple)
 	search(q, d, Assignment{}, func(a Assignment) bool {
 		t, ok := a.HeadTuple(q)
@@ -76,6 +80,7 @@ func AssignmentsFor(q *cq.Query, d *db.Database, t db.Tuple) []Assignment {
 // assignment in A(t,Q,D), deduplicated (distinct assignments can induce the
 // same witness, e.g. by permuting symmetric atoms).
 func Witnesses(q *cq.Query, d *db.Database, t db.Tuple) [][]db.Fact {
+	start := time.Now()
 	asgs := AssignmentsFor(q, d, t)
 	seen := make(map[string]bool)
 	var out [][]db.Fact
@@ -87,6 +92,7 @@ func Witnesses(q *cq.Query, d *db.Database, t db.Tuple) [][]db.Fact {
 			out = append(out, w)
 		}
 	}
+	observeWitnesses(start, out)
 	return out
 }
 

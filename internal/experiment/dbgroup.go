@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"strings"
@@ -59,13 +60,13 @@ func DBGroupShowcase(seed int64) []ShowcaseRow {
 		prevQ = s.Total()
 	}
 
-	r1, err1 := cl.CleanUnion(q1)
+	r1, err1 := cl.CleanUnion(context.Background(), q1)
 	record("Q1 keynotes/tutorials", r1.WrongAnswers, r1.MissingAnswers, r1.Deletions, r1.Insertions, err1)
-	r2, err2 := cl.Clean(q2)
+	r2, err2 := cl.Clean(context.Background(), q2)
 	record("Q2 ERC members", r2.WrongAnswers, r2.MissingAnswers, r2.Deletions, r2.Insertions, err2)
-	r3, err3 := cl.Clean(q3)
+	r3, err3 := cl.Clean(context.Background(), q3)
 	record("Q3 sponsored travel", r3.WrongAnswers, r3.MissingAnswers, r3.Deletions, r3.Insertions, err3)
-	r4, err4 := cl.Clean(q4)
+	r4, err4 := cl.Clean(context.Background(), q4)
 	record("Q4 crowd pubs", r4.WrongAnswers, r4.MissingAnswers, r4.Deletions, r4.Insertions, err4)
 
 	return rows

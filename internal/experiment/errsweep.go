@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"strings"
@@ -51,7 +52,7 @@ func ErrorRateSweep(cfg Config, rates []float64) []ErrorRateRow {
 			cl := core.New(d, panel, core.Config{
 				Split: split.Provenance{}, RNG: rng, MinNulls: 2, MaxIterations: 100,
 			})
-			_, err := cl.Clean(q)
+			_, err := cl.Clean(context.Background(), q)
 			row.Runs++
 			if err == nil && noise.ResultCleanliness(q, d, dg) >= 1 {
 				row.Converged++

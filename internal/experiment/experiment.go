@@ -7,10 +7,12 @@
 package experiment
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"sort"
 	"strings"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/cq"
@@ -64,6 +66,8 @@ type Row struct {
 	Avoided   int // white bar: questions saved relative to the naive bound
 	Upper     int // Lower + Questions + Avoided
 	Converged bool
+	// CleanTime is the average wall-clock time of the cleaning runs.
+	CleanTime time.Duration
 }
 
 // QuestionMixRow is one bar of Figures 3f and 4: the crowd work split by
@@ -76,6 +80,8 @@ type QuestionMixRow struct {
 	VerifyTuples  int // TRUE(R(ā))? answers
 	FillMissing   int // variables filled through open questions
 	Converged     bool
+	// CleanTime is the average wall-clock time of the cleaning runs.
+	CleanTime time.Duration
 }
 
 // deletionAlgos are the Figure 3a/3c/3d competitors.
@@ -127,10 +133,11 @@ func deletionRows(figure, workload string, q *cq.Query, cfg Config, wrong int) [
 			upper := lower + deletionUpperBound(q, d, dg)
 
 			cl := core.New(d, crowd.NewPerfect(dg), core.Config{Deletion: policy, RNG: rng})
-			_, err := cl.Clean(q)
+			rep, err := cl.Clean(context.Background(), q)
 			if err != nil {
 				agg.Converged = false
 			}
+			agg.CleanTime += rep.Timings.Total
 			questions := cl.Stats().VerifyFactQs
 			agg.Lower += lower
 			agg.Questions += questions
@@ -200,10 +207,11 @@ func insertionRows(figure, workload string, q *cq.Query, cfg Config, missing int
 			}
 
 			cl := core.New(d, crowd.NewPerfect(dg), core.Config{Split: strategy, RNG: rng})
-			_, err := cl.Clean(q)
+			rep, err := cl.Clean(context.Background(), q)
 			if err != nil {
 				agg.Converged = false
 			}
+			agg.CleanTime += rep.Timings.Total
 			questions := cl.Stats().VariablesFilled
 			agg.Lower += len(missingAnswers)
 			agg.Questions += questions
@@ -261,10 +269,11 @@ func mixedRows(figure, workload string, q *cq.Query, cfg Config, wrong, missing 
 			cl := core.New(d, crowd.NewPerfect(dg), core.Config{
 				Deletion: policy, Split: split.Provenance{}, RNG: rng,
 			})
-			_, err := cl.Clean(q)
+			rep, err := cl.Clean(context.Background(), q)
 			if err != nil {
 				agg.Converged = false
 			}
+			agg.CleanTime += rep.Timings.Total
 			questions := cl.Stats().VerifyFactQs + cl.Stats().VariablesFilled
 			agg.Lower += lower
 			agg.Questions += questions
@@ -296,9 +305,11 @@ func Fig3f(cfg Config) []QuestionMixRow {
 			noise.InjectWrong(d, dg, q, k, rng)
 
 			cl := core.New(d, crowd.NewPerfect(dg), core.Config{RNG: rng})
-			if _, err := cl.Clean(q); err != nil {
+			rep, err := cl.Clean(context.Background(), q)
+			if err != nil {
 				agg.Converged = false
 			}
+			agg.CleanTime += rep.Timings.Total
 			s := cl.Stats()
 			agg.VerifyAnswers += s.VerifyAnswerQs
 			agg.VerifyTuples += s.VerifyFactQs
@@ -343,9 +354,11 @@ func Fig4(cfg Config) []QuestionMixRow {
 					Deletion: policy, Split: split.Provenance{}, RNG: rng,
 					MinNulls: 2, MaxIterations: 100,
 				})
-				if _, err := cl.Clean(q); err != nil {
+				rep, err := cl.Clean(context.Background(), q)
+				if err != nil {
 					agg.Converged = false
 				}
+				agg.CleanTime += rep.Timings.Total
 				s := panel.Snapshot() // individual expert answers, as in Fig 4
 				agg.VerifyAnswers += s.VerifyAnswerQs
 				agg.VerifyTuples += s.VerifyFactQs
@@ -366,6 +379,7 @@ func averageRow(agg Row, n int) Row {
 	agg.Questions /= n
 	agg.Avoided /= n
 	agg.Upper /= n
+	agg.CleanTime /= time.Duration(n)
 	return agg
 }
 
@@ -380,15 +394,16 @@ func max(a, b int) int {
 func RenderRows(title string, rows []Row) string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "%s\n", title)
-	fmt.Fprintf(&b, "%-22s %-11s %9s %10s %8s %6s %s\n",
-		"workload", "algorithm", "#lower", "#questions", "#avoided", "total", "ok")
+	fmt.Fprintf(&b, "%-22s %-11s %9s %10s %8s %6s %-3s %9s\n",
+		"workload", "algorithm", "#lower", "#questions", "#avoided", "total", "ok", "ms")
 	for _, r := range rows {
 		ok := "yes"
 		if !r.Converged {
 			ok = "NO"
 		}
-		fmt.Fprintf(&b, "%-22s %-11s %9d %10d %8d %6d %s\n",
-			r.Workload, r.Algorithm, r.Lower, r.Questions, r.Avoided, r.Upper, ok)
+		fmt.Fprintf(&b, "%-22s %-11s %9d %10d %8d %6d %-3s %9.1f\n",
+			r.Workload, r.Algorithm, r.Lower, r.Questions, r.Avoided, r.Upper, ok,
+			float64(r.CleanTime)/float64(time.Millisecond))
 	}
 	return b.String()
 }
@@ -397,15 +412,16 @@ func RenderRows(title string, rows []Row) string {
 func RenderMix(title string, rows []QuestionMixRow) string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "%s\n", title)
-	fmt.Fprintf(&b, "%-28s %-11s %14s %13s %12s %s\n",
-		"workload", "algorithm", "verify-answers", "verify-tuples", "fill-missing", "ok")
+	fmt.Fprintf(&b, "%-28s %-11s %14s %13s %12s %-3s %9s\n",
+		"workload", "algorithm", "verify-answers", "verify-tuples", "fill-missing", "ok", "ms")
 	for _, r := range rows {
 		ok := "yes"
 		if !r.Converged {
 			ok = "NO"
 		}
-		fmt.Fprintf(&b, "%-28s %-11s %14d %13d %12d %s\n",
-			r.Workload, r.Algorithm, r.VerifyAnswers, r.VerifyTuples, r.FillMissing, ok)
+		fmt.Fprintf(&b, "%-28s %-11s %14d %13d %12d %-3s %9.1f\n",
+			r.Workload, r.Algorithm, r.VerifyAnswers, r.VerifyTuples, r.FillMissing, ok,
+			float64(r.CleanTime)/float64(time.Millisecond))
 	}
 	return b.String()
 }

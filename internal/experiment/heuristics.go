@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"context"
 	"math/rand"
 
 	"repro/internal/core"
@@ -41,7 +42,7 @@ func HeuristicsAblation(cfg Config) []Row {
 				coreCfg.TrustScores = trustPrior(d, dg, rng)
 			}
 			cl := core.New(d, crowd.NewPerfect(dg), coreCfg)
-			if _, err := cl.Clean(q); err != nil {
+			if _, err := cl.Clean(context.Background(), q); err != nil {
 				agg.Converged = false
 			}
 			questions := cl.Stats().VerifyFactQs

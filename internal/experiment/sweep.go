@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"strings"
@@ -41,7 +42,7 @@ func CleanlinessSweep(cfg Config, levels []float64) []SweepRow {
 			row.ResultClean += noise.ResultCleanliness(q, d, dg)
 
 			cl := core.New(d, crowd.NewPerfect(dg), core.Config{RNG: rng})
-			report, err := cl.Clean(q)
+			report, err := cl.Clean(context.Background(), q)
 			if err != nil {
 				row.Converged = false
 			}

@@ -9,6 +9,17 @@ package hitting
 import (
 	"math/rand"
 	"sort"
+
+	"repro/internal/obs"
+)
+
+// Metric names the solver records under when a SetSystem carries a recorder.
+const (
+	// MetricBnBNodes counts branch-and-bound nodes across all ExactMinimum
+	// solves (the search cost of the NP-hard exact solver, Theorem 4.2).
+	MetricBnBNodes = "hitting.bnb.nodes"
+	// MetricBnBNodesPerSolve is the per-solve node-count distribution.
+	MetricBnBNodesPerSolve = "hitting.bnb.nodes_per_solve"
 )
 
 // SetSystem is the pair (U, S) of Definition 4.3 with the universe left
@@ -16,6 +27,10 @@ import (
 // they are fact keys of witness tuples.
 type SetSystem struct {
 	sets []map[string]bool
+
+	// Obs, when non-nil, receives solver metrics (branch-and-bound node
+	// counts). Clones share the recorder.
+	Obs *obs.Recorder
 }
 
 // NewSetSystem builds a set system from element-ID slices. Empty sets are
@@ -66,9 +81,9 @@ func (ss *SetSystem) Elements() []string {
 	return sortedKeys(set)
 }
 
-// Clone returns an independent copy.
+// Clone returns an independent copy (sharing the Obs recorder).
 func (ss *SetSystem) Clone() *SetSystem {
-	out := &SetSystem{sets: make([]map[string]bool, len(ss.sets))}
+	out := &SetSystem{sets: make([]map[string]bool, len(ss.sets)), Obs: ss.Obs}
 	for i, m := range ss.sets {
 		c := make(map[string]bool, len(m))
 		for e := range m {
@@ -237,12 +252,26 @@ func (ss *SetSystem) Greedy() []string {
 // Exponential in the worst case (the problem is NP-hard); intended for the
 // small systems in tests and ablations.
 func (ss *SetSystem) ExactMinimum() []string {
+	h, _ := ss.ExactMinimumNodes()
+	return h
+}
+
+// ExactMinimumNodes is ExactMinimum reporting the number of branch-and-bound
+// nodes explored. When the system carries a recorder the count also lands in
+// MetricBnBNodes / MetricBnBNodesPerSolve.
+func (ss *SetSystem) ExactMinimumNodes() ([]string, int) {
 	if ss.Empty() {
-		return nil
+		return nil, 0
 	}
+	nodes := 0
+	defer func() {
+		ss.Obs.Add(MetricBnBNodes, int64(nodes))
+		ss.Obs.Observe(MetricBnBNodesPerSolve, float64(nodes))
+	}()
 	best := ss.Greedy() // upper bound
 	var rec func(work *SetSystem, chosen []string)
 	rec = func(work *SetSystem, chosen []string) {
+		nodes++
 		if work.Empty() {
 			if len(chosen) < len(best) {
 				best = append([]string(nil), chosen...)
@@ -268,7 +297,7 @@ func (ss *SetSystem) ExactMinimum() []string {
 	}
 	rec(ss.Clone(), nil)
 	sort.Strings(best)
-	return best
+	return best, nodes
 }
 
 func sortedKeys(m map[string]bool) []string {

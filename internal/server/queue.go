@@ -7,6 +7,7 @@
 package server
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"sync"
@@ -14,6 +15,7 @@ import (
 	"repro/internal/cq"
 	"repro/internal/db"
 	"repro/internal/eval"
+	"repro/internal/obs"
 )
 
 // QuestionKind enumerates the paper's four crowd question types.
@@ -27,11 +29,22 @@ const (
 	KindCompleteResult QuestionKind = "complete-result" // COMPL(Q(D))
 )
 
+// Metric names the queue records under when Obs is set.
+const (
+	// MetricPendingQuestions is the current number of unanswered questions.
+	MetricPendingQuestions = "server.questions.pending"
+	// MetricQuestionsAsked / MetricQuestionsAnswered count queue traffic.
+	MetricQuestionsAsked    = "server.questions.asked"
+	MetricQuestionsAnswered = "server.questions.answered"
+)
+
 // Question is one pending crowd task, serialized to the web UI.
 type Question struct {
 	ID   int          `json:"id"`
 	Kind QuestionKind `json:"kind"`
 	Text string       `json:"text"` // human-readable rendering
+	// Job is the cleaning job that asked, 0 for questions asked outside a job.
+	Job int `json:"job,omitempty"`
 
 	// Kind-specific payloads.
 	Fact    []string          `json:"fact,omitempty"`    // relation, v1, ..., vk
@@ -56,8 +69,27 @@ type Answer struct {
 	Tuple []string `json:"tuple,omitempty"`
 }
 
+// jobCtxKey carries the asking job's ID through the context so questions can
+// be attributed and cancelled per job.
+type jobCtxKey struct{}
+
+// withJob tags ctx with a job ID.
+func withJob(ctx context.Context, id int) context.Context {
+	return context.WithValue(ctx, jobCtxKey{}, id)
+}
+
+// jobIDFrom returns the job ID carried by ctx, 0 if none.
+func jobIDFrom(ctx context.Context) int {
+	id, _ := ctx.Value(jobCtxKey{}).(int)
+	return id
+}
+
 // Queue is a crowd.Oracle whose answers arrive asynchronously over HTTP.
 type Queue struct {
+	// Obs, when non-nil, receives queue metrics (pending-question gauge and
+	// ask/answer counters). Set before use.
+	Obs *obs.Recorder
+
 	mu      sync.Mutex
 	nextID  int
 	pending map[int]*Question
@@ -81,6 +113,20 @@ func (q *Queue) Pending() []*Question {
 	return out
 }
 
+// PendingFor returns the IDs of the open questions asked by one job, ordered.
+func (q *Queue) PendingFor(jobID int) []int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	var out []int
+	for id, qu := range q.pending {
+		if qu.Job == jobID {
+			out = append(out, id)
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
 // Answer resolves a pending question. It fails for unknown IDs (including
 // already-answered questions).
 func (q *Queue) Answer(id int, a Answer) error {
@@ -88,18 +134,20 @@ func (q *Queue) Answer(id int, a Answer) error {
 	qu, ok := q.pending[id]
 	if ok {
 		delete(q.pending, id)
+		q.Obs.SetGauge(MetricPendingQuestions, float64(len(q.pending)))
 	}
 	q.mu.Unlock()
 	if !ok {
 		return fmt.Errorf("server: no pending question %d", id)
 	}
+	q.Obs.Inc(MetricQuestionsAnswered)
 	qu.reply <- a
 	return nil
 }
 
-// closedAnswer is the shutdown reply: it causes no database edits — boolean
-// questions read "true" (nothing gets deleted or inserted on its account),
-// completion questions read "nothing to complete".
+// closedAnswer is the shutdown/cancellation reply: it causes no database
+// edits — boolean questions read "true" (nothing gets deleted or inserted on
+// its account), completion questions read "nothing to complete".
 func closedAnswer() Answer {
 	yes := true
 	return Answer{Bool: &yes, None: true}
@@ -113,31 +161,68 @@ func (q *Queue) Close() {
 	q.closed = true
 	pend := q.pending
 	q.pending = make(map[int]*Question)
+	q.Obs.SetGauge(MetricPendingQuestions, 0)
 	q.mu.Unlock()
 	for _, qu := range pend {
 		qu.reply <- closedAnswer()
 	}
 }
 
-// ask enqueues a question and blocks until it is answered.
-func (q *Queue) ask(qu *Question) Answer {
-	qu.reply = make(chan Answer, 1)
+// CancelJob unblocks the pending questions of one job with edit-free default
+// answers, so a cancelled job's oracle calls return within one request cycle
+// instead of waiting for its context check.
+func (q *Queue) CancelJob(jobID int) {
 	q.mu.Lock()
-	if q.closed {
+	var cancelled []*Question
+	for id, qu := range q.pending {
+		if qu.Job == jobID {
+			delete(q.pending, id)
+			cancelled = append(cancelled, qu)
+		}
+	}
+	q.Obs.SetGauge(MetricPendingQuestions, float64(len(q.pending)))
+	q.mu.Unlock()
+	for _, qu := range cancelled {
+		qu.reply <- closedAnswer()
+	}
+}
+
+// ask enqueues a question and blocks until it is answered or ctx is
+// cancelled; cancellation reads as the edit-free default answer. The reply
+// channel is buffered so a racing Answer never blocks against a departed
+// asker.
+func (q *Queue) ask(ctx context.Context, qu *Question) Answer {
+	qu.reply = make(chan Answer, 1)
+	qu.Job = jobIDFrom(ctx)
+	q.mu.Lock()
+	if q.closed || ctx.Err() != nil {
+		// Never enqueue for a dead asker: a cancelled job's follow-up
+		// questions would only flash through the pending list.
 		q.mu.Unlock()
 		return closedAnswer()
 	}
 	q.nextID++
 	qu.ID = q.nextID
 	q.pending[qu.ID] = qu
+	q.Obs.Inc(MetricQuestionsAsked)
+	q.Obs.SetGauge(MetricPendingQuestions, float64(len(q.pending)))
 	q.mu.Unlock()
-	return <-qu.reply
+	select {
+	case a := <-qu.reply:
+		return a
+	case <-ctx.Done():
+		q.mu.Lock()
+		delete(q.pending, qu.ID)
+		q.Obs.SetGauge(MetricPendingQuestions, float64(len(q.pending)))
+		q.mu.Unlock()
+		return closedAnswer()
+	}
 }
 
 // VerifyFact implements crowd.Oracle.
-func (q *Queue) VerifyFact(f db.Fact) bool {
+func (q *Queue) VerifyFact(ctx context.Context, f db.Fact) bool {
 	fact := append([]string{f.Rel}, f.Args...)
-	a := q.ask(&Question{
+	a := q.ask(ctx, &Question{
 		Kind: KindVerifyFact,
 		Text: fmt.Sprintf("Is %s true?", f),
 		Fact: fact,
@@ -146,8 +231,8 @@ func (q *Queue) VerifyFact(f db.Fact) bool {
 }
 
 // VerifyAnswer implements crowd.Oracle.
-func (q *Queue) VerifyAnswer(query *cq.Query, t db.Tuple) bool {
-	a := q.ask(&Question{
+func (q *Queue) VerifyAnswer(ctx context.Context, query *cq.Query, t db.Tuple) bool {
+	a := q.ask(ctx, &Question{
 		Kind:  KindVerifyAnswer,
 		Text:  fmt.Sprintf("Is %s a correct answer to %s?", t, query),
 		Query: query.String(),
@@ -157,7 +242,7 @@ func (q *Queue) VerifyAnswer(query *cq.Query, t db.Tuple) bool {
 }
 
 // Complete implements crowd.Oracle.
-func (q *Queue) Complete(query *cq.Query, partial eval.Assignment) (eval.Assignment, bool) {
+func (q *Queue) Complete(ctx context.Context, query *cq.Query, partial eval.Assignment) (eval.Assignment, bool) {
 	var unbound []string
 	seen := make(map[string]bool)
 	for _, v := range query.Vars() {
@@ -167,7 +252,7 @@ func (q *Queue) Complete(query *cq.Query, partial eval.Assignment) (eval.Assignm
 		}
 	}
 	sort.Strings(unbound)
-	a := q.ask(&Question{
+	a := q.ask(ctx, &Question{
 		Kind:    KindComplete,
 		Text:    fmt.Sprintf("Complete %s into true facts (variables: %v)", query, unbound),
 		Query:   query.String(),
@@ -189,12 +274,12 @@ func (q *Queue) Complete(query *cq.Query, partial eval.Assignment) (eval.Assignm
 }
 
 // CompleteResult implements crowd.Oracle.
-func (q *Queue) CompleteResult(query *cq.Query, current []db.Tuple) (db.Tuple, bool) {
+func (q *Queue) CompleteResult(ctx context.Context, query *cq.Query, current []db.Tuple) (db.Tuple, bool) {
 	rows := make([][]string, len(current))
 	for i, t := range current {
 		rows[i] = t
 	}
-	a := q.ask(&Question{
+	a := q.ask(ctx, &Question{
 		Kind:    KindCompleteResult,
 		Text:    fmt.Sprintf("Name an answer missing from the result of %s (or declare it complete)", query),
 		Query:   query.String(),

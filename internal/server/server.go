@@ -1,9 +1,11 @@
 package server
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"net/http"
+	"sort"
 	"strconv"
 	"strings"
 	"sync"
@@ -13,6 +15,7 @@ import (
 	"repro/internal/crowd"
 	"repro/internal/db"
 	"repro/internal/eval"
+	"repro/internal/obs"
 	"repro/internal/sqlfe"
 	"repro/internal/view"
 )
@@ -22,9 +25,18 @@ type JobState string
 
 // Job states.
 const (
-	JobRunning JobState = "running"
-	JobDone    JobState = "done"
-	JobFailed  JobState = "failed"
+	JobRunning   JobState = "running"
+	JobDone      JobState = "done"
+	JobFailed    JobState = "failed"
+	JobCancelled JobState = "cancelled"
+)
+
+// Job metric names recorded when the server's recorder is active.
+const (
+	MetricJobsStarted   = "server.jobs.started"
+	MetricJobsDone      = "server.jobs.done"
+	MetricJobsFailed    = "server.jobs.failed"
+	MetricJobsCancelled = "server.jobs.cancelled"
 )
 
 // Job tracks one asynchronous cleaning run.
@@ -34,25 +46,47 @@ type Job struct {
 	State  JobState     `json:"state"`
 	Error  string       `json:"error,omitempty"`
 	Report *core.Report `json:"report,omitempty"`
+
+	cancel  context.CancelFunc // stops the run; nil once observed
+	cleaner *core.Cleaner      // live progress source while running
+}
+
+// jobStatus is the versioned job view: the job plus, while it runs, live
+// progress (current iteration, crowd cost so far) and the IDs of its pending
+// crowd questions.
+type jobStatus struct {
+	Job
+	Progress         *core.Progress `json:"progress,omitempty"`
+	PendingQuestions []int          `json:"pending_questions,omitempty"`
 }
 
 // Server is the HTTP face of QOCO (Figure 5): it owns the dirty database,
 // queues crowd questions, and runs cleaning jobs in the background.
 //
-// API:
+// The versioned API lives under /api/v1/ (see docs/API.md):
 //
-//	GET  /questions           pending crowd questions (JSON array)
-//	POST /questions/{id}      answer a question (JSON Answer body)
-//	POST /clean               start a job: {"query": "(x) :- ..."} or {"sql": "SELECT ..."}
-//	GET  /jobs/{id}           job status and report
-//	GET  /query?q=...         evaluate a query against the current database
-//	GET  /                    minimal built-in crowd UI
+//	GET    /api/v1/questions                 pending crowd questions
+//	POST   /api/v1/questions/{id}/answer     answer a question
+//	POST   /api/v1/clean                     start a job: {"query": ...} or {"sql": ...}
+//	GET    /api/v1/jobs                      all jobs
+//	GET    /api/v1/jobs/{id}                 job status, live progress, report
+//	DELETE /api/v1/jobs/{id}                 cancel a running job
+//	GET    /api/v1/query?q=...|sql=...       evaluate against the current database
+//	GET    /api/v1/metrics                   process metrics (flat JSON)
+//	GET    /api/v1/views, /api/v1/views/{name}, POST .../wrong, .../missing
+//
+// Error responses under /api/v1/ use the envelope
+// {"error": {"code": "...", "message": "..."}}. The unversioned routes
+// (/questions, /clean, /jobs/{id}, /query, /views) predate the versioned
+// surface and are kept as deprecated aliases with their original
+// {"error": "..."} shape; the crowd console is served at /.
 type Server struct {
 	queue   *Queue
 	d       *db.Database
 	cfg     core.Config
 	mux     *http.ServeMux
 	monitor *view.Monitor
+	obs     *obs.Recorder
 
 	// dbMu serializes database access: cleaning jobs hold the write lock for
 	// their full duration (crowd answers arrive through the lock-free
@@ -65,16 +99,23 @@ type Server struct {
 }
 
 // New builds a server over the database. cfg configures the cleaner; its
-// Oracle is the server's own question queue. cfg.Parallel is honored.
+// Oracle is the server's own question queue. cfg.Parallel is honored. When
+// cfg.Obs is nil the server creates its own recorder; either way the recorder
+// is shared by the queue and every cleaner and served at /api/v1/metrics.
 func New(d *db.Database, cfg core.Config) *Server {
+	if cfg.Obs == nil {
+		cfg.Obs = obs.New()
+	}
 	s := &Server{
 		queue:   NewQueue(),
 		d:       d,
 		cfg:     cfg,
 		mux:     http.NewServeMux(),
 		monitor: view.NewMonitor(d),
+		obs:     cfg.Obs,
 		jobs:    make(map[int]*Job),
 	}
+	s.queue.Obs = s.obs
 	// Keep registered views fresh through every cleaning edit, preserving any
 	// caller-provided hook.
 	userHook := s.cfg.OnEdit
@@ -85,6 +126,24 @@ func New(d *db.Database, cfg core.Config) *Server {
 			userHook(e)
 		}
 	}
+
+	// Versioned API. Handlers check methods themselves so that every error,
+	// including 405s, wears the v1 envelope.
+	s.mux.HandleFunc("/api/v1/questions", s.v1Questions)
+	s.mux.HandleFunc("/api/v1/questions/{id}/answer", s.v1Answer)
+	s.mux.HandleFunc("/api/v1/clean", s.v1Clean)
+	s.mux.HandleFunc("/api/v1/jobs", s.v1Jobs)
+	s.mux.HandleFunc("/api/v1/jobs/{id}", s.v1Job)
+	s.mux.HandleFunc("/api/v1/query", s.v1Query)
+	s.mux.HandleFunc("/api/v1/metrics", s.v1Metrics)
+	s.mux.HandleFunc("/api/v1/views", s.v1Views)
+	s.mux.HandleFunc("/api/v1/views/{name}", s.v1View)
+	s.mux.HandleFunc("/api/v1/views/{name}/{action}", s.v1ViewAction)
+	s.mux.HandleFunc("/api/v1/", func(w http.ResponseWriter, r *http.Request) {
+		writeAPIError(w, http.StatusNotFound, "not_found", fmt.Sprintf("no such endpoint %s", r.URL.Path))
+	})
+
+	// Deprecated unversioned aliases, kept for existing clients.
 	s.mux.HandleFunc("/questions", s.handleQuestions)
 	s.mux.HandleFunc("/questions/", s.handleAnswer)
 	s.mux.HandleFunc("/clean", s.handleClean)
@@ -102,6 +161,9 @@ func (s *Server) Handler() http.Handler { return s.mux }
 // Queue exposes the question queue (for embedding and tests).
 func (s *Server) Queue() *Queue { return s.queue }
 
+// Obs returns the server's metrics recorder (the one behind /api/v1/metrics).
+func (s *Server) Obs() *obs.Recorder { return s.obs }
+
 // Close unblocks pending questions so background jobs can exit.
 func (s *Server) Close() { s.queue.Close() }
 
@@ -111,9 +173,194 @@ func writeJSON(w http.ResponseWriter, status int, v interface{}) {
 	_ = json.NewEncoder(w).Encode(v)
 }
 
+// writeError emits the legacy {"error": "..."} shape of the unversioned
+// routes.
 func writeError(w http.ResponseWriter, status int, err error) {
 	writeJSON(w, status, map[string]string{"error": err.Error()})
 }
+
+// writeAPIError emits the versioned error envelope.
+func writeAPIError(w http.ResponseWriter, status int, code, message string) {
+	writeJSON(w, status, map[string]interface{}{
+		"error": map[string]string{"code": code, "message": message},
+	})
+}
+
+// methodNotAllowed writes a v1 405 naming the allowed methods.
+func methodNotAllowed(w http.ResponseWriter, allowed ...string) {
+	w.Header().Set("Allow", strings.Join(allowed, ", "))
+	writeAPIError(w, http.StatusMethodNotAllowed, "method_not_allowed",
+		fmt.Sprintf("allowed methods: %s", strings.Join(allowed, ", ")))
+}
+
+// pathID parses the {id} wildcard as an integer.
+func pathID(r *http.Request) (int, error) {
+	return strconv.Atoi(r.PathValue("id"))
+}
+
+// --- versioned handlers ---
+
+func (s *Server) v1Questions(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		methodNotAllowed(w, http.MethodGet)
+		return
+	}
+	writeJSON(w, http.StatusOK, s.queue.Pending())
+}
+
+func (s *Server) v1Answer(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		methodNotAllowed(w, http.MethodPost)
+		return
+	}
+	id, err := pathID(r)
+	if err != nil {
+		writeAPIError(w, http.StatusBadRequest, "bad_request", fmt.Sprintf("bad question id %q", r.PathValue("id")))
+		return
+	}
+	var a Answer
+	if err := json.NewDecoder(r.Body).Decode(&a); err != nil {
+		writeAPIError(w, http.StatusBadRequest, "bad_request", fmt.Sprintf("bad answer body: %v", err))
+		return
+	}
+	if err := s.queue.Answer(id, a); err != nil {
+		writeAPIError(w, http.StatusNotFound, "not_found", err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]bool{"ok": true})
+}
+
+func (s *Server) v1Clean(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		methodNotAllowed(w, http.MethodPost)
+		return
+	}
+	var req cleanRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeAPIError(w, http.StatusBadRequest, "bad_request", fmt.Sprintf("bad request body: %v", err))
+		return
+	}
+	q, err := s.parseQuery(req)
+	if err != nil {
+		writeAPIError(w, http.StatusBadRequest, "bad_request", err.Error())
+		return
+	}
+	job := s.startJob(q)
+	writeJSON(w, http.StatusAccepted, job)
+}
+
+func (s *Server) v1Jobs(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		methodNotAllowed(w, http.MethodGet)
+		return
+	}
+	s.mu.Lock()
+	out := make([]Job, 0, len(s.jobs))
+	for _, job := range s.jobs {
+		out = append(out, *job)
+	}
+	s.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) v1Job(w http.ResponseWriter, r *http.Request) {
+	switch r.Method {
+	case http.MethodGet:
+		id, err := pathID(r)
+		if err != nil {
+			writeAPIError(w, http.StatusBadRequest, "bad_request", fmt.Sprintf("bad job id %q", r.PathValue("id")))
+			return
+		}
+		s.mu.Lock()
+		job, ok := s.jobs[id]
+		var status jobStatus
+		var cleaner *core.Cleaner
+		if ok {
+			status.Job = *job
+			if job.State == JobRunning {
+				cleaner = job.cleaner
+			}
+		}
+		s.mu.Unlock()
+		if !ok {
+			writeAPIError(w, http.StatusNotFound, "not_found", fmt.Sprintf("no job %d", id))
+			return
+		}
+		if cleaner != nil {
+			p := cleaner.Progress()
+			status.Progress = &p
+			status.PendingQuestions = s.queue.PendingFor(id)
+		}
+		writeJSON(w, http.StatusOK, status)
+	case http.MethodDelete:
+		id, err := pathID(r)
+		if err != nil {
+			writeAPIError(w, http.StatusBadRequest, "bad_request", fmt.Sprintf("bad job id %q", r.PathValue("id")))
+			return
+		}
+		s.mu.Lock()
+		job, ok := s.jobs[id]
+		if !ok {
+			s.mu.Unlock()
+			writeAPIError(w, http.StatusNotFound, "not_found", fmt.Sprintf("no job %d", id))
+			return
+		}
+		if job.State != JobRunning {
+			state := job.State
+			s.mu.Unlock()
+			writeAPIError(w, http.StatusConflict, "conflict", fmt.Sprintf("job %d is %s, not running", id, state))
+			return
+		}
+		job.State = JobCancelled
+		cancel := job.cancel
+		job.cancel = nil
+		view := *job
+		s.mu.Unlock()
+		if cancel != nil {
+			cancel()
+		}
+		// Unblock the job's in-flight questions immediately: the oracle call
+		// returns its edit-free default within this request cycle rather than
+		// at the cleaner's next context check.
+		s.queue.CancelJob(id)
+		s.obs.Inc(MetricJobsCancelled)
+		writeJSON(w, http.StatusOK, view)
+	default:
+		methodNotAllowed(w, http.MethodGet, http.MethodDelete)
+	}
+}
+
+func (s *Server) v1Query(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		methodNotAllowed(w, http.MethodGet)
+		return
+	}
+	req := cleanRequest{Query: r.URL.Query().Get("q"), SQL: r.URL.Query().Get("sql")}
+	q, err := s.parseQuery(req)
+	if err != nil {
+		writeAPIError(w, http.StatusBadRequest, "bad_request", err.Error())
+		return
+	}
+	s.dbMu.RLock()
+	rows := eval.Result(q, s.d)
+	s.dbMu.RUnlock()
+	out := make([][]string, len(rows))
+	for i, t := range rows {
+		out[i] = t
+	}
+	writeJSON(w, http.StatusOK, map[string]interface{}{"query": q.String(), "rows": out})
+}
+
+func (s *Server) v1Metrics(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		methodNotAllowed(w, http.MethodGet)
+		return
+	}
+	s.obs.Handler().ServeHTTP(w, r)
+}
+
+// --- deprecated unversioned handlers ---
 
 func (s *Server) handleQuestions(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
@@ -187,30 +434,56 @@ func (s *Server) handleClean(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusAccepted, job)
 }
 
-// startJob launches a cleaning run against the crowd queue.
-func (s *Server) startJob(q *cq.Query) *Job {
+// startJob launches a cleaning run against the crowd queue. The run carries a
+// cancellable context tagged with the job ID, so DELETE /api/v1/jobs/{id} can
+// stop it and the queue can attribute its questions.
+func (s *Server) startJob(q *cq.Query) Job {
+	ctx, cancel := context.WithCancel(context.Background())
+
 	s.mu.Lock()
 	s.nextJob++
-	job := &Job{ID: s.nextJob, Query: q.String(), State: JobRunning}
+	job := &Job{ID: s.nextJob, Query: q.String(), State: JobRunning, cancel: cancel}
 	s.jobs[job.ID] = job
 	s.mu.Unlock()
+	s.obs.Inc(MetricJobsStarted)
 
+	ctx = withJob(ctx, job.ID)
 	go func() {
 		s.dbMu.Lock()
 		cleaner := s.newCleaner()
-		report, err := cleaner.Clean(q)
-		s.dbMu.Unlock()
 		s.mu.Lock()
-		defer s.mu.Unlock()
-		job.Report = report
-		if err != nil {
-			job.State = JobFailed
-			job.Error = err.Error()
-			return
-		}
-		job.State = JobDone
+		job.cleaner = cleaner
+		s.mu.Unlock()
+		report, err := cleaner.Clean(ctx, q)
+		s.dbMu.Unlock()
+		s.finishJob(job, report, err)
 	}()
-	return job
+
+	s.mu.Lock()
+	view := *job
+	s.mu.Unlock()
+	return view
+}
+
+// finishJob records a run's outcome. A job already marked cancelled keeps
+// that state (the run's context error is not a failure); otherwise the report
+// and error decide between done and failed.
+func (s *Server) finishJob(job *Job, report *core.Report, err error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	job.Report = report
+	job.cleaner = nil
+	if job.State == JobCancelled {
+		return
+	}
+	if err != nil {
+		job.State = JobFailed
+		job.Error = err.Error()
+		s.obs.Inc(MetricJobsFailed)
+		return
+	}
+	job.State = JobDone
+	s.obs.Inc(MetricJobsDone)
 }
 
 // newCleaner builds a cleaner over the server's database, question queue and
@@ -246,12 +519,16 @@ func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 	}
 	s.mu.Lock()
 	job, ok := s.jobs[id]
+	var view Job
+	if ok {
+		view = *job
+	}
 	s.mu.Unlock()
 	if !ok {
 		writeError(w, http.StatusNotFound, fmt.Errorf("no job %d", id))
 		return
 	}
-	writeJSON(w, http.StatusOK, job)
+	writeJSON(w, http.StatusOK, view)
 }
 
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {

@@ -2,6 +2,7 @@ package server
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"net/http"
@@ -59,11 +60,11 @@ func (c *httpCrowd) answer(q *Question) {
 	var a Answer
 	switch q.Kind {
 	case KindVerifyFact:
-		v := c.oracle.VerifyFact(db.NewFact(q.Fact[0], q.Fact[1:]...))
+		v := c.oracle.VerifyFact(context.Background(), db.NewFact(q.Fact[0], q.Fact[1:]...))
 		a.Bool = &v
 	case KindVerifyAnswer:
 		query := cq.MustParse(q.Query)
-		v := c.oracle.VerifyAnswer(query, db.Tuple(q.Tuple))
+		v := c.oracle.VerifyAnswer(context.Background(), query, db.Tuple(q.Tuple))
 		a.Bool = &v
 	case KindComplete:
 		query := cq.MustParse(q.Query)
@@ -71,7 +72,7 @@ func (c *httpCrowd) answer(q *Question) {
 		for k, v := range q.Partial {
 			partial[k] = v
 		}
-		full, ok := c.oracle.Complete(query, partial)
+		full, ok := c.oracle.Complete(context.Background(), query, partial)
 		if !ok {
 			a.None = true
 		} else {
@@ -86,7 +87,7 @@ func (c *httpCrowd) answer(q *Question) {
 		for i, r := range q.Current {
 			cur[i] = db.Tuple(r)
 		}
-		t, ok := c.oracle.CompleteResult(query, cur)
+		t, ok := c.oracle.CompleteResult(context.Background(), query, cur)
 		if !ok {
 			a.None = true
 		} else {
@@ -286,7 +287,7 @@ func TestQueueCloseUnblocks(t *testing.T) {
 	q := NewQueue()
 	done := make(chan bool)
 	go func() {
-		done <- q.VerifyFact(db.NewFact("Teams", "GER", "EU"))
+		done <- q.VerifyFact(context.Background(), db.NewFact("Teams", "GER", "EU"))
 	}()
 	// Wait for the question to register, then close.
 	deadline := time.Now().Add(5 * time.Second)
@@ -307,14 +308,14 @@ func TestQueueCloseUnblocks(t *testing.T) {
 	}
 	// Questions after Close resolve immediately with the same edit-free
 	// answer.
-	if !q.VerifyFact(db.NewFact("Teams", "GER", "EU")) {
+	if !q.VerifyFact(context.Background(), db.NewFact("Teams", "GER", "EU")) {
 		t.Errorf("post-Close question answered false")
 	}
 }
 
 func TestQueueDoubleAnswerRejected(t *testing.T) {
 	q := NewQueue()
-	go q.VerifyFact(db.NewFact("Teams", "GER", "EU"))
+	go q.VerifyFact(context.Background(), db.NewFact("Teams", "GER", "EU"))
 	deadline := time.Now().Add(5 * time.Second)
 	for len(q.Pending()) == 0 {
 		if time.Now().After(deadline) {

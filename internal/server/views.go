@@ -1,6 +1,7 @@
 package server
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"net/http"
@@ -25,42 +26,55 @@ type reportRequest struct {
 func (s *Server) handleViews(w http.ResponseWriter, r *http.Request) {
 	switch r.Method {
 	case http.MethodGet:
-		s.dbMu.RLock()
-		defer s.dbMu.RUnlock()
-		out := make([]map[string]interface{}, 0)
-		for _, name := range s.monitor.Names() {
-			v := s.monitor.View(name)
-			out = append(out, map[string]interface{}{
-				"name": name, "query": v.Query.String(), "rows": v.Len(),
-			})
-		}
-		writeJSON(w, http.StatusOK, out)
+		writeJSON(w, http.StatusOK, s.listViews())
 	case http.MethodPost:
 		var req viewRequest
 		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 			writeError(w, http.StatusBadRequest, fmt.Errorf("bad view body: %w", err))
 			return
 		}
-		if req.Name == "" {
-			writeError(w, http.StatusBadRequest, fmt.Errorf("missing view name"))
-			return
-		}
-		q, err := s.parseQuery(cleanRequest{Query: req.Query, SQL: req.SQL})
+		q, status, err := s.registerView(req)
 		if err != nil {
-			writeError(w, http.StatusBadRequest, err)
-			return
-		}
-		s.dbMu.Lock()
-		_, err = s.monitor.Register(req.Name, q)
-		s.dbMu.Unlock()
-		if err != nil {
-			writeError(w, http.StatusConflict, err)
+			writeError(w, status, err)
 			return
 		}
 		writeJSON(w, http.StatusCreated, map[string]string{"name": req.Name, "query": q.String()})
 	default:
 		writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("GET or POST"))
 	}
+}
+
+// listViews snapshots the registered views for the list endpoints.
+func (s *Server) listViews() []map[string]interface{} {
+	s.dbMu.RLock()
+	defer s.dbMu.RUnlock()
+	out := make([]map[string]interface{}, 0)
+	for _, name := range s.monitor.Names() {
+		v := s.monitor.View(name)
+		out = append(out, map[string]interface{}{
+			"name": name, "query": v.Query.String(), "rows": v.Len(),
+		})
+	}
+	return out
+}
+
+// registerView validates and registers a view, returning the parsed query and
+// an HTTP status for the error, if any.
+func (s *Server) registerView(req viewRequest) (*cq.Query, int, error) {
+	if req.Name == "" {
+		return nil, http.StatusBadRequest, fmt.Errorf("missing view name")
+	}
+	q, err := s.parseQuery(cleanRequest{Query: req.Query, SQL: req.SQL})
+	if err != nil {
+		return nil, http.StatusBadRequest, err
+	}
+	s.dbMu.Lock()
+	_, err = s.monitor.Register(req.Name, q)
+	s.dbMu.Unlock()
+	if err != nil {
+		return nil, http.StatusConflict, err
+	}
+	return q, http.StatusCreated, nil
 }
 
 // handleView serves one view's rows and the wrong/missing report actions:
@@ -113,38 +127,124 @@ func (s *Server) handleView(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
+// --- versioned view handlers ---
+
+func (s *Server) v1Views(w http.ResponseWriter, r *http.Request) {
+	switch r.Method {
+	case http.MethodGet:
+		writeJSON(w, http.StatusOK, s.listViews())
+	case http.MethodPost:
+		var req viewRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			writeAPIError(w, http.StatusBadRequest, "bad_request", fmt.Sprintf("bad view body: %v", err))
+			return
+		}
+		q, status, err := s.registerView(req)
+		if err != nil {
+			code := "bad_request"
+			if status == http.StatusConflict {
+				code = "conflict"
+			}
+			writeAPIError(w, status, code, err.Error())
+			return
+		}
+		writeJSON(w, http.StatusCreated, map[string]string{"name": req.Name, "query": q.String()})
+	default:
+		methodNotAllowed(w, http.MethodGet, http.MethodPost)
+	}
+}
+
+func (s *Server) v1View(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		methodNotAllowed(w, http.MethodGet)
+		return
+	}
+	name := r.PathValue("name")
+	s.dbMu.RLock()
+	v := s.monitor.View(name)
+	var rows []db.Tuple
+	if v != nil {
+		rows = v.Rows()
+	}
+	s.dbMu.RUnlock()
+	if v == nil {
+		writeAPIError(w, http.StatusNotFound, "not_found", fmt.Sprintf("no view %q", name))
+		return
+	}
+	out := make([][]string, len(rows))
+	for i, t := range rows {
+		out[i] = t
+	}
+	writeJSON(w, http.StatusOK, map[string]interface{}{
+		"name": name, "query": v.Query.String(), "rows": out,
+	})
+}
+
+func (s *Server) v1ViewAction(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		methodNotAllowed(w, http.MethodPost)
+		return
+	}
+	name, action := r.PathValue("name"), r.PathValue("action")
+	if action != "wrong" && action != "missing" {
+		writeAPIError(w, http.StatusNotFound, "not_found", fmt.Sprintf("unsupported view action %q", action))
+		return
+	}
+	s.dbMu.RLock()
+	v := s.monitor.View(name)
+	s.dbMu.RUnlock()
+	if v == nil {
+		writeAPIError(w, http.StatusNotFound, "not_found", fmt.Sprintf("no view %q", name))
+		return
+	}
+	var req reportRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeAPIError(w, http.StatusBadRequest, "bad_request", fmt.Sprintf("bad report body: %v", err))
+		return
+	}
+	if len(req.Tuple) != v.Query.Arity() {
+		writeAPIError(w, http.StatusBadRequest, "bad_request",
+			fmt.Sprintf("tuple arity %d, view has arity %d", len(req.Tuple), v.Query.Arity()))
+		return
+	}
+	job := s.startRepairJob(v.Query, db.Tuple(req.Tuple), action)
+	writeJSON(w, http.StatusAccepted, job)
+}
+
 // startRepairJob launches a targeted wrong-answer removal or missing-answer
 // insertion for a reported view error — the paper's §1 workflow: "whenever an
 // error is reported in a view, QOCO can take over to clean the underlying
-// database".
-func (s *Server) startRepairJob(q *cq.Query, t db.Tuple, action string) *Job {
+// database". Like full cleaning jobs it is cancellable via the v1 API.
+func (s *Server) startRepairJob(q *cq.Query, t db.Tuple, action string) Job {
+	ctx, cancel := context.WithCancel(context.Background())
+
 	s.mu.Lock()
 	s.nextJob++
-	job := &Job{ID: s.nextJob, Query: fmt.Sprintf("%s %s %s", action, t, q), State: JobRunning}
+	job := &Job{ID: s.nextJob, Query: fmt.Sprintf("%s %s %s", action, t, q), State: JobRunning, cancel: cancel}
 	s.jobs[job.ID] = job
 	s.mu.Unlock()
+	s.obs.Inc(MetricJobsStarted)
 
+	ctx = withJob(ctx, job.ID)
 	go func() {
 		s.dbMu.Lock()
 		cleaner := s.newCleaner()
+		s.mu.Lock()
+		job.cleaner = cleaner
+		s.mu.Unlock()
 		var err error
 		var edits []db.Edit
 		if action == "wrong" {
-			edits, err = cleaner.RemoveWrongAnswer(q, t)
+			edits, err = cleaner.RemoveWrongAnswer(ctx, q, t)
 		} else {
-			edits, err = cleaner.AddMissingAnswer(q, t)
+			edits, err = cleaner.AddMissingAnswer(ctx, q, t)
 		}
 		s.dbMu.Unlock()
-
-		s.mu.Lock()
-		defer s.mu.Unlock()
-		job.Report = reportOfEdits(edits)
-		if err != nil {
-			job.State = JobFailed
-			job.Error = err.Error()
-			return
-		}
-		job.State = JobDone
+		s.finishJob(job, reportOfEdits(edits), err)
 	}()
-	return job
+
+	s.mu.Lock()
+	view := *job
+	s.mu.Unlock()
+	return view
 }

@@ -1,6 +1,7 @@
 package sqlfe
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -96,7 +97,7 @@ func TestCleanUnionFromSQL(t *testing.T) {
 		t.Fatalf("ParseUnion: %v", err)
 	}
 	c := core.New(d, crowd.NewPerfect(dg), core.Config{RNG: rand.New(rand.NewSource(2))})
-	if _, err := c.CleanUnion(u); err != nil {
+	if _, err := c.CleanUnion(context.Background(), u); err != nil {
 		t.Fatalf("CleanUnion: %v", err)
 	}
 	got := eval.ResultUnion(u, d)

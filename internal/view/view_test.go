@@ -1,6 +1,7 @@
 package view
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -198,7 +199,7 @@ func TestMonitorWithCleaner(t *testing.T) {
 		RNG:    rand.New(rand.NewSource(3)),
 		OnEdit: m.EditHook(),
 	})
-	if _, err := cl.Clean(dataset.IntroQ1()); err != nil {
+	if _, err := cl.Clean(context.Background(), dataset.IntroQ1()); err != nil {
 		t.Fatal(err)
 	}
 

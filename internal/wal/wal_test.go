@@ -1,6 +1,7 @@
 package wal
 
 import (
+	"context"
 	"math/rand"
 	"os"
 	"path/filepath"
@@ -171,7 +172,7 @@ func TestDurableCleaningSession(t *testing.T) {
 		OnEdit: st.EditHook(),
 	})
 	q := dataset.IntroQ1()
-	if _, err := cl.Clean(q); err != nil {
+	if _, err := cl.Clean(context.Background(), q); err != nil {
 		t.Fatal(err)
 	}
 	want := eval.Result(q, st.Database())
