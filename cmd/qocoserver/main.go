@@ -13,6 +13,12 @@
 // the net/http/pprof profiling handlers under /debug/pprof/. The server
 // shuts down cleanly on SIGINT/SIGTERM: pending crowd questions are released
 // with edit-free answers and in-flight requests get a grace period.
+//
+// Robustness (see docs/RESILIENCE.md): -question-deadline bounds how long a
+// job waits on any one crowd question (expired questions are re-asked up to
+// -max-reasks times, then degrade to the edit-free default), and -journal
+// names a WAL-style job journal from which interrupted jobs are recovered on
+// the next boot, replaying their already-collected answers.
 package main
 
 import (
@@ -33,6 +39,7 @@ import (
 	"repro/internal/db"
 	"repro/internal/eval"
 	"repro/internal/server"
+	"repro/internal/wal"
 )
 
 func main() {
@@ -65,6 +72,12 @@ func run() error {
 	ds := flag.String("dataset", "figure1", "built-in dataset: figure1, soccer, dbgroup")
 	debug := flag.Bool("debug", false, "mount net/http/pprof under /debug/pprof/")
 	grace := flag.Duration("grace", 5*time.Second, "shutdown grace period for in-flight requests")
+	questionDeadline := flag.Duration("question-deadline", 0,
+		"how long each crowd question waits for an answer before being re-asked (0 disables expiry)")
+	maxReasks := flag.Int("max-reasks", 2,
+		"re-asks after a question's first deadline expiry before it degrades to the edit-free default")
+	journal := flag.String("journal", "",
+		"path of the job journal; jobs interrupted by a crash or restart are recovered from it on boot")
 	flag.Parse()
 
 	d, dg, err := loadDataset(*ds)
@@ -73,9 +86,32 @@ func run() error {
 	}
 
 	srv := server.New(d, core.Config{})
-	// Route evaluator metrics (witness enumeration latencies and sizes) into
-	// the same recorder the server serves at /api/v1/metrics.
+	// Route evaluator and wal metrics (witness enumeration latencies, torn-tail
+	// recoveries, journal append failures) into the same recorder the server
+	// serves at /api/v1/metrics.
 	eval.Instrument(srv.Obs())
+	wal.Instrument(srv.Obs())
+	if *questionDeadline > 0 {
+		srv.Queue().SetDeadline(*questionDeadline, *maxReasks)
+	}
+	var jobLog *wal.JobLog
+	if *journal != "" {
+		log.Printf("opening job journal %s", *journal)
+		jl, records, err := wal.OpenJobLog(*journal)
+		if err != nil {
+			return err
+		}
+		jobLog = jl
+		defer jobLog.Close()
+		srv.SetJobLog(jobLog)
+		resumed, rerr := srv.Recover(records)
+		if rerr != nil {
+			log.Printf("recovery: %v", rerr)
+		}
+		if resumed > 0 {
+			log.Printf("recovered %d interrupted job(s) from the journal", resumed)
+		}
+	}
 
 	mux := http.NewServeMux()
 	mux.Handle("/", srv.Handler())

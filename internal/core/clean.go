@@ -24,8 +24,13 @@ import (
 // (with the partial report) without waiting for outstanding crowd answers.
 func (c *Cleaner) Clean(ctx context.Context, q *cq.Query) (*Report, error) {
 	r := &Report{}
+	degStart := degradedCount(c.raw)
 	finish := func(err error) (*Report, error) {
 		r.Crowd = c.oracle.Snapshot()
+		if n := degradedCount(c.raw) - degStart; n > 0 {
+			r.Degraded = true
+			r.DegradedQuestions = n
+		}
 		return r, err
 	}
 	defer c.phase(MetricCleanSeconds, &r.Timings.Total)()
@@ -207,8 +212,13 @@ func (c *Cleaner) verifyAnswers(ctx context.Context, q *cq.Query, tuples []db.Tu
 // the first disjunct the crowd can witness.
 func (c *Cleaner) CleanUnion(ctx context.Context, u *cq.Union) (*Report, error) {
 	r := &Report{}
+	degStart := degradedCount(c.raw)
 	finish := func(err error) (*Report, error) {
 		r.Crowd = c.oracle.Snapshot()
+		if n := degradedCount(c.raw) - degStart; n > 0 {
+			r.Degraded = true
+			r.DegradedQuestions = n
+		}
 		return r, err
 	}
 	defer c.phase(MetricCleanSeconds, &r.Timings.Total)()

@@ -212,6 +212,24 @@ func (t *Timings) Add(o Timings) {
 	t.Total += o.Total
 }
 
+// Degrader is implemented by oracles that may substitute the edit-free
+// default for a real crowd answer — the resilience middleware stack when its
+// whole fallback chain fails, or the server's question queue when a question
+// exhausts its deadline re-asks. DegradedAnswers returns the substitutions so
+// far; the cleaner samples it around each run to surface Report.Degraded.
+type Degrader interface {
+	DegradedAnswers() int
+}
+
+// degradedCount reads an oracle's degraded-answer count, 0 for oracles that
+// cannot degrade.
+func degradedCount(o crowd.Oracle) int {
+	if d, ok := o.(Degrader); ok {
+		return d.DegradedAnswers()
+	}
+	return 0
+}
+
 // Report summarizes one cleaning run.
 type Report struct {
 	// Edits applied to the database, in order.
@@ -229,6 +247,13 @@ type Report struct {
 	Crowd crowd.Stats
 	// Timings is the phase breakdown of the run's wall-clock time.
 	Timings Timings
+	// Degraded reports that at least one crowd question was answered with the
+	// edit-free default instead of a real answer (oracle timeout with an
+	// exhausted fallback chain, or a server question past its deadline and
+	// re-ask budget). The run terminated, but Q(D) = Q(DG) is not guaranteed;
+	// DegradedQuestions counts the substituted answers.
+	Degraded          bool
+	DegradedQuestions int
 }
 
 // Progress is a point-in-time view of a run for live monitoring: which outer
@@ -243,12 +268,22 @@ type Cleaner struct {
 	cfg    Config
 	d      *db.Database
 	oracle *crowd.Counting
+	raw    crowd.Oracle // the unwrapped oracle, for Degrader sampling
 
 	mu         sync.Mutex // guards caches and oracle during parallel phases
 	knownTrue  map[string]bool
 	knownFalse map[string]bool
-	unsat      map[string]bool // partial-assignment keys known non-satisfiable
-	iteration  int             // current Algorithm 3 round, for Progress
+	unsat      map[string]bool      // partial-assignment keys known non-satisfiable
+	factAsks   map[string]*factWait // verify-fact questions currently at the oracle
+	iteration  int                  // current Algorithm 3 round, for Progress
+}
+
+// factWait tracks one in-flight TRUE(R(ā))? question so concurrent callers
+// wait for the answer instead of re-asking (§3.2 never repeats a question).
+type factWait struct {
+	done chan struct{} // closed when the ask resolves
+	ans  bool
+	ok   bool // false when the asker was cancelled: the answer is a default
 }
 
 // New builds a Cleaner over the database with the given oracle and config.
@@ -261,9 +296,11 @@ func New(d *db.Database, oracle crowd.Oracle, cfg Config) *Cleaner {
 		cfg:        cfg,
 		d:          d,
 		oracle:     counting,
+		raw:        oracle,
 		knownTrue:  make(map[string]bool),
 		knownFalse: make(map[string]bool),
 		unsat:      make(map[string]bool),
+		factAsks:   make(map[string]*factWait),
 	}
 }
 
@@ -305,33 +342,60 @@ func (c *Cleaner) phase(metric string, acc *time.Duration) func() {
 
 // verifyFact answers TRUE(R(ā))? consulting the known-answer caches first, so
 // the same question is never posed to the crowd twice (§3.2 assumes questions
-// are never repeated).
+// are never repeated). The crowd call happens outside c.mu — a crowd answer
+// can be minutes away and holding the lock would freeze Progress (and with
+// it the server's job-status endpoint) for the duration; concurrent asks of
+// the same fact instead wait on the in-flight question's result.
 func (c *Cleaner) verifyFact(ctx context.Context, f db.Fact) bool {
 	k := f.Key()
-	c.mu.Lock()
-	if c.knownTrue[k] {
+	for {
+		c.mu.Lock()
+		if c.knownTrue[k] {
+			c.mu.Unlock()
+			return true
+		}
+		if c.knownFalse[k] {
+			c.mu.Unlock()
+			return false
+		}
+		if w, inflight := c.factAsks[k]; inflight {
+			c.mu.Unlock()
+			select {
+			case <-w.done:
+				if w.ok {
+					return w.ans
+				}
+				// The asker was cancelled; its answer was a default. Loop and
+				// ask for real (or return, if this ctx is dead too).
+				continue
+			case <-ctx.Done():
+				return true // the edit-free default for VerifyFact
+			}
+		}
+		w := &factWait{done: make(chan struct{})}
+		c.factAsks[k] = w
 		c.mu.Unlock()
-		return true
-	}
-	if c.knownFalse[k] {
+
+		ans := c.oracle.VerifyFact(ctx, f)
+
+		c.mu.Lock()
+		delete(c.factAsks, k)
+		if ctx.Err() == nil {
+			// Record for ourselves and every waiter. A cancelled question
+			// yields the edit-free default; don't let it poison the
+			// never-repeat caches.
+			w.ans, w.ok = ans, true
+			if ans {
+				c.knownTrue[k] = true
+				c.inferKeyConflictsLocked(f)
+			} else {
+				c.knownFalse[k] = true
+			}
+		}
 		c.mu.Unlock()
-		return false
-	}
-	ans := c.oracle.VerifyFact(ctx, f)
-	if ctx.Err() != nil {
-		// A cancelled question yields the edit-free default; don't let it
-		// poison the never-repeat caches.
-		c.mu.Unlock()
+		close(w.done)
 		return ans
 	}
-	if ans {
-		c.knownTrue[k] = true
-		c.inferKeyConflictsLocked(f)
-	} else {
-		c.knownFalse[k] = true
-	}
-	c.mu.Unlock()
-	return ans
 }
 
 // inferKeyConflictsLocked marks every database fact that shares a true

@@ -298,3 +298,23 @@ func TestInteractiveCompleteResult(t *testing.T) {
 		t.Errorf("empty line should mean complete")
 	}
 }
+
+// degradingOracle is a Perfect oracle that also reports degraded answers.
+type degradingOracle struct {
+	*Perfect
+	degraded int
+}
+
+func (d *degradingOracle) DegradedAnswers() int { return d.degraded }
+
+func TestCountingForwardsDegradedAnswers(t *testing.T) {
+	_, dg := dataset.Figure1()
+	inner := &degradingOracle{Perfect: NewPerfect(dg), degraded: 3}
+	if got := NewCounting(inner).DegradedAnswers(); got != 3 {
+		t.Errorf("Counting.DegradedAnswers = %d, want 3 (wrapper must not hide the inner count)", got)
+	}
+	// Oracles without degradation read as zero.
+	if got := NewCounting(NewPerfect(dg)).DegradedAnswers(); got != 0 {
+		t.Errorf("DegradedAnswers over a plain oracle = %d, want 0", got)
+	}
+}

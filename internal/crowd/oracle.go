@@ -101,6 +101,17 @@ type Counting struct {
 // NewCounting wraps an oracle with fresh counters.
 func NewCounting(o Oracle) *Counting { return &Counting{Oracle: o} }
 
+// DegradedAnswers forwards the wrapped oracle's degraded-answer count, so
+// wrapping a degradation-aware oracle (a resilience stack, the server's
+// question queue) in Counting does not hide it from core.Degrader detection.
+// It reports 0 for oracles that cannot degrade.
+func (c *Counting) DegradedAnswers() int {
+	if d, ok := c.Oracle.(interface{ DegradedAnswers() int }); ok {
+		return d.DegradedAnswers()
+	}
+	return 0
+}
+
 // Snapshot returns a copy of the accumulated statistics.
 func (c *Counting) Snapshot() Stats {
 	c.mu.Lock()

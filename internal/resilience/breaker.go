@@ -1,0 +1,188 @@
+package resilience
+
+import (
+	"context"
+	"sync"
+	"time"
+
+	"repro/internal/cq"
+	"repro/internal/db"
+	"repro/internal/eval"
+	"repro/internal/obs"
+)
+
+// BreakerOptions tunes a circuit breaker.
+type BreakerOptions struct {
+	// Threshold is the number of consecutive failures that trips the breaker.
+	// Default 5.
+	Threshold int
+	// Cooldown is how long the breaker stays open before letting one probe
+	// question through (half-open). Default 30s.
+	Cooldown time.Duration
+	// Obs, when non-nil, counts trips (MetricTrips) and fast-failed questions
+	// (MetricFastFails).
+	Obs *obs.Recorder
+
+	// now overrides the clock in tests.
+	now func() time.Time
+}
+
+func (o *BreakerOptions) applyDefaults() {
+	if o.Threshold == 0 {
+		o.Threshold = 5
+	}
+	if o.Cooldown == 0 {
+		o.Cooldown = 30 * time.Second
+	}
+	if o.now == nil {
+		o.now = time.Now
+	}
+}
+
+// Breaker is a circuit breaker over a fallible oracle: Threshold consecutive
+// failures (typically timeouts — nobody is answering the queue) open the
+// circuit, and further questions fail fast with ErrTripped instead of each
+// waiting out its own timeout. After Cooldown one probe question is allowed
+// through (half-open); success closes the circuit, failure re-opens it for
+// another cooldown. Fallback chains above the breaker route around the dead
+// crowd while it is open.
+type Breaker struct {
+	inner Fallible
+	opts  BreakerOptions
+
+	mu       sync.Mutex
+	failures int       // consecutive failures while closed
+	openedAt time.Time // zero when closed
+	probing  bool      // a half-open probe is in flight
+}
+
+// NewBreaker wraps inner with a circuit breaker.
+func NewBreaker(inner Fallible, opts BreakerOptions) *Breaker {
+	opts.applyDefaults()
+	return &Breaker{inner: inner, opts: opts}
+}
+
+// State reports the breaker state: "closed", "open", or "half-open".
+func (b *Breaker) State() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch {
+	case b.openedAt.IsZero():
+		return "closed"
+	case b.opts.now().Sub(b.openedAt) >= b.opts.Cooldown:
+		return "half-open"
+	default:
+		return "open"
+	}
+}
+
+// admit decides whether a question may proceed. It returns false when the
+// circuit is open; when the cooldown has elapsed it admits exactly one probe.
+func (b *Breaker) admit() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.openedAt.IsZero() {
+		return true
+	}
+	if b.opts.now().Sub(b.openedAt) < b.opts.Cooldown {
+		return false
+	}
+	if b.probing {
+		return false // one probe at a time in half-open
+	}
+	b.probing = true
+	return true
+}
+
+// record folds an attempt's outcome into the breaker state. Caller-cancelled
+// questions are not evidence about the crowd and leave the state unchanged.
+func (b *Breaker) record(ctx context.Context, err error) {
+	if err != nil && ctx.Err() != nil {
+		b.mu.Lock()
+		b.probing = false
+		b.mu.Unlock()
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	probe := b.probing
+	b.probing = false
+	if err == nil {
+		b.failures = 0
+		b.openedAt = time.Time{}
+		return
+	}
+	if probe || !b.openedAt.IsZero() {
+		// Failed half-open probe: re-open for a fresh cooldown.
+		b.openedAt = b.opts.now()
+		b.opts.Obs.Inc(MetricTrips)
+		return
+	}
+	b.failures++
+	if b.failures >= b.opts.Threshold {
+		b.openedAt = b.opts.now()
+		b.failures = 0
+		b.opts.Obs.Inc(MetricTrips)
+	}
+}
+
+// do guards one question with the breaker.
+func (b *Breaker) do(ctx context.Context, fn func() error) error {
+	if !b.admit() {
+		b.opts.Obs.Inc(MetricFastFails)
+		return ErrTripped
+	}
+	err := fn()
+	b.record(ctx, err)
+	return err
+}
+
+// VerifyFact implements Fallible.
+func (b *Breaker) VerifyFact(ctx context.Context, f db.Fact) (bool, error) {
+	var ans bool
+	err := b.do(ctx, func() error {
+		var err error
+		ans, err = b.inner.VerifyFact(ctx, f)
+		return err
+	})
+	return ans, err
+}
+
+// VerifyAnswer implements Fallible.
+func (b *Breaker) VerifyAnswer(ctx context.Context, q *cq.Query, t db.Tuple) (bool, error) {
+	var ans bool
+	err := b.do(ctx, func() error {
+		var err error
+		ans, err = b.inner.VerifyAnswer(ctx, q, t)
+		return err
+	})
+	return ans, err
+}
+
+// Complete implements Fallible.
+func (b *Breaker) Complete(ctx context.Context, q *cq.Query, partial eval.Assignment) (eval.Assignment, bool, error) {
+	var (
+		full eval.Assignment
+		ok   bool
+	)
+	err := b.do(ctx, func() error {
+		var err error
+		full, ok, err = b.inner.Complete(ctx, q, partial)
+		return err
+	})
+	return full, ok, err
+}
+
+// CompleteResult implements Fallible.
+func (b *Breaker) CompleteResult(ctx context.Context, q *cq.Query, current []db.Tuple) (db.Tuple, bool, error) {
+	var (
+		tup db.Tuple
+		ok  bool
+	)
+	err := b.do(ctx, func() error {
+		var err error
+		tup, ok, err = b.inner.CompleteResult(ctx, q, current)
+		return err
+	})
+	return tup, ok, err
+}

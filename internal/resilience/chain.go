@@ -1,0 +1,106 @@
+package resilience
+
+import (
+	"context"
+
+	"repro/internal/cq"
+	"repro/internal/db"
+	"repro/internal/eval"
+	"repro/internal/obs"
+)
+
+// Chain tries each oracle in order until one produces an answer — the
+// fallback-oracle chain. The paper's deployment has natural tiers: the web
+// crowd first, an expert panel when the crowd is unresponsive, a trusted
+// curator last. A link's failure (timeout, open breaker) falls through to the
+// next; only when every link fails does the chain fail, with ErrExhausted
+// wrapping nothing so the adapter above degrades to the edit-free default.
+//
+// A cancelled caller stops the walk immediately: the remaining links would
+// only burn their own timeouts for a job that is gone.
+type Chain struct {
+	links []Fallible
+
+	// Obs, when non-nil, counts answers served by a non-primary link under
+	// MetricFallbacks.
+	Obs *obs.Recorder
+}
+
+// NewChain builds a fallback chain. It panics on an empty chain.
+func NewChain(links ...Fallible) *Chain {
+	if len(links) == 0 {
+		panic("resilience: empty fallback chain")
+	}
+	return &Chain{links: links}
+}
+
+// do walks the chain; fn asks one link.
+func (c *Chain) do(ctx context.Context, fn func(link Fallible) error) error {
+	var err error
+	for i, link := range c.links {
+		if ctx.Err() != nil {
+			if err == nil {
+				err = ctx.Err()
+			}
+			return err
+		}
+		err = fn(link)
+		if err == nil {
+			if i > 0 {
+				c.Obs.Inc(MetricFallbacks)
+			}
+			return nil
+		}
+	}
+	return ErrExhausted
+}
+
+// VerifyFact implements Fallible.
+func (c *Chain) VerifyFact(ctx context.Context, f db.Fact) (bool, error) {
+	var ans bool
+	err := c.do(ctx, func(link Fallible) error {
+		var err error
+		ans, err = link.VerifyFact(ctx, f)
+		return err
+	})
+	return ans, err
+}
+
+// VerifyAnswer implements Fallible.
+func (c *Chain) VerifyAnswer(ctx context.Context, q *cq.Query, t db.Tuple) (bool, error) {
+	var ans bool
+	err := c.do(ctx, func(link Fallible) error {
+		var err error
+		ans, err = link.VerifyAnswer(ctx, q, t)
+		return err
+	})
+	return ans, err
+}
+
+// Complete implements Fallible.
+func (c *Chain) Complete(ctx context.Context, q *cq.Query, partial eval.Assignment) (eval.Assignment, bool, error) {
+	var (
+		full eval.Assignment
+		ok   bool
+	)
+	err := c.do(ctx, func(link Fallible) error {
+		var err error
+		full, ok, err = link.Complete(ctx, q, partial)
+		return err
+	})
+	return full, ok, err
+}
+
+// CompleteResult implements Fallible.
+func (c *Chain) CompleteResult(ctx context.Context, q *cq.Query, current []db.Tuple) (db.Tuple, bool, error) {
+	var (
+		tup db.Tuple
+		ok  bool
+	)
+	err := c.do(ctx, func(link Fallible) error {
+		var err error
+		tup, ok, err = link.CompleteResult(ctx, q, current)
+		return err
+	})
+	return tup, ok, err
+}

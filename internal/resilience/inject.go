@@ -1,0 +1,173 @@
+package resilience
+
+import (
+	"context"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/cq"
+	"repro/internal/crowd"
+	"repro/internal/db"
+	"repro/internal/eval"
+)
+
+// Injector is a deterministic fault-injection oracle: it wraps a real oracle
+// (typically crowd.Perfect in tests) and, per question, draws from a seeded
+// RNG to decide between answering normally, answering slowly, answering
+// wrongly, or dropping the question — never answering until the caller's
+// context gives up. It simulates the §6.2 deployment's failure modes so the
+// middleware stack can be proven layer by layer under a fixed seed matrix.
+//
+// Rates are evaluated in order drop, wrong, delay on a single uniform draw,
+// so DropRate+WrongRate+DelayRate must be ≤ 1. Injector is safe for
+// concurrent use; with concurrent askers the per-question draw order (and so
+// the exact fault schedule) depends on scheduling, so deterministic tests
+// should ask serially.
+type Injector struct {
+	inner crowd.Oracle
+
+	// DropRate is the probability a question is never answered: the call
+	// blocks until ctx is done and returns the edit-free default, like a
+	// question queue nobody is watching.
+	DropRate float64
+	// WrongRate is the probability of a wrong answer: closed questions are
+	// answered with the opposite boolean, open questions with a refusal
+	// ("cannot complete" / "nothing missing").
+	WrongRate float64
+	// DelayRate is the probability the answer is delayed by Delay before
+	// being returned (still honoring ctx).
+	DelayRate float64
+	// Delay is the injected latency for delayed answers.
+	Delay time.Duration
+
+	mu  sync.Mutex
+	rng *rand.Rand
+
+	drops  atomic.Int64
+	wrongs atomic.Int64
+	delays atomic.Int64
+}
+
+// NewInjector builds a fault injector over inner with the given seed.
+// Configure the rates on the returned value before use.
+func NewInjector(inner crowd.Oracle, seed int64) *Injector {
+	return &Injector{inner: inner, rng: rand.New(rand.NewSource(seed))}
+}
+
+// Drops returns how many questions were dropped so far.
+func (in *Injector) Drops() int { return int(in.drops.Load()) }
+
+// Wrongs returns how many questions were answered wrongly so far.
+func (in *Injector) Wrongs() int { return int(in.wrongs.Load()) }
+
+// Delays returns how many answers were delayed so far.
+func (in *Injector) Delays() int { return int(in.delays.Load()) }
+
+// fault kinds drawn per question.
+const (
+	faultNone = iota
+	faultDrop
+	faultWrong
+	faultDelay
+)
+
+func (in *Injector) draw() int {
+	in.mu.Lock()
+	u := in.rng.Float64()
+	in.mu.Unlock()
+	switch {
+	case u < in.DropRate:
+		in.drops.Add(1)
+		return faultDrop
+	case u < in.DropRate+in.WrongRate:
+		in.wrongs.Add(1)
+		return faultWrong
+	case u < in.DropRate+in.WrongRate+in.DelayRate:
+		in.delays.Add(1)
+		return faultDelay
+	default:
+		return faultNone
+	}
+}
+
+// drop blocks until ctx is done, per the Oracle cancellation contract.
+func drop(ctx context.Context) { <-ctx.Done() }
+
+// delay sleeps d unless ctx finishes first; it reports whether the full
+// delay elapsed.
+func (in *Injector) delay(ctx context.Context) bool {
+	t := time.NewTimer(in.Delay)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return true
+	case <-ctx.Done():
+		return false
+	}
+}
+
+// VerifyFact implements crowd.Oracle.
+func (in *Injector) VerifyFact(ctx context.Context, f db.Fact) bool {
+	switch in.draw() {
+	case faultDrop:
+		drop(ctx)
+		return true
+	case faultWrong:
+		return !in.inner.VerifyFact(ctx, f)
+	case faultDelay:
+		if !in.delay(ctx) {
+			return true
+		}
+	}
+	return in.inner.VerifyFact(ctx, f)
+}
+
+// VerifyAnswer implements crowd.Oracle.
+func (in *Injector) VerifyAnswer(ctx context.Context, q *cq.Query, t db.Tuple) bool {
+	switch in.draw() {
+	case faultDrop:
+		drop(ctx)
+		return true
+	case faultWrong:
+		return !in.inner.VerifyAnswer(ctx, q, t)
+	case faultDelay:
+		if !in.delay(ctx) {
+			return true
+		}
+	}
+	return in.inner.VerifyAnswer(ctx, q, t)
+}
+
+// Complete implements crowd.Oracle.
+func (in *Injector) Complete(ctx context.Context, q *cq.Query, partial eval.Assignment) (eval.Assignment, bool) {
+	switch in.draw() {
+	case faultDrop:
+		drop(ctx)
+		return nil, false
+	case faultWrong:
+		return nil, false
+	case faultDelay:
+		if !in.delay(ctx) {
+			return nil, false
+		}
+	}
+	return in.inner.Complete(ctx, q, partial)
+}
+
+// CompleteResult implements crowd.Oracle.
+func (in *Injector) CompleteResult(ctx context.Context, q *cq.Query, current []db.Tuple) (db.Tuple, bool) {
+	switch in.draw() {
+	case faultDrop:
+		drop(ctx)
+		return nil, false
+	case faultWrong:
+		return nil, false
+	case faultDelay:
+		if !in.delay(ctx) {
+			return nil, false
+		}
+	}
+	return in.inner.CompleteResult(ctx, q, current)
+}

@@ -1,0 +1,103 @@
+// Package resilience hardens crowd oracles against the failure modes of the
+// paper's real deployment (§6.2, Figure 5): humans behind a web queue are
+// slow, flaky, and sometimes wrong. QOCO's convergence argument (Prop 3.3)
+// assumes every question eventually gets an answer; this package makes that
+// assumption survivable instead of load-bearing.
+//
+// The building blocks compose as middleware over a fallible view of
+// crowd.Oracle:
+//
+//	base := resilience.Wrap(oracle)                  // crowd.Oracle → Fallible
+//	t := resilience.NewTimeout(base, time.Second)    // per-question deadline
+//	r := resilience.NewRetry(t, resilience.RetryOptions{Max: 3})
+//	b := resilience.NewBreaker(r, resilience.BreakerOptions{Threshold: 5})
+//	c := resilience.NewChain(b, resilience.Wrap(fallback))
+//	o := resilience.Adapt(c)                         // Fallible → crowd.Oracle
+//
+// or all at once with NewStack. The final adapter answers failed questions
+// with the edit-free default (booleans read as their no-edit value,
+// completions as "nothing to complete") and counts how many answers were
+// degraded that way, so callers — the cleaner surfaces it as Report.Degraded —
+// can tell a clean convergence from one that papered over crowd failures.
+//
+// A deterministic fault-injection oracle (Injector) simulates the flaky
+// crowd with seeded delay/drop/wrong-answer rates; the package's tests use it
+// to prove every layer under a fixed seed matrix.
+package resilience
+
+import (
+	"context"
+	"errors"
+
+	"repro/internal/cq"
+	"repro/internal/db"
+	"repro/internal/eval"
+
+	"repro/internal/crowd"
+)
+
+// Failure modes surfaced by the middleware layers.
+var (
+	// ErrTimeout reports that a question's per-call deadline elapsed before
+	// the crowd answered.
+	ErrTimeout = errors.New("resilience: question timed out")
+	// ErrTripped reports that the circuit breaker is open and the question
+	// was failed fast without reaching the crowd.
+	ErrTripped = errors.New("resilience: circuit breaker open")
+	// ErrExhausted reports that a fallback chain ran out of oracles.
+	ErrExhausted = errors.New("resilience: every oracle in the chain failed")
+)
+
+// Metric names recorded by the layers when given an obs recorder.
+const (
+	MetricTimeouts  = "resilience.timeouts"
+	MetricRetries   = "resilience.retries"
+	MetricTrips     = "resilience.breaker.trips"
+	MetricFastFails = "resilience.breaker.fast_fails"
+	MetricFallbacks = "resilience.fallbacks"
+	MetricDegraded  = "resilience.degraded_answers"
+)
+
+// Fallible mirrors crowd.Oracle with explicit failure: a non-nil error means
+// no trustworthy answer was obtained (timeout, open breaker, cancelled
+// context) and the value results are meaningless. Middleware layers compose
+// over this interface; Adapt converts back to crowd.Oracle at the top of the
+// stack.
+type Fallible interface {
+	VerifyFact(ctx context.Context, f db.Fact) (bool, error)
+	VerifyAnswer(ctx context.Context, q *cq.Query, t db.Tuple) (bool, error)
+	Complete(ctx context.Context, q *cq.Query, partial eval.Assignment) (eval.Assignment, bool, error)
+	CompleteResult(ctx context.Context, q *cq.Query, current []db.Tuple) (db.Tuple, bool, error)
+}
+
+// wrapped adapts a crowd.Oracle to Fallible. The only failure it can detect
+// is a context that was cancelled (or timed out) during the call: the Oracle
+// contract answers with edit-free defaults in that case, which must not be
+// mistaken for crowd truth.
+type wrapped struct {
+	inner crowd.Oracle
+}
+
+// Wrap lifts a crowd.Oracle into the Fallible world. A call fails with the
+// context's error when ctx is done by the time the oracle returns.
+func Wrap(o crowd.Oracle) Fallible { return wrapped{inner: o} }
+
+func (w wrapped) VerifyFact(ctx context.Context, f db.Fact) (bool, error) {
+	ans := w.inner.VerifyFact(ctx, f)
+	return ans, ctx.Err()
+}
+
+func (w wrapped) VerifyAnswer(ctx context.Context, q *cq.Query, t db.Tuple) (bool, error) {
+	ans := w.inner.VerifyAnswer(ctx, q, t)
+	return ans, ctx.Err()
+}
+
+func (w wrapped) Complete(ctx context.Context, q *cq.Query, partial eval.Assignment) (eval.Assignment, bool, error) {
+	full, ok := w.inner.Complete(ctx, q, partial)
+	return full, ok, ctx.Err()
+}
+
+func (w wrapped) CompleteResult(ctx context.Context, q *cq.Query, current []db.Tuple) (db.Tuple, bool, error) {
+	t, ok := w.inner.CompleteResult(ctx, q, current)
+	return t, ok, ctx.Err()
+}

@@ -1,0 +1,388 @@
+package resilience
+
+import (
+	"context"
+	"os"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/cq"
+	"repro/internal/crowd"
+	"repro/internal/dataset"
+	"repro/internal/db"
+	"repro/internal/eval"
+	"repro/internal/obs"
+)
+
+// faultSeeds returns the fault-injection seed matrix: QOCO_FAULT_SEED (a
+// comma-separated list) when set — CI runs one job per seed — otherwise a
+// fixed default matrix.
+func faultSeeds(t *testing.T) []int64 {
+	env := os.Getenv("QOCO_FAULT_SEED")
+	if env == "" {
+		return []int64{1, 7, 42}
+	}
+	var seeds []int64
+	for _, part := range strings.Split(env, ",") {
+		n, err := strconv.ParseInt(strings.TrimSpace(part), 10, 64)
+		if err != nil {
+			t.Fatalf("bad QOCO_FAULT_SEED entry %q: %v", part, err)
+		}
+		seeds = append(seeds, n)
+	}
+	return seeds
+}
+
+// scripted is a Fallible that fails its first `fails` calls (with failErr)
+// and succeeds afterwards, answering true / "nothing to complete".
+type scripted struct {
+	fails   int
+	failErr error
+	calls   int
+}
+
+func (s *scripted) step() error {
+	s.calls++
+	if s.calls <= s.fails {
+		return s.failErr
+	}
+	return nil
+}
+
+func (s *scripted) VerifyFact(ctx context.Context, f db.Fact) (bool, error) {
+	if err := s.step(); err != nil {
+		return false, err
+	}
+	return true, nil
+}
+
+func (s *scripted) VerifyAnswer(ctx context.Context, q *cq.Query, t db.Tuple) (bool, error) {
+	if err := s.step(); err != nil {
+		return false, err
+	}
+	return true, nil
+}
+
+func (s *scripted) Complete(ctx context.Context, q *cq.Query, partial eval.Assignment) (eval.Assignment, bool, error) {
+	if err := s.step(); err != nil {
+		return nil, false, err
+	}
+	return nil, false, nil
+}
+
+func (s *scripted) CompleteResult(ctx context.Context, q *cq.Query, current []db.Tuple) (db.Tuple, bool, error) {
+	if err := s.step(); err != nil {
+		return nil, false, err
+	}
+	return nil, false, nil
+}
+
+func fact() db.Fact { return db.NewFact("Teams", "ITA", "EU") }
+
+func TestTimeoutUnblocksDroppedQuestion(t *testing.T) {
+	_, dg := dataset.Figure1()
+	inj := NewInjector(crowd.NewPerfect(dg), 1)
+	inj.DropRate = 1 // every question hangs until its context dies
+	rec := obs.New()
+	to := NewTimeout(Wrap(inj), 5*time.Millisecond)
+	to.Obs = rec
+
+	start := time.Now()
+	_, err := to.VerifyFact(context.Background(), fact())
+	if err != ErrTimeout {
+		t.Fatalf("VerifyFact err = %v, want ErrTimeout", err)
+	}
+	if e := time.Since(start); e > 2*time.Second {
+		t.Fatalf("timeout took %v, not bounded by the deadline", e)
+	}
+	if inj.Drops() != 1 {
+		t.Errorf("Drops = %d, want 1", inj.Drops())
+	}
+	if rec.Counter(MetricTimeouts) != 1 {
+		t.Errorf("timeout counter = %d, want 1", rec.Counter(MetricTimeouts))
+	}
+}
+
+func TestTimeoutPassesFastAnswers(t *testing.T) {
+	_, dg := dataset.Figure1()
+	to := NewTimeout(Wrap(crowd.NewPerfect(dg)), time.Minute)
+	ans, err := to.VerifyFact(context.Background(), db.NewFact("Teams", "ITA", "EU"))
+	if err != nil || !ans {
+		t.Fatalf("VerifyFact = %v, %v; want true, nil", ans, err)
+	}
+}
+
+func TestTimeoutKeepsCallerCancellation(t *testing.T) {
+	_, dg := dataset.Figure1()
+	inj := NewInjector(crowd.NewPerfect(dg), 1)
+	inj.DropRate = 1
+	to := NewTimeout(Wrap(inj), time.Minute)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := to.VerifyFact(ctx, fact())
+	if err != context.Canceled {
+		t.Fatalf("err = %v, want context.Canceled (not ErrTimeout)", err)
+	}
+}
+
+func TestRetryRecoversAfterTransientFailures(t *testing.T) {
+	rec := obs.New()
+	s := &scripted{fails: 2, failErr: ErrTimeout}
+	r := NewRetry(s, RetryOptions{Max: 3, Base: time.Millisecond, Jitter: -1, Obs: rec})
+	ans, err := r.VerifyFact(context.Background(), fact())
+	if err != nil || !ans {
+		t.Fatalf("VerifyFact = %v, %v; want true, nil", ans, err)
+	}
+	if s.calls != 3 {
+		t.Errorf("attempts = %d, want 3", s.calls)
+	}
+	if rec.Counter(MetricRetries) != 2 {
+		t.Errorf("retry counter = %d, want 2", rec.Counter(MetricRetries))
+	}
+}
+
+func TestRetryGivesUp(t *testing.T) {
+	s := &scripted{fails: 100, failErr: ErrTimeout}
+	r := NewRetry(s, RetryOptions{Max: 2, Base: time.Millisecond, Jitter: -1})
+	if _, err := r.VerifyFact(context.Background(), fact()); err != ErrTimeout {
+		t.Fatalf("err = %v, want ErrTimeout", err)
+	}
+	if s.calls != 3 {
+		t.Errorf("attempts = %d, want 3 (1 + 2 retries)", s.calls)
+	}
+}
+
+func TestRetryDoesNotRetryTrippedBreaker(t *testing.T) {
+	s := &scripted{fails: 100, failErr: ErrTripped}
+	r := NewRetry(s, RetryOptions{Max: 5, Base: time.Millisecond, Jitter: -1})
+	if _, err := r.VerifyFact(context.Background(), fact()); err != ErrTripped {
+		t.Fatalf("err = %v, want ErrTripped", err)
+	}
+	if s.calls != 1 {
+		t.Errorf("attempts = %d, want 1 (no retries against an open breaker)", s.calls)
+	}
+}
+
+func TestBreakerTripsAndRecovers(t *testing.T) {
+	rec := obs.New()
+	now := time.Unix(0, 0)
+	clock := func() time.Time { return now }
+	s := &scripted{fails: 3, failErr: ErrTimeout}
+	b := NewBreaker(s, BreakerOptions{Threshold: 3, Cooldown: time.Minute, Obs: rec, now: clock})
+
+	// Three consecutive timeouts trip the breaker.
+	for i := 0; i < 3; i++ {
+		if _, err := b.VerifyFact(context.Background(), fact()); err != ErrTimeout {
+			t.Fatalf("call %d err = %v, want ErrTimeout", i, err)
+		}
+	}
+	if got := b.State(); got != "open" {
+		t.Fatalf("state after trip = %q, want open", got)
+	}
+	if rec.Counter(MetricTrips) != 1 {
+		t.Errorf("trips = %d, want 1", rec.Counter(MetricTrips))
+	}
+
+	// While open, questions fail fast without reaching the oracle.
+	calls := s.calls
+	if _, err := b.VerifyFact(context.Background(), fact()); err != ErrTripped {
+		t.Fatalf("open breaker err = %v, want ErrTripped", err)
+	}
+	if s.calls != calls {
+		t.Errorf("open breaker reached the oracle")
+	}
+	if rec.Counter(MetricFastFails) != 1 {
+		t.Errorf("fast fails = %d, want 1", rec.Counter(MetricFastFails))
+	}
+
+	// After the cooldown a probe goes through; the oracle has recovered, so
+	// the circuit closes again.
+	now = now.Add(2 * time.Minute)
+	if got := b.State(); got != "half-open" {
+		t.Fatalf("state after cooldown = %q, want half-open", got)
+	}
+	if ans, err := b.VerifyFact(context.Background(), fact()); err != nil || !ans {
+		t.Fatalf("probe = %v, %v; want true, nil", ans, err)
+	}
+	if got := b.State(); got != "closed" {
+		t.Fatalf("state after successful probe = %q, want closed", got)
+	}
+}
+
+func TestBreakerFailedProbeReopens(t *testing.T) {
+	now := time.Unix(0, 0)
+	clock := func() time.Time { return now }
+	s := &scripted{fails: 5, failErr: ErrTimeout}
+	b := NewBreaker(s, BreakerOptions{Threshold: 2, Cooldown: time.Minute, now: clock})
+	for i := 0; i < 2; i++ {
+		b.VerifyFact(context.Background(), fact())
+	}
+	if b.State() != "open" {
+		t.Fatalf("not open after threshold failures")
+	}
+	now = now.Add(2 * time.Minute)
+	if _, err := b.VerifyFact(context.Background(), fact()); err != ErrTimeout {
+		t.Fatalf("probe err = %v, want ErrTimeout", err)
+	}
+	if b.State() != "open" {
+		t.Fatalf("state after failed probe = %q, want open (fresh cooldown)", b.State())
+	}
+}
+
+func TestChainFallsBack(t *testing.T) {
+	_, dg := dataset.Figure1()
+	rec := obs.New()
+	dead := &scripted{fails: 1 << 30, failErr: ErrTimeout}
+	ch := NewChain(dead, Wrap(crowd.NewPerfect(dg)))
+	ch.Obs = rec
+	ans, err := ch.VerifyFact(context.Background(), db.NewFact("Teams", "ITA", "EU"))
+	if err != nil || !ans {
+		t.Fatalf("VerifyFact = %v, %v; want true, nil (from fallback)", ans, err)
+	}
+	if rec.Counter(MetricFallbacks) != 1 {
+		t.Errorf("fallbacks = %d, want 1", rec.Counter(MetricFallbacks))
+	}
+}
+
+func TestChainExhausted(t *testing.T) {
+	ch := NewChain(&scripted{fails: 1 << 30, failErr: ErrTimeout}, &scripted{fails: 1 << 30, failErr: ErrTimeout})
+	if _, err := ch.VerifyFact(context.Background(), fact()); err != ErrExhausted {
+		t.Fatalf("err = %v, want ErrExhausted", err)
+	}
+}
+
+func TestAdapterServesEditFreeDefaultsAndCounts(t *testing.T) {
+	rec := obs.New()
+	a := Adapt(&scripted{fails: 1 << 30, failErr: ErrTimeout})
+	a.Obs = rec
+	ctx := context.Background()
+	if !a.VerifyFact(ctx, fact()) {
+		t.Errorf("VerifyFact default should be true (edit-free)")
+	}
+	if !a.VerifyAnswer(ctx, nil, nil) {
+		t.Errorf("VerifyAnswer default should be true (edit-free)")
+	}
+	if _, ok := a.Complete(ctx, nil, nil); ok {
+		t.Errorf("Complete default should be not-ok")
+	}
+	if _, ok := a.CompleteResult(ctx, nil, nil); ok {
+		t.Errorf("CompleteResult default should be not-ok")
+	}
+	if got := a.DegradedAnswers(); got != 4 {
+		t.Errorf("DegradedAnswers = %d, want 4", got)
+	}
+	if rec.Counter(MetricDegraded) != 4 {
+		t.Errorf("degraded counter = %d, want 4", rec.Counter(MetricDegraded))
+	}
+}
+
+func TestAdapterDoesNotCountCallerCancellation(t *testing.T) {
+	a := Adapt(Wrap(&blockingOracle{}))
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if !a.VerifyFact(ctx, fact()) {
+		t.Errorf("cancelled VerifyFact should read true")
+	}
+	if got := a.DegradedAnswers(); got != 0 {
+		t.Errorf("DegradedAnswers = %d, want 0 for caller cancellation", got)
+	}
+}
+
+// blockingOracle hangs until ctx is done (the Oracle contract's escape).
+type blockingOracle struct{}
+
+func (blockingOracle) VerifyFact(ctx context.Context, f db.Fact) bool { <-ctx.Done(); return true }
+func (blockingOracle) VerifyAnswer(ctx context.Context, q *cq.Query, t db.Tuple) bool {
+	<-ctx.Done()
+	return true
+}
+func (blockingOracle) Complete(ctx context.Context, q *cq.Query, p eval.Assignment) (eval.Assignment, bool) {
+	<-ctx.Done()
+	return nil, false
+}
+func (blockingOracle) CompleteResult(ctx context.Context, q *cq.Query, c []db.Tuple) (db.Tuple, bool) {
+	<-ctx.Done()
+	return nil, false
+}
+
+// TestStackCleansThroughFaults is the end-to-end proof: a flaky primary
+// (seeded drops and delays) with a perfect fallback still converges to
+// Q(D) = Q(DG) on Figure 1, for every seed in the matrix.
+func TestStackCleansThroughFaults(t *testing.T) {
+	for _, seed := range faultSeeds(t) {
+		seed := seed
+		t.Run(strconv.FormatInt(seed, 10), func(t *testing.T) {
+			d, dg := dataset.Figure1()
+			inj := NewInjector(crowd.NewPerfect(dg), seed)
+			inj.DropRate = 0.3
+			inj.DelayRate = 0.2
+			inj.Delay = time.Millisecond
+			rec := obs.New()
+			oracle := NewStack(inj, Config{
+				Timeout:   50 * time.Millisecond,
+				Retry:     RetryOptions{Max: 2, Base: time.Millisecond, Jitter: 0.5},
+				Breaker:   BreakerOptions{Threshold: 4, Cooldown: 20 * time.Millisecond},
+				Fallbacks: []crowd.Oracle{crowd.NewPerfect(dg)},
+				Obs:       rec,
+			})
+			q := dataset.IntroQ1()
+			cl := core.New(d, oracle, core.Config{})
+			report, err := cl.Clean(context.Background(), q)
+			if err != nil {
+				t.Fatalf("Clean: %v", err)
+			}
+			got, want := eval.Result(q, d), eval.Result(q, dg)
+			if len(got) != len(want) {
+				t.Fatalf("Q(D) = %v, want Q(DG) = %v", got, want)
+			}
+			for i := range got {
+				if !got[i].Equal(want[i]) {
+					t.Fatalf("Q(D) = %v, want Q(DG) = %v", got, want)
+				}
+			}
+			// With a perfect fallback no answer is ever degraded.
+			if oracle.DegradedAnswers() != 0 {
+				t.Errorf("DegradedAnswers = %d, want 0 (fallback covers faults)", oracle.DegradedAnswers())
+			}
+			if report.Degraded {
+				t.Errorf("report marked degraded despite fallback")
+			}
+			if inj.Drops() > 0 && rec.Counter(MetricTimeouts) == 0 {
+				t.Errorf("drops injected but no timeouts recorded")
+			}
+		})
+	}
+}
+
+// TestStackDegradesWithoutFallback: with every question dropped and no
+// fallback, the stack answers everything with edit-free defaults — the run
+// terminates (instead of hanging forever) and is reported degraded.
+func TestStackDegradesWithoutFallback(t *testing.T) {
+	d, dg := dataset.Figure1()
+	inj := NewInjector(crowd.NewPerfect(dg), 1)
+	inj.DropRate = 1
+	oracle := NewStack(inj, Config{
+		Timeout: 2 * time.Millisecond,
+		Retry:   RetryOptions{Max: -1},
+		Breaker: BreakerOptions{Threshold: 2, Cooldown: time.Hour},
+	})
+	q := dataset.IntroQ1()
+	before := d.Len()
+	cl := core.New(d, oracle, core.Config{})
+	report, err := cl.Clean(context.Background(), q)
+	if err != nil {
+		t.Fatalf("Clean: %v", err)
+	}
+	if oracle.DegradedAnswers() == 0 {
+		t.Fatalf("expected degraded answers with a dead crowd")
+	}
+	if !report.Degraded || report.DegradedQuestions != oracle.DegradedAnswers() {
+		t.Errorf("report degraded = %v/%d, want true/%d", report.Degraded, report.DegradedQuestions, oracle.DegradedAnswers())
+	}
+	if len(report.Edits) != 0 || d.Len() != before {
+		t.Errorf("degraded defaults must be edit-free, got %d edits", len(report.Edits))
+	}
+}

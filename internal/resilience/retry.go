@@ -1,0 +1,167 @@
+package resilience
+
+import (
+	"context"
+	"math/rand"
+	"sync"
+	"time"
+
+	"repro/internal/cq"
+	"repro/internal/db"
+	"repro/internal/eval"
+	"repro/internal/obs"
+)
+
+// RetryOptions tunes a Retry layer. The zero value is usable: NewRetry
+// applies the documented defaults.
+type RetryOptions struct {
+	// Max is the number of retries after the first attempt (so a question is
+	// asked at most Max+1 times). Default 2.
+	Max int
+	// Base is the first backoff delay; each retry doubles it. Default 50ms.
+	Base time.Duration
+	// Cap bounds the backoff growth. Default 5s.
+	Cap time.Duration
+	// Jitter scales a uniform random addition to each delay: the sleep is
+	// backoff + U[0, Jitter*backoff). Default 0.5. Negative disables jitter.
+	Jitter float64
+	// RNG seeds the jitter; default seed 1 for reproducible tests.
+	RNG *rand.Rand
+	// Obs, when non-nil, counts retries under MetricRetries.
+	Obs *obs.Recorder
+}
+
+func (o *RetryOptions) applyDefaults() {
+	if o.Max == 0 {
+		o.Max = 2
+	}
+	if o.Base == 0 {
+		o.Base = 50 * time.Millisecond
+	}
+	if o.Cap == 0 {
+		o.Cap = 5 * time.Second
+	}
+	if o.Jitter == 0 {
+		o.Jitter = 0.5
+	}
+	if o.RNG == nil {
+		o.RNG = rand.New(rand.NewSource(1))
+	}
+}
+
+// Retry re-asks failed questions with exponential backoff and jitter. It
+// retries every failure except a cancelled caller (the job is going away) and
+// an open circuit breaker below it (retrying a fast-fail only hammers the
+// breaker's clock).
+type Retry struct {
+	inner Fallible
+	opts  RetryOptions
+
+	mu sync.Mutex // guards opts.RNG: questions may be asked concurrently
+}
+
+// NewRetry wraps inner with bounded backoff-retry.
+func NewRetry(inner Fallible, opts RetryOptions) *Retry {
+	opts.applyDefaults()
+	return &Retry{inner: inner, opts: opts}
+}
+
+// backoff returns the sleep before retry attempt n (0-based).
+func (r *Retry) backoff(n int) time.Duration {
+	d := r.opts.Base << uint(n)
+	if d > r.opts.Cap || d <= 0 {
+		d = r.opts.Cap
+	}
+	if r.opts.Jitter > 0 {
+		r.mu.Lock()
+		j := time.Duration(r.opts.RNG.Float64() * r.opts.Jitter * float64(d))
+		r.mu.Unlock()
+		d += j
+		if d > r.opts.Cap {
+			d = r.opts.Cap
+		}
+	}
+	return d
+}
+
+// retriable reports whether a failure is worth re-asking.
+func retriable(ctx context.Context, err error) bool {
+	if err == nil || err == ErrTripped || ctx.Err() != nil {
+		return false
+	}
+	return true
+}
+
+// sleep waits d or until ctx is done, whichever is first.
+func sleep(ctx context.Context, d time.Duration) {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+	case <-ctx.Done():
+	}
+}
+
+// do runs fn with retries. fn is the single-attempt call.
+func (r *Retry) do(ctx context.Context, fn func() error) error {
+	err := fn()
+	for n := 0; n < r.opts.Max && retriable(ctx, err); n++ {
+		sleep(ctx, r.backoff(n))
+		if ctx.Err() != nil {
+			return err
+		}
+		r.opts.Obs.Inc(MetricRetries)
+		err = fn()
+	}
+	return err
+}
+
+// VerifyFact implements Fallible.
+func (r *Retry) VerifyFact(ctx context.Context, f db.Fact) (bool, error) {
+	var ans bool
+	err := r.do(ctx, func() error {
+		var err error
+		ans, err = r.inner.VerifyFact(ctx, f)
+		return err
+	})
+	return ans, err
+}
+
+// VerifyAnswer implements Fallible.
+func (r *Retry) VerifyAnswer(ctx context.Context, q *cq.Query, t db.Tuple) (bool, error) {
+	var ans bool
+	err := r.do(ctx, func() error {
+		var err error
+		ans, err = r.inner.VerifyAnswer(ctx, q, t)
+		return err
+	})
+	return ans, err
+}
+
+// Complete implements Fallible.
+func (r *Retry) Complete(ctx context.Context, q *cq.Query, partial eval.Assignment) (eval.Assignment, bool, error) {
+	var (
+		full eval.Assignment
+		ok   bool
+	)
+	err := r.do(ctx, func() error {
+		var err error
+		full, ok, err = r.inner.Complete(ctx, q, partial)
+		return err
+	})
+	return full, ok, err
+}
+
+// CompleteResult implements Fallible.
+func (r *Retry) CompleteResult(ctx context.Context, q *cq.Query, current []db.Tuple) (db.Tuple, bool, error) {
+	var (
+		tup db.Tuple
+		ok  bool
+	)
+	err := r.do(ctx, func() error {
+		var err error
+		tup, ok, err = r.inner.CompleteResult(ctx, q, current)
+		return err
+	})
+	return tup, ok, err
+}

@@ -1,0 +1,159 @@
+package resilience
+
+import (
+	"context"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/cq"
+	"repro/internal/crowd"
+	"repro/internal/db"
+	"repro/internal/eval"
+	"repro/internal/obs"
+)
+
+// Degrader is implemented by oracles that may answer with the edit-free
+// default in place of a real crowd answer. DegradedAnswers returns how many
+// such substitutions have happened so far; the cleaner samples it around a
+// run to surface Report.Degraded.
+type Degrader interface {
+	DegradedAnswers() int
+}
+
+// Adapter converts a Fallible back into a crowd.Oracle: a failed question is
+// answered with the edit-free default (booleans read as their no-edit value,
+// completions as "nothing to complete") and counted as degraded. Defaults
+// served because the caller itself cancelled are not counted — that is the
+// ordinary Oracle cancellation contract, not degradation.
+type Adapter struct {
+	inner Fallible
+
+	// Obs, when non-nil, counts degraded answers under MetricDegraded.
+	Obs *obs.Recorder
+
+	degraded atomic.Int64
+}
+
+// Adapt wraps a fallible oracle so it satisfies crowd.Oracle again.
+func Adapt(inner Fallible) *Adapter { return &Adapter{inner: inner} }
+
+// DegradedAnswers implements Degrader.
+func (a *Adapter) DegradedAnswers() int { return int(a.degraded.Load()) }
+
+// fail records one degraded answer.
+func (a *Adapter) fail(ctx context.Context, err error) {
+	if err == nil || ctx.Err() != nil {
+		return
+	}
+	a.degraded.Add(1)
+	a.Obs.Inc(MetricDegraded)
+}
+
+// VerifyFact implements crowd.Oracle. The edit-free default is true: an
+// unanswerable fact question must not trigger a deletion.
+func (a *Adapter) VerifyFact(ctx context.Context, f db.Fact) bool {
+	ans, err := a.inner.VerifyFact(ctx, f)
+	if err != nil {
+		a.fail(ctx, err)
+		return true
+	}
+	return ans
+}
+
+// VerifyAnswer implements crowd.Oracle. The edit-free default is true: an
+// unanswerable answer question must not trigger Algorithm 1.
+func (a *Adapter) VerifyAnswer(ctx context.Context, q *cq.Query, t db.Tuple) bool {
+	ans, err := a.inner.VerifyAnswer(ctx, q, t)
+	if err != nil {
+		a.fail(ctx, err)
+		return true
+	}
+	return ans
+}
+
+// Complete implements crowd.Oracle. The edit-free default is "cannot
+// complete".
+func (a *Adapter) Complete(ctx context.Context, q *cq.Query, partial eval.Assignment) (eval.Assignment, bool) {
+	full, ok, err := a.inner.Complete(ctx, q, partial)
+	if err != nil {
+		a.fail(ctx, err)
+		return nil, false
+	}
+	return full, ok
+}
+
+// CompleteResult implements crowd.Oracle. The edit-free default is "nothing
+// missing".
+func (a *Adapter) CompleteResult(ctx context.Context, q *cq.Query, current []db.Tuple) (db.Tuple, bool) {
+	t, ok, err := a.inner.CompleteResult(ctx, q, current)
+	if err != nil {
+		a.fail(ctx, err)
+		return nil, false
+	}
+	return t, ok
+}
+
+// Config assembles a full middleware stack in the canonical order:
+//
+//	Adapt(Chain(Breaker(Retry(Timeout(Wrap(primary)))), fallbacks...))
+//
+// Each zero field disables its layer, so the zero Config is just
+// Adapt(Wrap(primary)) — a transparent pass-through that still detects
+// cancelled calls.
+type Config struct {
+	// Timeout is the per-question deadline. 0 disables the timeout layer.
+	Timeout time.Duration
+	// Retry configures the backoff-retry layer; Retry.Max = -1 disables it
+	// (0 means the default of 2 retries when Timeout or Breaker is active,
+	// otherwise off).
+	Retry RetryOptions
+	// Breaker configures the circuit breaker; Threshold = -1 disables it
+	// (0 uses the default threshold when Timeout is active, otherwise off).
+	Breaker BreakerOptions
+	// Fallbacks are tried in order when the primary (with its timeout, retry
+	// and breaker) fails. Each fallback gets its own timeout layer but no
+	// retry or breaker: by the time the chain reaches it the system is
+	// already degraded and should answer as directly as possible.
+	Fallbacks []crowd.Oracle
+	// Obs receives the stack's counters (timeouts, retries, trips,
+	// fallbacks, degraded answers).
+	Obs *obs.Recorder
+}
+
+// NewStack builds the full resilient oracle over primary. The result also
+// implements Degrader.
+func NewStack(primary crowd.Oracle, cfg Config) *Adapter {
+	var f Fallible = Wrap(primary)
+	if cfg.Timeout > 0 {
+		t := NewTimeout(f, cfg.Timeout)
+		t.Obs = cfg.Obs
+		f = t
+	}
+	if cfg.Retry.Max >= 0 && (cfg.Retry.Max > 0 || cfg.Timeout > 0) {
+		cfg.Retry.Obs = cfg.Obs
+		f = NewRetry(f, cfg.Retry)
+	}
+	if cfg.Breaker.Threshold >= 0 && (cfg.Breaker.Threshold > 0 || cfg.Timeout > 0) {
+		cfg.Breaker.Obs = cfg.Obs
+		f = NewBreaker(f, cfg.Breaker)
+	}
+	if len(cfg.Fallbacks) > 0 {
+		links := make([]Fallible, 0, 1+len(cfg.Fallbacks))
+		links = append(links, f)
+		for _, fb := range cfg.Fallbacks {
+			var link Fallible = Wrap(fb)
+			if cfg.Timeout > 0 {
+				t := NewTimeout(link, cfg.Timeout)
+				t.Obs = cfg.Obs
+				link = t
+			}
+			links = append(links, link)
+		}
+		ch := NewChain(links...)
+		ch.Obs = cfg.Obs
+		f = ch
+	}
+	a := Adapt(f)
+	a.Obs = cfg.Obs
+	return a
+}

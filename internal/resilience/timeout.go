@@ -1,0 +1,98 @@
+package resilience
+
+import (
+	"context"
+	"time"
+
+	"repro/internal/cq"
+	"repro/internal/db"
+	"repro/internal/eval"
+	"repro/internal/obs"
+)
+
+// Timeout bounds every question with a per-call deadline. The inner call runs
+// under a context that is cancelled when the deadline elapses, so a blocked
+// oracle (a question queue with no crowd member looking at it) unwinds
+// promptly; the caller gets ErrTimeout instead of waiting forever.
+type Timeout struct {
+	inner Fallible
+	limit time.Duration
+
+	// Obs, when non-nil, counts timeouts under MetricTimeouts.
+	Obs *obs.Recorder
+}
+
+// NewTimeout wraps inner with a per-question deadline. A non-positive limit
+// disables the layer (calls pass through unchanged).
+func NewTimeout(inner Fallible, limit time.Duration) *Timeout {
+	return &Timeout{inner: inner, limit: limit}
+}
+
+// call runs fn under the deadline. fn must honor ctx cancellation the way
+// every crowd.Oracle does (return promptly with a default); call waits for it
+// either way, so no goroutines are leaked and by the time ErrTimeout is
+// returned the inner oracle is no longer working on the question.
+func (t *Timeout) call(ctx context.Context, fn func(ctx context.Context) error) error {
+	if t.limit <= 0 {
+		return fn(ctx)
+	}
+	tctx, cancel := context.WithTimeout(ctx, t.limit)
+	defer cancel()
+	err := fn(tctx)
+	if err != nil && tctx.Err() == context.DeadlineExceeded && ctx.Err() == nil {
+		// The per-question clock, not the caller, killed the call.
+		t.Obs.Inc(MetricTimeouts)
+		return ErrTimeout
+	}
+	return err
+}
+
+// VerifyFact implements Fallible.
+func (t *Timeout) VerifyFact(ctx context.Context, f db.Fact) (bool, error) {
+	var ans bool
+	err := t.call(ctx, func(ctx context.Context) error {
+		var err error
+		ans, err = t.inner.VerifyFact(ctx, f)
+		return err
+	})
+	return ans, err
+}
+
+// VerifyAnswer implements Fallible.
+func (t *Timeout) VerifyAnswer(ctx context.Context, q *cq.Query, tup db.Tuple) (bool, error) {
+	var ans bool
+	err := t.call(ctx, func(ctx context.Context) error {
+		var err error
+		ans, err = t.inner.VerifyAnswer(ctx, q, tup)
+		return err
+	})
+	return ans, err
+}
+
+// Complete implements Fallible.
+func (t *Timeout) Complete(ctx context.Context, q *cq.Query, partial eval.Assignment) (eval.Assignment, bool, error) {
+	var (
+		full eval.Assignment
+		ok   bool
+	)
+	err := t.call(ctx, func(ctx context.Context) error {
+		var err error
+		full, ok, err = t.inner.Complete(ctx, q, partial)
+		return err
+	})
+	return full, ok, err
+}
+
+// CompleteResult implements Fallible.
+func (t *Timeout) CompleteResult(ctx context.Context, q *cq.Query, current []db.Tuple) (db.Tuple, bool, error) {
+	var (
+		tup db.Tuple
+		ok  bool
+	)
+	err := t.call(ctx, func(ctx context.Context) error {
+		var err error
+		tup, ok, err = t.inner.CompleteResult(ctx, q, current)
+		return err
+	})
+	return tup, ok, err
+}

@@ -8,9 +8,11 @@ package server
 
 import (
 	"context"
+	"encoding/json"
 	"fmt"
 	"sort"
 	"sync"
+	"time"
 
 	"repro/internal/cq"
 	"repro/internal/db"
@@ -36,6 +38,14 @@ const (
 	// MetricQuestionsAsked / MetricQuestionsAnswered count queue traffic.
 	MetricQuestionsAsked    = "server.questions.asked"
 	MetricQuestionsAnswered = "server.questions.answered"
+	// MetricQuestionsReasked counts deadline expiries that re-queued a
+	// question; MetricQuestionsExpired counts questions that exhausted their
+	// re-ask budget and were answered with the edit-free default.
+	MetricQuestionsReasked = "server.questions.reasked"
+	MetricQuestionsExpired = "server.questions.expired"
+	// MetricQuestionsReplayed counts questions answered from a recovery
+	// journal instead of the live crowd.
+	MetricQuestionsReplayed = "server.questions.replayed"
 )
 
 // Question is one pending crowd task, serialized to the web UI.
@@ -45,6 +55,11 @@ type Question struct {
 	Text string       `json:"text"` // human-readable rendering
 	// Job is the cleaning job that asked, 0 for questions asked outside a job.
 	Job int `json:"job,omitempty"`
+	// Attempt is the 1-based ask count: 2 or more means the question blew a
+	// deadline and was re-queued. Deadline, when the queue enforces one, is
+	// the instant the current attempt expires.
+	Attempt  int        `json:"attempt,omitempty"`
+	Deadline *time.Time `json:"deadline,omitempty"`
 
 	// Kind-specific payloads.
 	Fact    []string          `json:"fact,omitempty"`    // relation, v1, ..., vk
@@ -67,6 +82,44 @@ type Answer struct {
 	Bindings map[string]string `json:"bindings,omitempty"`
 	// Tuple answers complete-result questions: a missing answer.
 	Tuple []string `json:"tuple,omitempty"`
+	// Degraded marks an edit-free default served because the question
+	// exhausted its deadline re-asks — recorded in recovery journals so a
+	// restarted job reproduces the same degraded run.
+	Degraded bool `json:"degraded,omitempty"`
+
+	// released marks the internal edit-free answer used to unblock askers on
+	// shutdown and job cancellation. Released answers are never journaled:
+	// from the journal's point of view the question was never answered.
+	released bool
+}
+
+// Journal records resolved questions for crash recovery. Implementations
+// must be safe for concurrent use; the queue calls RecordAnswer outside its
+// own lock, once per live or degraded answer (never for released answers or
+// cancelled askers).
+type Journal interface {
+	RecordAnswer(job int, key string, a Answer)
+}
+
+// QuestionKey renders a question's content — kind and payload, not identity
+// (ID, job, attempt) — as a canonical string. Identical questions asked by a
+// deterministic re-run of the same job produce identical keys, which is what
+// lets a recovery journal match recorded answers to re-asked questions.
+func QuestionKey(qu *Question) string {
+	k := struct {
+		Kind    QuestionKind      `json:"kind"`
+		Fact    []string          `json:"fact,omitempty"`
+		Query   string            `json:"query,omitempty"`
+		Tuple   []string          `json:"tuple,omitempty"`
+		Partial map[string]string `json:"partial,omitempty"`
+		Unbound []string          `json:"unbound,omitempty"`
+		Current [][]string        `json:"current,omitempty"`
+	}{qu.Kind, qu.Fact, qu.Query, qu.Tuple, qu.Partial, qu.Unbound, qu.Current}
+	raw, err := json.Marshal(k) // deterministic: map keys marshal sorted
+	if err != nil {
+		panic(fmt.Sprintf("server: encoding question key: %v", err))
+	}
+	return string(raw)
 }
 
 // jobCtxKey carries the asking job's ID through the context so questions can
@@ -85,31 +138,134 @@ func jobIDFrom(ctx context.Context) int {
 }
 
 // Queue is a crowd.Oracle whose answers arrive asynchronously over HTTP.
+//
+// When a deadline is configured (SetDeadline) an unanswered question expires:
+// it is re-queued with a bumped attempt count up to the re-ask budget, then
+// answered with the edit-free default and counted as degraded for its job —
+// a slow crowd stalls a job, but can no longer hang it forever.
 type Queue struct {
 	// Obs, when non-nil, receives queue metrics (pending-question gauge and
-	// ask/answer counters). Set before use.
+	// ask/answer/re-ask counters). Set before use.
 	Obs *obs.Recorder
 
-	mu      sync.Mutex
-	nextID  int
-	pending map[int]*Question
-	closed  bool
+	mu        sync.Mutex
+	nextID    int
+	pending   map[int]*Question
+	closed    bool
+	deadline  time.Duration
+	maxReasks int
+	journal   Journal
+	replays   map[int]map[string][]Answer // per-job recorded answers, FIFO per key
+	degraded  map[int]int                 // per-job degraded answer counts
+	degTotal  int
 }
 
 // NewQueue creates an empty question queue.
 func NewQueue() *Queue {
-	return &Queue{pending: make(map[int]*Question)}
+	return &Queue{
+		pending:  make(map[int]*Question),
+		replays:  make(map[int]map[string][]Answer),
+		degraded: make(map[int]int),
+	}
 }
 
-// Pending returns the open questions ordered by ID.
+// SetDeadline configures question expiry: each attempt of a question waits d
+// for an answer; after maxReasks re-asks the question is answered with the
+// edit-free default and its job degrades. d <= 0 disables expiry.
+func (q *Queue) SetDeadline(d time.Duration, maxReasks int) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.deadline = d
+	q.maxReasks = maxReasks
+}
+
+// SetJournal installs the recovery journal that records every live answer.
+func (q *Queue) SetJournal(j Journal) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.journal = j
+}
+
+// SetReplay seeds recorded answers for one job: questions whose content key
+// matches are answered from the recording (FIFO per key) without reaching the
+// crowd. Used by crash recovery before re-running the job.
+func (q *Queue) SetReplay(jobID int, answers map[string][]Answer) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if len(answers) == 0 {
+		delete(q.replays, jobID)
+		return
+	}
+	q.replays[jobID] = answers
+}
+
+// ClearReplay drops any remaining recorded answers for a job (called when
+// the job finishes; leftovers would be answers the re-run never re-asked).
+func (q *Queue) ClearReplay(jobID int) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	delete(q.replays, jobID)
+}
+
+// takeReplayLocked pops the next recorded answer for (job, key), if any.
+func (q *Queue) takeReplayLocked(jobID int, key string) (Answer, bool) {
+	rs := q.replays[jobID]
+	if len(rs) == 0 {
+		return Answer{}, false
+	}
+	answers := rs[key]
+	if len(answers) == 0 {
+		return Answer{}, false
+	}
+	a := answers[0]
+	if len(answers) == 1 {
+		delete(rs, key)
+		if len(rs) == 0 {
+			delete(q.replays, jobID)
+		}
+	} else {
+		rs[key] = answers[1:]
+	}
+	return a, true
+}
+
+// DegradedAnswers returns the total number of questions (across jobs)
+// answered with the edit-free default after exhausting their deadline
+// re-asks. It implements core.Degrader.
+func (q *Queue) DegradedAnswers() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.degTotal
+}
+
+// DegradedFor returns one job's degraded-answer count.
+func (q *Queue) DegradedFor(jobID int) int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.degraded[jobID]
+}
+
+// Pending returns copies of the open questions: escalated questions (highest
+// attempt) first, then by ID, so crowd members see expiring work on top.
 func (q *Queue) Pending() []*Question {
 	q.mu.Lock()
 	defer q.mu.Unlock()
 	out := make([]*Question, 0, len(q.pending))
 	for _, qu := range q.pending {
-		out = append(out, qu)
+		cp := *qu
+		cp.reply = nil
+		if qu.Deadline != nil {
+			dl := *qu.Deadline
+			cp.Deadline = &dl
+		}
+		out = append(out, &cp)
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Attempt != out[j].Attempt {
+			return out[i].Attempt > out[j].Attempt
+		}
+		return out[i].ID < out[j].ID
+	})
 	return out
 }
 
@@ -150,7 +306,15 @@ func (q *Queue) Answer(id int, a Answer) error {
 // its account), completion questions read "nothing to complete".
 func closedAnswer() Answer {
 	yes := true
-	return Answer{Bool: &yes, None: true}
+	return Answer{Bool: &yes, None: true, released: true}
+}
+
+// degradedAnswer is the edit-free default served when a question exhausts
+// its deadline re-asks. Unlike closedAnswer it is journaled: it decided the
+// job's outcome.
+func degradedAnswer() Answer {
+	yes := true
+	return Answer{Bool: &yes, None: true, Degraded: true}
 }
 
 // Close unblocks all pending and future questions with edit-free default
@@ -187,13 +351,17 @@ func (q *Queue) CancelJob(jobID int) {
 	}
 }
 
-// ask enqueues a question and blocks until it is answered or ctx is
-// cancelled; cancellation reads as the edit-free default answer. The reply
-// channel is buffered so a racing Answer never blocks against a departed
-// asker.
+// ask enqueues a question and blocks until it is answered, expires past its
+// re-ask budget, or ctx is cancelled; cancellation reads as the edit-free
+// default answer. The reply channel is buffered so a racing Answer never
+// blocks against a departed asker. Live and degraded answers are journaled
+// under the question's content key; recorded answers short-circuit the queue
+// entirely during recovery replay.
 func (q *Queue) ask(ctx context.Context, qu *Question) Answer {
 	qu.reply = make(chan Answer, 1)
 	qu.Job = jobIDFrom(ctx)
+	key := QuestionKey(qu)
+
 	q.mu.Lock()
 	if q.closed || ctx.Err() != nil {
 		// Never enqueue for a dead asker: a cancelled job's follow-up
@@ -201,21 +369,87 @@ func (q *Queue) ask(ctx context.Context, qu *Question) Answer {
 		q.mu.Unlock()
 		return closedAnswer()
 	}
+	if a, ok := q.takeReplayLocked(qu.Job, key); ok {
+		if a.Degraded {
+			q.degraded[qu.Job]++
+			q.degTotal++
+		}
+		q.mu.Unlock()
+		q.Obs.Inc(MetricQuestionsReplayed)
+		return a
+	}
 	q.nextID++
 	qu.ID = q.nextID
+	qu.Attempt = 1
+	if q.deadline > 0 {
+		dl := time.Now().Add(q.deadline)
+		qu.Deadline = &dl
+	}
+	maxReasks := q.maxReasks
+	journal := q.journal
 	q.pending[qu.ID] = qu
 	q.Obs.Inc(MetricQuestionsAsked)
 	q.Obs.SetGauge(MetricPendingQuestions, float64(len(q.pending)))
 	q.mu.Unlock()
-	select {
-	case a := <-qu.reply:
-		return a
-	case <-ctx.Done():
+
+	record := func(a Answer) {
+		if journal != nil && !a.released && ctx.Err() == nil {
+			journal.RecordAnswer(qu.Job, key, a)
+		}
+	}
+	for {
+		var expiry <-chan time.Time
+		var timer *time.Timer
 		q.mu.Lock()
-		delete(q.pending, qu.ID)
-		q.Obs.SetGauge(MetricPendingQuestions, float64(len(q.pending)))
+		if qu.Deadline != nil {
+			timer = time.NewTimer(time.Until(*qu.Deadline))
+			expiry = timer.C
+		}
 		q.mu.Unlock()
-		return closedAnswer()
+		select {
+		case a := <-qu.reply:
+			if timer != nil {
+				timer.Stop()
+			}
+			record(a)
+			return a
+		case <-ctx.Done():
+			if timer != nil {
+				timer.Stop()
+			}
+			q.mu.Lock()
+			delete(q.pending, qu.ID)
+			q.Obs.SetGauge(MetricPendingQuestions, float64(len(q.pending)))
+			q.mu.Unlock()
+			return closedAnswer()
+		case <-expiry:
+			q.mu.Lock()
+			if _, still := q.pending[qu.ID]; !still {
+				// Answered (or released) in the race with the timer: the
+				// reply is already in the buffered channel.
+				q.mu.Unlock()
+				a := <-qu.reply
+				record(a)
+				return a
+			}
+			if qu.Attempt > maxReasks {
+				// Re-ask budget exhausted: degrade instead of waiting forever.
+				delete(q.pending, qu.ID)
+				q.degraded[qu.Job]++
+				q.degTotal++
+				q.Obs.SetGauge(MetricPendingQuestions, float64(len(q.pending)))
+				q.mu.Unlock()
+				q.Obs.Inc(MetricQuestionsExpired)
+				a := degradedAnswer()
+				record(a)
+				return a
+			}
+			qu.Attempt++
+			dl := time.Now().Add(q.deadline)
+			qu.Deadline = &dl
+			q.mu.Unlock()
+			q.Obs.Inc(MetricQuestionsReasked)
+		}
 	}
 }
 

@@ -1,0 +1,269 @@
+package server
+
+import (
+	"context"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/cq"
+	"repro/internal/crowd"
+	"repro/internal/dataset"
+	"repro/internal/db"
+	"repro/internal/eval"
+	"repro/internal/wal"
+)
+
+// perfectAnswer builds the wire answer a perfect crowd member would give.
+func perfectAnswer(qu *Question, oracle *crowd.Perfect) Answer {
+	var a Answer
+	ctx := context.Background()
+	switch qu.Kind {
+	case KindVerifyFact:
+		v := oracle.VerifyFact(ctx, db.NewFact(qu.Fact[0], qu.Fact[1:]...))
+		a.Bool = &v
+	case KindVerifyAnswer:
+		v := oracle.VerifyAnswer(ctx, cq.MustParse(qu.Query), db.Tuple(qu.Tuple))
+		a.Bool = &v
+	case KindComplete:
+		partial := eval.Assignment{}
+		for k, v := range qu.Partial {
+			partial[k] = v
+		}
+		full, ok := oracle.Complete(ctx, cq.MustParse(qu.Query), partial)
+		if !ok {
+			a.None = true
+			break
+		}
+		a.Bindings = map[string]string{}
+		for _, v := range qu.Unbound {
+			a.Bindings[v] = full[v]
+		}
+	case KindCompleteResult:
+		cur := make([]db.Tuple, len(qu.Current))
+		for i, r := range qu.Current {
+			cur[i] = db.Tuple(r)
+		}
+		tp, ok := oracle.CompleteResult(ctx, cq.MustParse(qu.Query), cur)
+		if !ok {
+			a.None = true
+			break
+		}
+		a.Tuple = tp
+	}
+	return a
+}
+
+// waitQuestion polls until a question with ID > afterID is pending.
+func waitQuestion(t *testing.T, q *Queue, afterID int) *Question {
+	t.Helper()
+	deadline := time.Now().Add(20 * time.Second)
+	for time.Now().Before(deadline) {
+		for _, qu := range q.Pending() {
+			if qu.ID > afterID {
+				return qu
+			}
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatalf("no question after id %d appeared", afterID)
+	return nil
+}
+
+// jobView reads a job's current state under the server lock.
+func jobView(s *Server, id int) Job {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	job, ok := s.jobs[id]
+	if !ok {
+		return Job{}
+	}
+	return *job
+}
+
+// TestJobRecoveryAfterCrash is the kill-and-restart acceptance test: start a
+// cleaning job against Figure 1, answer a strict subset of its questions,
+// abandon the process (the journal is all that survives, as after SIGKILL),
+// then boot a second server over the same journal and a fresh copy of the
+// dirty database. The recovered job must replay the journaled answers — never
+// re-asking them — and finish with Q(D) = Q(DG).
+func TestJobRecoveryAfterCrash(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "jobs.log")
+	log1, recs, err := wal.OpenJobLog(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 0 {
+		t.Fatalf("fresh journal has %d jobs", len(recs))
+	}
+
+	d1, dg := dataset.Figure1()
+	oracle := crowd.NewPerfect(dg)
+	srv1 := New(d1, core.Config{})
+	srv1.SetJobLog(log1)
+	job := srv1.startJob(dataset.IntroQ1())
+
+	// Answer the first two questions. Waiting for each successor question
+	// guarantees the answer was consumed and journaled (the serial cleaner
+	// asks the next question only after recording the previous answer).
+	answered := make(map[string]bool)
+	lastID := 0
+	const subset = 2
+	for i := 0; i < subset; i++ {
+		qu := waitQuestion(t, srv1.Queue(), lastID)
+		answered[QuestionKey(qu)] = true
+		if err := srv1.Queue().Answer(qu.ID, perfectAnswer(qu, oracle)); err != nil {
+			t.Fatalf("answering question %d: %v", qu.ID, err)
+		}
+		lastID = qu.ID
+	}
+	waitQuestion(t, srv1.Queue(), lastID)
+
+	// "Crash": stop the first server. Close deliberately journals no terminal
+	// event for the running job, so the journal looks exactly as it would
+	// after a SIGKILL at this point.
+	srv1.Close()
+	log1.Close()
+
+	log2, recs2, err := wal.OpenJobLog(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer log2.Close()
+	if len(recs2) != 1 {
+		t.Fatalf("journal has %d jobs, want 1", len(recs2))
+	}
+	rec := recs2[0]
+	if rec.Done {
+		t.Fatalf("interrupted job journaled as done (%s)", rec.State)
+	}
+	total := 0
+	for _, as := range rec.Answers {
+		total += len(as)
+	}
+	if total != subset {
+		t.Fatalf("journal holds %d answers, want %d", total, subset)
+	}
+
+	// Restart over a fresh copy of the dirty database: the replayed answers
+	// plus the deterministic cleaner re-derive all prior edits.
+	d2, _ := dataset.Figure1()
+	srv2 := New(d2, core.Config{})
+	srv2.SetJobLog(log2)
+	defer srv2.Close()
+	n, err := srv2.Recover(recs2)
+	if err != nil {
+		t.Fatalf("Recover: %v", err)
+	}
+	if n != 1 {
+		t.Fatalf("Recover resumed %d jobs, want 1", n)
+	}
+
+	// Drive the recovered job to completion; any re-ask of a journaled
+	// question means replay failed.
+	deadline := time.Now().Add(20 * time.Second)
+	for {
+		cur := jobView(srv2, job.ID)
+		if cur.State != JobRunning {
+			if cur.State != JobDone {
+				t.Fatalf("recovered job finished %s (%s)", cur.State, cur.Error)
+			}
+			if !cur.Recovered {
+				t.Errorf("finished job not marked recovered")
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("recovered job did not finish")
+		}
+		for _, qu := range srv2.Queue().Pending() {
+			if answered[QuestionKey(qu)] {
+				t.Fatalf("journaled question re-asked after recovery: %s", qu.Text)
+			}
+			if err := srv2.Queue().Answer(qu.ID, perfectAnswer(qu, oracle)); err != nil {
+				t.Fatalf("answering question %d: %v", qu.ID, err)
+			}
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	if got := srv2.Obs().Counter(MetricQuestionsReplayed); got != int64(subset) {
+		t.Errorf("replayed %d questions, want %d", got, subset)
+	}
+
+	// Q(D) = Q(DG): the cleaned database matches the ground truth.
+	want := eval.Result(dataset.IntroQ1(), dg)
+	got := eval.Result(dataset.IntroQ1(), d2)
+	if len(got) != len(want) {
+		t.Fatalf("cleaned result %v, want %v", got, want)
+	}
+	for i := range got {
+		if !got[i].Equal(want[i]) {
+			t.Fatalf("cleaned result %v, want %v", got, want)
+		}
+	}
+
+	// The terminal state reached the journal: a third boot has nothing to do.
+	log3, recs3, err := wal.OpenJobLog(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer log3.Close()
+	if len(recs3) != 1 || !recs3[0].Done || recs3[0].State != string(JobDone) {
+		t.Fatalf("final journal record = %+v, want done", recs3[0])
+	}
+}
+
+// TestDeadlineDegradesJob starves a job of crowd answers: every question must
+// expire through its re-ask budget and resolve to the edit-free default, and
+// the job must terminate as degraded — with zero edits — instead of hanging.
+func TestDeadlineDegradesJob(t *testing.T) {
+	d, _ := dataset.Figure1()
+	srv := New(d, core.Config{})
+	defer srv.Close()
+	srv.Queue().SetDeadline(15*time.Millisecond, 1)
+
+	job := srv.startJob(dataset.IntroQ1())
+
+	// Questions carry their deadline and attempt count while pending.
+	qu := waitQuestion(t, srv.Queue(), 0)
+	if qu.Deadline == nil {
+		t.Errorf("pending question has no deadline")
+	}
+	if qu.Attempt < 1 {
+		t.Errorf("pending question attempt = %d", qu.Attempt)
+	}
+
+	deadline := time.Now().Add(20 * time.Second)
+	var cur Job
+	for {
+		cur = jobView(srv, job.ID)
+		if cur.State != JobRunning {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("starved job did not terminate")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	if cur.State != JobDegraded {
+		t.Fatalf("starved job finished %s (%s), want %s", cur.State, cur.Error, JobDegraded)
+	}
+	if cur.Report == nil || !cur.Report.Degraded || cur.Report.DegradedQuestions < 1 {
+		t.Fatalf("report = %+v, want degraded with counted questions", cur.Report)
+	}
+	if cur.Report.Insertions != 0 || cur.Report.Deletions != 0 {
+		t.Errorf("degraded defaults caused edits: %+v", cur.Report)
+	}
+	if got := srv.Queue().DegradedFor(job.ID); got != cur.Report.DegradedQuestions {
+		t.Errorf("queue counts %d degraded answers, report says %d", got, cur.Report.DegradedQuestions)
+	}
+	// Exhausting the budget implies at least one re-ask happened first.
+	if srv.Obs().Counter(MetricQuestionsReasked) < 1 {
+		t.Errorf("no re-asks recorded before degradation")
+	}
+	if srv.Obs().Counter(MetricQuestionsExpired) < 1 {
+		t.Errorf("no expiries recorded")
+	}
+}

@@ -18,6 +18,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/sqlfe"
 	"repro/internal/view"
+	"repro/internal/wal"
 )
 
 // JobState is the lifecycle of a cleaning job.
@@ -29,6 +30,10 @@ const (
 	JobDone      JobState = "done"
 	JobFailed    JobState = "failed"
 	JobCancelled JobState = "cancelled"
+	// JobDegraded is a run that terminated, but only because at least one
+	// crowd question exhausted its deadline re-asks and was answered with the
+	// edit-free default: Q(D) = Q(DG) is not guaranteed.
+	JobDegraded JobState = "degraded"
 )
 
 // Job metric names recorded when the server's recorder is active.
@@ -37,6 +42,8 @@ const (
 	MetricJobsDone      = "server.jobs.done"
 	MetricJobsFailed    = "server.jobs.failed"
 	MetricJobsCancelled = "server.jobs.cancelled"
+	MetricJobsDegraded  = "server.jobs.degraded"
+	MetricJobsRecovered = "server.jobs.recovered"
 )
 
 // Job tracks one asynchronous cleaning run.
@@ -46,6 +53,9 @@ type Job struct {
 	State  JobState     `json:"state"`
 	Error  string       `json:"error,omitempty"`
 	Report *core.Report `json:"report,omitempty"`
+	// Recovered marks a job restarted from the job journal after a crash:
+	// its journaled answers were replayed instead of re-asked.
+	Recovered bool `json:"recovered,omitempty"`
 
 	cancel  context.CancelFunc // stops the run; nil once observed
 	cleaner *core.Cleaner      // live progress source while running
@@ -96,6 +106,8 @@ type Server struct {
 	mu      sync.Mutex
 	nextJob int
 	jobs    map[int]*Job
+	jobLog  *wal.JobLog
+	closing bool // graceful shutdown: in-flight jobs stay open in the journal
 }
 
 // New builds a server over the database. cfg configures the cleaner; its
@@ -164,8 +176,15 @@ func (s *Server) Queue() *Queue { return s.queue }
 // Obs returns the server's metrics recorder (the one behind /api/v1/metrics).
 func (s *Server) Obs() *obs.Recorder { return s.obs }
 
-// Close unblocks pending questions so background jobs can exit.
-func (s *Server) Close() { s.queue.Close() }
+// Close unblocks pending questions so background jobs can exit. Jobs still
+// running are NOT journaled as finished: their journal records stay open so a
+// later Recover resumes them where they stopped.
+func (s *Server) Close() {
+	s.mu.Lock()
+	s.closing = true
+	s.mu.Unlock()
+	s.queue.Close()
+}
 
 func writeJSON(w http.ResponseWriter, status int, v interface{}) {
 	w.Header().Set("Content-Type", "application/json")
@@ -434,18 +453,38 @@ func (s *Server) handleClean(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusAccepted, job)
 }
 
-// startJob launches a cleaning run against the crowd queue. The run carries a
-// cancellable context tagged with the job ID, so DELETE /api/v1/jobs/{id} can
-// stop it and the queue can attribute its questions.
+// startJob launches a fresh cleaning run against the crowd queue, journaling
+// its spec first when a job journal is installed.
 func (s *Server) startJob(q *cq.Query) Job {
-	ctx, cancel := context.WithCancel(context.Background())
-
 	s.mu.Lock()
 	s.nextJob++
-	job := &Job{ID: s.nextJob, Query: q.String(), State: JobRunning, cancel: cancel}
+	id := s.nextJob
+	jl := s.jobLog
+	s.mu.Unlock()
+	if jl != nil {
+		// Journal the spec before the first question: a crash from here on can
+		// recover the job. An append failure is sticky in the log; the job
+		// still runs (availability over durability for the spec record).
+		_ = jl.Start(id, q.String())
+	}
+	return s.launchJob(id, q, false)
+}
+
+// launchJob runs job id against the crowd queue. The run carries a
+// cancellable context tagged with the job ID, so DELETE /api/v1/jobs/{id} can
+// stop it and the queue can attribute its questions. recovered marks jobs
+// resumed from the journal by Recover.
+func (s *Server) launchJob(id int, q *cq.Query, recovered bool) Job {
+	ctx, cancel := context.WithCancel(context.Background())
+
+	job := &Job{ID: id, Query: q.String(), State: JobRunning, Recovered: recovered, cancel: cancel}
+	s.mu.Lock()
 	s.jobs[job.ID] = job
 	s.mu.Unlock()
 	s.obs.Inc(MetricJobsStarted)
+	if recovered {
+		s.obs.Inc(MetricJobsRecovered)
+	}
 
 	ctx = withJob(ctx, job.ID)
 	go func() {
@@ -467,23 +506,37 @@ func (s *Server) startJob(q *cq.Query) Job {
 
 // finishJob records a run's outcome. A job already marked cancelled keeps
 // that state (the run's context error is not a failure); otherwise the report
-// and error decide between done and failed.
+// and error decide between done, degraded and failed. The terminal state is
+// journaled — except during graceful shutdown, where an interrupted run's
+// journal entry stays open so the next boot recovers it.
 func (s *Server) finishJob(job *Job, report *core.Report, err error) {
+	s.queue.ClearReplay(job.ID)
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	job.Report = report
 	job.cleaner = nil
-	if job.State == JobCancelled {
-		return
-	}
-	if err != nil {
+	switch {
+	case job.State == JobCancelled:
+		// State was set by the DELETE handler; nothing to decide.
+	case err != nil:
 		job.State = JobFailed
 		job.Error = err.Error()
 		s.obs.Inc(MetricJobsFailed)
-		return
+	case report != nil && report.Degraded:
+		job.State = JobDegraded
+		s.obs.Inc(MetricJobsDegraded)
+	default:
+		job.State = JobDone
+		s.obs.Inc(MetricJobsDone)
 	}
-	job.State = JobDone
-	s.obs.Inc(MetricJobsDone)
+	state := job.State
+	jl := s.jobLog
+	closing := s.closing
+	s.mu.Unlock()
+	// A cancelled job is finished by user decision even when the cancel races
+	// a shutdown: journal its end so it is not resurrected.
+	if jl != nil && (!closing || state == JobCancelled) {
+		_ = jl.End(job.ID, string(state))
+	}
 }
 
 // newCleaner builds a cleaner over the server's database, question queue and

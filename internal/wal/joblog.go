@@ -1,0 +1,173 @@
+package wal
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+)
+
+// JobLog is a WAL-style append journal for cleaning jobs: each job's spec is
+// journaled when it starts, every crowd answer it consumes is journaled as it
+// arrives (keyed by question content), and a terminal event is journaled when
+// the job finishes. A restarted server reads the log back, finds the jobs
+// with no terminal event, and re-runs them with the recorded answers replayed
+// — resuming each job at its first unanswered question.
+//
+// The log is answer-granular, not edit-granular: replaying answers through
+// the deterministic cleaner re-derives the edits, so the job journal composes
+// with (but does not require) a Store for the database itself.
+//
+// Every record is flushed and fsynced before the append returns: a crowd
+// answer is minutes of human work and must survive the very next crash. The
+// first write failure is sticky and surfaces from every later append and
+// Close, mirroring Store.
+type JobLog struct {
+	mu  sync.Mutex
+	f   *os.File
+	err error
+}
+
+// JobRecord is one job reconstructed from the log.
+type JobRecord struct {
+	// ID and Query are the job spec from its start event.
+	ID    int
+	Query string
+	// Answers maps question content keys to the recorded answers, in arrival
+	// order (a key repeats when the same question content was asked again).
+	Answers map[string][]json.RawMessage
+	// Done reports a terminal event was journaled; State is its final state.
+	Done  bool
+	State string
+}
+
+// jobEvent is one journaled line.
+type jobEvent struct {
+	Ev     string          `json:"ev"` // "start", "answer", "end"
+	Job    int             `json:"job"`
+	Query  string          `json:"query,omitempty"`  // start
+	Key    string          `json:"key,omitempty"`    // answer: question content key
+	Answer json.RawMessage `json:"answer,omitempty"` // answer
+	State  string          `json:"state,omitempty"`  // end
+}
+
+// OpenJobLog opens (creating if absent) the job journal at path and returns
+// the jobs recorded in it, in start order. A torn final line from a crash
+// mid-append is tolerated and counted under MetricTornTails; corruption
+// elsewhere is an error.
+func OpenJobLog(path string) (*JobLog, []JobRecord, error) {
+	if dir := filepath.Dir(path); dir != "." {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return nil, nil, fmt.Errorf("wal: creating %s: %w", dir, err)
+		}
+	}
+	byID := make(map[int]*JobRecord)
+	var order []int
+	_, err := scanJournal(path, func(line []byte) error {
+		var ev jobEvent
+		if err := json.Unmarshal(line, &ev); err != nil {
+			return err
+		}
+		switch ev.Ev {
+		case "start":
+			if _, ok := byID[ev.Job]; !ok {
+				order = append(order, ev.Job)
+			}
+			byID[ev.Job] = &JobRecord{ID: ev.Job, Query: ev.Query, Answers: make(map[string][]json.RawMessage)}
+		case "answer":
+			r, ok := byID[ev.Job]
+			if !ok {
+				return &fatalReplayError{fmt.Errorf("wal: job log answer for unknown job %d", ev.Job)}
+			}
+			r.Answers[ev.Key] = append(r.Answers[ev.Key], append(json.RawMessage(nil), ev.Answer...))
+		case "end":
+			r, ok := byID[ev.Job]
+			if !ok {
+				return &fatalReplayError{fmt.Errorf("wal: job log end for unknown job %d", ev.Job)}
+			}
+			r.Done = true
+			r.State = ev.State
+		default:
+			return fmt.Errorf("wal: bad job event %q", ev.Ev)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, nil, fmt.Errorf("wal: opening job log: %w", err)
+	}
+	jobs := make([]JobRecord, 0, len(order))
+	for _, id := range order {
+		jobs = append(jobs, *byID[id])
+	}
+	return &JobLog{f: f}, jobs, nil
+}
+
+// append journals one event, fsyncing before returning. The first failure is
+// sticky: later appends fail fast with it.
+func (l *JobLog) append(ev jobEvent) error {
+	raw, err := json.Marshal(ev)
+	if err != nil {
+		return fmt.Errorf("wal: encoding job event: %w", err)
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.err != nil {
+		return l.err
+	}
+	if _, err := l.f.Write(append(raw, '\n')); err != nil {
+		l.err = fmt.Errorf("wal: writing job log: %w", err)
+		rec().Inc(MetricAppendErrors)
+		return l.err
+	}
+	if err := l.f.Sync(); err != nil {
+		l.err = fmt.Errorf("wal: syncing job log: %w", err)
+		rec().Inc(MetricAppendErrors)
+		return l.err
+	}
+	return nil
+}
+
+// Start journals a job spec. Call before the job asks its first question.
+func (l *JobLog) Start(job int, query string) error {
+	return l.append(jobEvent{Ev: "start", Job: job, Query: query})
+}
+
+// Answer journals one consumed crowd answer under the question's content
+// key. answer must be JSON-marshalable (the server journals its wire-format
+// Answer type).
+func (l *JobLog) Answer(job int, key string, answer interface{}) error {
+	raw, err := json.Marshal(answer)
+	if err != nil {
+		return fmt.Errorf("wal: encoding answer: %w", err)
+	}
+	return l.append(jobEvent{Ev: "answer", Job: job, Key: key, Answer: raw})
+}
+
+// End journals a job's terminal state; jobs without an end event are
+// recovered at the next boot.
+func (l *JobLog) End(job int, state string) error {
+	return l.append(jobEvent{Ev: "end", Job: job, State: state})
+}
+
+// Err returns the first append failure, nil if none.
+func (l *JobLog) Err() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.err
+}
+
+// Close closes the log. Appends already fsync, so Close only releases the
+// file; it returns the sticky append error if one occurred.
+func (l *JobLog) Close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if cerr := l.f.Close(); l.err == nil && cerr != nil {
+		l.err = fmt.Errorf("wal: closing job log: %w", cerr)
+	}
+	return l.err
+}

@@ -3,18 +3,23 @@
 // this package gives the Go reproduction durable cleaning sessions: every
 // oracle-derived edit is journaled as it is applied, a crashed or restarted
 // process replays the journal over the last snapshot, and Compact folds the
-// journal into a fresh snapshot.
+// journal into a fresh snapshot. A JobLog (joblog.go) journals cleaning-job
+// specs and crowd answers the same way, so in-flight jobs survive a crash.
 package wal
 
 import (
 	"bufio"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"os"
 	"path/filepath"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/db"
+	"repro/internal/obs"
 	"repro/internal/schema"
 )
 
@@ -22,6 +27,27 @@ const (
 	snapshotFile = "snapshot.csv"
 	journalFile  = "journal.log"
 )
+
+// Metric names recorded when the package is instrumented.
+const (
+	// MetricTornTails counts journal recoveries that found (and discarded) a
+	// torn trailing record from a crash mid-append.
+	MetricTornTails = "wal.replay.torn_tails"
+	// MetricAppendErrors counts journal append failures (the first of which
+	// also poisons the store — see Store.Apply).
+	MetricAppendErrors = "wal.append.errors"
+)
+
+// recorder holds the process recorder the package reports into; an atomic
+// pointer keeps Instrument safe to call concurrently with running stores.
+var recorder atomic.Pointer[obs.Recorder]
+
+// Instrument directs wal metrics (torn-tail recoveries, append errors) into
+// r (nil disables). Typically called once at process start.
+func Instrument(r *obs.Recorder) { recorder.Store(r) }
+
+// rec returns the active recorder; nil is valid, obs methods are nil-safe.
+func rec() *obs.Recorder { return recorder.Load() }
 
 // record is one journaled edit, one JSON object per line.
 type record struct {
@@ -53,6 +79,9 @@ type Store struct {
 	d       *db.Database
 	journal *os.File
 	w       *bufio.Writer
+
+	mu        sync.Mutex
+	appendErr error // first journal write failure; poisons Apply and Sync
 }
 
 // Open loads the store in dir (creating it if empty): the snapshot is read
@@ -86,15 +115,19 @@ func Open(dir string, s *schema.Schema) (*Store, error) {
 	return &Store{dir: dir, d: d, journal: j, w: bufio.NewWriter(j)}, nil
 }
 
-// replay applies the journal at path to d. A torn final line (from a crash
-// mid-write) is tolerated and ignored; corruption elsewhere is an error.
-func replay(path string, d *db.Database) error {
+// scanJournal streams the JSONL journal at path into fn, tolerating a torn
+// final line (crash mid-append): a record that fails to decode is held back
+// one iteration, and only if more records follow is it corruption — a
+// malformed last line is reported as a torn tail instead, counted under
+// MetricTornTails, and otherwise ignored. A missing file is an empty journal.
+// decode errors returned by fn abort the scan.
+func scanJournal(path string, fn func(line []byte) error) (torn bool, err error) {
 	f, err := os.Open(path)
 	if os.IsNotExist(err) {
-		return nil
+		return false, nil
 	}
 	if err != nil {
-		return fmt.Errorf("wal: opening journal: %w", err)
+		return false, fmt.Errorf("wal: opening journal: %w", err)
 	}
 	defer f.Close()
 	sc := bufio.NewScanner(f)
@@ -104,39 +137,71 @@ func replay(path string, d *db.Database) error {
 		if lastErr != nil {
 			// A malformed record followed by more records is corruption, not
 			// a torn tail.
-			return fmt.Errorf("wal: corrupt journal record: %w", lastErr)
+			return false, fmt.Errorf("wal: corrupt journal record: %w", lastErr)
 		}
 		line := sc.Bytes()
 		if len(line) == 0 {
 			continue
 		}
-		var r record
-		if err := json.Unmarshal(line, &r); err != nil {
+		if err := fn(line); err != nil {
+			var fatal *fatalReplayError
+			if errors.As(err, &fatal) {
+				// The record itself was intact; the failure is not a torn
+				// tail even in last position.
+				return false, fatal.err
+			}
 			lastErr = err
-			continue
-		}
-		e, err := r.edit()
-		if err != nil {
-			lastErr = err
-			continue
-		}
-		if _, err := d.Apply(e); err != nil {
-			return fmt.Errorf("wal: replaying %v: %w", e, err)
 		}
 	}
 	if err := sc.Err(); err != nil {
-		return fmt.Errorf("wal: reading journal: %w", err)
+		return false, fmt.Errorf("wal: reading journal: %w", err)
 	}
-	return nil
+	if lastErr != nil {
+		rec().Inc(MetricTornTails)
+		return true, nil
+	}
+	return false, nil
 }
+
+// replay applies the journal at path to d.
+func replay(path string, d *db.Database) error {
+	_, err := scanJournal(path, func(line []byte) error {
+		var r record
+		if err := json.Unmarshal(line, &r); err != nil {
+			return err
+		}
+		e, err := r.edit()
+		if err != nil {
+			return err
+		}
+		if _, err := d.Apply(e); err != nil {
+			// A decoded record the database rejects is corruption wherever it
+			// sits, not a torn tail.
+			return &fatalReplayError{fmt.Errorf("wal: replaying %v: %w", e, err)}
+		}
+		return nil
+	})
+	return err
+}
+
+// fatalReplayError marks a scan callback failure that must fail the whole
+// replay even in tail position (the record itself was intact).
+type fatalReplayError struct{ err error }
+
+func (e *fatalReplayError) Error() string { return e.err.Error() }
 
 // Database returns the live database. Mutations must flow through Apply (or
 // the EditHook) to be durable.
 func (s *Store) Database() *db.Database { return s.d }
 
 // Apply journals and applies an edit. No-op edits (inserting a present fact,
-// deleting an absent one) are not journaled.
+// deleting an absent one) are not journaled. Once a journal append has
+// failed, Apply refuses further edits with that first error: the in-memory
+// database must not silently run ahead of what a restart can recover.
 func (s *Store) Apply(e db.Edit) (changed bool, err error) {
+	if err := s.AppendErr(); err != nil {
+		return false, err
+	}
 	changed, err = s.d.Apply(e)
 	if err != nil || !changed {
 		return changed, err
@@ -144,32 +209,56 @@ func (s *Store) Apply(e db.Edit) (changed bool, err error) {
 	return true, s.append(e)
 }
 
+// AppendErr returns the first journal append failure, nil if none.
+func (s *Store) AppendErr() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.appendErr
+}
+
+// setAppendErr records the first append failure.
+func (s *Store) setAppendErr(err error) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.appendErr == nil {
+		s.appendErr = err
+		rec().Inc(MetricAppendErrors)
+	}
+	return s.appendErr
+}
+
 func (s *Store) append(e db.Edit) error {
 	raw, err := json.Marshal(recordOf(e))
 	if err != nil {
-		return fmt.Errorf("wal: encoding edit: %w", err)
+		return s.setAppendErr(fmt.Errorf("wal: encoding edit: %w", err))
 	}
 	if _, err := s.w.Write(raw); err != nil {
-		return fmt.Errorf("wal: writing journal: %w", err)
+		return s.setAppendErr(fmt.Errorf("wal: writing journal: %w", err))
 	}
 	if err := s.w.WriteByte('\n'); err != nil {
-		return fmt.Errorf("wal: writing journal: %w", err)
+		return s.setAppendErr(fmt.Errorf("wal: writing journal: %w", err))
 	}
 	return nil
 }
 
 // EditHook returns a function for core.Config.OnEdit: the cleaner applies
-// edits to the store's database itself, so the hook only journals them.
+// edits to the store's database itself, so the hook only journals them. A
+// write failure is recorded and surfaces from the next Apply, Sync or Close.
 func (s *Store) EditHook() func(db.Edit) {
 	return func(e db.Edit) {
-		_ = s.append(e) // best effort; Sync/Close surface write errors
+		_ = s.append(e) // the first error is sticky; see AppendErr
 	}
 }
 
-// Sync flushes buffered journal records to stable storage.
+// Sync flushes buffered journal records to stable storage. It fails if any
+// earlier append failed: those records never reached the buffer, so the
+// journal on disk is already missing edits.
 func (s *Store) Sync() error {
+	if err := s.AppendErr(); err != nil {
+		return err
+	}
 	if err := s.w.Flush(); err != nil {
-		return fmt.Errorf("wal: flushing journal: %w", err)
+		return s.setAppendErr(fmt.Errorf("wal: flushing journal: %w", err))
 	}
 	if err := s.journal.Sync(); err != nil {
 		return fmt.Errorf("wal: syncing journal: %w", err)
