@@ -10,24 +10,29 @@
 //	qocobench -fig 3a         # one figure
 //	qocobench -seeds 5        # average over more random seeds
 //	qocobench -tournaments 8  # smaller Soccer database for quick runs
+//	qocobench -fig overload   # admission-control rate sweep (-json for JSON)
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"repro/internal/dataset"
 	"repro/internal/experiment"
 )
 
 func main() {
-	fig := flag.String("fig", "all", "figure to regenerate: 3a, 3b, 3c, 3d, 3e, 3f, 4, dbgroup, sweep, errsweep, heuristics, or all")
+	fig := flag.String("fig", "all", "figure to regenerate: 3a, 3b, 3c, 3d, 3e, 3f, 4, dbgroup, sweep, errsweep, heuristics, overload, or all")
 	seeds := flag.Int("seeds", 3, "number of random seeds to average over")
 	tournaments := flag.Int("tournaments", 0, "number of World Cup editions in the Soccer database (0 = full 20)")
 	wrong := flag.Int("wrong", 5, "wrong answers injected per query (Figures 3a, 3c, 4)")
 	missing := flag.Int("missing", 5, "missing answers injected per query (Figures 3b, 3c, 4)")
 	errRate := flag.Float64("errrate", 0.1, "per-question error rate of imperfect experts (Figure 4)")
+	overloadDur := flag.Duration("overload-duration", 2*time.Second, "load duration per rate point of the overload sweep")
+	jsonOut := flag.Bool("json", false, "emit the overload sweep as JSON instead of a text table")
 	flag.Parse()
 
 	cfg := experiment.Config{
@@ -86,8 +91,24 @@ func main() {
 		fmt.Print(experiment.RenderSweep(experiment.CleanlinessSweep(cfg, nil)), "\n")
 		any = true
 	}
+	// The overload sweep measures wall-clock admission behaviour under live
+	// load, so it only runs when asked for by name, never under -fig all.
+	if *fig == "overload" {
+		rows := experiment.OverloadSweep(experiment.OverloadOpts{Duration: *overloadDur})
+		if *jsonOut {
+			enc := json.NewEncoder(os.Stdout)
+			enc.SetIndent("", "  ")
+			if err := enc.Encode(rows); err != nil {
+				fmt.Fprintf(os.Stderr, "encoding overload sweep: %v\n", err)
+				os.Exit(1)
+			}
+		} else {
+			fmt.Print(experiment.RenderOverload(rows), "\n")
+		}
+		any = true
+	}
 	if !any {
-		fmt.Fprintf(os.Stderr, "unknown figure %q (want 3a..3f, 4, dbgroup, all)\n", *fig)
+		fmt.Fprintf(os.Stderr, "unknown figure %q (want 3a..3f, 4, dbgroup, sweep, errsweep, heuristics, overload, all)\n", *fig)
 		os.Exit(2)
 	}
 }

@@ -18,7 +18,16 @@
 // job waits on any one crowd question (expired questions are re-asked up to
 // -max-reasks times, then degrade to the edit-free default), and -journal
 // names a WAL-style job journal from which interrupted jobs are recovered on
-// the next boot, replaying their already-collected answers.
+// the next boot, replaying their already-collected answers; -compact-journal
+// additionally rewrites it on boot, dropping finished jobs.
+//
+// Overload protection (see docs/OPERATIONS.md): every submission passes an
+// admission controller tuned by -max-jobs, -rate/-burst, and
+// -queue/-queue-timeout; excess load is shed with 429/503 responses carrying
+// Retry-After hints. /healthz serves liveness and /readyz readiness (not
+// ready while draining, the journal is failing, or the admission queue is
+// saturated). Shutdown drains first: admission stops, -drain-timeout lets
+// in-flight jobs finish, then remaining questions are released edit-free.
 package main
 
 import (
@@ -34,6 +43,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/admission"
 	"repro/internal/core"
 	"repro/internal/dataset"
 	"repro/internal/db"
@@ -78,6 +88,18 @@ func run() error {
 		"re-asks after a question's first deadline expiry before it degrades to the edit-free default")
 	journal := flag.String("journal", "",
 		"path of the job journal; jobs interrupted by a crash or restart are recovered from it on boot")
+	compactJournal := flag.Bool("compact-journal", false,
+		"rewrite the job journal on boot, dropping finished jobs so it stops growing with server lifetime")
+	maxJobs := flag.Int("max-jobs", 64, "ceiling on simultaneously-running cleaning jobs")
+	rate := flag.Float64("rate", 0, "global submission rate limit in jobs/second (0 disables)")
+	burst := flag.Float64("burst", 0, "token-bucket burst for -rate (0 means max(rate, 1))")
+	queueCap := flag.Int("queue", 0, "admission queue capacity (0 means 4*max-jobs)")
+	queueTimeout := flag.Duration("queue-timeout", 10*time.Second,
+		"how long a queued submission may wait for a job slot before it is shed with 503")
+	drainTimeout := flag.Duration("drain-timeout", 30*time.Second,
+		"how long shutdown waits for in-flight jobs to finish after admission stops")
+	questionHistory := flag.Int("question-history", server.DefaultQuestionHistory,
+		"resolved crowd questions retained at /api/v1/questions/log (0 disables)")
 	flag.Parse()
 
 	d, dg, err := loadDataset(*ds)
@@ -94,10 +116,23 @@ func run() error {
 	if *questionDeadline > 0 {
 		srv.Queue().SetDeadline(*questionDeadline, *maxReasks)
 	}
+	srv.Queue().SetHistoryLimit(*questionHistory)
+	srv.SetAdmission(admission.NewController(admission.Options{
+		MaxConcurrent: *maxJobs,
+		Rate:          *rate,
+		Burst:         *burst,
+		QueueCap:      *queueCap,
+		QueueTimeout:  *queueTimeout,
+		Obs:           srv.Obs(),
+	}))
 	var jobLog *wal.JobLog
 	if *journal != "" {
 		log.Printf("opening job journal %s", *journal)
-		jl, records, err := wal.OpenJobLog(*journal)
+		var walOpts []wal.JobLogOption
+		if *compactJournal {
+			walOpts = append(walOpts, wal.WithCompaction())
+		}
+		jl, records, err := wal.OpenJobLog(*journal, walOpts...)
 		if err != nil {
 			return err
 		}
@@ -144,8 +179,19 @@ func run() error {
 		return err // ListenAndServe failed before any signal
 	case <-ctx.Done():
 	}
-	log.Printf("shutting down: releasing pending crowd questions")
-	// Unblock oracle calls first so background cleaning jobs finish with
+	// Drain first: stop admitting (readiness flips, so load balancers route
+	// away) and give in-flight jobs a window to finish on their own before
+	// their crowd questions are force-released.
+	log.Printf("shutting down: draining (%d job(s) in flight, waiting up to %s)", srv.ActiveJobs(), *drainTimeout)
+	srv.Drain()
+	drainCtx, cancelDrain := context.WithTimeout(context.Background(), *drainTimeout)
+	err = srv.DrainWait(drainCtx)
+	cancelDrain()
+	if err != nil {
+		log.Printf("drain: %v", err)
+	}
+	log.Printf("releasing pending crowd questions")
+	// Unblock oracle calls so any remaining cleaning jobs finish with
 	// edit-free answers instead of holding Shutdown past the grace period.
 	srv.Close()
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), *grace)

@@ -1,0 +1,487 @@
+// Package admission is the serving stack's overload-protection layer: it
+// decides, per cleaning-job submission, whether the server runs the job now,
+// queues it briefly, or sheds it with a retryable error — instead of
+// accepting unbounded work until the process OOMs or wedges.
+//
+// The paper's interactive model (§3, §6.2) makes every in-flight job
+// expensive: it pins the database write lock, holds crowd questions open for
+// human-scale latencies, and retains its working state until the crowd
+// answers. A burst of clients therefore cannot simply be accepted; the
+// standard serving-stack discipline applies:
+//
+//   - token-bucket rate limiting, per client and global (Options.Rate/Burst)
+//   - an adaptive concurrency limit, AIMD on observed job latency, bounding
+//     simultaneously-admitted jobs (Options.MaxConcurrent, LatencyTarget)
+//   - a bounded, deadline-aware admission queue that sheds the
+//     oldest-deadline waiter first when full (Options.QueueCap, QueueTimeout)
+//   - cost-aware admission: a job's crowd-question budget is estimated from
+//     its query shape (CostModel, internal/enumest) and jobs the current
+//     capacity cannot serve are rejected or queued (Options.CostBudget)
+//   - a drain mode for graceful rollouts that stops admitting while
+//     in-flight work finishes (SetDraining)
+//
+// Every decision is observable through an obs.Recorder, and every rejection
+// carries an HTTP status, a stable error code, and a Retry-After hint so
+// well-behaved clients back off instead of hammering.
+package admission
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// Metric names recorded when Options.Obs is set.
+const (
+	// MetricAdmitted counts submissions granted a run slot (immediately or
+	// after queueing); MetricQueued counts the ones that waited.
+	MetricAdmitted = "admission.admitted"
+	MetricQueued   = "admission.queued"
+	// MetricShed counts every rejection, of any kind. The rejected.* series
+	// break it down by cause.
+	MetricShed          = "admission.shed"
+	MetricRejectedRate  = "admission.rejected.rate"
+	MetricRejectedCost  = "admission.rejected.cost"
+	MetricRejectedFull  = "admission.rejected.queue_full"
+	MetricRejectedDrain = "admission.rejected.draining"
+	// MetricQueueDepth / MetricInflight / MetricLimit are point-in-time
+	// gauges of the admission queue and the AIMD concurrency limiter.
+	MetricQueueDepth = "admission.queue.depth"
+	MetricInflight   = "admission.inflight"
+	MetricLimit      = "admission.concurrency.limit"
+	// MetricLimitDecreases counts multiplicative-decrease events (latency
+	// target breached or job failed).
+	MetricLimitDecreases = "admission.concurrency.decreases"
+	// MetricWaitSeconds is the admission latency: how long a submission
+	// waited between arrival and its grant or shed.
+	MetricWaitSeconds = "admission.wait.seconds"
+	// MetricClientThrottled counts per-client bucket rejections specifically.
+	MetricClientThrottled = "admission.clients.throttled"
+)
+
+// Rejection codes (the code field of the /api/v1 error envelope).
+const (
+	CodeRateLimited   = "rate_limited"
+	CodeClientLimited = "client_rate_limited"
+	CodeCostExceeded  = "cost_exceeded"
+	CodeQueueFull     = "queue_full"
+	CodeQueueTimeout  = "queue_timeout"
+	CodeDraining      = "draining"
+)
+
+// Rejection is a shed submission: the HTTP status to serve (429 for rate and
+// cost rejections the client caused, 503 for server overload and drain), a
+// stable machine-readable code, and the Retry-After hint.
+type Rejection struct {
+	Status     int
+	Code       string
+	Message    string
+	RetryAfter time.Duration
+}
+
+// Options tunes a Controller. The zero value of any field selects the
+// documented default; the zero Options as a whole yields a controller with
+// concurrency limiting and queueing only (no rate limiting, no cost cap).
+type Options struct {
+	// MaxConcurrent is the hard ceiling on simultaneously-admitted jobs (the
+	// AIMD limit moves in [MinConcurrent, MaxConcurrent]). Default 64.
+	MaxConcurrent int
+	// MinConcurrent is the AIMD floor. Default 1.
+	MinConcurrent int
+	// LatencyTarget is the job latency above which the AIMD limiter backs
+	// off. Default 5s.
+	LatencyTarget time.Duration
+	// Rate is the global submission rate (jobs/second); Burst the bucket
+	// capacity. Rate 0 disables global rate limiting; Burst 0 defaults to
+	// max(Rate, 1).
+	Rate, Burst float64
+	// ClientRate / ClientBurst are the per-client buckets (keyed by API key
+	// or remote address). ClientRate 0 disables per-client limiting.
+	ClientRate, ClientBurst float64
+	// MaxClients bounds the tracked per-client buckets; the stalest bucket
+	// is evicted past the bound. Default 1024.
+	MaxClients int
+	// QueueCap bounds the admission queue. When it is full, the waiter with
+	// the oldest deadline is shed to make room. Default 4*MaxConcurrent.
+	QueueCap int
+	// QueueTimeout is how long a queued submission may wait for a slot
+	// before it is shed. Default 10s.
+	QueueTimeout time.Duration
+	// CostBudget is the total estimated crowd-question cost the server holds
+	// in flight at once; a submission whose estimate does not fit waits in
+	// the queue, and one whose estimate exceeds the whole budget is rejected
+	// outright. 0 disables cost-aware admission.
+	CostBudget float64
+	// Obs receives the admission metrics. Nil disables recording.
+	Obs *obs.Recorder
+
+	// now overrides the clock in tests.
+	now func() time.Time
+}
+
+func (o *Options) applyDefaults() {
+	if o.MaxConcurrent == 0 {
+		o.MaxConcurrent = 64
+	}
+	if o.MinConcurrent == 0 {
+		o.MinConcurrent = 1
+	}
+	if o.LatencyTarget == 0 {
+		o.LatencyTarget = 5 * time.Second
+	}
+	if o.Burst == 0 {
+		o.Burst = max(o.Rate, 1)
+	}
+	if o.ClientBurst == 0 {
+		o.ClientBurst = max(o.ClientRate, 1)
+	}
+	if o.MaxClients == 0 {
+		o.MaxClients = 1024
+	}
+	if o.QueueCap == 0 {
+		o.QueueCap = 4 * o.MaxConcurrent
+	}
+	if o.QueueTimeout == 0 {
+		o.QueueTimeout = 10 * time.Second
+	}
+	if o.now == nil {
+		o.now = time.Now
+	}
+}
+
+// Controller is the admission decision point. One controller guards one
+// serving process; it is safe for concurrent use.
+type Controller struct {
+	opts Options
+
+	mu       sync.Mutex
+	global   *bucket
+	clients  *clientBuckets
+	limit    *aimdLimit
+	inflight int
+	cost     float64 // estimated question cost of admitted, unreleased jobs
+	queue    *waitQueue
+	draining bool
+	// latencyEWMA tracks recent job latency to size Retry-After hints.
+	latencyEWMA time.Duration
+}
+
+// NewController builds a controller from opts.
+func NewController(opts Options) *Controller {
+	opts.applyDefaults()
+	c := &Controller{
+		opts:    opts,
+		clients: newClientBuckets(opts.ClientRate, opts.ClientBurst, opts.MaxClients),
+		limit:   newAIMDLimit(opts.MinConcurrent, opts.MaxConcurrent, opts.LatencyTarget),
+		queue:   newWaitQueue(opts.QueueCap),
+	}
+	if opts.Rate > 0 {
+		c.global = newBucket(opts.Rate, opts.Burst, opts.now())
+	}
+	opts.Obs.SetGauge(MetricLimit, float64(c.limit.current()))
+	return c
+}
+
+// Grant is an admitted job's capacity reservation: hold it for the job's
+// lifetime and Release it exactly once when the job reaches a terminal state.
+type Grant struct {
+	c        *Controller
+	cost     float64
+	start    time.Time
+	released bool
+	mu       sync.Mutex
+}
+
+// Release returns the grant's capacity. failed marks runs that errored; they
+// count as latency-target breaches for the AIMD limiter. Release is
+// idempotent.
+func (g *Grant) Release(failed bool) {
+	if g == nil {
+		return
+	}
+	g.mu.Lock()
+	done := g.released
+	g.released = true
+	g.mu.Unlock()
+	if done {
+		return
+	}
+	g.c.release(g, failed)
+}
+
+// waiter is one queued submission.
+type waiter struct {
+	deadline time.Time
+	cost     float64
+	// done delivers the decision exactly once: a grant or a rejection.
+	done chan admitResult
+	// index is the heap position, -1 once removed.
+	index int
+}
+
+type admitResult struct {
+	grant *Grant
+	rej   *Rejection
+}
+
+// SetDraining toggles drain mode: while draining every new submission is
+// rejected with 503/draining and queued waiters are shed, but grants already
+// issued stay valid so in-flight jobs finish.
+func (c *Controller) SetDraining(on bool) {
+	c.mu.Lock()
+	c.draining = on
+	var shed []*waiter
+	if on {
+		shed = c.queue.drainAll()
+		c.gauges()
+	}
+	retry := c.retryAfterLocked()
+	c.mu.Unlock()
+	for _, w := range shed {
+		c.reject(w.done, http.StatusServiceUnavailable, CodeDraining, "server is draining", retry, MetricRejectedDrain)
+	}
+}
+
+// Draining reports whether drain mode is on.
+func (c *Controller) Draining() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.draining
+}
+
+// QueueDepth returns the number of queued submissions.
+func (c *Controller) QueueDepth() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.queue.len()
+}
+
+// Saturated reports whether the admission queue is at or past its high-water
+// mark (80% of capacity) — the readiness probe's backpressure signal.
+func (c *Controller) Saturated() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.queue.len()*10 >= c.opts.QueueCap*8
+}
+
+// Limit returns the current AIMD concurrency limit.
+func (c *Controller) Limit() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.limit.current()
+}
+
+// Inflight returns the number of admitted, unreleased jobs.
+func (c *Controller) Inflight() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.inflight
+}
+
+// retryAfterLocked sizes a Retry-After hint from observed job latency: one
+// EWMA job latency (at least a second), the time for roughly one slot to
+// free up.
+func (c *Controller) retryAfterLocked() time.Duration {
+	if c.latencyEWMA > time.Second {
+		return c.latencyEWMA
+	}
+	return time.Second
+}
+
+// reject delivers a rejection and records it.
+func (c *Controller) reject(done chan admitResult, status int, code, msg string, retry time.Duration, metric string) {
+	c.opts.Obs.Inc(MetricShed)
+	c.opts.Obs.Inc(metric)
+	done <- admitResult{rej: &Rejection{Status: status, Code: code, Message: msg, RetryAfter: retry}}
+}
+
+// rejection builds a Rejection and records it (for the synchronous paths).
+func (c *Controller) rejection(status int, code, msg string, retry time.Duration, metric string) *Rejection {
+	c.opts.Obs.Inc(MetricShed)
+	c.opts.Obs.Inc(metric)
+	return &Rejection{Status: status, Code: code, Message: msg, RetryAfter: retry}
+}
+
+// gauges refreshes the queue/inflight/limit gauges; callers hold c.mu.
+func (c *Controller) gauges() {
+	c.opts.Obs.SetGauge(MetricQueueDepth, float64(c.queue.len()))
+	c.opts.Obs.SetGauge(MetricInflight, float64(c.inflight))
+	c.opts.Obs.SetGauge(MetricLimit, float64(c.limit.current()))
+}
+
+// fitsLocked reports whether one more job of the given cost fits the current
+// concurrency limit and cost budget.
+func (c *Controller) fitsLocked(cost float64) bool {
+	if c.inflight >= c.limit.current() {
+		return false
+	}
+	if c.opts.CostBudget > 0 && c.cost+cost > c.opts.CostBudget && c.inflight > 0 {
+		// With the budget exhausted a job still runs when it is alone: a
+		// single over-budget job must not deadlock an idle server.
+		return false
+	}
+	return true
+}
+
+// grantLocked admits one job of the given cost; callers hold c.mu and have
+// checked fitsLocked.
+func (c *Controller) grantLocked(cost float64) *Grant {
+	c.inflight++
+	c.cost += cost
+	c.opts.Obs.Inc(MetricAdmitted)
+	c.gauges()
+	return &Grant{c: c, cost: cost, start: c.opts.now()}
+}
+
+// Admit decides one submission. client keys the per-client bucket (API key
+// or remote address; empty skips per-client limiting). cost is the job's
+// estimated crowd-question budget (see CostModel; 0 skips cost admission).
+//
+// Admit returns either a Grant (run the job, Release when it finishes) or a
+// Rejection (serve its status/code with a Retry-After header). It blocks up
+// to Options.QueueTimeout when the server is busy; cancelling ctx abandons
+// the wait.
+func (c *Controller) Admit(ctx context.Context, client string, cost float64) (*Grant, *Rejection) {
+	start := c.opts.now()
+	defer func() { c.opts.Obs.ObserveDuration(MetricWaitSeconds, c.opts.now().Sub(start)) }()
+
+	c.mu.Lock()
+	now := c.opts.now()
+	if c.draining {
+		retry := c.retryAfterLocked()
+		c.mu.Unlock()
+		return nil, c.rejection(http.StatusServiceUnavailable, CodeDraining, "server is draining", retry, MetricRejectedDrain)
+	}
+	if c.global != nil {
+		if ok, wait := c.global.take(now); !ok {
+			c.mu.Unlock()
+			return nil, c.rejection(http.StatusTooManyRequests, CodeRateLimited,
+				"global submission rate exceeded", wait, MetricRejectedRate)
+		}
+	}
+	if client != "" && c.opts.ClientRate > 0 {
+		if ok, wait := c.clients.take(client, now); !ok {
+			c.mu.Unlock()
+			c.opts.Obs.Inc(MetricClientThrottled)
+			return nil, c.rejection(http.StatusTooManyRequests, CodeClientLimited,
+				"client submission rate exceeded", wait, MetricRejectedRate)
+		}
+	}
+	if c.opts.CostBudget > 0 && cost > c.opts.CostBudget {
+		retry := c.retryAfterLocked()
+		c.mu.Unlock()
+		return nil, c.rejection(http.StatusTooManyRequests, CodeCostExceeded,
+			fmt.Sprintf("estimated question cost %.0f exceeds the server budget %.0f", cost, c.opts.CostBudget),
+			retry, MetricRejectedCost)
+	}
+	if c.queue.len() == 0 && c.fitsLocked(cost) {
+		g := c.grantLocked(cost)
+		c.mu.Unlock()
+		return g, nil
+	}
+
+	// Queue, shedding the oldest-deadline waiter when full. With uniform
+	// timeouts the oldest deadline is the stalest submission — the one least
+	// likely to still be wanted by its client.
+	w := &waiter{deadline: now.Add(c.opts.QueueTimeout), cost: cost, done: make(chan admitResult, 1)}
+	var displaced *waiter
+	if c.queue.len() >= c.opts.QueueCap {
+		if c.opts.QueueCap == 0 || !c.queue.peek().deadline.Before(w.deadline) {
+			retry := c.retryAfterLocked()
+			c.mu.Unlock()
+			return nil, c.rejection(http.StatusServiceUnavailable, CodeQueueFull,
+				"admission queue full", retry, MetricRejectedFull)
+		}
+		displaced = c.queue.pop()
+	}
+	c.queue.push(w)
+	c.opts.Obs.Inc(MetricQueued)
+	retry := c.retryAfterLocked()
+	c.gauges()
+	c.mu.Unlock()
+	if displaced != nil {
+		c.reject(displaced.done, http.StatusServiceUnavailable, CodeQueueFull,
+			"shed from the admission queue under overload", retry, MetricRejectedFull)
+	}
+
+	timer := time.NewTimer(w.deadline.Sub(now))
+	defer timer.Stop()
+	select {
+	case res := <-w.done:
+		return res.grant, res.rej
+	case <-timer.C:
+		c.mu.Lock()
+		if !c.queue.remove(w) {
+			// A grant or shed raced the timer; the decision is in the channel.
+			c.mu.Unlock()
+			res := <-w.done
+			return res.grant, res.rej
+		}
+		c.gauges()
+		c.mu.Unlock()
+		return nil, c.rejection(http.StatusServiceUnavailable, CodeQueueTimeout,
+			"no capacity within the admission deadline", retry, MetricRejectedFull)
+	case <-ctx.Done():
+		c.mu.Lock()
+		if !c.queue.remove(w) {
+			c.mu.Unlock()
+			res := <-w.done
+			if res.grant != nil {
+				// The grant raced the cancellation; the caller is gone, so
+				// hand the capacity straight back.
+				res.grant.Release(false)
+				return nil, &Rejection{Status: 499, Code: "client_cancelled", Message: "client went away"}
+			}
+			return res.grant, res.rej
+		}
+		c.gauges()
+		c.mu.Unlock()
+		return nil, &Rejection{Status: 499, Code: "client_cancelled", Message: "client went away"}
+	}
+}
+
+// release returns a grant's capacity, folds its latency into the AIMD limit,
+// and hands freed slots to queued waiters (earliest deadline first).
+func (c *Controller) release(g *Grant, failed bool) {
+	now := c.opts.now()
+	latency := now.Sub(g.start)
+
+	c.mu.Lock()
+	c.inflight--
+	c.cost -= g.cost
+	if c.cost < 0 {
+		c.cost = 0
+	}
+	if decreased := c.limit.onComplete(now, latency, failed); decreased {
+		c.opts.Obs.Inc(MetricLimitDecreases)
+	}
+	// EWMA with alpha 0.3: recent jobs dominate the Retry-After hint.
+	c.latencyEWMA = time.Duration(0.7*float64(c.latencyEWMA) + 0.3*float64(latency))
+
+	for c.queue.len() > 0 {
+		head := c.queue.peek()
+		if head.deadline.Before(now) {
+			// Expired while waiting: its Admit call is about to time out (or
+			// already has); dropping it here keeps the heap tidy either way.
+			c.queue.pop()
+			c.opts.Obs.Inc(MetricShed)
+			c.opts.Obs.Inc(MetricRejectedFull)
+			head.done <- admitResult{rej: &Rejection{
+				Status: http.StatusServiceUnavailable, Code: CodeQueueTimeout,
+				Message: "no capacity within the admission deadline", RetryAfter: c.retryAfterLocked(),
+			}}
+			continue
+		}
+		if !c.fitsLocked(head.cost) {
+			break
+		}
+		c.queue.pop()
+		head.done <- admitResult{grant: c.grantLocked(head.cost)}
+	}
+	c.gauges()
+	c.mu.Unlock()
+}

@@ -1,0 +1,418 @@
+package admission
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"repro/internal/cq"
+	"repro/internal/obs"
+)
+
+func TestBucketRefillAndRetryAfter(t *testing.T) {
+	t0 := time.Unix(1000, 0)
+	b := newBucket(10, 2, t0) // 10 tokens/s, burst 2, starts full
+
+	for i := 0; i < 2; i++ {
+		if ok, _ := b.take(t0); !ok {
+			t.Fatalf("take %d: bucket should start full", i)
+		}
+	}
+	ok, retry := b.take(t0)
+	if ok {
+		t.Fatal("third take should fail")
+	}
+	if retry <= 0 || retry > 100*time.Millisecond {
+		t.Fatalf("retry-after = %v, want (0, 100ms]", retry)
+	}
+	if ok, _ := b.take(t0.Add(150 * time.Millisecond)); !ok {
+		t.Fatal("take after refill interval should succeed")
+	}
+	// Refill caps at burst.
+	b2 := newBucket(10, 2, t0)
+	b2.tokens = 0
+	if ok, _ := b2.take(t0.Add(time.Hour)); !ok {
+		t.Fatal("take after long idle should succeed")
+	}
+	if b2.tokens > 1 {
+		t.Fatalf("tokens = %v, want capped at burst-1 = 1", b2.tokens)
+	}
+}
+
+func TestClientBucketsIsolationAndEviction(t *testing.T) {
+	t0 := time.Unix(1000, 0)
+	cb := newClientBuckets(1, 1, 2)
+
+	if ok, _ := cb.take("a", t0); !ok {
+		t.Fatal("client a first take should succeed")
+	}
+	if ok, _ := cb.take("a", t0); ok {
+		t.Fatal("client a second take should be throttled")
+	}
+	// Another client has its own bucket.
+	if ok, _ := cb.take("b", t0); !ok {
+		t.Fatal("client b should not be throttled by a")
+	}
+	// A third client evicts the stalest ("a", last seen earliest... both at
+	// t0; advance b first so a is stalest).
+	cb.take("b", t0.Add(time.Millisecond))
+	cb.take("c", t0.Add(2*time.Millisecond))
+	if cb.len() != 2 {
+		t.Fatalf("tracked clients = %d, want bounded at 2", cb.len())
+	}
+}
+
+func TestAIMDLimit(t *testing.T) {
+	t0 := time.Unix(1000, 0)
+	l := newAIMDLimit(1, 64, 100*time.Millisecond)
+	if l.current() != 64 {
+		t.Fatalf("initial limit = %d, want 64 (starts open)", l.current())
+	}
+	// Slow completion: multiplicative decrease.
+	if !l.onComplete(t0, 200*time.Millisecond, false) {
+		t.Fatal("latency over target should decrease the limit")
+	}
+	if got := l.current(); got != 44 { // 64 * 0.7 = 44.8 -> floor 44
+		t.Fatalf("limit after decrease = %d, want 44", got)
+	}
+	// A second breach inside the backoff window is absorbed.
+	if l.onComplete(t0.Add(10*time.Millisecond), 200*time.Millisecond, false) {
+		t.Fatal("decrease inside the backoff window should be absorbed")
+	}
+	// Past the window, failures also decrease.
+	if !l.onComplete(t0.Add(time.Second), 0, true) {
+		t.Fatal("failed run past the window should decrease the limit")
+	}
+	// Fast completions climb back by ~1/limit each.
+	before := l.limit
+	l.onComplete(t0.Add(2*time.Second), time.Millisecond, false)
+	if l.limit <= before {
+		t.Fatal("fast completion should increase the limit")
+	}
+	// The floor holds.
+	lo := newAIMDLimit(2, 4, time.Millisecond)
+	for i := 0; i < 50; i++ {
+		lo.onComplete(t0.Add(time.Duration(i)*time.Second), time.Hour, false)
+	}
+	if lo.current() != 2 {
+		t.Fatalf("limit = %d, want floor 2", lo.current())
+	}
+}
+
+func TestControllerConcurrencyLimitAndQueueing(t *testing.T) {
+	rec := obs.New()
+	c := NewController(Options{MaxConcurrent: 2, QueueTimeout: 2 * time.Second, Obs: rec})
+
+	g1, rej := c.Admit(context.Background(), "", 0)
+	if rej != nil {
+		t.Fatalf("first admit rejected: %+v", rej)
+	}
+	g2, rej := c.Admit(context.Background(), "", 0)
+	if rej != nil {
+		t.Fatalf("second admit rejected: %+v", rej)
+	}
+	if c.Inflight() != 2 {
+		t.Fatalf("inflight = %d, want 2", c.Inflight())
+	}
+
+	// Third admit must queue until a slot frees.
+	type res struct {
+		g *Grant
+		r *Rejection
+	}
+	ch := make(chan res, 1)
+	go func() {
+		g, r := c.Admit(context.Background(), "", 0)
+		ch <- res{g, r}
+	}()
+	waitFor(t, func() bool { return c.QueueDepth() == 1 })
+	g1.Release(false)
+	got := <-ch
+	if got.r != nil {
+		t.Fatalf("queued admit rejected: %+v", got.r)
+	}
+	got.g.Release(false)
+	g2.Release(false)
+	if c.Inflight() != 0 {
+		t.Fatalf("inflight = %d after releases, want 0", c.Inflight())
+	}
+	if n := rec.Counter(MetricAdmitted); n != 3 {
+		t.Fatalf("admitted = %d, want 3", n)
+	}
+	if n := rec.Counter(MetricQueued); n != 1 {
+		t.Fatalf("queued = %d, want 1", n)
+	}
+}
+
+func TestControllerQueueTimeout(t *testing.T) {
+	c := NewController(Options{MaxConcurrent: 1, QueueTimeout: 30 * time.Millisecond})
+	g, _ := c.Admit(context.Background(), "", 0)
+	defer g.Release(false)
+
+	_, rej := c.Admit(context.Background(), "", 0)
+	if rej == nil {
+		t.Fatal("want queue-timeout rejection")
+	}
+	if rej.Status != http.StatusServiceUnavailable || rej.Code != CodeQueueTimeout {
+		t.Fatalf("rejection = %d/%s, want 503/%s", rej.Status, rej.Code, CodeQueueTimeout)
+	}
+	if rej.RetryAfter <= 0 {
+		t.Fatalf("RetryAfter = %v, want > 0", rej.RetryAfter)
+	}
+}
+
+func TestControllerShedsOldestDeadlineFirst(t *testing.T) {
+	rec := obs.New()
+	c := NewController(Options{MaxConcurrent: 1, QueueCap: 1, QueueTimeout: 5 * time.Second, Obs: rec})
+	g, _ := c.Admit(context.Background(), "", 0)
+
+	// w2 queues (oldest deadline).
+	type res struct {
+		g *Grant
+		r *Rejection
+	}
+	ch2 := make(chan res, 1)
+	go func() {
+		g, r := c.Admit(context.Background(), "", 0)
+		ch2 <- res{g, r}
+	}()
+	waitFor(t, func() bool { return c.QueueDepth() == 1 })
+
+	// w3 arrives with a later deadline into a full queue: w2 is shed.
+	ch3 := make(chan res, 1)
+	go func() {
+		g, r := c.Admit(context.Background(), "", 0)
+		ch3 <- res{g, r}
+	}()
+	got2 := <-ch2
+	if got2.r == nil || got2.r.Code != CodeQueueFull || got2.r.Status != http.StatusServiceUnavailable {
+		t.Fatalf("displaced waiter got %+v, want 503/%s", got2.r, CodeQueueFull)
+	}
+
+	// Freeing the slot grants the surviving waiter.
+	g.Release(false)
+	got3 := <-ch3
+	if got3.r != nil {
+		t.Fatalf("surviving waiter rejected: %+v", got3.r)
+	}
+	got3.g.Release(false)
+	if n := rec.Counter(MetricRejectedFull); n != 1 {
+		t.Fatalf("queue_full rejections = %d, want 1", n)
+	}
+}
+
+func TestControllerDraining(t *testing.T) {
+	c := NewController(Options{MaxConcurrent: 1, QueueTimeout: 5 * time.Second})
+	g, _ := c.Admit(context.Background(), "", 0)
+
+	// Queue one waiter, then drain: the waiter is shed, new arrivals are
+	// rejected, and the in-flight grant stays valid.
+	ch := make(chan *Rejection, 1)
+	go func() {
+		_, r := c.Admit(context.Background(), "", 0)
+		ch <- r
+	}()
+	waitFor(t, func() bool { return c.QueueDepth() == 1 })
+	c.SetDraining(true)
+	if r := <-ch; r == nil || r.Code != CodeDraining {
+		t.Fatalf("queued waiter under drain got %+v, want %s", r, CodeDraining)
+	}
+	if _, r := c.Admit(context.Background(), "", 0); r == nil || r.Code != CodeDraining || r.Status != http.StatusServiceUnavailable {
+		t.Fatalf("admit under drain got %+v, want 503/%s", r, CodeDraining)
+	}
+	g.Release(false)
+
+	c.SetDraining(false)
+	if g, r := c.Admit(context.Background(), "", 0); r != nil {
+		t.Fatalf("admit after drain lift rejected: %+v", r)
+	} else {
+		g.Release(false)
+	}
+}
+
+func TestControllerRateLimits(t *testing.T) {
+	rec := obs.New()
+	c := NewController(Options{MaxConcurrent: 8, Rate: 0.001, Burst: 1, Obs: rec})
+	g, rej := c.Admit(context.Background(), "", 0)
+	if rej != nil {
+		t.Fatalf("burst admit rejected: %+v", rej)
+	}
+	g.Release(false)
+	_, rej = c.Admit(context.Background(), "", 0)
+	if rej == nil || rej.Status != http.StatusTooManyRequests || rej.Code != CodeRateLimited {
+		t.Fatalf("rejection = %+v, want 429/%s", rej, CodeRateLimited)
+	}
+	if rej.RetryAfter <= 0 {
+		t.Fatal("rate rejection must carry Retry-After")
+	}
+
+	// Per-client buckets throttle one client without touching another.
+	c2 := NewController(Options{MaxConcurrent: 8, ClientRate: 0.001, ClientBurst: 1, Obs: rec})
+	if g, r := c2.Admit(context.Background(), "alice", 0); r != nil {
+		t.Fatalf("alice rejected: %+v", r)
+	} else {
+		g.Release(false)
+	}
+	if _, r := c2.Admit(context.Background(), "alice", 0); r == nil || r.Code != CodeClientLimited {
+		t.Fatalf("alice second admit got %+v, want %s", r, CodeClientLimited)
+	}
+	if g, r := c2.Admit(context.Background(), "bob", 0); r != nil {
+		t.Fatalf("bob rejected by alice's bucket: %+v", r)
+	} else {
+		g.Release(false)
+	}
+	if n := rec.Counter(MetricClientThrottled); n != 1 {
+		t.Fatalf("client throttles = %d, want 1", n)
+	}
+}
+
+func TestControllerCostBudget(t *testing.T) {
+	c := NewController(Options{MaxConcurrent: 8, CostBudget: 10, QueueTimeout: 2 * time.Second})
+
+	// A job costlier than the whole budget can never be served.
+	_, rej := c.Admit(context.Background(), "", 20)
+	if rej == nil || rej.Status != http.StatusTooManyRequests || rej.Code != CodeCostExceeded {
+		t.Fatalf("rejection = %+v, want 429/%s", rej, CodeCostExceeded)
+	}
+
+	// Two 6-cost jobs exceed the budget together: the second queues despite
+	// free concurrency slots and runs after the first releases.
+	g1, rej := c.Admit(context.Background(), "", 6)
+	if rej != nil {
+		t.Fatalf("first cost admit rejected: %+v", rej)
+	}
+	ch := make(chan *Grant, 1)
+	go func() {
+		g, r := c.Admit(context.Background(), "", 6)
+		if r != nil {
+			t.Errorf("queued cost admit rejected: %+v", r)
+		}
+		ch <- g
+	}()
+	waitFor(t, func() bool { return c.QueueDepth() == 1 })
+	g1.Release(false)
+	if g := <-ch; g != nil {
+		g.Release(false)
+	}
+}
+
+func TestGrantReleaseIdempotent(t *testing.T) {
+	c := NewController(Options{MaxConcurrent: 2})
+	g, _ := c.Admit(context.Background(), "", 0)
+	g.Release(false)
+	g.Release(false)
+	g.Release(true)
+	if got := c.Inflight(); got != 0 {
+		t.Fatalf("inflight = %d after redundant releases, want 0", got)
+	}
+	var nilGrant *Grant
+	nilGrant.Release(false) // must not panic
+}
+
+func TestHealthRegistryAndHandlers(t *testing.T) {
+	h := NewHealth()
+	ready, _ := h.Check()
+	if !ready {
+		t.Fatal("empty registry should be ready")
+	}
+
+	var bad error = fmtError("journal: disk full")
+	h.Add("journal", func() error { return bad })
+	h.Add("drain", func() error { return nil })
+	ready, detail := h.Check()
+	if ready {
+		t.Fatal("failing probe should make the registry unready")
+	}
+	if detail["drain"] != "ok" || detail["journal"] != "journal: disk full" {
+		t.Fatalf("detail = %v", detail)
+	}
+
+	rr := httptest.NewRecorder()
+	h.Handler().ServeHTTP(rr, httptest.NewRequest(http.MethodGet, "/readyz", nil))
+	if rr.Code != http.StatusServiceUnavailable {
+		t.Fatalf("readyz status = %d, want 503", rr.Code)
+	}
+
+	// Probe recovery flips it back.
+	bad = nil
+	rr = httptest.NewRecorder()
+	h.Handler().ServeHTTP(rr, httptest.NewRequest(http.MethodGet, "/readyz", nil))
+	if rr.Code != http.StatusOK {
+		t.Fatalf("readyz status after recovery = %d, want 200", rr.Code)
+	}
+
+	rr = httptest.NewRecorder()
+	Liveness(time.Now()).ServeHTTP(rr, httptest.NewRequest(http.MethodGet, "/healthz", nil))
+	if rr.Code != http.StatusOK {
+		t.Fatalf("healthz status = %d, want 200", rr.Code)
+	}
+}
+
+func TestCostModelShapeAndObservation(t *testing.T) {
+	m := NewCostModel(3, 1)
+	small := mustParse(t, "(x) :- Teams(x, EU).")
+	big := mustParse(t, "(x) :- Games(d1, x, y, Final, u1), Games(d2, x, z, Final, u2), Teams(x, EU), d1 != d2.")
+
+	if es, eb := m.Estimate(small), m.Estimate(big); es >= eb {
+		t.Fatalf("estimate(small)=%v >= estimate(big)=%v; cost must grow with shape", es, eb)
+	}
+
+	// Observation pulls the estimate toward evidence.
+	prior := m.Estimate(small)
+	m.Observe(small, 500)
+	if got := m.Estimate(small); got <= prior {
+		t.Fatalf("estimate after observing 500 questions = %v, want > prior %v", got, prior)
+	}
+	m2 := NewCostModel(0, 0)
+	if m2.MinSamples != 3 || m2.MinNulls != 1 {
+		t.Fatalf("defaults = %d/%d, want 3/1", m2.MinSamples, m2.MinNulls)
+	}
+}
+
+// fmtError lets a test toggle a probe's error through a captured variable.
+type fmtError string
+
+func (e fmtError) Error() string { return string(e) }
+
+func mustParse(t *testing.T, text string) *cq.Query {
+	t.Helper()
+	q, err := cq.Parse(text)
+	if err != nil {
+		t.Fatalf("parse %q: %v", text, err)
+	}
+	return q
+}
+
+// waitFor polls cond for up to 5s.
+func waitFor(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatal("condition not reached in time")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// Ensure a queued waiter whose context is cancelled leaves the queue clean.
+func TestControllerContextCancellation(t *testing.T) {
+	c := NewController(Options{MaxConcurrent: 1, QueueTimeout: 5 * time.Second})
+	g, _ := c.Admit(context.Background(), "", 0)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	ch := make(chan *Rejection, 1)
+	go func() {
+		_, r := c.Admit(ctx, "", 0)
+		ch <- r
+	}()
+	waitFor(t, func() bool { return c.QueueDepth() == 1 })
+	cancel()
+	if r := <-ch; r == nil || r.Code != "client_cancelled" {
+		t.Fatalf("cancelled admit got %+v", r)
+	}
+	waitFor(t, func() bool { return c.QueueDepth() == 0 })
+	g.Release(false)
+}

@@ -1,0 +1,51 @@
+package admission
+
+import (
+	"math"
+	"time"
+)
+
+// aimdLimit is an additive-increase / multiplicative-decrease concurrency
+// limit driven by observed job latency, the adaptive-limit discipline of
+// production RPC stacks: every completion under the latency target nudges the
+// limit up by ~1/limit (one slot per `limit` good completions), and a
+// completion over the target — or a failed run — cuts it by 30%, at most once
+// per backoff window so one slow convoy does not collapse the limit to the
+// floor. Not self-locking; the Controller serializes access.
+type aimdLimit struct {
+	limit    float64
+	min, max float64
+	target   time.Duration
+	// lastDecrease rate-limits multiplicative decreases to one per target
+	// window.
+	lastDecrease time.Time
+}
+
+func newAIMDLimit(minLimit, maxLimit int, target time.Duration) *aimdLimit {
+	return &aimdLimit{
+		limit:  float64(maxLimit), // start open; overload cuts it down fast
+		min:    float64(minLimit),
+		max:    float64(maxLimit),
+		target: target,
+	}
+}
+
+// current returns the integer limit (at least the floor).
+func (l *aimdLimit) current() int {
+	return int(math.Max(l.min, math.Floor(l.limit)))
+}
+
+// onComplete folds one finished job into the limit and reports whether it
+// caused a multiplicative decrease.
+func (l *aimdLimit) onComplete(now time.Time, latency time.Duration, failed bool) (decreased bool) {
+	if failed || latency > l.target {
+		if now.Sub(l.lastDecrease) < l.target {
+			return false
+		}
+		l.lastDecrease = now
+		l.limit = math.Max(l.min, l.limit*0.7)
+		return true
+	}
+	l.limit = math.Min(l.max, l.limit+1/math.Max(l.limit, 1))
+	return false
+}

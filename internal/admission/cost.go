@@ -1,0 +1,90 @@
+package admission
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/cq"
+	"repro/internal/enumest"
+)
+
+// CostModel estimates a cleaning job's crowd-question budget from its query
+// shape, so admission can reject or queue jobs the current capacity cannot
+// serve before they pin the database lock.
+//
+// The static prior is structural: each wrong answer costs a hitting-set walk
+// over the query's witnesses (one verify-fact question per atom, plus the
+// verify-answer that found it), and each missing answer costs an enumeration
+// round whose expected length comes from the same Chao92 machinery the
+// cleaner's stopping rule uses (enumest.ExpectedSamples). The prior is then
+// refined online: finished jobs report their actual question count and an
+// EWMA per shape signature (atom/variable/arity counts) takes over, so a
+// server that has seen a workload prices it from evidence rather than shape.
+type CostModel struct {
+	// MinSamples / MinNulls mirror the cleaner's enumeration stopping rule
+	// (core.Config); they size the enumeration term of the prior.
+	MinSamples, MinNulls int
+
+	mu   sync.Mutex
+	ewma map[string]float64 // shape signature -> observed question-count EWMA
+}
+
+// NewCostModel builds a model for a cleaner using the given enumeration
+// stopping rule (0 selects the cleaner defaults: 3 samples, 1 null).
+func NewCostModel(minSamples, minNulls int) *CostModel {
+	if minSamples == 0 {
+		minSamples = 3
+	}
+	if minNulls == 0 {
+		minNulls = 1
+	}
+	return &CostModel{MinSamples: minSamples, MinNulls: minNulls, ewma: make(map[string]float64)}
+}
+
+// shapeKey buckets queries by structure: atom, variable, head and negation
+// counts. Queries sharing a signature tend to cost similar crowd work, which
+// is what lets observed cost transfer between them.
+func shapeKey(q *cq.Query) string {
+	return fmt.Sprintf("a%d.v%d.h%d.n%d", len(q.Atoms), len(q.Vars()), q.Arity(), len(q.Negs))
+}
+
+// static is the shape-only prior, before any observation.
+func (m *CostModel) static(q *cq.Query) float64 {
+	atoms := float64(len(q.Atoms) + len(q.Negs))
+	vars := float64(len(q.Vars()))
+	// Verification: the cleaner re-verifies the result each round; budget a
+	// handful of rounds, each asking about the answer plus one fact per atom.
+	verify := 3 * (1 + atoms)
+	// Enumeration: expected COMPL(Q(D)) draws before the stopping rule
+	// fires, for a result set whose richness we guess from the query's free
+	// structure (more variables and atoms -> more distinct answers to find).
+	distinct := int(2*float64(q.Arity()) + vars/2 + 1)
+	enum := enumest.ExpectedSamples(distinct, m.MinSamples, m.MinNulls)
+	return verify + enum
+}
+
+// Estimate returns the model's question-budget estimate for q: the static
+// shape prior, blended evenly with the observed EWMA once this shape has
+// finished jobs behind it.
+func (m *CostModel) Estimate(q *cq.Query) float64 {
+	s := m.static(q)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if seen, ok := m.ewma[shapeKey(q)]; ok {
+		return (s + seen) / 2
+	}
+	return s
+}
+
+// Observe folds a finished job's actual crowd-question count into the
+// model's EWMA for the query's shape (alpha 0.3: recent jobs dominate).
+func (m *CostModel) Observe(q *cq.Query, questions int) {
+	key := shapeKey(q)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if seen, ok := m.ewma[key]; ok {
+		m.ewma[key] = 0.7*seen + 0.3*float64(questions)
+	} else {
+		m.ewma[key] = float64(questions)
+	}
+}

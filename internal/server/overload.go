@@ -1,0 +1,250 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"net"
+	"net/http"
+	"strconv"
+	"time"
+
+	"repro/internal/admission"
+	"repro/internal/cq"
+	"repro/internal/crowd"
+)
+
+// defaultRetryAfter is the Retry-After hint served when no admission
+// controller is installed to size a better one (plain drain mode).
+const defaultRetryAfter = 5 * time.Second
+
+// SetAdmission installs the overload-protection layer: every job submission
+// (POST /api/v1/clean, view repairs, and the deprecated aliases) passes
+// through ctrl, which rate-limits per client and globally, bounds concurrent
+// jobs with an AIMD limit, queues briefly under contention, and sheds the
+// rest with 429/503 + Retry-After. Shed submissions never become jobs and
+// never touch the job journal.
+//
+// Job cost estimates come from a CostModel seeded with the cleaner's
+// enumeration stopping rule and refined by every finished job's actual crowd
+// cost. Call before the handler serves traffic; a nil ctrl removes the layer
+// (every submission is admitted, the pre-admission behavior).
+func (s *Server) SetAdmission(ctrl *admission.Controller) {
+	s.mu.Lock()
+	s.admit = ctrl
+	if s.costs == nil {
+		s.costs = admission.NewCostModel(s.cfg.MinSamples, s.cfg.MinNulls)
+	}
+	s.mu.Unlock()
+}
+
+// Admission returns the installed controller, nil if none.
+func (s *Server) Admission() *admission.Controller {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.admit
+}
+
+// SetOracleWrapper installs middleware between cleaning jobs and the
+// server's question queue: every new cleaner asks wrap(queue) instead of the
+// queue itself. Use it to harden the crowd path with internal/resilience
+// (timeouts, retries, circuit breakers, fallbacks) or to inject faults in
+// tests. The queue's own degraded-answer accounting stays visible to the
+// cleaner even when the wrapper hides it. Call before submitting jobs.
+func (s *Server) SetOracleWrapper(wrap func(crowd.Oracle) crowd.Oracle) {
+	s.mu.Lock()
+	s.wrapOracle = wrap
+	s.mu.Unlock()
+}
+
+// Drain puts the server into drain mode for a graceful rollout: new job
+// submissions are rejected with 503/draining (and Retry-After), queued
+// submissions are shed, /readyz flips to not-ready so load balancers stop
+// routing here, but in-flight jobs keep running to completion (or journal
+// checkpoint) and every other endpoint stays up. Resume lifts it.
+func (s *Server) Drain() {
+	s.mu.Lock()
+	s.draining = true
+	ctrl := s.admit
+	s.mu.Unlock()
+	if ctrl != nil {
+		ctrl.SetDraining(true)
+	}
+}
+
+// Resume lifts drain mode.
+func (s *Server) Resume() {
+	s.mu.Lock()
+	s.draining = false
+	ctrl := s.admit
+	s.mu.Unlock()
+	if ctrl != nil {
+		ctrl.SetDraining(false)
+	}
+}
+
+// Draining reports whether the server is in drain mode.
+func (s *Server) Draining() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.draining
+}
+
+// ActiveJobs returns the number of jobs currently running (launched and not
+// yet terminal).
+func (s *Server) ActiveJobs() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.active
+}
+
+// DrainWait blocks until every launched job has reached a terminal state or
+// ctx expires. Typical rollout sequence: Drain, DrainWait with the rollout
+// budget, then Close and HTTP shutdown.
+func (s *Server) DrainWait(ctx context.Context) error {
+	tick := time.NewTicker(10 * time.Millisecond)
+	defer tick.Stop()
+	for {
+		if s.ActiveJobs() == 0 {
+			return nil
+		}
+		select {
+		case <-ctx.Done():
+			return fmt.Errorf("drain: %d job(s) still running: %w", s.ActiveJobs(), ctx.Err())
+		case <-tick.C:
+		}
+	}
+}
+
+// AddReadyCheck registers an extra named probe on /readyz — e.g. the breaker
+// state of a resilience stack guarding an external crowd backend. The probe
+// returns nil when ready.
+func (s *Server) AddReadyCheck(name string, probe func() error) {
+	s.health.Add(name, probe)
+}
+
+// registerHealth mounts /healthz (liveness) and /readyz (readiness) and the
+// built-in readiness checks: drain state, job-journal writability, and
+// admission-queue backpressure.
+func (s *Server) registerHealth() {
+	s.health.Add("drain", func() error {
+		if s.Draining() {
+			return errors.New("draining")
+		}
+		return nil
+	})
+	s.health.Add("journal", func() error {
+		s.mu.Lock()
+		jl := s.jobLog
+		s.mu.Unlock()
+		if jl == nil {
+			return nil
+		}
+		if err := jl.Err(); err != nil {
+			return fmt.Errorf("job journal failing: %w", err)
+		}
+		return nil
+	})
+	s.health.Add("admission", func() error {
+		ctrl := s.Admission()
+		if ctrl == nil {
+			return nil
+		}
+		if ctrl.Saturated() {
+			return fmt.Errorf("admission queue past high-water mark (depth %d)", ctrl.QueueDepth())
+		}
+		return nil
+	})
+	s.mux.Handle("/healthz", admission.Liveness(s.start))
+	s.mux.Handle("/readyz", s.health.Handler())
+}
+
+// clientKey identifies the submitting client for per-client rate limiting:
+// the X-API-Key header when present, else the remote address without the
+// ephemeral port.
+func clientKey(r *http.Request) string {
+	if k := r.Header.Get("X-API-Key"); k != "" {
+		return "key:" + k
+	}
+	host, _, err := net.SplitHostPort(r.RemoteAddr)
+	if err != nil {
+		return r.RemoteAddr
+	}
+	return host
+}
+
+// setRetryAfter writes the Retry-After header (whole seconds, at least 1).
+func setRetryAfter(w http.ResponseWriter, d time.Duration) {
+	secs := int(math.Ceil(d.Seconds()))
+	if secs < 1 {
+		secs = 1
+	}
+	w.Header().Set("Retry-After", strconv.Itoa(secs))
+}
+
+// admitJob passes one submission through the admission layer. It returns the
+// grant to hold for the job's lifetime (nil when no controller is installed)
+// and whether the submission was admitted; on rejection the response has
+// already been written — the v1 envelope or the legacy shape per v1.
+func (s *Server) admitJob(w http.ResponseWriter, r *http.Request, cost float64, v1 bool) (*admission.Grant, bool) {
+	s.mu.Lock()
+	ctrl, draining := s.admit, s.draining
+	s.mu.Unlock()
+	if ctrl == nil {
+		// No controller: only drain mode is enforced.
+		if draining {
+			setRetryAfter(w, defaultRetryAfter)
+			if v1 {
+				writeAPIError(w, http.StatusServiceUnavailable, admission.CodeDraining, "server is draining")
+			} else {
+				writeError(w, http.StatusServiceUnavailable, errors.New("server is draining"))
+			}
+			return nil, false
+		}
+		return nil, true
+	}
+	grant, rej := ctrl.Admit(r.Context(), clientKey(r), cost)
+	if rej != nil {
+		if rej.Status == 499 {
+			// Client went away while queued; nobody is reading the response.
+			return nil, false
+		}
+		setRetryAfter(w, rej.RetryAfter)
+		if v1 {
+			writeAPIError(w, rej.Status, rej.Code, rej.Message)
+		} else {
+			writeError(w, rej.Status, errors.New(rej.Message))
+		}
+		return nil, false
+	}
+	return grant, true
+}
+
+// jobCost estimates a submission's crowd-question budget (0 without a cost
+// model, which disables cost-aware admission).
+func (s *Server) jobCost(q *cq.Query) float64 {
+	s.mu.Lock()
+	costs, ctrl := s.costs, s.admit
+	s.mu.Unlock()
+	if costs == nil || ctrl == nil {
+		return 0
+	}
+	return costs.Estimate(q)
+}
+
+// degraderSum keeps the question queue's degraded-answer count visible when
+// an oracle wrapper hides it: the cleaner samples DegradedAnswers through
+// this sum of every layer that reports one.
+type degraderSum struct {
+	crowd.Oracle
+	sources []interface{ DegradedAnswers() int }
+}
+
+func (d degraderSum) DegradedAnswers() int {
+	total := 0
+	for _, s := range d.sources {
+		total += s.DegradedAnswers()
+	}
+	return total
+}

@@ -158,6 +158,30 @@ type Queue struct {
 	replays   map[int]map[string][]Answer // per-job recorded answers, FIFO per key
 	degraded  map[int]int                 // per-job degraded answer counts
 	degTotal  int
+
+	// Resolved-question history: a bounded ring of recent outcomes, so a
+	// long-lived server's memory does not grow with lifetime question count.
+	history  []QuestionEvent
+	histHead int
+	histCap  int
+}
+
+// DefaultQuestionHistory is the resolved-question ring capacity unless
+// SetHistoryLimit overrides it.
+const DefaultQuestionHistory = 256
+
+// QuestionEvent is one resolved question in the history ring.
+type QuestionEvent struct {
+	ID      int          `json:"id,omitempty"`
+	Job     int          `json:"job,omitempty"`
+	Kind    QuestionKind `json:"kind"`
+	Text    string       `json:"text"`
+	Attempt int          `json:"attempt,omitempty"`
+	// Outcome is "answered" (a crowd member replied), "degraded" (deadline
+	// re-asks exhausted, edit-free default served), "cancelled" (the asking
+	// job was cancelled), or "replayed" (answered from a recovery journal).
+	Outcome  string    `json:"outcome"`
+	Resolved time.Time `json:"resolved"`
 }
 
 // NewQueue creates an empty question queue.
@@ -166,7 +190,58 @@ func NewQueue() *Queue {
 		pending:  make(map[int]*Question),
 		replays:  make(map[int]map[string][]Answer),
 		degraded: make(map[int]int),
+		histCap:  DefaultQuestionHistory,
 	}
+}
+
+// SetHistoryLimit caps the resolved-question history ring at n entries (0
+// disables history). Shrinking keeps the most recent entries.
+func (q *Queue) SetHistoryLimit(n int) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	cur := q.historyLocked()
+	q.histCap = n
+	q.histHead = 0
+	if n <= 0 {
+		q.history = nil
+		return
+	}
+	if len(cur) > n {
+		cur = cur[len(cur)-n:]
+	}
+	q.history = append([]QuestionEvent(nil), cur...)
+}
+
+// History returns the retained resolved-question events, oldest first.
+func (q *Queue) History() []QuestionEvent {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.historyLocked()
+}
+
+func (q *Queue) historyLocked() []QuestionEvent {
+	out := make([]QuestionEvent, 0, len(q.history))
+	out = append(out, q.history[q.histHead:]...)
+	out = append(out, q.history[:q.histHead]...)
+	return out
+}
+
+// recordHistoryLocked appends one resolved question to the ring. Callers
+// hold q.mu.
+func (q *Queue) recordHistoryLocked(qu *Question, outcome string) {
+	if q.histCap <= 0 {
+		return
+	}
+	ev := QuestionEvent{
+		ID: qu.ID, Job: qu.Job, Kind: qu.Kind, Text: qu.Text,
+		Attempt: qu.Attempt, Outcome: outcome, Resolved: time.Now(),
+	}
+	if len(q.history) < q.histCap {
+		q.history = append(q.history, ev)
+		return
+	}
+	q.history[q.histHead] = ev
+	q.histHead = (q.histHead + 1) % q.histCap
 }
 
 // SetDeadline configures question expiry: each attempt of a question waits d
@@ -290,6 +365,7 @@ func (q *Queue) Answer(id int, a Answer) error {
 	qu, ok := q.pending[id]
 	if ok {
 		delete(q.pending, id)
+		q.recordHistoryLocked(qu, "answered")
 		q.Obs.SetGauge(MetricPendingQuestions, float64(len(q.pending)))
 	}
 	q.mu.Unlock()
@@ -341,6 +417,7 @@ func (q *Queue) CancelJob(jobID int) {
 	for id, qu := range q.pending {
 		if qu.Job == jobID {
 			delete(q.pending, id)
+			q.recordHistoryLocked(qu, "cancelled")
 			cancelled = append(cancelled, qu)
 		}
 	}
@@ -374,6 +451,7 @@ func (q *Queue) ask(ctx context.Context, qu *Question) Answer {
 			q.degraded[qu.Job]++
 			q.degTotal++
 		}
+		q.recordHistoryLocked(qu, "replayed")
 		q.mu.Unlock()
 		q.Obs.Inc(MetricQuestionsReplayed)
 		return a
@@ -418,7 +496,10 @@ func (q *Queue) ask(ctx context.Context, qu *Question) Answer {
 				timer.Stop()
 			}
 			q.mu.Lock()
-			delete(q.pending, qu.ID)
+			if _, still := q.pending[qu.ID]; still {
+				delete(q.pending, qu.ID)
+				q.recordHistoryLocked(qu, "cancelled")
+			}
 			q.Obs.SetGauge(MetricPendingQuestions, float64(len(q.pending)))
 			q.mu.Unlock()
 			return closedAnswer()
@@ -437,6 +518,7 @@ func (q *Queue) ask(ctx context.Context, qu *Question) Answer {
 				delete(q.pending, qu.ID)
 				q.degraded[qu.Job]++
 				q.degTotal++
+				q.recordHistoryLocked(qu, "degraded")
 				q.Obs.SetGauge(MetricPendingQuestions, float64(len(q.pending)))
 				q.mu.Unlock()
 				q.Obs.Inc(MetricQuestionsExpired)

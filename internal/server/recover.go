@@ -25,6 +25,11 @@ func (j jobLogJournal) RecordAnswer(job int, key string, a Answer) {
 func (s *Server) SetJobLog(l *wal.JobLog) {
 	s.mu.Lock()
 	s.jobLog = l
+	// The journal may remember job IDs whose records a compaction dropped;
+	// never issue an ID at or below its floor.
+	if l != nil && l.MaxJob() > s.nextJob {
+		s.nextJob = l.MaxJob()
+	}
 	s.mu.Unlock()
 	s.queue.SetJournal(jobLogJournal{log: l})
 }
@@ -92,7 +97,9 @@ func (s *Server) Recover(records []wal.JobRecord) (resumed int, err error) {
 		}
 
 		s.queue.SetReplay(r.ID, replay)
-		s.launchJob(r.ID, q, true)
+		// Recovered jobs bypass admission: they were admitted before the
+		// crash and their journaled state must not be lost to load shedding.
+		s.launchJob(r.ID, q, true, nil)
 		resumed++
 	}
 	return resumed, errors.Join(errs...)

@@ -102,7 +102,7 @@ func TestJobRecoveryAfterCrash(t *testing.T) {
 	oracle := crowd.NewPerfect(dg)
 	srv1 := New(d1, core.Config{})
 	srv1.SetJobLog(log1)
-	job := srv1.startJob(dataset.IntroQ1())
+	job := srv1.startJob(dataset.IntroQ1(), nil)
 
 	// Answer the first two questions. Waiting for each successor question
 	// guarantees the answer was consumed and journaled (the serial cleaner
@@ -224,7 +224,7 @@ func TestDeadlineDegradesJob(t *testing.T) {
 	defer srv.Close()
 	srv.Queue().SetDeadline(15*time.Millisecond, 1)
 
-	job := srv.startJob(dataset.IntroQ1())
+	job := srv.startJob(dataset.IntroQ1(), nil)
 
 	// Questions carry their deadline and attempt count while pending.
 	qu := waitQuestion(t, srv.Queue(), 0)
@@ -265,5 +265,103 @@ func TestDeadlineDegradesJob(t *testing.T) {
 	}
 	if srv.Obs().Counter(MetricQuestionsExpired) < 1 {
 		t.Errorf("no expiries recorded")
+	}
+}
+
+// TestRecoveryAfterCompaction: a restart that compacts the journal must still
+// resume the in-flight job, keep the finished job's history out of the file,
+// and never reuse a compacted-away job ID.
+func TestRecoveryAfterCompaction(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "jobs.log")
+	log1, _, err := wal.OpenJobLog(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	d1, dg := dataset.Figure1()
+	oracle := crowd.NewPerfect(dg)
+	srv1 := New(d1, core.Config{})
+	srv1.SetJobLog(log1)
+
+	// Job 1 runs to completion: its terminal state is journaled.
+	job1 := srv1.startJob(dataset.IntroQ1(), nil)
+	deadline := time.Now().Add(20 * time.Second)
+	for jobView(srv1, job1.ID).State == JobRunning {
+		if time.Now().After(deadline) {
+			t.Fatal("job 1 did not finish")
+		}
+		for _, qu := range srv1.Queue().Pending() {
+			_ = srv1.Queue().Answer(qu.ID, perfectAnswer(qu, oracle))
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if st := jobView(srv1, job1.ID).State; st != JobDone {
+		t.Fatalf("job 1 finished %s, want done", st)
+	}
+
+	// Job 2 gets a strict subset of its answers, then the process "dies".
+	job2 := srv1.startJob(dataset.IntroQ2(), nil)
+	qu := waitQuestion(t, srv1.Queue(), 0)
+	if err := srv1.Queue().Answer(qu.ID, perfectAnswer(qu, oracle)); err != nil {
+		t.Fatal(err)
+	}
+	waitQuestion(t, srv1.Queue(), qu.ID)
+	srv1.Close()
+	log1.Close()
+
+	// Restart with compaction: job 1's records are dropped from the file but
+	// still reported for re-registration; job 2 resumes.
+	log2, recs, err := wal.OpenJobLog(path, wal.WithCompaction())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer log2.Close()
+	if len(recs) != 2 {
+		t.Fatalf("compacting open returned %d jobs, want 2", len(recs))
+	}
+
+	d2, _ := dataset.Figure1()
+	srv2 := New(d2, core.Config{})
+	srv2.SetJobLog(log2)
+	defer srv2.Close()
+	if n, err := srv2.Recover(recs); err != nil || n != 1 {
+		t.Fatalf("Recover = %d, %v; want 1 resumed", n, err)
+	}
+	if st := jobView(srv2, job1.ID).State; st != JobDone {
+		t.Errorf("finished job re-registered as %s, want done", st)
+	}
+
+	// Drive the resumed job home.
+	deadline = time.Now().Add(20 * time.Second)
+	for jobView(srv2, job2.ID).State == JobRunning {
+		if time.Now().After(deadline) {
+			t.Fatal("resumed job did not finish")
+		}
+		for _, qu := range srv2.Queue().Pending() {
+			_ = srv2.Queue().Answer(qu.ID, perfectAnswer(qu, oracle))
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if st := jobView(srv2, job2.ID).State; st != JobDone {
+		t.Fatalf("resumed job finished %s, want done", st)
+	}
+
+	// New work never collides with a compacted-away ID.
+	job3 := srv2.startJob(dataset.IntroQ1(), nil)
+	if job3.ID <= job2.ID {
+		t.Fatalf("new job ID %d not past journal floor %d", job3.ID, job2.ID)
+	}
+
+	// A third open (still compacting) now sees only the live tail.
+	srv2.Close()
+	log2.Close()
+	_, recs3, err := wal.OpenJobLog(path, wal.WithCompaction())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range recs3 {
+		if r.ID == job1.ID {
+			t.Errorf("job 1 still in the journal after compaction: %+v", r)
+		}
 	}
 }

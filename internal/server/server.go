@@ -9,7 +9,9 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"time"
 
+	"repro/internal/admission"
 	"repro/internal/core"
 	"repro/internal/cq"
 	"repro/internal/crowd"
@@ -59,6 +61,8 @@ type Job struct {
 
 	cancel  context.CancelFunc // stops the run; nil once observed
 	cleaner *core.Cleaner      // live progress source while running
+	grant   *admission.Grant   // admission slot held for the run; nil when unprotected
+	ast     *cq.Query          // parsed query, for post-run cost-model feedback
 }
 
 // jobStatus is the versioned job view: the job plus, while it runs, live
@@ -108,6 +112,16 @@ type Server struct {
 	jobs    map[int]*Job
 	jobLog  *wal.JobLog
 	closing bool // graceful shutdown: in-flight jobs stay open in the journal
+
+	// Overload protection (see overload.go). All nil-safe: a server without
+	// an admission controller admits everything, as before.
+	admit      *admission.Controller
+	costs      *admission.CostModel
+	health     *admission.Health
+	start      time.Time
+	draining   bool
+	active     int // jobs launched and not yet terminal
+	wrapOracle func(crowd.Oracle) crowd.Oracle
 }
 
 // New builds a server over the database. cfg configures the cleaner; its
@@ -126,6 +140,8 @@ func New(d *db.Database, cfg core.Config) *Server {
 		monitor: view.NewMonitor(d),
 		obs:     cfg.Obs,
 		jobs:    make(map[int]*Job),
+		health:  admission.NewHealth(),
+		start:   time.Now(),
 	}
 	s.queue.Obs = s.obs
 	// Keep registered views fresh through every cleaning edit, preserving any
@@ -142,6 +158,7 @@ func New(d *db.Database, cfg core.Config) *Server {
 	// Versioned API. Handlers check methods themselves so that every error,
 	// including 405s, wears the v1 envelope.
 	s.mux.HandleFunc("/api/v1/questions", s.v1Questions)
+	s.mux.HandleFunc("/api/v1/questions/log", s.v1QuestionLog)
 	s.mux.HandleFunc("/api/v1/questions/{id}/answer", s.v1Answer)
 	s.mux.HandleFunc("/api/v1/clean", s.v1Clean)
 	s.mux.HandleFunc("/api/v1/jobs", s.v1Jobs)
@@ -164,6 +181,9 @@ func New(d *db.Database, cfg core.Config) *Server {
 	s.mux.HandleFunc("/views", s.handleViews)
 	s.mux.HandleFunc("/views/", s.handleView)
 	s.mux.HandleFunc("/", s.handleIndex)
+
+	// Liveness/readiness probes (see overload.go).
+	s.registerHealth()
 	return s
 }
 
@@ -227,6 +247,17 @@ func (s *Server) v1Questions(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, s.queue.Pending())
 }
 
+// v1QuestionLog serves the bounded ring of recently resolved questions —
+// what was asked, how it resolved (answered/degraded/cancelled/replayed) and
+// when. The ring's capacity, not lifetime traffic, bounds the response.
+func (s *Server) v1QuestionLog(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		methodNotAllowed(w, http.MethodGet)
+		return
+	}
+	writeJSON(w, http.StatusOK, s.queue.History())
+}
+
 func (s *Server) v1Answer(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		methodNotAllowed(w, http.MethodPost)
@@ -264,7 +295,11 @@ func (s *Server) v1Clean(w http.ResponseWriter, r *http.Request) {
 		writeAPIError(w, http.StatusBadRequest, "bad_request", err.Error())
 		return
 	}
-	job := s.startJob(q)
+	grant, ok := s.admitJob(w, r, s.jobCost(q), true)
+	if !ok {
+		return
+	}
+	job := s.startJob(q, grant)
 	writeJSON(w, http.StatusAccepted, job)
 }
 
@@ -449,13 +484,20 @@ func (s *Server) handleClean(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	job := s.startJob(q)
+	grant, ok := s.admitJob(w, r, s.jobCost(q), false)
+	if !ok {
+		return
+	}
+	job := s.startJob(q, grant)
 	writeJSON(w, http.StatusAccepted, job)
 }
 
 // startJob launches a fresh cleaning run against the crowd queue, journaling
-// its spec first when a job journal is installed.
-func (s *Server) startJob(q *cq.Query) Job {
+// its spec first when a job journal is installed. The submission has already
+// passed admission; grant (nil when no controller is installed) is held until
+// the run reaches a terminal state. Only admitted jobs reach this point, so a
+// shed submission never leaves a trace in the journal.
+func (s *Server) startJob(q *cq.Query, grant *admission.Grant) Job {
 	s.mu.Lock()
 	s.nextJob++
 	id := s.nextJob
@@ -467,19 +509,20 @@ func (s *Server) startJob(q *cq.Query) Job {
 		// still runs (availability over durability for the spec record).
 		_ = jl.Start(id, q.String())
 	}
-	return s.launchJob(id, q, false)
+	return s.launchJob(id, q, false, grant)
 }
 
 // launchJob runs job id against the crowd queue. The run carries a
 // cancellable context tagged with the job ID, so DELETE /api/v1/jobs/{id} can
 // stop it and the queue can attribute its questions. recovered marks jobs
 // resumed from the journal by Recover.
-func (s *Server) launchJob(id int, q *cq.Query, recovered bool) Job {
+func (s *Server) launchJob(id int, q *cq.Query, recovered bool, grant *admission.Grant) Job {
 	ctx, cancel := context.WithCancel(context.Background())
 
-	job := &Job{ID: id, Query: q.String(), State: JobRunning, Recovered: recovered, cancel: cancel}
+	job := &Job{ID: id, Query: q.String(), State: JobRunning, Recovered: recovered, cancel: cancel, grant: grant, ast: q}
 	s.mu.Lock()
 	s.jobs[job.ID] = job
+	s.active++
 	s.mu.Unlock()
 	s.obs.Inc(MetricJobsStarted)
 	if recovered {
@@ -531,7 +574,21 @@ func (s *Server) finishJob(job *Job, report *core.Report, err error) {
 	state := job.State
 	jl := s.jobLog
 	closing := s.closing
+	grant := job.grant
+	job.grant = nil
+	ast := job.ast
+	costs := s.costs
+	s.active--
 	s.mu.Unlock()
+	// Free the admission slot; a failed run is a congestion signal to the
+	// adaptive concurrency limit, a completed (even degraded) one is not.
+	grant.Release(state == JobFailed)
+	// Feed the run's real crowd cost back into the admission cost model, so
+	// future estimates for this query shape come from evidence. Cancelled and
+	// failed runs stop early and would bias the estimate low.
+	if costs != nil && ast != nil && report != nil && (state == JobDone || state == JobDegraded) {
+		costs.Observe(ast, report.Crowd.Total())
+	}
 	// A cancelled job is finished by user decision even when the cancel races
 	// a shutdown: journal its end so it is not resurrected.
 	if jl != nil && (!closing || state == JobCancelled) {
@@ -540,9 +597,26 @@ func (s *Server) finishJob(job *Job, report *core.Report, err error) {
 }
 
 // newCleaner builds a cleaner over the server's database, question queue and
-// configuration. Callers hold dbMu.
+// configuration, applying the installed oracle wrapper (resilience stack,
+// fault injection) when one is set. Callers hold dbMu.
 func (s *Server) newCleaner() *core.Cleaner {
 	var oracle crowd.Oracle = s.queue
+	s.mu.Lock()
+	wrap := s.wrapOracle
+	s.mu.Unlock()
+	if wrap != nil {
+		if wrapped := wrap(oracle); wrapped != oracle {
+			// The queue's deadline-degradation count must stay visible to the
+			// cleaner's degraded-run detection even when the wrapper hides it;
+			// sum it with whatever the wrapper itself reports (e.g. a
+			// resilience Adapter's fallback count).
+			sources := []interface{ DegradedAnswers() int }{s.queue}
+			if d, ok := wrapped.(interface{ DegradedAnswers() int }); ok {
+				sources = append(sources, d)
+			}
+			oracle = degraderSum{Oracle: wrapped, sources: sources}
+		}
+	}
 	return core.New(s.d, oracle, s.cfg)
 }
 

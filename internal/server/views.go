@@ -7,6 +7,7 @@ import (
 	"net/http"
 	"strings"
 
+	"repro/internal/admission"
 	"repro/internal/cq"
 	"repro/internal/db"
 )
@@ -120,7 +121,11 @@ func (s *Server) handleView(w http.ResponseWriter, r *http.Request) {
 				fmt.Errorf("tuple arity %d, view has arity %d", len(req.Tuple), v.Query.Arity()))
 			return
 		}
-		job := s.startRepairJob(v.Query, db.Tuple(req.Tuple), action)
+		grant, ok := s.admitJob(w, r, s.jobCost(v.Query), false)
+		if !ok {
+			return
+		}
+		job := s.startRepairJob(v.Query, db.Tuple(req.Tuple), action, grant)
 		writeJSON(w, http.StatusAccepted, job)
 	default:
 		writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("unsupported view action %q", action))
@@ -207,21 +212,29 @@ func (s *Server) v1ViewAction(w http.ResponseWriter, r *http.Request) {
 			fmt.Sprintf("tuple arity %d, view has arity %d", len(req.Tuple), v.Query.Arity()))
 		return
 	}
-	job := s.startRepairJob(v.Query, db.Tuple(req.Tuple), action)
+	grant, ok := s.admitJob(w, r, s.jobCost(v.Query), true)
+	if !ok {
+		return
+	}
+	job := s.startRepairJob(v.Query, db.Tuple(req.Tuple), action, grant)
 	writeJSON(w, http.StatusAccepted, job)
 }
 
 // startRepairJob launches a targeted wrong-answer removal or missing-answer
 // insertion for a reported view error — the paper's §1 workflow: "whenever an
 // error is reported in a view, QOCO can take over to clean the underlying
-// database". Like full cleaning jobs it is cancellable via the v1 API.
-func (s *Server) startRepairJob(q *cq.Query, t db.Tuple, action string) Job {
+// database". Like full cleaning jobs it is cancellable via the v1 API, passes
+// admission first, and holds its grant until the run is terminal.
+func (s *Server) startRepairJob(q *cq.Query, t db.Tuple, action string, grant *admission.Grant) Job {
 	ctx, cancel := context.WithCancel(context.Background())
 
 	s.mu.Lock()
 	s.nextJob++
-	job := &Job{ID: s.nextJob, Query: fmt.Sprintf("%s %s %s", action, t, q), State: JobRunning, cancel: cancel}
+	// ast stays nil: repair reports (reportOfEdits) carry no crowd stats, so
+	// there is no real question count to feed back into the cost model.
+	job := &Job{ID: s.nextJob, Query: fmt.Sprintf("%s %s %s", action, t, q), State: JobRunning, cancel: cancel, grant: grant}
 	s.jobs[job.ID] = job
+	s.active++
 	s.mu.Unlock()
 	s.obs.Inc(MetricJobsStarted)
 

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sort"
 	"sync"
 )
 
@@ -24,9 +25,28 @@ import (
 // first write failure is sticky and surfaces from every later append and
 // Close, mirroring Store.
 type JobLog struct {
-	mu  sync.Mutex
-	f   *os.File
-	err error
+	mu     sync.Mutex
+	f      *os.File
+	err    error
+	maxJob int
+}
+
+// JobLogOption configures OpenJobLog.
+type JobLogOption func(*jobLogOptions)
+
+type jobLogOptions struct {
+	compact bool
+}
+
+// WithCompaction rewrites the journal during open, dropping every job that
+// already reached a terminal state (done, degraded, failed, cancelled): a
+// finished job's record is dead weight — recovery re-registers it from the
+// pre-compaction scan but never replays it — and without compaction the
+// journal grows with the lifetime job count rather than the in-flight set. A
+// "seq" floor record preserves the highest job ID ever issued so restarted
+// servers never reuse the ID of a compacted-away job.
+func WithCompaction() JobLogOption {
+	return func(o *jobLogOptions) { o.compact = true }
 }
 
 // JobRecord is one job reconstructed from the log.
@@ -42,9 +62,11 @@ type JobRecord struct {
 	State string
 }
 
-// jobEvent is one journaled line.
+// jobEvent is one journaled line. A "seq" event carries no job of its own:
+// it records the highest job ID issued before a compaction dropped the
+// records that proved it.
 type jobEvent struct {
-	Ev     string          `json:"ev"` // "start", "answer", "end"
+	Ev     string          `json:"ev"` // "start", "answer", "end", "seq"
 	Job    int             `json:"job"`
 	Query  string          `json:"query,omitempty"`  // start
 	Key    string          `json:"key,omitempty"`    // answer: question content key
@@ -56,7 +78,11 @@ type jobEvent struct {
 // the jobs recorded in it, in start order. A torn final line from a crash
 // mid-append is tolerated and counted under MetricTornTails; corruption
 // elsewhere is an error.
-func OpenJobLog(path string) (*JobLog, []JobRecord, error) {
+func OpenJobLog(path string, opts ...JobLogOption) (*JobLog, []JobRecord, error) {
+	var options jobLogOptions
+	for _, o := range opts {
+		o(&options)
+	}
 	if dir := filepath.Dir(path); dir != "." {
 		if err := os.MkdirAll(dir, 0o755); err != nil {
 			return nil, nil, fmt.Errorf("wal: creating %s: %w", dir, err)
@@ -64,10 +90,14 @@ func OpenJobLog(path string) (*JobLog, []JobRecord, error) {
 	}
 	byID := make(map[int]*JobRecord)
 	var order []int
+	maxJob := 0
 	_, err := scanJournal(path, func(line []byte) error {
 		var ev jobEvent
 		if err := json.Unmarshal(line, &ev); err != nil {
 			return err
+		}
+		if ev.Job > maxJob {
+			maxJob = ev.Job
 		}
 		switch ev.Ev {
 		case "start":
@@ -88,6 +118,8 @@ func OpenJobLog(path string) (*JobLog, []JobRecord, error) {
 			}
 			r.Done = true
 			r.State = ev.State
+		case "seq":
+			// ID floor from a previous compaction; already folded into maxJob.
 		default:
 			return fmt.Errorf("wal: bad job event %q", ev.Ev)
 		}
@@ -96,15 +128,87 @@ func OpenJobLog(path string) (*JobLog, []JobRecord, error) {
 	if err != nil {
 		return nil, nil, err
 	}
+	jobs := make([]JobRecord, 0, len(order))
+	live := 0
+	for _, id := range order {
+		jobs = append(jobs, *byID[id])
+		if !byID[id].Done {
+			live++
+		}
+	}
+	if options.compact && live < len(jobs) {
+		if err := compactJobLog(path, jobs, maxJob); err != nil {
+			return nil, nil, err
+		}
+		rec().Inc(MetricCompactions)
+		rec().Add(MetricCompactedJobs, int64(len(jobs)-live))
+	}
 	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
 	if err != nil {
 		return nil, nil, fmt.Errorf("wal: opening job log: %w", err)
 	}
-	jobs := make([]JobRecord, 0, len(order))
-	for _, id := range order {
-		jobs = append(jobs, *byID[id])
+	return &JobLog{f: f, maxJob: maxJob}, jobs, nil
+}
+
+// compactJobLog rewrites the journal at path keeping only unfinished jobs,
+// prefixed by the seq floor. The rewrite goes through a temp file, fsync and
+// atomic rename: a crash mid-compaction leaves either the old journal or the
+// new one, never a mix.
+func compactJobLog(path string, jobs []JobRecord, maxJob int) error {
+	tmp, err := os.CreateTemp(filepath.Dir(path), filepath.Base(path)+".compact-*")
+	if err != nil {
+		return fmt.Errorf("wal: compacting job log: %w", err)
 	}
-	return &JobLog{f: f}, jobs, nil
+	defer os.Remove(tmp.Name())
+	write := func(ev jobEvent) error {
+		raw, err := json.Marshal(ev)
+		if err != nil {
+			return err
+		}
+		_, err = tmp.Write(append(raw, '\n'))
+		return err
+	}
+	werr := write(jobEvent{Ev: "seq", Job: maxJob})
+	for _, r := range jobs {
+		if werr != nil || r.Done {
+			continue
+		}
+		werr = write(jobEvent{Ev: "start", Job: r.ID, Query: r.Query})
+		keys := make([]string, 0, len(r.Answers))
+		for k := range r.Answers {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			for _, a := range r.Answers[k] {
+				if werr == nil {
+					werr = write(jobEvent{Ev: "answer", Job: r.ID, Key: k, Answer: a})
+				}
+			}
+		}
+	}
+	if werr == nil {
+		werr = tmp.Sync()
+	}
+	if cerr := tmp.Close(); werr == nil {
+		werr = cerr
+	}
+	if werr != nil {
+		return fmt.Errorf("wal: compacting job log: %w", werr)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return fmt.Errorf("wal: compacting job log: %w", err)
+	}
+	return nil
+}
+
+// MaxJob returns the highest job ID the journal has ever recorded, including
+// IDs whose records were dropped by compaction (via the seq floor). Servers
+// use it to seed their job-ID counter so recycled IDs never collide.
+func (l *JobLog) MaxJob() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.maxJob
 }
 
 // append journals one event, fsyncing before returning. The first failure is
@@ -116,6 +220,9 @@ func (l *JobLog) append(ev jobEvent) error {
 	}
 	l.mu.Lock()
 	defer l.mu.Unlock()
+	if ev.Job > l.maxJob {
+		l.maxJob = ev.Job
+	}
 	if l.err != nil {
 		return l.err
 	}

@@ -36,6 +36,10 @@ const (
 	// MetricAppendErrors counts journal append failures (the first of which
 	// also poisons the store — see Store.Apply).
 	MetricAppendErrors = "wal.append.errors"
+	// MetricCompactions counts job-journal compaction runs at open (see
+	// WithCompaction); MetricCompactedJobs the terminal jobs they dropped.
+	MetricCompactions   = "wal.compact.runs"
+	MetricCompactedJobs = "wal.compact.dropped_jobs"
 )
 
 // recorder holds the process recorder the package reports into; an atomic
