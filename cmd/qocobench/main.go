@@ -11,6 +11,8 @@
 //	qocobench -seeds 5        # average over more random seeds
 //	qocobench -tournaments 8  # smaller Soccer database for quick runs
 //	qocobench -fig overload   # admission-control rate sweep (-json for JSON)
+//	qocobench -fig eval       # evaluator cold/warm/parallel benchmark
+//	qocobench -fig eval -json # …writing BENCH_eval.json (the bench trajectory)
 package main
 
 import (
@@ -25,14 +27,15 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "all", "figure to regenerate: 3a, 3b, 3c, 3d, 3e, 3f, 4, dbgroup, sweep, errsweep, heuristics, overload, or all")
+	fig := flag.String("fig", "all", "figure to regenerate: 3a, 3b, 3c, 3d, 3e, 3f, 4, dbgroup, sweep, errsweep, heuristics, overload, eval, or all")
 	seeds := flag.Int("seeds", 3, "number of random seeds to average over")
 	tournaments := flag.Int("tournaments", 0, "number of World Cup editions in the Soccer database (0 = full 20)")
 	wrong := flag.Int("wrong", 5, "wrong answers injected per query (Figures 3a, 3c, 4)")
 	missing := flag.Int("missing", 5, "missing answers injected per query (Figures 3b, 3c, 4)")
 	errRate := flag.Float64("errrate", 0.1, "per-question error rate of imperfect experts (Figure 4)")
 	overloadDur := flag.Duration("overload-duration", 2*time.Second, "load duration per rate point of the overload sweep")
-	jsonOut := flag.Bool("json", false, "emit the overload sweep as JSON instead of a text table")
+	jsonOut := flag.Bool("json", false, "overload: emit JSON to stdout; eval: write BENCH_eval.json")
+	parallel := flag.Int("parallel", 4, "eval-benchmark worker count measured against serial evaluation")
 	flag.Parse()
 
 	cfg := experiment.Config{
@@ -107,8 +110,36 @@ func main() {
 		}
 		any = true
 	}
+	// The eval benchmark measures wall-clock cold/warm/parallel evaluation,
+	// so like the overload sweep it only runs when asked for by name. With
+	// -json it records the run into BENCH_eval.json, the repo's evaluation
+	// performance trajectory.
+	if *fig == "eval" {
+		rep := experiment.EvalBench(experiment.EvalBenchOpts{Workers: *parallel, Soccer: cfg.Soccer})
+		if *jsonOut {
+			f, err := os.Create("BENCH_eval.json")
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "creating BENCH_eval.json: %v\n", err)
+				os.Exit(1)
+			}
+			enc := json.NewEncoder(f)
+			enc.SetIndent("", "  ")
+			if err := enc.Encode(rep); err != nil {
+				fmt.Fprintf(os.Stderr, "encoding eval benchmark: %v\n", err)
+				os.Exit(1)
+			}
+			if err := f.Close(); err != nil {
+				fmt.Fprintf(os.Stderr, "closing BENCH_eval.json: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Println("wrote BENCH_eval.json")
+		} else {
+			fmt.Print(experiment.RenderEvalBench(rep), "\n")
+		}
+		any = true
+	}
 	if !any {
-		fmt.Fprintf(os.Stderr, "unknown figure %q (want 3a..3f, 4, dbgroup, sweep, errsweep, heuristics, overload, all)\n", *fig)
+		fmt.Fprintf(os.Stderr, "unknown figure %q (want 3a..3f, 4, dbgroup, sweep, errsweep, heuristics, overload, eval, all)\n", *fig)
 		os.Exit(2)
 	}
 }

@@ -100,6 +100,8 @@ func run() error {
 		"how long shutdown waits for in-flight jobs to finish after admission stops")
 	questionHistory := flag.Int("question-history", server.DefaultQuestionHistory,
 		"resolved crowd questions retained at /api/v1/questions/log (0 disables)")
+	evalWorkers := flag.Int("eval-workers", 1,
+		"query-evaluation parallelism: top-level scans are partitioned across this many goroutines (1 = serial, -1 = GOMAXPROCS)")
 	flag.Parse()
 
 	d, dg, err := loadDataset(*ds)
@@ -107,7 +109,7 @@ func run() error {
 		return err
 	}
 
-	srv := server.New(d, core.Config{})
+	srv := server.New(d, core.Config{EvalWorkers: *evalWorkers})
 	// Route evaluator and wal metrics (witness enumeration latencies, torn-tail
 	// recoveries, journal append failures) into the same recorder the server
 	// serves at /api/v1/metrics.

@@ -16,6 +16,7 @@ import (
 
 	"repro/internal/crowd"
 	"repro/internal/db"
+	"repro/internal/eval"
 	"repro/internal/obs"
 	"repro/internal/split"
 )
@@ -137,6 +138,11 @@ type Config struct {
 	// round are posed to the crowd concurrently. The oracle must be safe for
 	// concurrent use (Perfect is; wrap others appropriately).
 	Parallel bool
+	// EvalWorkers sets the parallelism of query evaluation (eval.Parallel):
+	// 0 or 1 evaluates serially, n > 1 partitions the top-level scan across
+	// n goroutines, and a negative value selects GOMAXPROCS. Outputs are
+	// byte-identical to serial evaluation regardless of the setting.
+	EvalWorkers int
 	// MinSamples and MinNulls configure the enumeration stopping rule for
 	// COMPL(Q(D)) questions (§6.1, the Chao92 black box): stop once the
 	// estimator believes the result complete, or after MinNulls consecutive
@@ -306,6 +312,15 @@ func New(d *db.Database, oracle crowd.Oracle, cfg Config) *Cleaner {
 
 // Database returns the cleaner's database.
 func (c *Cleaner) Database() *db.Database { return c.d }
+
+// evalOpts returns the evaluation options every eval call of this cleaner
+// uses, derived from Config.EvalWorkers.
+func (c *Cleaner) evalOpts() []eval.Option {
+	if c.cfg.EvalWorkers == 0 || c.cfg.EvalWorkers == 1 {
+		return nil
+	}
+	return []eval.Option{eval.Parallel(c.cfg.EvalWorkers)}
+}
 
 // Stats returns the crowd interaction statistics accumulated so far.
 func (c *Cleaner) Stats() crowd.Stats { return c.oracle.Snapshot() }

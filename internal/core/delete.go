@@ -32,7 +32,7 @@ func (c *Cleaner) RemoveWrongAnswer(ctx context.Context, q *cq.Query, t db.Tuple
 }
 
 func (c *Cleaner) removeWrongAnswer(ctx context.Context, r *Report, q *cq.Query, t db.Tuple) error {
-	witnesses := eval.Witnesses(q, c.d, t)
+	witnesses := eval.Witnesses(q, c.d, t, c.evalOpts()...)
 	c.cfg.Obs.Observe(MetricWitnessSets, float64(len(witnesses)))
 	if len(witnesses) == 0 {
 		return nil
@@ -124,7 +124,7 @@ func (c *Cleaner) removeWrongAnswer(ctx context.Context, r *Report, q *cq.Query,
 // from D. The crowd verifies each candidate blocker; true ones are inserted,
 // invalidating the assignment.
 func (c *Cleaner) repairNegationBlockers(ctx context.Context, r *Report, q *cq.Query, t db.Tuple) error {
-	for guard := 0; eval.AnswerHolds(q, c.d, t); guard++ {
+	for guard := 0; eval.AnswerHolds(q, c.d, t, c.evalOpts()...); guard++ {
 		if err := ctx.Err(); err != nil {
 			return err
 		}
@@ -132,7 +132,7 @@ func (c *Cleaner) repairNegationBlockers(ctx context.Context, r *Report, q *cq.Q
 			return nil // oracle inconsistency: stop rather than loop forever
 		}
 		progressed := false
-		for _, a := range eval.AssignmentsFor(q, c.d, t) {
+		for _, a := range eval.AssignmentsFor(q, c.d, t, c.evalOpts()...) {
 			for _, atom := range q.Negs {
 				f, ok := a.AtomFact(atom)
 				if !ok || c.d.Has(f) {

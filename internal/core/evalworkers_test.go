@@ -1,0 +1,45 @@
+package core
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+
+	"repro/internal/crowd"
+	"repro/internal/dataset"
+)
+
+// TestCleanEvalWorkersParity: a cleaning run with parallel query evaluation
+// is step-for-step identical to a serial run — same edits in the same order,
+// same question counts — because parallel evaluation is byte-identical to
+// serial and the cleaning loop is otherwise deterministic under a fixed RNG
+// seed.
+func TestCleanEvalWorkersParity(t *testing.T) {
+	run := func(workers int) (edits string, questions crowd.Stats, iterations int) {
+		d, dg := dataset.Figure1()
+		c := New(d, crowd.NewPerfect(dg), Config{
+			RNG:         rand.New(rand.NewSource(3)),
+			EvalWorkers: workers,
+		})
+		r, err := c.Clean(context.Background(), dataset.IntroQ1())
+		if err != nil {
+			t.Fatalf("Clean(workers=%d): %v", workers, err)
+		}
+		for _, e := range r.Edits {
+			edits += e.String() + "\n"
+		}
+		return edits, r.Crowd, r.Iterations
+	}
+
+	serialEdits, serialQuestions, serialIters := run(1)
+	for _, workers := range []int{4, -1} {
+		edits, questions, iters := run(workers)
+		if edits != serialEdits {
+			t.Errorf("workers=%d: edit sequence diverged from serial:\n%s\nvs\n%s", workers, edits, serialEdits)
+		}
+		if questions != serialQuestions || iters != serialIters {
+			t.Errorf("workers=%d: crowd %+v / %d iterations, serial had %+v / %d",
+				workers, questions, iters, serialQuestions, serialIters)
+		}
+	}
+}

@@ -3,9 +3,13 @@ package db
 import (
 	"fmt"
 	"sort"
+	"sync/atomic"
 
 	"repro/internal/schema"
 )
+
+// lastDBID hands out process-unique database identities (see Database.ID).
+var lastDBID atomic.Uint64
 
 // Database is an instance of a schema: one Relation per relation symbol.
 // It is the paper's D (or the ground truth DG). Databases are not safe for
@@ -13,17 +17,32 @@ import (
 type Database struct {
 	schema *schema.Schema
 	rels   map[string]*Relation
+	id     uint64 // process-unique identity, for evaluation caches
+	gen    uint64 // edit generation, bumped by every mutating change
 }
 
 // New creates an empty database instance of the given schema.
 func New(s *schema.Schema) *Database {
-	d := &Database{schema: s, rels: make(map[string]*Relation, s.Len())}
+	d := &Database{schema: s, rels: make(map[string]*Relation, s.Len()), id: lastDBID.Add(1)}
 	for _, name := range s.Names() {
 		rel, _ := s.Relation(name)
 		d.rels[name] = NewRelation(name, rel.Arity())
 	}
 	return d
 }
+
+// ID returns the database's process-unique identity. Clones get fresh
+// identities; the evaluation cache keys entries by (ID, Generation) so two
+// instances never share cache lines.
+func (d *Database) ID() uint64 { return d.id }
+
+// Generation returns the edit-generation counter: it increases monotonically
+// with every mutating InsertFact/DeleteFact/Apply (no-op edits don't bump
+// it). Evaluation results computed at one generation remain valid exactly
+// until the counter moves, which is what makes generation-stamped caching of
+// Q(D) sound. Reading it concurrently with a mutation follows the same rule
+// as the rest of the Database: mutations must be serialized by the caller.
+func (d *Database) Generation() uint64 { return d.gen }
 
 // Schema returns the database schema.
 func (d *Database) Schema() *schema.Schema { return d.schema }
@@ -48,7 +67,11 @@ func (d *Database) InsertFact(f Fact) (bool, error) {
 	if len(f.Args) != r.Arity() {
 		return false, fmt.Errorf("db: arity mismatch for %s: got %d, want %d", f.Rel, len(f.Args), r.Arity())
 	}
-	return r.Insert(f.Args), nil
+	inserted := r.Insert(f.Args)
+	if inserted {
+		d.gen++
+	}
+	return inserted, nil
 }
 
 // DeleteFact removes the fact, returning true if it was present.
@@ -57,7 +80,11 @@ func (d *Database) DeleteFact(f Fact) (bool, error) {
 	if r == nil {
 		return false, fmt.Errorf("db: unknown relation %q", f.Rel)
 	}
-	return r.Delete(f.Args), nil
+	deleted := r.Delete(f.Args)
+	if deleted {
+		d.gen++
+	}
+	return deleted, nil
 }
 
 // Apply applies a single edit (the paper's D ⊕ e). Edits are idempotent:
@@ -111,9 +138,10 @@ func (d *Database) Facts() []Fact {
 	return out
 }
 
-// Clone returns a deep copy sharing the (immutable) schema.
+// Clone returns a deep copy sharing the (immutable) schema. The copy has a
+// fresh identity and starts at generation zero.
 func (d *Database) Clone() *Database {
-	out := &Database{schema: d.schema, rels: make(map[string]*Relation, len(d.rels))}
+	out := &Database{schema: d.schema, rels: make(map[string]*Relation, len(d.rels)), id: lastDBID.Add(1)}
 	for n, r := range d.rels {
 		out.rels[n] = r.Clone()
 	}

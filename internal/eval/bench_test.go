@@ -1,0 +1,50 @@
+package eval
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/db"
+)
+
+// BenchmarkWitnessKey guards the dedup-key construction of Witnesses: the
+// key itself is built with one pre-sized allocation (strings.Builder), where
+// the string concatenation it replaced allocated a growing copy per fact —
+// quadratic bytes in the witness size. Run with -benchmem; allocations must
+// stay linear in len(w) (the per-fact Fact.Key renderings plus one builder).
+func BenchmarkWitnessKey(b *testing.B) {
+	w := make([]db.Fact, 16)
+	for i := range w {
+		w[i] = db.NewFact("Games", fmt.Sprintf("%02d.07.2014", i), "GER", "ARG", "Final", "1:0")
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if witnessKey(w) == "" {
+			b.Fatal("empty key")
+		}
+	}
+}
+
+// BenchmarkSortAssignments guards the precomputed-key sort: Assignment.Key
+// sorts and concatenates the bindings, so rebuilding it inside the comparator
+// (as sort.Slice callbacks used to) costs O(n log n) key constructions per
+// sort instead of O(n).
+func BenchmarkSortAssignments(b *testing.B) {
+	rng := rand.New(rand.NewSource(7))
+	base := make([]Assignment, 512)
+	for i := range base {
+		base[i] = Assignment{
+			"x": fmt.Sprintf("v%03d", rng.Intn(1000)),
+			"y": fmt.Sprintf("v%03d", rng.Intn(1000)),
+			"z": fmt.Sprintf("v%03d", rng.Intn(1000)),
+		}
+	}
+	buf := make([]Assignment, len(base))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		copy(buf, base)
+		sortAssignments(buf)
+	}
+}

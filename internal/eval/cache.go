@@ -1,0 +1,227 @@
+package eval
+
+import (
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/cq"
+	"repro/internal/db"
+)
+
+// The evaluation cache memoizes Result, ResultUnion, Witnesses and Holds
+// per database generation. QOCO's cleaning loop re-evaluates Q(D) and
+// re-enumerates witnesses between crowd questions, and each oracle round
+// changes at most a handful of facts — so across a run most evaluations hit
+// an unchanged database and can be answered from the previous round's work.
+// Entries are stamped with (db.ID, db.Generation): any InsertFact/DeleteFact
+// bumps the generation and implicitly invalidates every entry of that
+// database, so a stale result can never be served. The cache is process-wide
+// and safe for concurrent readers; its correctness contract is the same as
+// the Database's — edits must be serialized against reads by the caller.
+
+// cacheMaxDBs bounds how many database instances the cache tracks at once;
+// cacheMaxEntries bounds the entries kept per database and generation.
+// Exceeding either cap drops whole cache sections (never partial entries),
+// which affects performance only, never correctness.
+const (
+	cacheMaxDBs     = 64
+	cacheMaxEntries = 16384
+)
+
+// dbCache holds every memoized evaluation against one database at one
+// generation. A generation bump discards the maps wholesale.
+type dbCache struct {
+	gen       uint64
+	results   map[string][]db.Tuple   // result/union key -> Q(D)
+	witnesses map[string][][]db.Fact  // witness key -> witness sets
+	holds     map[string]bool         // satisfiability key -> Holds
+}
+
+func (c *dbCache) size() int { return len(c.results) + len(c.witnesses) + len(c.holds) }
+
+func newDBCache(gen uint64) *dbCache {
+	return &dbCache{
+		gen:       gen,
+		results:   make(map[string][]db.Tuple),
+		witnesses: make(map[string][][]db.Fact),
+		holds:     make(map[string]bool),
+	}
+}
+
+var evalCache = struct {
+	sync.Mutex
+	dbs map[uint64]*dbCache
+}{dbs: make(map[uint64]*dbCache)}
+
+// cacheDisabled turns the process-wide cache off when set (see SetCache).
+var cacheDisabled atomic.Bool
+
+// SetCache enables or disables the process-wide evaluation cache. It is on
+// by default; disabling also drops every cached entry. Intended for
+// benchmarks and ablations — production callers leave it on.
+func SetCache(on bool) {
+	cacheDisabled.Store(!on)
+	evalCache.Lock()
+	evalCache.dbs = make(map[uint64]*dbCache)
+	evalCache.Unlock()
+}
+
+// forDB returns the cache section for the database at its current
+// generation, discarding any section left over from an older generation.
+// Caller holds evalCache.Mutex.
+func forDB(d *db.Database, gen uint64) *dbCache {
+	c := evalCache.dbs[d.ID()]
+	if c != nil && c.gen == gen {
+		return c
+	}
+	if len(evalCache.dbs) >= cacheMaxDBs && c == nil {
+		// Too many live databases: drop an arbitrary section to stay bounded.
+		for id := range evalCache.dbs {
+			delete(evalCache.dbs, id)
+			break
+		}
+	}
+	if c != nil {
+		rec().Inc(MetricCacheInvalidations)
+	}
+	c = newDBCache(gen)
+	evalCache.dbs[d.ID()] = c
+	return c
+}
+
+// fingerprint renders the query's canonical cache identity. Query.String is
+// a parseable, deterministic rendering, so distinct queries cannot collide;
+// its cost is proportional to the query size (a handful of atoms), not the
+// database, keeping warm lookups O(|Q|).
+func fingerprint(q *cq.Query) string { return q.String() }
+
+// unionFingerprint is the canonical identity of a UCQ.
+func unionFingerprint(u *cq.Union) string {
+	var b strings.Builder
+	for i, q := range u.Disjuncts {
+		if i > 0 {
+			b.WriteByte('\x01')
+		}
+		b.WriteString(q.String())
+	}
+	return b.String()
+}
+
+// Cache key namespaces. Each class of memoized call prefixes its key so a
+// boolean Holds can never alias a Result of the same query.
+func resultKey(fp string) string           { return "r\x00" + fp }
+func unionResultKey(fp string) string      { return "u\x00" + fp }
+func witnessCacheKey(fp, tk string) string { return "w\x00" + fp + "\x00" + tk }
+func holdsKey(fp, seed string) string      { return "h\x00" + fp + "\x00" + seed }
+
+// lookupTuples consults the cache for a []db.Tuple entry. The returned slice
+// is a fresh copy of the cached spine (tuples themselves are shared and
+// treated as immutable, as everywhere in the engine).
+func lookupTuples(d *db.Database, key string) ([]db.Tuple, bool) {
+	if cacheDisabled.Load() {
+		return nil, false
+	}
+	evalCache.Lock()
+	defer evalCache.Unlock()
+	c := evalCache.dbs[d.ID()]
+	if c == nil || c.gen != d.Generation() {
+		rec().Inc(MetricCacheMisses)
+		return nil, false
+	}
+	v, ok := c.results[key]
+	if !ok {
+		rec().Inc(MetricCacheMisses)
+		return nil, false
+	}
+	rec().Inc(MetricCacheHits)
+	return append([]db.Tuple(nil), v...), true
+}
+
+// storeTuples records a []db.Tuple entry computed at generation gen. The
+// entry is dropped unless the database is still at gen (an edit that raced
+// the evaluation — only possible for callers that broke the serialization
+// contract — must not poison the cache).
+func storeTuples(d *db.Database, gen uint64, key string, v []db.Tuple) {
+	if cacheDisabled.Load() || d.Generation() != gen {
+		return
+	}
+	evalCache.Lock()
+	defer evalCache.Unlock()
+	c := forDB(d, gen)
+	if c.size() >= cacheMaxEntries {
+		evalCache.dbs[d.ID()] = newDBCache(gen)
+		c = evalCache.dbs[d.ID()]
+	}
+	c.results[key] = append([]db.Tuple(nil), v...)
+}
+
+// lookupWitnesses / storeWitnesses do the same for witness-set entries.
+func lookupWitnesses(d *db.Database, key string) ([][]db.Fact, bool) {
+	if cacheDisabled.Load() {
+		return nil, false
+	}
+	evalCache.Lock()
+	defer evalCache.Unlock()
+	c := evalCache.dbs[d.ID()]
+	if c == nil || c.gen != d.Generation() {
+		rec().Inc(MetricCacheMisses)
+		return nil, false
+	}
+	v, ok := c.witnesses[key]
+	if !ok {
+		rec().Inc(MetricCacheMisses)
+		return nil, false
+	}
+	rec().Inc(MetricCacheHits)
+	return append([][]db.Fact(nil), v...), true
+}
+
+func storeWitnesses(d *db.Database, gen uint64, key string, v [][]db.Fact) {
+	if cacheDisabled.Load() || d.Generation() != gen {
+		return
+	}
+	evalCache.Lock()
+	defer evalCache.Unlock()
+	c := forDB(d, gen)
+	if c.size() >= cacheMaxEntries {
+		evalCache.dbs[d.ID()] = newDBCache(gen)
+		c = evalCache.dbs[d.ID()]
+	}
+	c.witnesses[key] = append([][]db.Fact(nil), v...)
+}
+
+// lookupHolds / storeHolds memoize boolean satisfiability checks.
+func lookupHolds(d *db.Database, key string) (bool, bool) {
+	if cacheDisabled.Load() {
+		return false, false
+	}
+	evalCache.Lock()
+	defer evalCache.Unlock()
+	c := evalCache.dbs[d.ID()]
+	if c == nil || c.gen != d.Generation() {
+		rec().Inc(MetricCacheMisses)
+		return false, false
+	}
+	v, ok := c.holds[key]
+	if !ok {
+		rec().Inc(MetricCacheMisses)
+		return false, false
+	}
+	rec().Inc(MetricCacheHits)
+	return v, true
+}
+
+func storeHolds(d *db.Database, gen uint64, key string, v bool) {
+	if cacheDisabled.Load() || d.Generation() != gen {
+		return
+	}
+	evalCache.Lock()
+	defer evalCache.Unlock()
+	c := forDB(d, gen)
+	if c.size() >= cacheMaxEntries {
+		evalCache.dbs[d.ID()] = newDBCache(gen)
+		c = evalCache.dbs[d.ID()]
+	}
+	c.holds[key] = v
+}

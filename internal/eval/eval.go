@@ -2,6 +2,7 @@ package eval
 
 import (
 	"sort"
+	"strings"
 	"time"
 
 	"repro/internal/cq"
@@ -9,79 +10,101 @@ import (
 )
 
 // Eval returns all valid total assignments A(Q,D) in deterministic order.
-func Eval(q *cq.Query, d *db.Database) []Assignment {
-	var out []Assignment
-	search(q, d, Assignment{}, func(a Assignment) bool {
-		out = append(out, a.Clone())
-		return true
-	})
-	sort.Slice(out, func(i, j int) bool { return out[i].Key() < out[j].Key() })
+func Eval(q *cq.Query, d *db.Database, opts ...Option) []Assignment {
+	out := collect(q, d, Assignment{}, resolve(opts))
+	sortAssignments(out)
 	return out
 }
 
 // Result returns Q(D): the distinct answer tuples α(head(Q)) over all valid
-// assignments, in deterministic (lexicographic) order.
-func Result(q *cq.Query, d *db.Database) []db.Tuple {
+// assignments, in deterministic (lexicographic) order. Results are memoized
+// per database generation, so re-evaluating an unchanged database is an O(1)
+// lookup (plus a copy of the answer spine).
+func Result(q *cq.Query, d *db.Database, opts ...Option) []db.Tuple {
 	if r := rec(); r != nil {
 		defer r.Timer(MetricResultSeconds)()
 	}
-	seen := make(map[string]db.Tuple)
-	search(q, d, Assignment{}, func(a Assignment) bool {
-		t, ok := a.HeadTuple(q)
-		if !ok {
-			return true
+	cfg := resolve(opts)
+	var key string
+	if !cfg.noCache {
+		key = resultKey(fingerprint(q))
+		if out, ok := lookupTuples(d, key); ok {
+			return out
 		}
-		seen[t.Key()] = t
-		return true
-	})
-	return sortTuples(seen)
+	}
+	gen := d.Generation()
+	out := sortTuples(collectResult(q, d, cfg))
+	if !cfg.noCache {
+		storeTuples(d, gen, key, out)
+	}
+	return out
 }
 
 // ResultUnion returns the union of Result over the disjuncts of a UCQ.
-func ResultUnion(u *cq.Union, d *db.Database) []db.Tuple {
+func ResultUnion(u *cq.Union, d *db.Database, opts ...Option) []db.Tuple {
+	if r := rec(); r != nil {
+		defer r.Timer(MetricResultUnionSeconds)()
+	}
+	cfg := resolve(opts)
+	var key string
+	if !cfg.noCache {
+		key = unionResultKey(unionFingerprint(u))
+		if out, ok := lookupTuples(d, key); ok {
+			return out
+		}
+	}
+	gen := d.Generation()
 	seen := make(map[string]db.Tuple)
 	for _, q := range u.Disjuncts {
-		for _, t := range Result(q, d) {
+		for _, t := range Result(q, d, opts...) {
 			seen[t.Key()] = t
 		}
 	}
-	return sortTuples(seen)
+	out := sortTuples(seen)
+	if !cfg.noCache {
+		storeTuples(d, gen, key, out)
+	}
+	return out
 }
 
 // Extensions returns all valid total assignments extending the partial
 // assignment seed, in deterministic order.
-func Extensions(q *cq.Query, d *db.Database, seed Assignment) []Assignment {
-	var out []Assignment
-	search(q, d, seed, func(a Assignment) bool {
-		out = append(out, a.Clone())
-		return true
-	})
-	sort.Slice(out, func(i, j int) bool { return out[i].Key() < out[j].Key() })
+func Extensions(q *cq.Query, d *db.Database, seed Assignment, opts ...Option) []Assignment {
+	out := collect(q, d, seed, resolve(opts))
+	sortAssignments(out)
 	return out
 }
 
 // AssignmentsFor returns A(t,Q,D): the valid assignments of Q w.r.t. D that
 // yield answer t. It returns nil when t conflicts with the head shape.
-func AssignmentsFor(q *cq.Query, d *db.Database, t db.Tuple) []Assignment {
+func AssignmentsFor(q *cq.Query, d *db.Database, t db.Tuple, opts ...Option) []Assignment {
 	seed, ok := PartialFromAnswer(q, t)
 	if !ok {
 		return nil
 	}
-	var out []Assignment
-	search(q, d, seed, func(a Assignment) bool {
-		out = append(out, a.Clone())
-		return true
-	})
-	sort.Slice(out, func(i, j int) bool { return out[i].Key() < out[j].Key() })
+	out := collect(q, d, seed, resolve(opts))
+	sortAssignments(out)
 	return out
 }
 
 // Witnesses returns the witness sets for answer t: one set of facts per valid
 // assignment in A(t,Q,D), deduplicated (distinct assignments can induce the
-// same witness, e.g. by permuting symmetric atoms).
-func Witnesses(q *cq.Query, d *db.Database, t db.Tuple) [][]db.Fact {
+// same witness, e.g. by permuting symmetric atoms). Witness sets are memoized
+// per database generation — the question-selection loop of Algorithm 1
+// re-enumerates the same answer's witnesses between crowd questions.
+func Witnesses(q *cq.Query, d *db.Database, t db.Tuple, opts ...Option) [][]db.Fact {
 	start := time.Now()
-	asgs := AssignmentsFor(q, d, t)
+	cfg := resolve(opts)
+	var key string
+	if !cfg.noCache {
+		key = witnessCacheKey(fingerprint(q), t.Key())
+		if out, ok := lookupWitnesses(d, key); ok {
+			observeWitnesses(start, out)
+			return out
+		}
+	}
+	gen := d.Generation()
+	asgs := AssignmentsFor(q, d, t, opts...)
 	seen := make(map[string]bool)
 	var out [][]db.Fact
 	for _, a := range asgs {
@@ -92,53 +115,129 @@ func Witnesses(q *cq.Query, d *db.Database, t db.Tuple) [][]db.Fact {
 			out = append(out, w)
 		}
 	}
+	if !cfg.noCache {
+		storeWitnesses(d, gen, key, out)
+	}
 	observeWitnesses(start, out)
 	return out
 }
 
+// witnessKey builds the dedup key of one witness set with a single
+// allocation (the sets are sorted, so concatenated fact keys are canonical).
 func witnessKey(w []db.Fact) string {
-	k := ""
+	var b strings.Builder
+	n := 0
 	for _, f := range w {
-		k += f.Key() + "\x1e"
+		n += len(f.Rel) + len(f.Args)*8 + 2
 	}
-	return k
+	b.Grow(n)
+	for _, f := range w {
+		b.WriteString(f.Key())
+		b.WriteByte('\x1e')
+	}
+	return b.String()
 }
 
 // Holds reports whether the boolean query (or the body of q under the given
 // seed) has at least one valid extension w.r.t. D — i.e. whether the partial
-// assignment is satisfiable (§2).
-func Holds(q *cq.Query, d *db.Database, seed Assignment) bool {
+// assignment is satisfiable (§2). Outcomes are memoized per database
+// generation and seed.
+func Holds(q *cq.Query, d *db.Database, seed Assignment, opts ...Option) bool {
+	cfg := resolve(opts)
+	var key string
+	if !cfg.noCache {
+		key = holdsKey(fingerprint(q), seed.Key())
+		if v, ok := lookupHolds(d, key); ok {
+			return v
+		}
+	}
+	gen := d.Generation()
 	found := false
 	search(q, d, seed, func(Assignment) bool {
 		found = true
 		return false // stop at first
 	})
+	if !cfg.noCache {
+		storeHolds(d, gen, key, found)
+	}
 	return found
 }
 
 // Satisfiable reports whether the partial assignment α for Q is satisfiable
 // w.r.t. D: some extension to a total assignment is valid (§2).
-func Satisfiable(q *cq.Query, d *db.Database, partial Assignment) bool {
-	return Holds(q, d, partial)
+func Satisfiable(q *cq.Query, d *db.Database, partial Assignment, opts ...Option) bool {
+	return Holds(q, d, partial, opts...)
 }
 
 // AnswerHolds reports whether tuple t ∈ Q(D).
-func AnswerHolds(q *cq.Query, d *db.Database, t db.Tuple) bool {
+func AnswerHolds(q *cq.Query, d *db.Database, t db.Tuple, opts ...Option) bool {
 	seed, ok := PartialFromAnswer(q, t)
 	if !ok {
 		return false
 	}
-	return Holds(q, d, seed)
+	return Holds(q, d, seed, opts...)
 }
 
 // AnswerHoldsUnion reports whether t is an answer of the union over D.
-func AnswerHoldsUnion(u *cq.Union, d *db.Database, t db.Tuple) bool {
+func AnswerHoldsUnion(u *cq.Union, d *db.Database, t db.Tuple, opts ...Option) bool {
+	if r := rec(); r != nil {
+		defer r.Timer(MetricAnswerHoldsUnionSeconds)()
+	}
 	for _, q := range u.Disjuncts {
-		if AnswerHolds(q, d, t) {
+		if AnswerHolds(q, d, t, opts...) {
 			return true
 		}
 	}
 	return false
+}
+
+// sortAssignments orders assignments by their canonical key. Keys are
+// precomputed once per assignment — Assignment.Key sorts and concatenates the
+// variable bindings, so rebuilding it inside the comparator would cost
+// O(n log n) key constructions per sort.
+func sortAssignments(out []Assignment) {
+	if len(out) < 2 {
+		return
+	}
+	keys := make([]string, len(out))
+	for i, a := range out {
+		keys[i] = a.Key()
+	}
+	sort.Sort(&assignmentsByKey{asgs: out, keys: keys})
+}
+
+type assignmentsByKey struct {
+	asgs []Assignment
+	keys []string
+}
+
+func (s *assignmentsByKey) Len() int           { return len(s.asgs) }
+func (s *assignmentsByKey) Less(i, j int) bool { return s.keys[i] < s.keys[j] }
+func (s *assignmentsByKey) Swap(i, j int) {
+	s.asgs[i], s.asgs[j] = s.asgs[j], s.asgs[i]
+	s.keys[i], s.keys[j] = s.keys[j], s.keys[i]
+}
+
+// validateSeed checks the seeded inequalities and ground atoms of q under a:
+// an inequality already violated, or an atom fully grounded by the seed whose
+// fact is absent from D, prunes the whole enumeration. It reports false when
+// the seed is contradictory.
+func validateSeed(q *cq.Query, d *db.Database, a Assignment) bool {
+	for _, e := range q.Ineqs {
+		if !a.IneqHolds(e) {
+			return false
+		}
+	}
+	for _, atom := range q.Atoms {
+		f, ok := a.AtomFact(atom)
+		if !ok {
+			continue // not ground under the seed; recursion binds it
+		}
+		if !d.Has(f) {
+			return false
+		}
+	}
+	return true
 }
 
 // search enumerates all valid total assignments extending seed, invoking
@@ -148,10 +247,8 @@ func AnswerHoldsUnion(u *cq.Union, d *db.Database, t db.Tuple) bool {
 func search(q *cq.Query, d *db.Database, seed Assignment, yield func(Assignment) bool) {
 	// Validate seeded inequalities and ground atoms up front.
 	a := seed.Clone()
-	for _, e := range q.Ineqs {
-		if !a.IneqHolds(e) {
-			return
-		}
+	if !validateSeed(q, d, a) {
+		return
 	}
 	remaining := make([]int, 0, len(q.Atoms))
 	for i := range q.Atoms {

@@ -12,6 +12,13 @@ import (
 const (
 	// MetricResultSeconds is the latency of Result (full query evaluation).
 	MetricResultSeconds = "eval.result.seconds"
+	// MetricResultUnionSeconds is the latency of ResultUnion (UCQ
+	// evaluation); without it UCQ workloads would be invisible at the
+	// metrics endpoint, since only the per-disjunct Result timers fire.
+	MetricResultUnionSeconds = "eval.result_union.seconds"
+	// MetricAnswerHoldsUnionSeconds is the latency of AnswerHoldsUnion (UCQ
+	// answer membership).
+	MetricAnswerHoldsUnionSeconds = "eval.answer_holds_union.seconds"
 	// MetricWitnessSeconds is the latency of Witnesses (witness enumeration
 	// for one answer — the question-selection hot path of Algorithm 1).
 	MetricWitnessSeconds = "eval.witnesses.seconds"
@@ -20,6 +27,18 @@ const (
 	// MetricWitnessTuples is the distribution of distinct witness tuples per
 	// answer (the naive question upper bound of Figure 3a).
 	MetricWitnessTuples = "eval.witnesses.tuples"
+	// MetricCacheHits / MetricCacheMisses count lookups against the
+	// generation-stamped evaluation cache.
+	MetricCacheHits   = "eval.cache.hits"
+	MetricCacheMisses = "eval.cache.misses"
+	// MetricCacheInvalidations counts cache sections discarded because the
+	// database moved to a new edit generation.
+	MetricCacheInvalidations = "eval.cache.invalidations"
+	// MetricParallelRuns counts enumerations that ran on the partitioned
+	// parallel path; MetricParallelWorkers is the distribution of worker
+	// counts actually used.
+	MetricParallelRuns    = "eval.parallel.runs"
+	MetricParallelWorkers = "eval.parallel.workers"
 )
 
 // recorder holds the process recorder the evaluator reports into. The

@@ -1,0 +1,60 @@
+package eval
+
+import (
+	"testing"
+
+	"repro/internal/cq"
+	"repro/internal/dataset"
+	"repro/internal/db"
+	"repro/internal/obs"
+)
+
+// TestUnionMetricsRecorded pins the observability contract of the UCQ entry
+// points: ResultUnion and AnswerHoldsUnion record their own latency series
+// (previously they were invisible — only the per-disjunct Result timers
+// fired), and the per-disjunct series keeps firing alongside.
+func TestUnionMetricsRecorded(t *testing.T) {
+	r := obs.New()
+	Instrument(r)
+	defer Instrument(nil)
+
+	d, _ := dataset.Figure1()
+	u := cq.MustParseUnion("(x) :- Teams(x, EU) ; (x) :- Teams(x, SA)")
+
+	ResultUnion(u, d, NoCache())
+	if !AnswerHoldsUnion(u, d, db.Tuple{"NED"}, NoCache()) {
+		t.Fatal("(NED) should hold in the union")
+	}
+
+	snap := r.Snapshot()
+	if c := snap.Histograms[MetricResultUnionSeconds].Count; c != 1 {
+		t.Errorf("%s count = %d, want 1", MetricResultUnionSeconds, c)
+	}
+	if c := snap.Histograms[MetricAnswerHoldsUnionSeconds].Count; c != 1 {
+		t.Errorf("%s count = %d, want 1", MetricAnswerHoldsUnionSeconds, c)
+	}
+	if c := snap.Histograms[MetricResultSeconds].Count; c != 2 {
+		t.Errorf("%s count = %d, want 2 (one per disjunct)", MetricResultSeconds, c)
+	}
+}
+
+// TestCacheCounterMetricsExposed: the cache counters land in the recorder
+// under their documented names, so the server's /api/v1/metrics endpoint
+// serves them without further wiring.
+func TestCacheCounterMetricsExposed(t *testing.T) {
+	r := obs.New()
+	Instrument(r)
+	defer Instrument(nil)
+
+	d, _ := dataset.Figure1()
+	q := dataset.IntroQ1()
+	Result(q, d) // miss + store
+	Result(q, d) // hit
+
+	snap := r.Snapshot()
+	for _, name := range []string{MetricCacheHits, MetricCacheMisses} {
+		if snap.Counters[name] == 0 {
+			t.Errorf("counter %s never recorded", name)
+		}
+	}
+}

@@ -53,7 +53,7 @@ func NaiveEval(q *cq.Query, d *db.Database) []Assignment {
 		}
 	}
 	rec(0, Assignment{})
-	sort.Slice(out, func(i, j int) bool { return out[i].Key() < out[j].Key() })
+	sortAssignments(out)
 	return out
 }
 

@@ -1,0 +1,201 @@
+package experiment
+
+import (
+	"fmt"
+	"runtime"
+	"strings"
+	"time"
+
+	"repro/internal/cq"
+	"repro/internal/dataset"
+	"repro/internal/db"
+	"repro/internal/eval"
+)
+
+// EvalBenchOpts tunes the evaluation micro-benchmark figure.
+type EvalBenchOpts struct {
+	// Workers is the parallel worker count measured against serial
+	// evaluation (default 4, the acceptance point of the bench trajectory).
+	Workers int
+	// Repeats is how many timed repetitions each measurement takes the
+	// minimum of (default 5).
+	Repeats int
+	// Soccer sizes the benchmark database (default full 20 tournaments).
+	Soccer dataset.SoccerOpts
+}
+
+func (o *EvalBenchOpts) applyDefaults() {
+	if o.Workers == 0 {
+		o.Workers = 4
+	}
+	if o.Repeats == 0 {
+		o.Repeats = 5
+	}
+}
+
+// EvalBenchRow is one measured workload of the evaluation benchmark: a
+// single Soccer query, or a figure aggregate summing its member queries.
+type EvalBenchRow struct {
+	// Name is "Q1".."Q5" for per-query rows, "fig3a".."fig3c" for the
+	// figure aggregates (the workloads of Figures 3a-3c).
+	Name string `json:"name"`
+	// Queries lists the member queries of an aggregate row.
+	Queries []string `json:"queries,omitempty"`
+	// Answers is |Q(D)| (summed for aggregates).
+	Answers int `json:"answers"`
+	// ColdNS is serial evaluation with the cache bypassed; WarmNS re-reads
+	// the same unchanged database through the generation-stamped cache;
+	// ParallelNS is cache-bypassed evaluation at Workers workers.
+	ColdNS     int64 `json:"cold_ns"`
+	WarmNS     int64 `json:"warm_ns"`
+	ParallelNS int64 `json:"parallel_ns"`
+	// WarmSpeedup = cold/warm, ParallelSpeedup = cold/parallel.
+	WarmSpeedup     float64 `json:"warm_speedup"`
+	ParallelSpeedup float64 `json:"parallel_speedup"`
+	// Identical reports that cold, warm and parallel evaluation produced
+	// byte-identical answer sets.
+	Identical bool `json:"identical"`
+}
+
+// EvalBenchReport is the full benchmark output — the JSON shape of
+// BENCH_eval.json, the repo's evaluation-performance trajectory.
+type EvalBenchReport struct {
+	Facts      int            `json:"facts"`
+	Workers    int            `json:"workers"`
+	GOMAXPROCS int            `json:"gomaxprocs"`
+	// NaiveAgrees reports that the indexed evaluator matched the naive
+	// reference evaluator on every query over a reduced instance (the
+	// full-scale instance is out of the naive evaluator's reach).
+	NaiveAgrees bool           `json:"naive_agrees"`
+	Rows        []EvalBenchRow `json:"rows"`
+}
+
+// tuplesFingerprint canonicalizes an answer set for byte-identity checks.
+func tuplesFingerprint(ts []db.Tuple) string {
+	var b strings.Builder
+	for _, t := range ts {
+		b.WriteString(t.Key())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// timeEval times one evaluation configuration, returning the minimum of
+// repeats runs and the fingerprint of the (identical across runs) output.
+func timeEval(q *cq.Query, d *db.Database, repeats int, opts ...eval.Option) (time.Duration, string) {
+	best := time.Duration(-1)
+	var fp string
+	for i := 0; i < repeats; i++ {
+		start := time.Now()
+		out := eval.Result(q, d, opts...)
+		el := time.Since(start)
+		if best < 0 || el < best {
+			best = el
+		}
+		fp = tuplesFingerprint(out)
+	}
+	return best, fp
+}
+
+// EvalBench measures the evaluation engine on the Fig3 workloads (Soccer
+// Q1-Q5): cold serial evaluation, warm-cache re-evaluation of the unchanged
+// database, and parallel evaluation at opts.Workers workers, each
+// cross-checked for byte-identical output. Per-query rows are followed by
+// aggregates for the query sets of Figures 3a (Q1-Q3), 3b (Q3-Q5) and
+// 3c (Q1-Q3).
+func EvalBench(opts EvalBenchOpts) EvalBenchReport {
+	opts.applyDefaults()
+	d := dataset.Soccer(opts.Soccer)
+	queries := dataset.SoccerQueries()
+	names := []string{"Q1", "Q2", "Q3", "Q4", "Q5"}
+
+	rep := EvalBenchReport{
+		Facts:       d.Len(),
+		Workers:     opts.Workers,
+		GOMAXPROCS:  runtime.GOMAXPROCS(0),
+		NaiveAgrees: true,
+	}
+
+	// Naive cross-check on an instance the reference evaluator can handle.
+	small := dataset.Soccer(dataset.SoccerOpts{Tournaments: 2})
+	for _, q := range queries {
+		fast := tuplesFingerprint(eval.Result(q, small, eval.NoCache()))
+		slow := tuplesFingerprint(eval.NaiveResult(q, small))
+		if fast != slow {
+			rep.NaiveAgrees = false
+		}
+	}
+
+	byName := make(map[string]EvalBenchRow, len(queries))
+	for i, q := range queries {
+		cold, coldFP := timeEval(q, d, opts.Repeats, eval.NoCache())
+		// Prime the cache once, then measure pure cache reads.
+		eval.Result(q, d)
+		warm, warmFP := timeEval(q, d, opts.Repeats*4)
+		par, parFP := timeEval(q, d, opts.Repeats, eval.NoCache(), eval.Parallel(opts.Workers))
+
+		row := EvalBenchRow{
+			Name:       names[i],
+			Answers:    strings.Count(coldFP, "\n"),
+			ColdNS:     cold.Nanoseconds(),
+			WarmNS:     warm.Nanoseconds(),
+			ParallelNS: par.Nanoseconds(),
+			Identical:  coldFP == warmFP && coldFP == parFP,
+		}
+		if warm > 0 {
+			row.WarmSpeedup = float64(cold) / float64(warm)
+		}
+		if par > 0 {
+			row.ParallelSpeedup = float64(cold) / float64(par)
+		}
+		byName[row.Name] = row
+		rep.Rows = append(rep.Rows, row)
+	}
+
+	for _, fig := range []struct {
+		name    string
+		members []string
+	}{
+		{"fig3a", []string{"Q1", "Q2", "Q3"}},
+		{"fig3b", []string{"Q3", "Q4", "Q5"}},
+		{"fig3c", []string{"Q1", "Q2", "Q3"}},
+	} {
+		agg := EvalBenchRow{Name: fig.name, Queries: fig.members, Identical: true}
+		for _, m := range fig.members {
+			r := byName[m]
+			agg.Answers += r.Answers
+			agg.ColdNS += r.ColdNS
+			agg.WarmNS += r.WarmNS
+			agg.ParallelNS += r.ParallelNS
+			agg.Identical = agg.Identical && r.Identical
+		}
+		if agg.WarmNS > 0 {
+			agg.WarmSpeedup = float64(agg.ColdNS) / float64(agg.WarmNS)
+		}
+		if agg.ParallelNS > 0 {
+			agg.ParallelSpeedup = float64(agg.ColdNS) / float64(agg.ParallelNS)
+		}
+		rep.Rows = append(rep.Rows, agg)
+	}
+	return rep
+}
+
+// RenderEvalBench formats the benchmark report as an aligned text table.
+func RenderEvalBench(rep EvalBenchReport) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Evaluation benchmark — Fig3 workloads (%d facts, %d workers, GOMAXPROCS %d, naive-agrees %v)\n",
+		rep.Facts, rep.Workers, rep.GOMAXPROCS, rep.NaiveAgrees)
+	fmt.Fprintf(&b, "%-7s %8s %12s %12s %12s %9s %9s %-3s\n",
+		"name", "answers", "cold", "warm", "parallel", "warm-x", "par-x", "ok")
+	for _, r := range rep.Rows {
+		ok := "yes"
+		if !r.Identical {
+			ok = "NO"
+		}
+		fmt.Fprintf(&b, "%-7s %8d %12s %12s %12s %8.1fx %8.2fx %-3s\n",
+			r.Name, r.Answers,
+			time.Duration(r.ColdNS), time.Duration(r.WarmNS), time.Duration(r.ParallelNS),
+			r.WarmSpeedup, r.ParallelSpeedup, ok)
+	}
+	return b.String()
+}

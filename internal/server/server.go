@@ -196,6 +196,15 @@ func (s *Server) Queue() *Queue { return s.queue }
 // Obs returns the server's metrics recorder (the one behind /api/v1/metrics).
 func (s *Server) Obs() *obs.Recorder { return s.obs }
 
+// evalOpts returns the evaluation options for the server's own ad-hoc query
+// endpoints, mirroring the cleaner's Config.EvalWorkers setting.
+func (s *Server) evalOpts() []eval.Option {
+	if s.cfg.EvalWorkers == 0 || s.cfg.EvalWorkers == 1 {
+		return nil
+	}
+	return []eval.Option{eval.Parallel(s.cfg.EvalWorkers)}
+}
+
 // Close unblocks pending questions so background jobs can exit. Jobs still
 // running are NOT journaled as finished: their journal records stay open so a
 // later Recover resumes them where they stopped.
@@ -397,7 +406,7 @@ func (s *Server) v1Query(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.dbMu.RLock()
-	rows := eval.Result(q, s.d)
+	rows := eval.Result(q, s.d, s.evalOpts()...)
 	s.dbMu.RUnlock()
 	out := make([][]string, len(rows))
 	for i, t := range rows {
@@ -670,7 +679,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.dbMu.RLock()
-	rows := eval.Result(q, s.d)
+	rows := eval.Result(q, s.d, s.evalOpts()...)
 	s.dbMu.RUnlock()
 	out := make([][]string, len(rows))
 	for i, t := range rows {
