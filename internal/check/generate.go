@@ -1,0 +1,173 @@
+package check
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/cq"
+	"repro/internal/db"
+	"repro/internal/schema"
+)
+
+// Value pools. Constants start with an uppercase letter so they lex as
+// constants unquoted; the awkward pool stresses the printer/parser round
+// trip (quoting, escapes, lexer punctuation) through every layer that
+// serializes query text or journal records.
+var (
+	genVars    = []string{"x", "y", "z", "w"}
+	genConsts  = []string{"C0", "C1", "C2", "C3", "C4", "C5"}
+	genAwkward = []string{"a;b", `a\`, "A:-B", "A.", "", "v w", "'"}
+)
+
+// Generate builds the instance for a seed. The same seed always yields the
+// same instance, so a failure report's seed is a complete reproduction.
+func Generate(seed int64) *Instance {
+	rng := rand.New(rand.NewSource(seed))
+	ins := &Instance{Seed: seed}
+
+	// Schema: 2-3 relations, arity 1-3.
+	nrel := 2 + rng.Intn(2)
+	rels := make([]schema.Relation, nrel)
+	for i := range rels {
+		arity := 1 + rng.Intn(3)
+		r := schema.Relation{Name: fmt.Sprintf("R%d", i)}
+		for j := 0; j < arity; j++ {
+			r.Attrs = append(r.Attrs, fmt.Sprintf("a%d", j))
+		}
+		rels[i] = r
+	}
+	ins.Schema = schema.New(rels...)
+
+	value := func() string {
+		if rng.Intn(12) == 0 {
+			return genAwkward[rng.Intn(len(genAwkward))]
+		}
+		return genConsts[rng.Intn(len(genConsts))]
+	}
+	randFact := func() db.Fact {
+		r := rels[rng.Intn(len(rels))]
+		args := make([]string, r.Arity())
+		for i := range args {
+			args[i] = value()
+		}
+		return db.NewFact(r.Name, args...)
+	}
+
+	// Ground truth: a handful of facts per relation from a small pool so
+	// joins and collisions actually happen.
+	ins.DG = db.New(ins.Schema)
+	for i, n := 0, rng.Intn(12); i < n; i++ {
+		ins.DG.InsertFact(randFact())
+	}
+
+	// Dirty instance: drop some true facts, add some spurious ones.
+	ins.D = ins.DG.Clone()
+	for _, f := range ins.DG.Facts() {
+		if rng.Intn(4) == 0 {
+			ins.D.DeleteFact(f)
+		}
+	}
+	for i, n := 0, rng.Intn(4); i < n; i++ {
+		ins.D.InsertFact(randFact())
+	}
+
+	// Query and union.
+	ins.Query = genQuery(rng, rels, value)
+	ins.Union = &cq.Union{Disjuncts: []*cq.Query{ins.Query}}
+	for extra := rng.Intn(3); extra > 0; extra-- {
+		q := genQuery(rng, rels, value)
+		if q.Arity() == ins.Query.Arity() {
+			ins.Union.Disjuncts = append(ins.Union.Disjuncts, q)
+		}
+	}
+
+	// Edit script, including deliberate no-ops (re-inserting a present fact,
+	// deleting an absent one) so generation-counter semantics are exercised.
+	for i, n := 0, rng.Intn(10); i < n; i++ {
+		f := randFact()
+		if rng.Intn(2) == 0 {
+			ins.Edits = append(ins.Edits, db.Insertion(f))
+		} else {
+			ins.Edits = append(ins.Edits, db.Deletion(f))
+		}
+	}
+	return ins
+}
+
+// genQuery builds a random safe CQ≠ valid for the schema: every head,
+// inequality, and negated-atom variable is bound by a positive atom, and
+// head variables are distinct (the cq.Validate contract).
+func genQuery(rng *rand.Rand, rels []schema.Relation, value func() string) *cq.Query {
+	q := &cq.Query{}
+	nAtoms := 1 + rng.Intn(3)
+	for i := 0; i < nAtoms; i++ {
+		r := rels[rng.Intn(len(rels))]
+		atom := cq.Atom{Rel: r.Name}
+		for j := 0; j < r.Arity(); j++ {
+			if rng.Intn(4) == 0 {
+				atom.Args = append(atom.Args, cq.Const(value()))
+			} else {
+				atom.Args = append(atom.Args, cq.Var(genVars[rng.Intn(len(genVars))]))
+			}
+		}
+		q.Atoms = append(q.Atoms, atom)
+	}
+	bound := boundVars(q)
+	if len(bound) == 0 {
+		return q // boolean query over constants
+	}
+	// Head: a random subset of bound variables, each at most once.
+	for _, v := range bound {
+		if rng.Intn(2) == 0 {
+			q.Head = append(q.Head, cq.Var(v))
+		}
+	}
+	if len(q.Head) == 0 {
+		q.Head = append(q.Head, cq.Var(bound[0]))
+	}
+	// 0-2 inequalities: var != var or var != const.
+	for i, n := 0, rng.Intn(3); i < n; i++ {
+		l := cq.Var(bound[rng.Intn(len(bound))])
+		var r cq.Term
+		if rng.Intn(3) == 0 {
+			r = cq.Const(value())
+		} else {
+			r = cq.Var(bound[rng.Intn(len(bound))])
+		}
+		q.Ineqs = append(q.Ineqs, cq.Ineq{Left: l, Right: r})
+	}
+	// Optional safe negated atom: all variables already bound.
+	if rng.Intn(3) == 0 {
+		r := rels[rng.Intn(len(rels))]
+		atom := cq.Atom{Rel: r.Name}
+		for j := 0; j < r.Arity(); j++ {
+			if rng.Intn(3) == 0 {
+				atom.Args = append(atom.Args, cq.Const(value()))
+			} else {
+				atom.Args = append(atom.Args, cq.Var(bound[rng.Intn(len(bound))]))
+			}
+		}
+		q.Negs = append(q.Negs, atom)
+	}
+	return q
+}
+
+// boundVars lists the variables bound by positive atoms, in genVars order
+// for determinism.
+func boundVars(q *cq.Query) []string {
+	set := map[string]bool{}
+	for _, a := range q.Atoms {
+		for _, t := range a.Args {
+			if t.IsVar {
+				set[t.Name] = true
+			}
+		}
+	}
+	var out []string
+	for _, v := range genVars {
+		if set[v] {
+			out = append(out, v)
+		}
+	}
+	return out
+}

@@ -1,0 +1,151 @@
+package check
+
+import (
+	"repro/internal/cq"
+	"repro/internal/db"
+)
+
+// shrinkBudget bounds how many candidate re-runs one minimization spends;
+// the cleaner property in particular is not free to re-execute.
+const shrinkBudget = 2000
+
+// Shrink greedily minimizes a failing instance: it repeatedly tries
+// removing dirty facts, ground-truth facts, edits, union disjuncts, and
+// query atoms (repairing query safety after each removal), keeping any
+// candidate on which the property still fails. The result preserves the
+// original seed so the report stays reproducible, and is returned unchanged
+// if the instance doesn't actually fail the property.
+func Shrink(ins *Instance, prop Property) *Instance {
+	budget := shrinkBudget
+	fails := func(c *Instance) bool {
+		if budget <= 0 {
+			return false
+		}
+		budget--
+		return prop(c) != nil
+	}
+	if !fails(ins) {
+		return ins
+	}
+	cur := ins.Clone()
+	for changed := true; changed && budget > 0; {
+		changed = false
+		if shrinkFacts(cur, prop, fails, func(c *Instance) *db.Database { return c.D }) {
+			changed = true
+		}
+		if shrinkFacts(cur, prop, fails, func(c *Instance) *db.Database { return c.DG }) {
+			changed = true
+		}
+		// Drop edits.
+		for i := 0; i < len(cur.Edits); i++ {
+			cand := cur.Clone()
+			cand.Edits = append(cand.Edits[:i], cand.Edits[i+1:]...)
+			if fails(cand) {
+				cur, changed = cand, true
+				i--
+			}
+		}
+		// Drop union disjuncts (always keeping the primary query).
+		for cur.Union != nil && len(cur.Union.Disjuncts) > 1 {
+			cand := cur.Clone()
+			cand.Union.Disjuncts = cand.Union.Disjuncts[:len(cand.Union.Disjuncts)-1]
+			if !fails(cand) {
+				break
+			}
+			cur, changed = cand, true
+		}
+		// Drop query atoms, then inequalities and negated atoms.
+		for i := 0; cur.Query != nil && len(cur.Query.Atoms) > 1 && i < len(cur.Query.Atoms); i++ {
+			cand := cur.Clone()
+			cand.Query.Atoms = append(cand.Query.Atoms[:i], cand.Query.Atoms[i+1:]...)
+			repairQuery(cand.Query)
+			if cand.Union != nil {
+				cand.Union.Disjuncts[0] = cand.Query
+			}
+			if fails(cand) {
+				cur, changed = cand, true
+				i--
+			}
+		}
+		for i := 0; cur.Query != nil && i < len(cur.Query.Ineqs); i++ {
+			cand := cur.Clone()
+			cand.Query.Ineqs = append(cand.Query.Ineqs[:i], cand.Query.Ineqs[i+1:]...)
+			if cand.Union != nil {
+				cand.Union.Disjuncts[0] = cand.Query
+			}
+			if fails(cand) {
+				cur, changed = cand, true
+				i--
+			}
+		}
+		for i := 0; cur.Query != nil && i < len(cur.Query.Negs); i++ {
+			cand := cur.Clone()
+			cand.Query.Negs = append(cand.Query.Negs[:i], cand.Query.Negs[i+1:]...)
+			if cand.Union != nil {
+				cand.Union.Disjuncts[0] = cand.Query
+			}
+			if fails(cand) {
+				cur, changed = cand, true
+				i--
+			}
+		}
+	}
+	return cur
+}
+
+// shrinkFacts tries deleting each fact of the selected database.
+func shrinkFacts(cur *Instance, prop Property, fails func(*Instance) bool, sel func(*Instance) *db.Database) bool {
+	changed := false
+	facts := sortedFacts(sel(cur))
+	for _, f := range facts {
+		cand := cur.Clone()
+		sel(cand).DeleteFact(f)
+		if fails(cand) {
+			*cur = *cand
+			changed = true
+		}
+	}
+	return changed
+}
+
+// repairQuery restores safety after an atom removal: head variables,
+// inequality operands, and negated-atom variables must stay bound by the
+// remaining positive atoms.
+func repairQuery(q *cq.Query) {
+	bound := map[string]bool{}
+	for _, a := range q.Atoms {
+		for _, t := range a.Args {
+			if t.IsVar {
+				bound[t.Name] = true
+			}
+		}
+	}
+	var head []cq.Term
+	for _, t := range q.Head {
+		if !t.IsVar || bound[t.Name] {
+			head = append(head, t)
+		}
+	}
+	q.Head = head
+	var ineqs []cq.Ineq
+	for _, e := range q.Ineqs {
+		if (!e.Left.IsVar || bound[e.Left.Name]) && (!e.Right.IsVar || bound[e.Right.Name]) {
+			ineqs = append(ineqs, e)
+		}
+	}
+	q.Ineqs = ineqs
+	var negs []cq.Atom
+	for _, a := range q.Negs {
+		ok := true
+		for _, t := range a.Args {
+			if t.IsVar && !bound[t.Name] {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			negs = append(negs, a)
+		}
+	}
+	q.Negs = negs
+}

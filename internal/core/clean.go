@@ -2,6 +2,7 @@ package core
 
 import (
 	"context"
+	"errors"
 	"sort"
 	"sync"
 
@@ -103,10 +104,10 @@ func (c *Cleaner) Clean(ctx context.Context, q *cq.Query) (*Report, error) {
 				est.Observe(t.Key())
 				r.MissingAnswers++
 				err := c.addMissingAnswer(ctx, r, q, t)
-				switch err {
-				case nil:
+				switch {
+				case err == nil:
 					verified[t.Key()] = true
-				case ErrCannotComplete:
+				case errors.Is(err, ErrCannotComplete):
 					failedInsert[t.Key()] = true
 				default:
 					stopInsert()
@@ -288,7 +289,7 @@ func (c *Cleaner) CleanUnion(ctx context.Context, u *cq.Union) (*Report, error) 
 				return finish(err)
 			}
 			cur := eval.ResultUnion(u, c.d, c.evalOpts()...)
-			t, ok := c.completeResultUnion(ctx, u, cur)
+			t, proposer, ok := c.completeResultUnion(ctx, u, cur)
 			if err := ctx.Err(); err != nil {
 				stopInsert()
 				return finish(err)
@@ -305,17 +306,33 @@ func (c *Cleaner) CleanUnion(ctx context.Context, u *cq.Union) (*Report, error) 
 			}
 			est.Observe(t.Key())
 			r.MissingAnswers++
+			// Insert t through the disjunct that proposed it first:
+			// CompleteResult guarantees t ∈ q(DG) for the proposer, which is
+			// the precondition for Algorithm 2's unasked ground-atom inserts.
+			// Any other disjunct must be confirmed with TRUE(Q, t)? before
+			// addMissingAnswer runs, or the shortcut would insert facts
+			// outside DG when t is an answer of the union but not of q
+			// (corrupting D instead of converging it).
 			inserted := false
-			for _, q := range u.Disjuncts {
+			for off := 0; off < len(u.Disjuncts); off++ {
+				i := (proposer + off) % len(u.Disjuncts)
+				q := u.Disjuncts[i]
 				if len(t) != q.Arity() {
 					continue
+				}
+				if i != proposer && !c.oracle.VerifyAnswer(ctx, q, t) {
+					continue
+				}
+				if err := ctx.Err(); err != nil {
+					stopInsert()
+					return finish(err)
 				}
 				err := c.addMissingAnswer(ctx, r, q, t)
 				if err == nil {
 					inserted = true
 					break
 				}
-				if err != ErrCannotComplete {
+				if !errors.Is(err, ErrCannotComplete) {
 					stopInsert()
 					return finish(err)
 				}
@@ -335,12 +352,15 @@ func (c *Cleaner) CleanUnion(ctx context.Context, u *cq.Union) (*Report, error) 
 }
 
 // completeResultUnion asks COMPL over the union: each disjunct is probed for
-// a missing answer against the union's current result.
-func (c *Cleaner) completeResultUnion(ctx context.Context, u *cq.Union, current []db.Tuple) (db.Tuple, bool) {
-	for _, q := range u.Disjuncts {
+// a missing answer against the union's current result. The index of the
+// proposing disjunct is returned with the tuple — CompleteResult's contract
+// puts t in that disjunct's ground-truth result, which the insertion path
+// relies on.
+func (c *Cleaner) completeResultUnion(ctx context.Context, u *cq.Union, current []db.Tuple) (db.Tuple, int, bool) {
+	for i, q := range u.Disjuncts {
 		if t, ok := c.oracle.CompleteResult(ctx, q, current); ok {
-			return t, true
+			return t, i, true
 		}
 	}
-	return nil, false
+	return nil, 0, false
 }

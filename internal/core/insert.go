@@ -2,6 +2,7 @@ package core
 
 import (
 	"context"
+	"errors"
 	"sort"
 
 	"repro/internal/cq"
@@ -26,6 +27,13 @@ func (c *Cleaner) AddMissingAnswer(ctx context.Context, q *cq.Query, t db.Tuple)
 func (c *Cleaner) addMissingAnswer(ctx context.Context, r *Report, q *cq.Query, t db.Tuple) error {
 	qt, err := q.Embed(t)
 	if err != nil {
+		if errors.Is(err, cq.ErrUnsatisfiableAnswer) {
+			// t can never be an answer of this query (it grounds an
+			// inequality to equal constants, or conflicts with the head):
+			// no crowd work can complete it. CleanUnion relies on this to
+			// fall through to the next disjunct instead of aborting.
+			return ErrCannotComplete
+		}
 		return err
 	}
 	if c.cfg.MinimizeQueries {

@@ -41,7 +41,11 @@ func (t Term) String() string {
 		return t.Name
 	}
 	if needsQuote(t.Name) {
-		return "'" + strings.ReplaceAll(t.Name, "'", "\\'") + "'"
+		// Escape backslashes before quotes: a value ending in '\' must not
+		// render as `'...\'`, which would escape the closing quote.
+		escaped := strings.ReplaceAll(t.Name, `\`, `\\`)
+		escaped = strings.ReplaceAll(escaped, "'", `\'`)
+		return "'" + escaped + "'"
 	}
 	return t.Name
 }
@@ -62,6 +66,12 @@ func needsQuote(v string) bool {
 		default:
 			return true
 		}
+	}
+	// The characters are individually safe, but the lexer would still not
+	// re-lex the value as one identifier: ":-" lexes as the implies token and
+	// a trailing '.' as the query terminator.
+	if strings.Contains(v, ":-") || strings.HasSuffix(v, ".") {
+		return true
 	}
 	return false
 }
@@ -171,6 +181,37 @@ func (q *Query) Clone() *Query {
 		out.Negs[i] = a.Clone()
 	}
 	return out
+}
+
+// Equal reports structural equality: same name, head, atoms, inequalities
+// and negated atoms, in the same order. It is the identity the parser/printer
+// round-trip preserves: Parse(q.String()) is Equal to q.
+func (q *Query) Equal(o *Query) bool {
+	if q.Name != o.Name || len(q.Head) != len(o.Head) ||
+		len(q.Atoms) != len(o.Atoms) || len(q.Ineqs) != len(o.Ineqs) || len(q.Negs) != len(o.Negs) {
+		return false
+	}
+	for i := range q.Head {
+		if q.Head[i] != o.Head[i] {
+			return false
+		}
+	}
+	for i := range q.Atoms {
+		if !q.Atoms[i].Equal(o.Atoms[i]) {
+			return false
+		}
+	}
+	for i := range q.Ineqs {
+		if q.Ineqs[i] != o.Ineqs[i] {
+			return false
+		}
+	}
+	for i := range q.Negs {
+		if !q.Negs[i].Equal(o.Negs[i]) {
+			return false
+		}
+	}
+	return true
 }
 
 // Vars returns the sorted variable names of body(Q) — the paper's Var(Q).
@@ -349,6 +390,19 @@ func NewUnion(qs ...*Query) (*Union, error) {
 
 // Arity returns the common head arity.
 func (u *Union) Arity() int { return u.Disjuncts[0].Arity() }
+
+// Equal reports structural equality of unions (same disjuncts, same order).
+func (u *Union) Equal(o *Union) bool {
+	if len(u.Disjuncts) != len(o.Disjuncts) {
+		return false
+	}
+	for i := range u.Disjuncts {
+		if !u.Disjuncts[i].Equal(o.Disjuncts[i]) {
+			return false
+		}
+	}
+	return true
+}
 
 // Validate validates every disjunct.
 func (u *Union) Validate(s *schema.Schema) error {

@@ -5,7 +5,10 @@ import (
 )
 
 // FuzzParse feeds arbitrary strings to the query parser: it must never panic,
-// and any successfully parsed query must round-trip through String/Parse.
+// and any successfully parsed query must round-trip through String/Parse —
+// reparsing yields a structurally identical query and a stable rendering.
+// This target found the printer escaping bugs fixed in Term.String/needsQuote
+// (see roundtrip_test.go for the minimized regressions).
 func FuzzParse(f *testing.F) {
 	seeds := []string{
 		"(x) :- Games(d1, x, y, Final, u1), Games(d2, x, z, Final, u2), Teams(x, EU), d1 != d2.",
@@ -15,6 +18,13 @@ func FuzzParse(f *testing.F) {
 		"(x) :- R(x, y), x ≠ y",
 		"(x :- R(x",
 		"", ")(", "not not not", "(x) :- 'R'(x)",
+		`() :- R('a\\')`,
+		`() :- R('a\'b')`,
+		"() :- R('A:-B')",
+		"() :- R('A.')",
+		"() :- R('.')",
+		"(x) :- R(x, '')",
+		"(x) :- R(x), 'C' != x.",
 	}
 	for _, s := range seeds {
 		f.Add(s)
@@ -29,17 +39,29 @@ func FuzzParse(f *testing.F) {
 		if err != nil {
 			t.Fatalf("round trip of %q failed to reparse %q: %v", input, text, err)
 		}
+		if !q2.Equal(q) {
+			t.Fatalf("round trip changed structure: %q -> %q", text, q2.String())
+		}
 		if q2.String() != text {
 			t.Fatalf("round trip not stable: %q -> %q", text, q2.String())
 		}
 	})
 }
 
-// FuzzParseUnion fuzzes the union splitter.
+// FuzzParseUnion fuzzes the union splitter: splitTop's quote/escape handling
+// must agree with the printer, so any parsed union round-trips through
+// String/ParseUnion structurally unchanged.
 func FuzzParseUnion(f *testing.F) {
-	f.Add("(x) :- R(x) ; (x) :- S(x)")
-	f.Add("(x) :- R(x, 'a;b')")
-	f.Add(";;;")
+	seeds := []string{
+		"(x) :- R(x) ; (x) :- S(x)",
+		"(x) :- R(x, 'a;b')",
+		"(x) :- R(x, 'a\\';b') ; (x) :- S(x)",
+		";;;",
+		"(x) :- R(x, \"d;e\") ; (x) :- S(x)",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
 	f.Fuzz(func(t *testing.T, input string) {
 		u, err := ParseUnion(input)
 		if err != nil {
@@ -47,6 +69,14 @@ func FuzzParseUnion(f *testing.F) {
 		}
 		if len(u.Disjuncts) == 0 {
 			t.Fatalf("union with zero disjuncts accepted: %q", input)
+		}
+		text := u.String()
+		u2, err := ParseUnion(text)
+		if err != nil {
+			t.Fatalf("union round trip of %q failed to reparse %q: %v", input, text, err)
+		}
+		if !u2.Equal(u) {
+			t.Fatalf("union round trip changed structure: %q -> %q", text, u2.String())
 		}
 	})
 }

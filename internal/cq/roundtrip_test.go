@@ -1,0 +1,108 @@
+package cq
+
+import (
+	"strings"
+	"testing"
+)
+
+// Minimized counterexamples found by FuzzParse and the check harness's
+// generated round-trip property: constants whose printed form either escaped
+// the closing quote (backslashes) or re-lexed as punctuation (":-", trailing
+// '.'). Each case used to fail Parse(q.String()).
+func TestRoundTripRegressions(t *testing.T) {
+	cases := []struct {
+		name  string
+		value string // constant value placed in R(·)
+	}{
+		{"trailing-backslash", `a\`},
+		{"backslash-quote", `a\'b`},
+		{"double-backslash", `a\\b`},
+		{"implies-infix", "A:-B"},
+		{"trailing-dot", "A."},
+		{"lone-dot", "."},
+		{"double-dot", ".."},
+		{"quote-only", "'"},
+		{"backslash-only", `\`},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			q := &Query{Atoms: []Atom{{Rel: "R", Args: []Term{Const(c.value)}}}}
+			text := q.String()
+			q2, err := Parse(text)
+			if err != nil {
+				t.Fatalf("Parse(%q): %v", text, err)
+			}
+			if !q2.Equal(q) {
+				t.Fatalf("round trip changed the query: %q -> %q", text, q2.String())
+			}
+			if q2.String() != text {
+				t.Fatalf("printing not stable: %q -> %q", text, q2.String())
+			}
+		})
+	}
+}
+
+// TestRoundTripRegressionHeadAndIneq covers the same values in head and
+// inequality position, where the old printer produced the same broken text.
+func TestRoundTripRegressionHeadAndIneq(t *testing.T) {
+	q := &Query{
+		Head:  []Term{Const(`C\`), Var("x")},
+		Atoms: []Atom{{Rel: "R", Args: []Term{Var("x"), Const("A.")}}},
+		Ineqs: []Ineq{{Left: Var("x"), Right: Const(`v:-w`)}},
+	}
+	text := q.String()
+	q2, err := Parse(text)
+	if err != nil {
+		t.Fatalf("Parse(%q): %v", text, err)
+	}
+	if !q2.Equal(q) {
+		t.Fatalf("round trip changed the query: %q -> %q", text, q2.String())
+	}
+}
+
+// TestSplitTopQuoteHandling: the union splitter must agree with the printer's
+// escaping — a quoted constant containing ';' or an escaped quote must not
+// split the union.
+func TestSplitTopQuoteHandling(t *testing.T) {
+	q := &Query{
+		Head:  []Term{Var("x")},
+		Atoms: []Atom{{Rel: "R", Args: []Term{Var("x"), Const(`a;b`)}}},
+	}
+	q2 := &Query{
+		Head:  []Term{Var("x")},
+		Atoms: []Atom{{Rel: "S", Args: []Term{Var("x"), Const(`c\';d`)}}},
+	}
+	u := &Union{Disjuncts: []*Query{q, q2}}
+	text := u.String()
+	if got := len(splitTop(text, ';')); got != 2 {
+		t.Fatalf("splitTop(%q) produced %d parts, want 2", text, got)
+	}
+	u2, err := ParseUnion(text)
+	if err != nil {
+		t.Fatalf("ParseUnion(%q): %v", text, err)
+	}
+	if !u2.Equal(u) {
+		t.Fatalf("union round trip changed: %q -> %q", text, u2.String())
+	}
+}
+
+// TestParseNoPanicOnMalformed feeds the lexer's hostile corners directly;
+// these inputs must produce errors, never panics or hangs.
+func TestParseNoPanicOnMalformed(t *testing.T) {
+	inputs := []string{
+		"", ")", "(", "(x", "(x)", "(x) :-", "(x) :- ", "(x) :- R(",
+		"(x) :- R(x", "(x) :- R(x,", "(x) :- R(x))",
+		"(x) :- R('unterminated", `(x) :- R('esc\`, "(x) :- R(x) extra",
+		"(x) :- x !", "(x) :- x ! y", "(x) :- :", "(x) :- ::-",
+		"\xff\xfe", "(\xff) :- R(\xff)", "(x) :- R(\x00)",
+		"not", "not not", "(x) :- not", "(x) :- not x != y",
+		"(x) :- 'R'(x)", "(x) :- R(x).trailing",
+		strings.Repeat("(", 10000), strings.Repeat("R(x),", 10000),
+	}
+	for _, in := range inputs {
+		q, err := Parse(in)
+		if err == nil && q == nil {
+			t.Fatalf("Parse(%q) returned nil query and nil error", in)
+		}
+	}
+}

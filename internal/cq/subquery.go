@@ -1,10 +1,18 @@
 package cq
 
 import (
+	"errors"
 	"fmt"
 
 	"repro/internal/db"
 )
+
+// ErrUnsatisfiableAnswer marks Embed failures where the tuple can never be
+// an answer of the query — it grounds an inequality to equal constants,
+// binds a repeated head variable inconsistently, or contradicts a head
+// constant. Callers iterating over union disjuncts match it with errors.Is
+// to skip the disjunct instead of aborting.
+var ErrUnsatisfiableAnswer = errors.New("cq: tuple cannot be an answer of the query")
 
 // Embed builds the query Q|t of §5: the body is t(body(Q)) — every head
 // variable replaced by the corresponding constant of the (missing) answer t —
@@ -21,11 +29,11 @@ func (q *Query) Embed(t db.Tuple) (*Query, error) {
 			if prev, ok := subst[h.Name]; ok && prev != t[i] {
 				// Repeated head variable bound to two different constants:
 				// t cannot be an answer of Q at all.
-				return nil, fmt.Errorf("cq: answer %v binds head variable %s to both %q and %q", t, h.Name, prev, t[i])
+				return nil, fmt.Errorf("%w: answer %v binds head variable %s to both %q and %q", ErrUnsatisfiableAnswer, t, h.Name, prev, t[i])
 			}
 			subst[h.Name] = t[i]
 		} else if h.Name != t[i] {
-			return nil, fmt.Errorf("cq: answer %v conflicts with head constant %q", t, h.Name)
+			return nil, fmt.Errorf("%w: answer %v conflicts with head constant %q", ErrUnsatisfiableAnswer, t, h.Name)
 		}
 	}
 	out := &Query{Name: q.Name}
@@ -68,7 +76,7 @@ func (q *Query) Embed(t db.Tuple) (*Query, error) {
 			// ground inequality is vacuous, a false one makes Q|t
 			// unsatisfiable, which Validate/eval will surface.
 			if ne.Left.Name == ne.Right.Name {
-				return nil, fmt.Errorf("cq: answer %v violates inequality %s", t, e)
+				return nil, fmt.Errorf("%w: answer %v violates inequality %s", ErrUnsatisfiableAnswer, t, e)
 			}
 			continue
 		}

@@ -8,9 +8,10 @@ package server
 
 import (
 	"context"
-	"encoding/json"
 	"fmt"
 	"sort"
+	"strconv"
+	"strings"
 	"sync"
 	"time"
 
@@ -105,21 +106,163 @@ type Journal interface {
 // (ID, job, attempt) — as a canonical string. Identical questions asked by a
 // deterministic re-run of the same job produce identical keys, which is what
 // lets a recovery journal match recorded answers to re-asked questions.
+//
+// The encoding is length-prefixed and injective: two questions share a key
+// exactly when their kind and payloads are equal (nil and empty collections
+// are deliberately identified — they ask the same crowd question). It uses no
+// encoding/json and no map iteration, so it is byte-stable across Go versions
+// and distinguishes payloads json.Marshal would conflate by replacing invalid
+// UTF-8 with U+FFFD. parseQuestionKey inverts it.
 func QuestionKey(qu *Question) string {
-	k := struct {
-		Kind    QuestionKind      `json:"kind"`
-		Fact    []string          `json:"fact,omitempty"`
-		Query   string            `json:"query,omitempty"`
-		Tuple   []string          `json:"tuple,omitempty"`
-		Partial map[string]string `json:"partial,omitempty"`
-		Unbound []string          `json:"unbound,omitempty"`
-		Current [][]string        `json:"current,omitempty"`
-	}{qu.Kind, qu.Fact, qu.Query, qu.Tuple, qu.Partial, qu.Unbound, qu.Current}
-	raw, err := json.Marshal(k) // deterministic: map keys marshal sorted
-	if err != nil {
-		panic(fmt.Sprintf("server: encoding question key: %v", err))
+	var b strings.Builder
+	encStr := func(s string) {
+		b.WriteString(strconv.Itoa(len(s)))
+		b.WriteByte(':')
+		b.WriteString(s)
 	}
-	return string(raw)
+	encList := func(xs []string) {
+		b.WriteString(strconv.Itoa(len(xs)))
+		b.WriteByte(';')
+		for _, x := range xs {
+			encStr(x)
+		}
+	}
+	b.WriteString(questionKeyVersion)
+	encStr(string(qu.Kind))
+	encList(qu.Fact)
+	encStr(qu.Query)
+	encList(qu.Tuple)
+	keys := make([]string, 0, len(qu.Partial))
+	for k := range qu.Partial {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	b.WriteString(strconv.Itoa(len(keys)))
+	b.WriteByte(';')
+	for _, k := range keys {
+		encStr(k)
+		encStr(qu.Partial[k])
+	}
+	encList(qu.Unbound)
+	b.WriteString(strconv.Itoa(len(qu.Current)))
+	b.WriteByte(';')
+	for _, row := range qu.Current {
+		encList(row)
+	}
+	return b.String()
+}
+
+// questionKeyVersion prefixes every key so a journal written under a
+// different encoding can never be mistaken for the current one.
+const questionKeyVersion = "qk1\x00"
+
+// parseQuestionKey decodes a QuestionKey back into the payload fields it
+// encodes. It is the harness-facing inverse used by FuzzQuestionKeyRoundTrip
+// to prove the encoding injective; empty collections decode as nil.
+func parseQuestionKey(key string) (*Question, error) {
+	rest, ok := strings.CutPrefix(key, questionKeyVersion)
+	if !ok {
+		return nil, fmt.Errorf("server: question key lacks %q version prefix", questionKeyVersion[:3])
+	}
+	p := &keyParser{rest: rest}
+	qu := &Question{}
+	qu.Kind = QuestionKind(p.str())
+	qu.Fact = p.list()
+	qu.Query = p.str()
+	qu.Tuple = p.list()
+	if n := p.count(); n > 0 {
+		qu.Partial = make(map[string]string, n)
+		prev := ""
+		for i := 0; i < n; i++ {
+			k := p.str()
+			if p.err == nil && i > 0 && k <= prev {
+				p.fail("partial keys not strictly sorted")
+			}
+			prev = k
+			qu.Partial[k] = p.str()
+		}
+	}
+	qu.Unbound = p.list()
+	if n := p.count(); n > 0 {
+		qu.Current = make([][]string, n)
+		for i := range qu.Current {
+			qu.Current[i] = p.list()
+			if qu.Current[i] == nil {
+				qu.Current[i] = []string{}
+			}
+		}
+	}
+	if p.err != nil {
+		return nil, p.err
+	}
+	if p.rest != "" {
+		return nil, fmt.Errorf("server: question key has %d trailing bytes", len(p.rest))
+	}
+	return qu, nil
+}
+
+// keyParser consumes the length-prefixed question-key grammar. The first
+// malformed token latches err and every later read returns zero values.
+type keyParser struct {
+	rest string
+	err  error
+}
+
+func (p *keyParser) fail(msg string) {
+	if p.err == nil {
+		p.err = fmt.Errorf("server: malformed question key: %s", msg)
+	}
+}
+
+// num reads a decimal count up to the delimiter sep (':' for strings, ';'
+// for collections).
+func (p *keyParser) num(sep byte) int {
+	if p.err != nil {
+		return 0
+	}
+	i := strings.IndexByte(p.rest, sep)
+	if i < 0 {
+		p.fail("missing length delimiter")
+		return 0
+	}
+	n, err := strconv.Atoi(p.rest[:i])
+	if err != nil || n < 0 || p.rest[:i] != strconv.Itoa(n) {
+		p.fail("bad length")
+		return 0
+	}
+	p.rest = p.rest[i+1:]
+	return n
+}
+
+func (p *keyParser) str() string {
+	n := p.num(':')
+	if p.err != nil {
+		return ""
+	}
+	if n > len(p.rest) {
+		p.fail("string length past end of key")
+		return ""
+	}
+	s := p.rest[:n]
+	p.rest = p.rest[n:]
+	return s
+}
+
+func (p *keyParser) count() int { return p.num(';') }
+
+func (p *keyParser) list() []string {
+	n := p.count()
+	if p.err != nil || n == 0 {
+		return nil
+	}
+	xs := make([]string, 0, n)
+	for i := 0; i < n; i++ {
+		xs = append(xs, p.str())
+	}
+	if p.err != nil {
+		return nil
+	}
+	return xs
 }
 
 // jobCtxKey carries the asking job's ID through the context so questions can

@@ -119,12 +119,49 @@ func Open(dir string, s *schema.Schema) (*Store, error) {
 	return &Store{dir: dir, d: d, journal: j, w: bufio.NewWriter(j)}, nil
 }
 
+// ErrCorrupt is the sentinel matched (via errors.Is) by every journal
+// corruption error: a record that cannot be the result of a crash mid-append
+// and must not be silently dropped. Callers distinguish it from I/O errors to
+// decide between "restore from backup" and "retry".
+var ErrCorrupt = errors.New("wal: corrupt journal")
+
+// CorruptError reports a corrupt journal record: where it sits and why it was
+// rejected. It matches ErrCorrupt under errors.Is and unwraps to the decode
+// or replay failure.
+type CorruptError struct {
+	Path string // journal file
+	Line int    // 1-based line number of the rejected record
+	Err  error  // the underlying decode/replay failure
+}
+
+func (e *CorruptError) Error() string {
+	return fmt.Sprintf("wal: corrupt journal record at %s:%d: %v", e.Path, e.Line, e.Err)
+}
+
+func (e *CorruptError) Unwrap() error { return e.Err }
+
+// Is makes errors.Is(err, ErrCorrupt) succeed for CorruptError values.
+func (e *CorruptError) Is(target error) bool { return target == ErrCorrupt }
+
+// tornCandidate reports whether a record decode failure could have been
+// produced by a crash mid-append. A torn write leaves a strict prefix of one
+// JSON line, and no prefix of a JSON object is itself valid JSON — so only
+// JSON syntax errors qualify. A record that decodes as JSON but carries an
+// invalid payload (unknown op, wrong field types) is corruption wherever it
+// sits, including the last line.
+func tornCandidate(err error) bool {
+	var syn *json.SyntaxError
+	return errors.As(err, &syn)
+}
+
 // scanJournal streams the JSONL journal at path into fn, tolerating a torn
-// final line (crash mid-append): a record that fails to decode is held back
-// one iteration, and only if more records follow is it corruption — a
-// malformed last line is reported as a torn tail instead, counted under
-// MetricTornTails, and otherwise ignored. A missing file is an empty journal.
-// decode errors returned by fn abort the scan.
+// final line (crash mid-append): a record that fails to decode with a JSON
+// syntax error is held back one iteration, and only if more records follow is
+// it corruption — a syntactically malformed last line is reported as a torn
+// tail instead, counted under MetricTornTails, and otherwise ignored. Decode
+// failures that cannot result from tearing (valid JSON with an invalid
+// payload, or a fatalReplayError from fn) surface as *CorruptError in any
+// position. A missing file is an empty journal.
 func scanJournal(path string, fn func(line []byte) error) (torn bool, err error) {
 	f, err := os.Open(path)
 	if os.IsNotExist(err) {
@@ -137,11 +174,14 @@ func scanJournal(path string, fn func(line []byte) error) (torn bool, err error)
 	sc := bufio.NewScanner(f)
 	sc.Buffer(make([]byte, 0, 1<<16), 1<<22)
 	var lastErr error
+	lastLine := 0
+	lineNo := 0
 	for sc.Scan() {
+		lineNo++
 		if lastErr != nil {
 			// A malformed record followed by more records is corruption, not
 			// a torn tail.
-			return false, fmt.Errorf("wal: corrupt journal record: %w", lastErr)
+			return false, &CorruptError{Path: path, Line: lastLine, Err: lastErr}
 		}
 		line := sc.Bytes()
 		if len(line) == 0 {
@@ -152,9 +192,13 @@ func scanJournal(path string, fn func(line []byte) error) (torn bool, err error)
 			if errors.As(err, &fatal) {
 				// The record itself was intact; the failure is not a torn
 				// tail even in last position.
-				return false, fatal.err
+				return false, &CorruptError{Path: path, Line: lineNo, Err: fatal.err}
+			}
+			if !tornCandidate(err) {
+				return false, &CorruptError{Path: path, Line: lineNo, Err: err}
 			}
 			lastErr = err
+			lastLine = lineNo
 		}
 	}
 	if err := sc.Err(); err != nil {
