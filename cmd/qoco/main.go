@@ -17,6 +17,7 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -30,6 +31,7 @@ import (
 	"repro/internal/eval"
 	"repro/internal/schema"
 	"repro/internal/sqlfe"
+	"repro/internal/storecfg"
 )
 
 func main() {
@@ -47,11 +49,23 @@ func run() error {
 	sqlText := flag.String("sql", "", "query to clean, as a SELECT statement (alternative to -query)")
 	oracleKind := flag.String("oracle", "human", "oracle: human (stdin) or perfect (built-in ground truth)")
 	transcript := flag.Bool("transcript", false, "log every crowd question and answer to stderr")
+	dbinfo := flag.Bool("dbinfo", false, "print the fact store's stats (backend, relations, shards, disk bytes) as JSON and exit")
+	scfg := storecfg.Register(flag.CommandLine)
 	flag.Parse()
 
-	d, dg, defQuery, err := loadDatabase(*ds, *dataFile, *schemaSpec)
+	seed, dg, defQuery, err := loadDatabase(*ds, *dataFile, *schemaSpec)
 	if err != nil {
 		return err
+	}
+	d, err := scfg.Materialize(seed)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	if *dbinfo {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(d.Stats())
 	}
 	var q *cq.Query
 	switch {
@@ -118,7 +132,7 @@ func run() error {
 	s := report.Crowd
 	fmt.Printf("Crowd work: %d closed answers, %d variables filled (total %d)\n",
 		s.Closed(), s.VariablesFilled, s.Total())
-	return nil
+	return d.Sync()
 }
 
 // loadDatabase resolves the dataset flags into a dirty database, an optional

@@ -24,6 +24,7 @@ import (
 
 	"repro/internal/dataset"
 	"repro/internal/experiment"
+	"repro/internal/storecfg"
 )
 
 func main() {
@@ -36,6 +37,7 @@ func main() {
 	overloadDur := flag.Duration("overload-duration", 2*time.Second, "load duration per rate point of the overload sweep")
 	jsonOut := flag.Bool("json", false, "overload: emit JSON to stdout; eval: write BENCH_eval.json")
 	parallel := flag.Int("parallel", 4, "eval-benchmark worker count measured against serial evaluation")
+	scfg := storecfg.Register(flag.CommandLine)
 	flag.Parse()
 
 	cfg := experiment.Config{
@@ -115,7 +117,12 @@ func main() {
 	// -json it records the run into BENCH_eval.json, the repo's evaluation
 	// performance trajectory.
 	if *fig == "eval" {
-		rep := experiment.EvalBench(experiment.EvalBenchOpts{Workers: *parallel, Soccer: cfg.Soccer})
+		rep := experiment.EvalBench(experiment.EvalBenchOpts{
+			Workers:     *parallel,
+			Soccer:      cfg.Soccer,
+			StoreDir:    scfg.Dir,
+			StoreShards: scfg.Shards,
+		})
 		if *jsonOut {
 			f, err := os.Create("BENCH_eval.json")
 			if err != nil {

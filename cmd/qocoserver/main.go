@@ -49,6 +49,7 @@ import (
 	"repro/internal/db"
 	"repro/internal/eval"
 	"repro/internal/server"
+	"repro/internal/storecfg"
 	"repro/internal/wal"
 )
 
@@ -102,12 +103,18 @@ func run() error {
 		"resolved crowd questions retained at /api/v1/questions/log (0 disables)")
 	evalWorkers := flag.Int("eval-workers", 1,
 		"query-evaluation parallelism: top-level scans are partitioned across this many goroutines (1 = serial, -1 = GOMAXPROCS)")
+	scfg := storecfg.Register(flag.CommandLine)
 	flag.Parse()
 
-	d, dg, err := loadDataset(*ds)
+	seed, dg, err := loadDataset(*ds)
 	if err != nil {
 		return err
 	}
+	d, err := scfg.Materialize(seed)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
 
 	srv := server.New(d, core.Config{EvalWorkers: *evalWorkers})
 	// Route evaluator and wal metrics (witness enumeration latencies, torn-tail
@@ -168,7 +175,8 @@ func run() error {
 	errCh := make(chan error, 1)
 	go func() { errCh <- httpSrv.ListenAndServe() }()
 
-	log.Printf("QOCO crowd console on http://localhost%s/ (dataset %s, %d tuples)", *addr, *ds, d.Len())
+	st := d.Stats()
+	log.Printf("QOCO crowd console on http://localhost%s/ (dataset %s, %d tuples, %s store)", *addr, *ds, d.Len(), st.Backend)
 	if dg != nil {
 		log.Printf("ground truth loaded: %d tuples (the crowd is expected to know it)", dg.Len())
 	}

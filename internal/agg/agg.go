@@ -96,7 +96,7 @@ type Group struct {
 // Eval computes the aggregate over the database. Groups are ordered by key.
 // SUM/MIN/MAX require numeric values of the aggregated variable; non-numeric
 // values are an error.
-func Eval(q *Query, d *db.Database) ([]Group, error) {
+func Eval(q *Query, d db.Reader) ([]Group, error) {
 	values := make(map[string]map[string]bool) // group key -> distinct of-values
 	keys := make(map[string]db.Tuple)
 	for _, a := range eval.Eval(q.Body, d) {
@@ -151,7 +151,7 @@ func Eval(q *Query, d *db.Database) ([]Group, error) {
 
 // GroupValue returns the aggregate for one group (0, false if the group is
 // empty/absent).
-func GroupValue(q *Query, d *db.Database, group db.Tuple) (float64, bool, error) {
+func GroupValue(q *Query, d db.Reader, group db.Tuple) (float64, bool, error) {
 	gs, err := Eval(q, d)
 	if err != nil {
 		return 0, false, err
@@ -167,7 +167,7 @@ func GroupValue(q *Query, d *db.Database, group db.Tuple) (float64, bool, error)
 // Diff compares the aggregate over two databases and returns the group keys
 // whose values differ (including groups present in only one side), ordered.
 // Experiment harnesses use it with the ground truth to locate wrong groups.
-func Diff(q *Query, d, dg *db.Database) ([]db.Tuple, error) {
+func Diff(q *Query, d, dg db.Reader) ([]db.Tuple, error) {
 	a, err := Eval(q, d)
 	if err != nil {
 		return nil, err

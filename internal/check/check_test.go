@@ -87,13 +87,13 @@ func TestHittingDifferential(t *testing.T) {
 // systems whose minimal hitting sets tie.
 func TestHittingDegenerate(t *testing.T) {
 	cases := [][][]string{
-		{},                             // empty system: empty set hits vacuously
-		{{"a"}},                        // one singleton
-		{{"a"}, {"a"}},                 // duplicate singleton sets
-		{{"a", "b"}, {"a", "b"}},       // duplicate non-singletons: two minimal sets
-		{{"a"}, {"b"}, {"a", "b"}},     // singletons dominate the third set
-		{{"a", "a", "a"}},              // duplicates within one set
-		{{"a"}, {"a", "b"}, {"b"}},     // singleton union is the unique minimal
+		{},                                   // empty system: empty set hits vacuously
+		{{"a"}},                              // one singleton
+		{{"a"}, {"a"}},                       // duplicate singleton sets
+		{{"a", "b"}, {"a", "b"}},             // duplicate non-singletons: two minimal sets
+		{{"a"}, {"b"}, {"a", "b"}},           // singletons dominate the third set
+		{{"a", "a", "a"}},                    // duplicates within one set
+		{{"a"}, {"a", "b"}, {"b"}},           // singleton union is the unique minimal
 		{{"a", "b"}, {"b", "c"}, {"c", "a"}}, // 3-cycle: three minimal 2-sets
 	}
 	for i, sets := range cases {

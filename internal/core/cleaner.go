@@ -272,7 +272,7 @@ type Progress struct {
 // Cleaner drives QOCO over one database instance.
 type Cleaner struct {
 	cfg    Config
-	d      *db.Database
+	d      db.Store
 	oracle *crowd.Counting
 	raw    crowd.Oracle // the unwrapped oracle, for Degrader sampling
 
@@ -292,9 +292,11 @@ type factWait struct {
 	ok   bool // false when the asker was cancelled: the answer is a default
 }
 
-// New builds a Cleaner over the database with the given oracle and config.
-// The database is mutated in place by the cleaning methods.
-func New(d *db.Database, oracle crowd.Oracle, cfg Config) *Cleaner {
+// New builds a Cleaner over the store with the given oracle and config.
+// The store is mutated in place by the cleaning methods. Any db.Store
+// backend works; callers passing the historical *db.Database keep compiling
+// unchanged.
+func New(d db.Store, oracle crowd.Oracle, cfg Config) *Cleaner {
 	cfg.applyDefaults()
 	counting := crowd.NewCounting(oracle)
 	counting.Obs = cfg.Obs
@@ -310,8 +312,14 @@ func New(d *db.Database, oracle crowd.Oracle, cfg Config) *Cleaner {
 	}
 }
 
-// Database returns the cleaner's database.
-func (c *Cleaner) Database() *db.Database { return c.d }
+// Store returns the cleaner's fact store.
+func (c *Cleaner) Store() db.Store { return c.d }
+
+// Database returns the cleaner's store as an in-memory *db.Database.
+//
+// Deprecated: it exists for callers that predate the Store interface and
+// panics when the cleaner holds a different backend; use Store instead.
+func (c *Cleaner) Database() *db.Database { return c.d.(*db.Database) }
 
 // evalOpts returns the evaluation options every eval call of this cleaner
 // uses, derived from Config.EvalWorkers.
@@ -428,7 +436,7 @@ func (c *Cleaner) inferKeyConflictsLocked(trueFact db.Fact) {
 	if keyIdx == nil {
 		return
 	}
-	rel := c.d.Relation(trueFact.Rel)
+	rel := c.d.Rel(trueFact.Rel)
 	bindings := make([]db.Binding, len(keyIdx))
 	for i, col := range keyIdx {
 		bindings[i] = db.Binding{Col: col, Value: trueFact.Args[col]}

@@ -259,7 +259,7 @@ func (c *Cleaner) markFalse(key string) {
 // WrongAnswerUpperBound returns the number of distinct witness tuples of t,
 // the cost of the naive algorithm that verifies every tuple of every witness
 // (the "total" bar in Figure 3a).
-func WrongAnswerUpperBound(q *cq.Query, d *db.Database, t db.Tuple) int {
+func WrongAnswerUpperBound(q *cq.Query, d db.Reader, t db.Tuple) int {
 	seen := make(map[string]bool)
 	for _, w := range eval.Witnesses(q, d, t) {
 		for _, f := range w {

@@ -6,12 +6,12 @@ import (
 	"io"
 )
 
-// WriteCSV serializes the database as CSV records of the form
-// rel,v1,...,vk in deterministic order. The format round-trips through
-// LoadCSV given a database of the same schema.
-func (d *Database) WriteCSV(w io.Writer) error {
+// WriteCSV serializes any reader as CSV records of the form rel,v1,...,vk
+// in deterministic order. The format round-trips through LoadCSV given a
+// store of the same schema.
+func WriteCSV(w io.Writer, r Reader) error {
 	cw := csv.NewWriter(w)
-	for _, f := range d.Facts() {
+	for _, f := range r.Facts() {
 		rec := make([]string, 0, len(f.Args)+1)
 		rec = append(rec, f.Rel)
 		rec = append(rec, f.Args...)
@@ -23,9 +23,9 @@ func (d *Database) WriteCSV(w io.Writer) error {
 	return cw.Error()
 }
 
-// LoadCSV reads CSV records (rel,v1,...,vk) into the database, validating
-// each record against the schema. Records are appended to existing contents.
-func (d *Database) LoadCSV(r io.Reader) error {
+// LoadCSV reads CSV records (rel,v1,...,vk) into the store, validating each
+// record against the schema. Records are appended to existing contents.
+func LoadCSV(s Store, r io.Reader) error {
 	cr := csv.NewReader(r)
 	cr.FieldsPerRecord = -1 // arity varies by relation
 	for {
@@ -39,8 +39,15 @@ func (d *Database) LoadCSV(r io.Reader) error {
 		if len(rec) < 2 {
 			return fmt.Errorf("db: csv record too short: %v", rec)
 		}
-		if _, err := d.InsertFact(NewFact(rec[0], rec[1:]...)); err != nil {
+		if _, err := s.InsertFact(NewFact(rec[0], rec[1:]...)); err != nil {
 			return err
 		}
 	}
 }
+
+// WriteCSV serializes the database as CSV (see the package-level WriteCSV).
+func (d *Database) WriteCSV(w io.Writer) error { return WriteCSV(w, d) }
+
+// LoadCSV reads CSV records into the database (see the package-level
+// LoadCSV).
+func (d *Database) LoadCSV(r io.Reader) error { return LoadCSV(d, r) }

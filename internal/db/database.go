@@ -51,6 +51,16 @@ func (d *Database) Schema() *schema.Schema { return d.schema }
 // such relation.
 func (d *Database) Relation(name string) *Relation { return d.rels[name] }
 
+// Rel returns the named relation's read view — the Store interface's
+// backend-neutral accessor. It returns an untyped nil for unknown relations
+// so `Rel(x) == nil` behaves as callers expect.
+func (d *Database) Rel(name string) Rel {
+	if r := d.rels[name]; r != nil {
+		return r
+	}
+	return nil
+}
+
 // Has reports whether the fact is present in the database.
 func (d *Database) Has(f Fact) bool {
 	r := d.rels[f.Rel]
@@ -138,8 +148,11 @@ func (d *Database) Facts() []Fact {
 	return out
 }
 
-// Clone returns a deep copy sharing the (immutable) schema. The copy has a
-// fresh identity and starts at generation zero.
+// Clone returns an independent copy sharing the (immutable) schema. The
+// copy has a fresh identity and starts at generation zero. Cloning is
+// copy-on-write: it costs O(relations), not O(|D|) — each relation's maps
+// are shared until either side mutates them (see Relation.Clone). For the
+// concurrency contract, Clone counts as a mutation of d.
 func (d *Database) Clone() *Database {
 	out := &Database{schema: d.schema, rels: make(map[string]*Relation, len(d.rels)), id: lastDBID.Add(1)}
 	for n, r := range d.rels {
@@ -147,6 +160,56 @@ func (d *Database) Clone() *Database {
 	}
 	return out
 }
+
+// deepClone is the historical O(|D|) physical copy, kept for the
+// clone-vs-snapshot benchmark baseline.
+func (d *Database) deepClone() *Database {
+	out := &Database{schema: d.schema, rels: make(map[string]*Relation, len(d.rels)), id: lastDBID.Add(1)}
+	for n, r := range d.rels {
+		nr := NewRelation(r.name, r.arity)
+		r.Each(func(t Tuple) bool {
+			nr.Insert(t)
+			return true
+		})
+		out.rels[n] = nr
+	}
+	return out
+}
+
+// Fork returns a mutable copy-on-write copy — Clone behind the Store
+// interface.
+func (d *Database) Fork() Store { return d.Clone() }
+
+// Snapshot captures an immutable read view of the database at its current
+// generation. The snapshot keeps reporting d's identity and the captured
+// generation, so evaluation-cache entries warmed through it serve the live
+// database at the same generation (and vice versa). Like Clone, taking a
+// snapshot counts as a mutation of d for the concurrency contract; the
+// returned snapshot may then be read concurrently with further edits to d.
+func (d *Database) Snapshot() Snapshot {
+	return &memSnapshot{d: d.Clone(), id: d.id, gen: d.gen}
+}
+
+// Stats describes the store for observability.
+func (d *Database) Stats() Stats {
+	st := Stats{
+		Backend:    "mem",
+		Generation: d.gen,
+		Relations:  make(map[string]int, len(d.rels)),
+		Shards:     1,
+	}
+	for n, r := range d.rels {
+		st.Relations[n] = r.Len()
+		st.TotalFacts += r.Len()
+	}
+	return st
+}
+
+// Sync is a no-op: the in-memory store has no durability.
+func (d *Database) Sync() error { return nil }
+
+// Close is a no-op for the in-memory store.
+func (d *Database) Close() error { return nil }
 
 // Distance returns the size of the symmetric difference |D − D′| + |D′ − D|.
 // The paper writes |D − D′| for this quantity and uses it to show each

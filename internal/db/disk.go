@@ -1,0 +1,830 @@
+package db
+
+import (
+	"bufio"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync/atomic"
+
+	"repro/internal/schema"
+)
+
+// The disk-backed store keeps facts in per-relation append-only segment
+// files, hash-sharded N ways, with constants interned to uint32 IDs through
+// a shared symbol table (symtab.go). In memory each shard holds only
+// interned tuples ([]uint32) plus per-column hash indexes over IDs — the
+// strings themselves live once in the symbol table no matter how many
+// tuples reference them, which is what lets a single instance hold tens of
+// millions of facts without RAM-resident string duplication.
+//
+// Durability model: every mutating edit appends one record to its shard's
+// segment through a buffered writer; new symbols are flushed to the OS
+// before the first fact record referencing them is buffered. Sync() flushes
+// and fsyncs everything — after it returns, even a machine crash loses
+// nothing. A process kill between Syncs loses at most the buffered tail;
+// reopening truncates each segment at its last complete, valid record
+// (per-shard prefix recovery, the same torn-tail contract as the WAL).
+
+const (
+	// diskMetaFile pins the shard fan-out a store was created with; reopens
+	// use it regardless of the requested shard count (records are routed by
+	// hash, so the fan-out is part of the on-disk format).
+	diskMetaFile = "store.json"
+	diskSymsFile = "symbols.dat"
+
+	// DefaultShards is the per-relation shard fan-out used when OpenDisk is
+	// given a non-positive count.
+	DefaultShards = 4
+
+	opInsert = 1
+	opDelete = 2
+)
+
+// diskMeta is the persisted store descriptor.
+type diskMeta struct {
+	Version int `json:"version"`
+	Shards  int `json:"shards"`
+}
+
+// DiskStore is the disk-backed Store implementation. Its concurrency
+// contract matches *Database: concurrent readers are safe, mutations must
+// be serialized by the caller. Forks and snapshots share shard state
+// copy-on-write and the symbol table outright.
+type DiskStore struct {
+	dir     string
+	schema  *schema.Schema
+	nshards int
+	id      uint64
+	gen     uint64
+	syms    *symtab
+	rels    map[string]*diskRel
+
+	// detached marks forks and snapshot backings: in-memory overlays that
+	// never touch the segment files (their edits are not durable — the
+	// cleaner's working copies and the WAL cover durability above).
+	detached bool
+	closed   bool
+	err      error // first segment append failure; sticky, poisons mutations
+}
+
+type diskRel struct {
+	store  *DiskStore
+	name   string
+	arity  int
+	shards []*diskShard
+}
+
+type diskShard struct {
+	f      *os.File      // nil on detached stores
+	w      *bufio.Writer // nil iff f is nil
+	state  *shardState
+	shared atomic.Bool // state may be shared with a fork/snapshot; copy before mutating
+}
+
+// shardState is one shard's in-memory contents: interned tuples keyed by
+// their packed-ID bytes, plus per-column value→keys indexes.
+type shardState struct {
+	tuples map[string][]uint32
+	index  []map[uint32]map[string]int
+}
+
+func newShardState(arity int) *shardState {
+	st := &shardState{
+		tuples: make(map[string][]uint32),
+		index:  make([]map[uint32]map[string]int, arity),
+	}
+	for i := range st.index {
+		st.index[i] = make(map[uint32]map[string]int)
+	}
+	return st
+}
+
+// packKey renders interned IDs as a compact fixed-width map key.
+func packKey(ids []uint32) string {
+	b := make([]byte, 4*len(ids))
+	for i, id := range ids {
+		binary.BigEndian.PutUint32(b[4*i:], id)
+	}
+	return string(b)
+}
+
+// shardOf routes a tuple to a shard by hashing its string key — stable
+// across reopens and independent of symbol-ID assignment order.
+func shardOf(tupleKey string, n int) int {
+	h := fnv.New32a()
+	h.Write([]byte(tupleKey))
+	return int(h.Sum32() % uint32(n))
+}
+
+// segName builds a segment file name for a relation shard, hex-escaping
+// name bytes that are unsafe in file names.
+func segName(rel string, shard int) string {
+	var b []byte
+	for i := 0; i < len(rel); i++ {
+		c := rel[i]
+		if c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c >= '0' && c <= '9' || c == '_' || c == '-' {
+			b = append(b, c)
+		} else {
+			b = append(b, '%', "0123456789abcdef"[c>>4], "0123456789abcdef"[c&0xf])
+		}
+	}
+	return fmt.Sprintf("rel-%s.%d.seg", b, shard)
+}
+
+// OpenDisk opens (creating if empty) the disk-backed store in dir for the
+// given schema. shards fixes the per-relation hash fan-out on first
+// creation; reopens always use the fan-out recorded in the store's
+// metadata. The schema must match the one the store was created with —
+// records that no longer decode under it are discarded as torn tails.
+func OpenDisk(dir string, s *schema.Schema, shards int) (*DiskStore, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("db: creating store dir %s: %w", dir, err)
+	}
+	if shards <= 0 {
+		shards = DefaultShards
+	}
+	metaPath := filepath.Join(dir, diskMetaFile)
+	if raw, err := os.ReadFile(metaPath); err == nil {
+		var m diskMeta
+		if err := json.Unmarshal(raw, &m); err != nil || m.Shards <= 0 {
+			return nil, fmt.Errorf("db: corrupt store metadata %s", metaPath)
+		}
+		shards = m.Shards
+	} else if os.IsNotExist(err) {
+		raw, _ := json.Marshal(diskMeta{Version: 1, Shards: shards})
+		if err := os.WriteFile(metaPath, raw, 0o644); err != nil {
+			return nil, fmt.Errorf("db: writing store metadata: %w", err)
+		}
+	} else {
+		return nil, fmt.Errorf("db: reading store metadata: %w", err)
+	}
+
+	syms, err := openSymtab(filepath.Join(dir, diskSymsFile))
+	if err != nil {
+		return nil, err
+	}
+	ds := &DiskStore{
+		dir:     dir,
+		schema:  s,
+		nshards: shards,
+		id:      lastDBID.Add(1),
+		syms:    syms,
+		rels:    make(map[string]*diskRel, s.Len()),
+	}
+	for _, name := range s.Names() {
+		rel, _ := s.Relation(name)
+		dr := &diskRel{store: ds, name: name, arity: rel.Arity(), shards: make([]*diskShard, shards)}
+		for i := 0; i < shards; i++ {
+			sh, err := ds.openShard(filepath.Join(dir, segName(name, i)), rel.Arity())
+			if err != nil {
+				ds.Close()
+				return nil, err
+			}
+			dr.shards[i] = sh
+		}
+		ds.rels[name] = dr
+	}
+	return ds, nil
+}
+
+// openShard replays one segment file into a fresh shard state, truncating
+// the file at its last complete, valid record (crash-recovery semantics:
+// any suffix written after the last flush may be torn).
+func (s *DiskStore) openShard(path string, arity int) (*diskShard, error) {
+	state := newShardState(arity)
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("db: opening segment %s: %w", path, err)
+	}
+	br := bufio.NewReader(f)
+	good := int64(0)
+	off := int64(0)
+	symCount := uint32(s.syms.size())
+	for {
+		payloadLen, err := binary.ReadUvarint(br)
+		if err != nil {
+			break // EOF or a torn length header
+		}
+		hdrLen := uvarintLen(payloadLen)
+		if payloadLen == 0 || payloadLen > uint64(1+binary.MaxVarintLen32*arity) {
+			break // implausible record: treat as torn tail
+		}
+		payload := make([]byte, payloadLen)
+		if _, err := io.ReadFull(br, payload); err != nil {
+			break // truncated payload
+		}
+		ids, ok := decodeRecord(payload, arity, symCount)
+		if !ok {
+			break // undecodable record: discard it and everything after
+		}
+		op := payload[0]
+		key := packKey(ids)
+		if op == opInsert {
+			state.insert(key, ids)
+		} else {
+			state.delete(key)
+		}
+		off += int64(hdrLen) + int64(payloadLen)
+		good = off
+	}
+	if err := f.Truncate(good); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("db: truncating torn segment tail %s: %w", path, err)
+	}
+	if _, err := f.Seek(good, io.SeekStart); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("db: seeking segment %s: %w", path, err)
+	}
+	return &diskShard{f: f, w: bufio.NewWriter(f), state: state}, nil
+}
+
+// uvarintLen returns the encoded size of v.
+func uvarintLen(v uint64) int {
+	var b [binary.MaxVarintLen64]byte
+	return binary.PutUvarint(b[:], v)
+}
+
+// decodeRecord parses a segment payload: op byte + arity interned IDs, all
+// IDs below the symbol-table size, no trailing bytes.
+func decodeRecord(payload []byte, arity int, symCount uint32) ([]uint32, bool) {
+	if len(payload) < 1 {
+		return nil, false
+	}
+	op := payload[0]
+	if op != opInsert && op != opDelete {
+		return nil, false
+	}
+	rest := payload[1:]
+	ids := make([]uint32, arity)
+	for i := 0; i < arity; i++ {
+		v, n := binary.Uvarint(rest)
+		if n <= 0 || v >= uint64(symCount) {
+			return nil, false
+		}
+		ids[i] = uint32(v)
+		rest = rest[n:]
+	}
+	if len(rest) != 0 {
+		return nil, false
+	}
+	return ids, true
+}
+
+// insert/delete maintain one shard state's tuple map and indexes. They are
+// idempotent, mirroring the set semantics of the in-memory relation.
+func (st *shardState) insert(key string, ids []uint32) bool {
+	if _, ok := st.tuples[key]; ok {
+		return false
+	}
+	st.tuples[key] = ids
+	for col, id := range ids {
+		m := st.index[col][id]
+		if m == nil {
+			m = make(map[string]int)
+			st.index[col][id] = m
+		}
+		m[key] = 1
+	}
+	return true
+}
+
+func (st *shardState) delete(key string) bool {
+	ids, ok := st.tuples[key]
+	if !ok {
+		return false
+	}
+	delete(st.tuples, key)
+	for col, id := range ids {
+		if m := st.index[col][id]; m != nil {
+			delete(m, key)
+			if len(m) == 0 {
+				delete(st.index[col], id)
+			}
+		}
+	}
+	return true
+}
+
+// clone deep-copies the state's maps (tuple ID slices stay shared — they
+// are immutable once inserted).
+func (st *shardState) clone() *shardState {
+	out := &shardState{
+		tuples: make(map[string][]uint32, len(st.tuples)),
+		index:  make([]map[uint32]map[string]int, len(st.index)),
+	}
+	for k, ids := range st.tuples {
+		out.tuples[k] = ids
+	}
+	for col := range st.index {
+		out.index[col] = make(map[uint32]map[string]int, len(st.index[col]))
+		for id, set := range st.index[col] {
+			ns := make(map[string]int, len(set))
+			for k, c := range set {
+				ns[k] = c
+			}
+			out.index[col][id] = ns
+		}
+	}
+	return out
+}
+
+// materialize gives the shard exclusive ownership of its state before a
+// mutation (copy-on-write, as Relation.materialize).
+func (sh *diskShard) materialize() {
+	if !sh.shared.Load() {
+		return
+	}
+	sh.state = sh.state.clone()
+	sh.shared.Store(false)
+}
+
+// appendRecord buffers one segment record; new symbols referenced by it
+// were already flushed by symtab.intern.
+func (sh *diskShard) appendRecord(op byte, ids []uint32) error {
+	payload := make([]byte, 1, 1+binary.MaxVarintLen32*len(ids))
+	payload[0] = op
+	var tmp [binary.MaxVarintLen64]byte
+	for _, id := range ids {
+		n := binary.PutUvarint(tmp[:], uint64(id))
+		payload = append(payload, tmp[:n]...)
+	}
+	n := binary.PutUvarint(tmp[:], uint64(len(payload)))
+	if _, err := sh.w.Write(tmp[:n]); err != nil {
+		return err
+	}
+	_, err := sh.w.Write(payload)
+	return err
+}
+
+// --- Store interface ---
+
+// ID returns the store's process-unique identity (fresh on every open, so
+// evaluation caches can never confuse two opens of the same directory).
+func (s *DiskStore) ID() uint64 { return s.id }
+
+// Generation returns the edit-generation counter. It starts at zero on
+// every open; see Database.Generation for the caching contract.
+func (s *DiskStore) Generation() uint64 { return s.gen }
+
+// Schema returns the store's schema.
+func (s *DiskStore) Schema() *schema.Schema { return s.schema }
+
+// Rel returns the named relation's read view, or nil if unknown.
+func (s *DiskStore) Rel(name string) Rel {
+	if r := s.rels[name]; r != nil {
+		return r
+	}
+	return nil
+}
+
+// Has reports whether the fact is present.
+func (s *DiskStore) Has(f Fact) bool {
+	r := s.rels[f.Rel]
+	return r != nil && r.Has(f.Args)
+}
+
+// Len returns the total fact count.
+func (s *DiskStore) Len() int {
+	n := 0
+	for _, r := range s.rels {
+		n += r.Len()
+	}
+	return n
+}
+
+// Facts returns every fact in deterministic order.
+func (s *DiskStore) Facts() []Fact {
+	names := make([]string, 0, len(s.rels))
+	for n := range s.rels {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	out := make([]Fact, 0, s.Len())
+	for _, n := range names {
+		for _, t := range s.rels[n].Tuples() {
+			out = append(out, Fact{Rel: n, Args: t})
+		}
+	}
+	return out
+}
+
+// InsertFact adds the fact, appending a segment record first so the
+// in-memory state never runs ahead of what a reopen can recover. A failed
+// append poisons the store (sticky error), mirroring the WAL contract.
+func (s *DiskStore) InsertFact(f Fact) (bool, error) {
+	r := s.rels[f.Rel]
+	if r == nil {
+		return false, fmt.Errorf("db: unknown relation %q", f.Rel)
+	}
+	if len(f.Args) != r.arity {
+		return false, fmt.Errorf("db: arity mismatch for %s: got %d, want %d", f.Rel, len(f.Args), r.arity)
+	}
+	if s.err != nil {
+		return false, s.err
+	}
+	ids := make([]uint32, len(f.Args))
+	for i, v := range f.Args {
+		id, err := s.syms.intern(v)
+		if err != nil {
+			s.err = err
+			return false, err
+		}
+		ids[i] = id
+	}
+	key := packKey(ids)
+	sh := r.shards[shardOf(f.Args.Key(), s.nshards)]
+	if _, ok := sh.state.tuples[key]; ok {
+		return false, nil
+	}
+	if !s.detached {
+		if err := sh.appendRecord(opInsert, ids); err != nil {
+			s.err = fmt.Errorf("db: appending segment record: %w", err)
+			return false, s.err
+		}
+	}
+	sh.materialize()
+	sh.state.insert(key, ids)
+	s.gen++
+	return true, nil
+}
+
+// DeleteFact removes the fact, returning true if it was present.
+func (s *DiskStore) DeleteFact(f Fact) (bool, error) {
+	r := s.rels[f.Rel]
+	if r == nil {
+		return false, fmt.Errorf("db: unknown relation %q", f.Rel)
+	}
+	if len(f.Args) != r.arity {
+		return false, nil
+	}
+	if s.err != nil {
+		return false, s.err
+	}
+	ids := make([]uint32, len(f.Args))
+	for i, v := range f.Args {
+		id, ok := s.syms.lookup(v)
+		if !ok {
+			return false, nil // a never-interned constant cannot be stored
+		}
+		ids[i] = id
+	}
+	key := packKey(ids)
+	sh := r.shards[shardOf(f.Args.Key(), s.nshards)]
+	if _, ok := sh.state.tuples[key]; !ok {
+		return false, nil
+	}
+	if !s.detached {
+		if err := sh.appendRecord(opDelete, ids); err != nil {
+			s.err = fmt.Errorf("db: appending segment record: %w", err)
+			return false, s.err
+		}
+	}
+	sh.materialize()
+	sh.state.delete(key)
+	s.gen++
+	return true, nil
+}
+
+// Apply applies one edit.
+func (s *DiskStore) Apply(e Edit) (bool, error) {
+	if e.Op == Insert {
+		return s.InsertFact(e.Fact)
+	}
+	return s.DeleteFact(e.Fact)
+}
+
+// ApplyAll applies the edits in order, stopping at the first error.
+func (s *DiskStore) ApplyAll(edits []Edit) (int, error) {
+	changed := 0
+	for _, e := range edits {
+		ch, err := s.Apply(e)
+		if err != nil {
+			return changed, err
+		}
+		if ch {
+			changed++
+		}
+	}
+	return changed, nil
+}
+
+// forkDetached builds the copy-on-write in-memory overlay shared by Fork
+// and Snapshot: same symbol table, shared shard states.
+func (s *DiskStore) forkDetached() *DiskStore {
+	out := &DiskStore{
+		dir:      s.dir,
+		schema:   s.schema,
+		nshards:  s.nshards,
+		id:       lastDBID.Add(1),
+		syms:     s.syms,
+		rels:     make(map[string]*diskRel, len(s.rels)),
+		detached: true,
+	}
+	for name, r := range s.rels {
+		nr := &diskRel{store: out, name: r.name, arity: r.arity, shards: make([]*diskShard, len(r.shards))}
+		for i, sh := range r.shards {
+			sh.shared.Store(true)
+			c := &diskShard{state: sh.state}
+			c.shared.Store(true)
+			nr.shards[i] = c
+		}
+		out.rels[name] = nr
+	}
+	return out
+}
+
+// Fork returns a mutable copy-on-write copy with a fresh identity at
+// generation zero. Forks are detached: their edits live in memory only (the
+// cleaner's working copies don't need segment durability — the WAL above
+// journals whatever should survive).
+func (s *DiskStore) Fork() Store { return s.forkDetached() }
+
+// Snapshot captures an immutable read view at the current generation,
+// reporting the live store's identity so cache entries are shared at equal
+// generations. Like every mutation, Snapshot must be serialized against
+// other writes; afterwards the snapshot reads safely while edits land.
+func (s *DiskStore) Snapshot() Snapshot {
+	return &diskSnapshot{d: s.forkDetached(), id: s.id, gen: s.gen}
+}
+
+// Stats describes the store: per-relation fact counts and the on-disk
+// footprint (current file sizes plus bytes still buffered).
+func (s *DiskStore) Stats() Stats {
+	st := Stats{
+		Backend:    "disk",
+		Generation: s.gen,
+		Relations:  make(map[string]int, len(s.rels)),
+		Shards:     s.nshards,
+		Symbols:    s.syms.size(),
+	}
+	for n, r := range s.rels {
+		st.Relations[n] = r.Len()
+		st.TotalFacts += r.Len()
+	}
+	if !s.detached {
+		for _, r := range s.rels {
+			for _, sh := range r.shards {
+				if sh.f == nil {
+					continue
+				}
+				if fi, err := sh.f.Stat(); err == nil {
+					st.DiskBytes += fi.Size()
+				}
+				st.DiskBytes += int64(sh.w.Buffered())
+			}
+		}
+		if fi, err := os.Stat(filepath.Join(s.dir, diskSymsFile)); err == nil {
+			st.DiskBytes += fi.Size()
+		}
+		if fi, err := os.Stat(filepath.Join(s.dir, diskMetaFile)); err == nil {
+			st.DiskBytes += fi.Size()
+		}
+	}
+	return st
+}
+
+// Sync flushes every buffered segment record and fsyncs the symbol table
+// and all segment files: after Sync, nothing applied so far can be lost.
+func (s *DiskStore) Sync() error {
+	if s.detached || s.closed {
+		return nil
+	}
+	if s.err != nil {
+		return s.err
+	}
+	if err := s.syms.sync(); err != nil {
+		return err
+	}
+	for _, r := range s.rels {
+		for _, sh := range r.shards {
+			if sh.w == nil {
+				continue
+			}
+			if err := sh.w.Flush(); err != nil {
+				s.err = fmt.Errorf("db: flushing segment: %w", err)
+				return s.err
+			}
+			if err := sh.f.Sync(); err != nil {
+				return fmt.Errorf("db: syncing segment: %w", err)
+			}
+		}
+	}
+	return nil
+}
+
+// Close flushes and closes every file. The store must not be used after.
+func (s *DiskStore) Close() error {
+	if s.detached || s.closed {
+		return nil
+	}
+	s.closed = true
+	var first error
+	for _, r := range s.rels {
+		for _, sh := range r.shards {
+			if sh.f == nil {
+				continue
+			}
+			if err := sh.w.Flush(); err != nil && first == nil {
+				first = fmt.Errorf("db: flushing segment: %w", err)
+			}
+			if err := sh.f.Close(); err != nil && first == nil {
+				first = err
+			}
+			sh.f, sh.w = nil, nil
+		}
+	}
+	if err := s.syms.close(true); err != nil && first == nil {
+		first = err
+	}
+	return first
+}
+
+// Crash simulates a process kill for crash-recovery tests: every file is
+// closed without flushing, dropping all records buffered since the last
+// Sync (or buffer spill). The store must not be used after.
+func (s *DiskStore) Crash() {
+	if s.detached || s.closed {
+		return
+	}
+	s.closed = true
+	for _, r := range s.rels {
+		for _, sh := range r.shards {
+			if sh.f != nil {
+				sh.f.Close()
+				sh.f, sh.w = nil, nil
+			}
+		}
+	}
+	s.syms.close(false)
+}
+
+// --- Rel interface on diskRel ---
+
+func (r *diskRel) Name() string { return r.name }
+func (r *diskRel) Arity() int   { return r.arity }
+
+func (r *diskRel) Len() int {
+	n := 0
+	for _, sh := range r.shards {
+		n += len(sh.state.tuples)
+	}
+	return n
+}
+
+func (r *diskRel) Has(t Tuple) bool {
+	if len(t) != r.arity {
+		return false
+	}
+	ids := make([]uint32, len(t))
+	for i, v := range t {
+		id, ok := r.store.syms.lookup(v)
+		if !ok {
+			return false
+		}
+		ids[i] = id
+	}
+	sh := r.shards[shardOf(t.Key(), r.store.nshards)]
+	_, ok := sh.state.tuples[packKey(ids)]
+	return ok
+}
+
+// resolve materializes an interned tuple back into strings.
+func (r *diskRel) resolve(ids []uint32) Tuple {
+	t := make(Tuple, len(ids))
+	for i, id := range ids {
+		t[i] = r.store.syms.str(id)
+	}
+	return t
+}
+
+func (r *diskRel) Tuples() []Tuple {
+	out := make([]Tuple, 0, r.Len())
+	for _, sh := range r.shards {
+		for _, ids := range sh.state.tuples {
+			out = append(out, r.resolve(ids))
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Less(out[j]) })
+	return out
+}
+
+func (r *diskRel) Each(fn func(Tuple) bool) {
+	for _, sh := range r.shards {
+		for _, ids := range sh.state.tuples {
+			if !fn(r.resolve(ids)) {
+				return
+			}
+		}
+	}
+}
+
+// resolveBindings interns binding values; ok = false when some bound value
+// was never interned (no tuple can match).
+func (r *diskRel) resolveBindings(bindings []Binding) ([]uint32, bool) {
+	vals := make([]uint32, len(bindings))
+	for i, b := range bindings {
+		if b.Col < 0 || b.Col >= r.arity {
+			return nil, false
+		}
+		id, ok := r.store.syms.lookup(b.Value)
+		if !ok {
+			return nil, false
+		}
+		vals[i] = id
+	}
+	return vals, true
+}
+
+// scanShard enumerates one shard's matching tuple keys through the most
+// selective bound column's index, invoking fn for each match.
+func scanShard(st *shardState, bindings []Binding, vals []uint32, fn func(key string, ids []uint32)) {
+	if len(bindings) == 0 {
+		for k, ids := range st.tuples {
+			fn(k, ids)
+		}
+		return
+	}
+	best := -1
+	bestSize := 0
+	for i, b := range bindings {
+		m := st.index[b.Col][vals[i]]
+		if m == nil {
+			return
+		}
+		if best == -1 || len(m) < bestSize {
+			best, bestSize = i, len(m)
+		}
+	}
+	drive := st.index[bindings[best].Col][vals[best]]
+outer:
+	for k := range drive {
+		ids := st.tuples[k]
+		for i, b := range bindings {
+			if i == best {
+				continue
+			}
+			if ids[b.Col] != vals[i] {
+				continue outer
+			}
+		}
+		fn(k, ids)
+	}
+}
+
+func (r *diskRel) Scan(bindings []Binding) []Tuple {
+	vals, ok := r.resolveBindings(bindings)
+	if !ok {
+		return nil
+	}
+	var out []Tuple
+	for _, sh := range r.shards {
+		scanShard(sh.state, bindings, vals, func(_ string, ids []uint32) {
+			out = append(out, r.resolve(ids))
+		})
+	}
+	return out
+}
+
+func (r *diskRel) MatchCount(bindings []Binding) int {
+	if len(bindings) == 0 {
+		return r.Len()
+	}
+	vals, ok := r.resolveBindings(bindings)
+	if !ok {
+		return 0
+	}
+	n := 0
+	for _, sh := range r.shards {
+		scanShard(sh.state, bindings, vals, func(string, []uint32) { n++ })
+	}
+	return n
+}
+
+// diskSnapshot is the disk store's immutable read view (see
+// DiskStore.Snapshot).
+type diskSnapshot struct {
+	d   *DiskStore
+	id  uint64
+	gen uint64
+}
+
+func (s *diskSnapshot) ID() uint64             { return s.id }
+func (s *diskSnapshot) Generation() uint64     { return s.gen }
+func (s *diskSnapshot) Schema() *schema.Schema { return s.d.Schema() }
+func (s *diskSnapshot) Rel(name string) Rel    { return s.d.Rel(name) }
+func (s *diskSnapshot) Has(f Fact) bool        { return s.d.Has(f) }
+func (s *diskSnapshot) Len() int               { return s.d.Len() }
+func (s *diskSnapshot) Facts() []Fact          { return s.d.Facts() }
+func (s *diskSnapshot) Fork() Store            { return s.d.forkDetached() }
+
+var (
+	_ Store    = (*DiskStore)(nil)
+	_ Snapshot = (*diskSnapshot)(nil)
+	_ Rel      = (*diskRel)(nil)
+)

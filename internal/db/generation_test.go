@@ -47,8 +47,8 @@ func TestGenerationBumpsOnRealEdits(t *testing.T) {
 		t.Errorf("after Apply(insert): generation %d, want 3", d.Generation())
 	}
 	changed, err := d.ApplyAll([]Edit{
-		Deletion(f),                            // changes
-		Deletion(f),                            // no-op
+		Deletion(f), // changes
+		Deletion(f), // no-op
 		Insertion(NewFact("Goals", "Pirlo", "09.07.2006")), // changes
 	})
 	if err != nil || changed != 2 {

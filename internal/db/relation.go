@@ -3,16 +3,25 @@ package db
 import (
 	"fmt"
 	"sort"
+	"sync/atomic"
 )
 
 // Relation is an in-memory set of same-arity tuples with per-column hash
 // indexes. Indexes are maintained incrementally on insert/delete and used by
 // the evaluator for index-nested-loop joins.
+//
+// Clone is copy-on-write: a clone shares the tuple and index maps with its
+// source until either side mutates, at which point the mutating side copies
+// them first (see materialize). Cloning counts as a read — it may run
+// concurrently with other reads and clones of the same relation (the shared
+// flag is atomic for that reason); mutations must be serialized against
+// reads by the caller, as everywhere in the package.
 type Relation struct {
 	name   string
 	arity  int
 	tuples map[string]Tuple            // key -> tuple
 	index  []map[string]map[string]int // column -> value -> set of tuple keys (value is refcount placeholder, always 1)
+	shared atomic.Bool                 // maps may be shared with a COW clone; copy before mutating
 }
 
 // NewRelation creates an empty relation with the given name and arity.
@@ -54,6 +63,7 @@ func (r *Relation) Insert(t Tuple) bool {
 	if _, ok := r.tuples[k]; ok {
 		return false
 	}
+	r.materialize()
 	t = t.Clone()
 	r.tuples[k] = t
 	for col, v := range t {
@@ -77,6 +87,7 @@ func (r *Relation) Delete(t Tuple) bool {
 	if !ok {
 		return false
 	}
+	r.materialize()
 	delete(r.tuples, k)
 	for col, v := range old {
 		if m := r.index[col][v]; m != nil {
@@ -168,11 +179,44 @@ func (r *Relation) MatchCount(bindings []Binding) int {
 	return len(r.Scan(bindings))
 }
 
-// Clone returns a deep copy of the relation.
+// Clone returns an independent copy of the relation in O(1) by sharing the
+// tuple and index maps copy-on-write: whichever side mutates first copies
+// them (tuples themselves are immutable and stay shared forever).
 func (r *Relation) Clone() *Relation {
-	out := NewRelation(r.name, r.arity)
-	for _, t := range r.tuples {
-		out.Insert(t)
+	r.shared.Store(true)
+	c := &Relation{
+		name:   r.name,
+		arity:  r.arity,
+		tuples: r.tuples,
+		index:  r.index,
 	}
-	return out
+	c.shared.Store(true)
+	return c
+}
+
+// materialize gives the relation exclusive ownership of its maps before a
+// mutation: if they may be shared with a COW clone, it copies the tuple map
+// and the per-column indexes. Tuples are immutable and stay shared. A
+// relation that was never cloned mutates in place, exactly as before.
+func (r *Relation) materialize() {
+	if !r.shared.Load() {
+		return
+	}
+	tuples := make(map[string]Tuple, len(r.tuples))
+	for k, t := range r.tuples {
+		tuples[k] = t
+	}
+	index := make([]map[string]map[string]int, r.arity)
+	for col := range index {
+		index[col] = make(map[string]map[string]int, len(r.index[col]))
+		for v, set := range r.index[col] {
+			ns := make(map[string]int, len(set))
+			for k, c := range set {
+				ns[k] = c
+			}
+			index[col][v] = ns
+		}
+	}
+	r.tuples, r.index = tuples, index
+	r.shared.Store(false)
 }

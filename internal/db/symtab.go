@@ -1,0 +1,177 @@
+package db
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+)
+
+// symtab interns constant values to dense uint32 IDs, backed by an
+// append-only log (uvarint length + raw bytes per symbol, ID = ordinal).
+// Interning is what lets the disk store hold each distinct string once no
+// matter how many tuples reference it. A symtab is shared between a
+// DiskStore and all its forks/snapshots, so it carries its own lock.
+type symtab struct {
+	mu   sync.RWMutex
+	ids  map[string]uint32
+	strs []string
+
+	f   *os.File      // nil for a purely in-memory table
+	w   *bufio.Writer // nil iff f is nil
+	err error         // first append failure; sticky, poisons durable interning
+}
+
+// newSymtab returns an empty in-memory symbol table.
+func newSymtab() *symtab {
+	return &symtab{ids: make(map[string]uint32)}
+}
+
+// openSymtab loads (or creates) the symbol log at path. A torn tail — an
+// entry whose bytes end mid-record, the signature of a crash mid-append —
+// is truncated away; symbols past it were never referenced by any synced
+// fact record (facts are only written after their symbols are flushed).
+func openSymtab(path string) (*symtab, error) {
+	s := newSymtab()
+	raw, err := os.ReadFile(path)
+	if err != nil && !os.IsNotExist(err) {
+		return nil, fmt.Errorf("db: reading symbol table: %w", err)
+	}
+	good := 0
+	for off := 0; off < len(raw); {
+		n, sz := binary.Uvarint(raw[off:])
+		if sz <= 0 || off+sz+int(n) > len(raw) {
+			break // torn tail: a partial length header or truncated payload
+		}
+		v := string(raw[off+sz : off+sz+int(n)])
+		s.ids[v] = uint32(len(s.strs))
+		s.strs = append(s.strs, v)
+		off += sz + int(n)
+		good = off
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("db: opening symbol table: %w", err)
+	}
+	if err := f.Truncate(int64(good)); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("db: truncating torn symbol tail: %w", err)
+	}
+	if _, err := f.Seek(int64(good), io.SeekStart); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("db: seeking symbol table: %w", err)
+	}
+	s.f = f
+	s.w = bufio.NewWriter(f)
+	return s, nil
+}
+
+// intern returns the ID for v, assigning (and, for durable tables,
+// appending and flushing) a new one if needed. New symbols are flushed to
+// the OS before intern returns so that a fact record referencing them can
+// never reach the OS first — a killed process leaves no fact pointing past
+// the symbol log.
+func (s *symtab) intern(v string) (uint32, error) {
+	s.mu.RLock()
+	id, ok := s.ids[v]
+	s.mu.RUnlock()
+	if ok {
+		return id, nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if id, ok := s.ids[v]; ok {
+		return id, nil
+	}
+	if s.w != nil {
+		if s.err != nil {
+			return 0, s.err
+		}
+		var hdr [binary.MaxVarintLen64]byte
+		n := binary.PutUvarint(hdr[:], uint64(len(v)))
+		if _, err := s.w.Write(hdr[:n]); err == nil {
+			_, err = s.w.WriteString(v)
+			if err == nil {
+				err = s.w.Flush()
+			}
+			if err != nil {
+				s.err = fmt.Errorf("db: appending symbol: %w", err)
+				return 0, s.err
+			}
+		} else {
+			s.err = fmt.Errorf("db: appending symbol: %w", err)
+			return 0, s.err
+		}
+	}
+	id = uint32(len(s.strs))
+	s.ids[v] = id
+	s.strs = append(s.strs, v)
+	return id, nil
+}
+
+// lookup returns the ID for v without assigning one.
+func (s *symtab) lookup(v string) (uint32, bool) {
+	s.mu.RLock()
+	id, ok := s.ids[v]
+	s.mu.RUnlock()
+	return id, ok
+}
+
+// str resolves an ID back to its string. IDs come from the table itself, so
+// out-of-range IDs indicate a corrupt segment record; callers validate
+// against size() during replay.
+func (s *symtab) str(id uint32) string {
+	s.mu.RLock()
+	v := s.strs[id]
+	s.mu.RUnlock()
+	return v
+}
+
+// size returns the number of interned symbols.
+func (s *symtab) size() int {
+	s.mu.RLock()
+	n := len(s.strs)
+	s.mu.RUnlock()
+	return n
+}
+
+// sync fsyncs the symbol log.
+func (s *symtab) sync() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.f == nil {
+		return nil
+	}
+	if s.err != nil {
+		return s.err
+	}
+	if err := s.w.Flush(); err != nil {
+		s.err = fmt.Errorf("db: flushing symbol table: %w", err)
+		return s.err
+	}
+	if err := s.f.Sync(); err != nil {
+		return fmt.Errorf("db: syncing symbol table: %w", err)
+	}
+	return nil
+}
+
+// close flushes and closes the symbol log. With flush=false it simulates a
+// process kill: buffered symbols are dropped on the floor.
+func (s *symtab) close(flush bool) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.f == nil {
+		return nil
+	}
+	var err error
+	if flush {
+		err = s.w.Flush()
+	}
+	if cerr := s.f.Close(); err == nil {
+		err = cerr
+	}
+	s.f, s.w = nil, nil
+	return err
+}

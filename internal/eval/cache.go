@@ -20,12 +20,15 @@ import (
 // and safe for concurrent readers; its correctness contract is the same as
 // the Database's — edits must be serialized against reads by the caller.
 
-// cacheMaxDBs bounds how many database instances the cache tracks at once;
-// cacheMaxEntries bounds the entries kept per database and generation.
-// Exceeding either cap drops whole cache sections (never partial entries),
-// which affects performance only, never correctness.
+// cacheMaxDBs bounds how many store instances the cache tracks at once;
+// cacheMaxGens bounds the generations kept per store (snapshots can keep an
+// older generation hot while edits land on the live store); cacheMaxEntries
+// bounds the entries kept per store and generation. Exceeding any cap drops
+// whole cache sections (never partial entries), which affects performance
+// only, never correctness.
 const (
 	cacheMaxDBs     = 64
+	cacheMaxGens    = 4
 	cacheMaxEntries = 16384
 )
 
@@ -33,9 +36,9 @@ const (
 // generation. A generation bump discards the maps wholesale.
 type dbCache struct {
 	gen       uint64
-	results   map[string][]db.Tuple   // result/union key -> Q(D)
-	witnesses map[string][][]db.Fact  // witness key -> witness sets
-	holds     map[string]bool         // satisfiability key -> Holds
+	results   map[string][]db.Tuple  // result/union key -> Q(D)
+	witnesses map[string][][]db.Fact // witness key -> witness sets
+	holds     map[string]bool        // satisfiability key -> Holds
 }
 
 func (c *dbCache) size() int { return len(c.results) + len(c.witnesses) + len(c.holds) }
@@ -49,10 +52,14 @@ func newDBCache(gen uint64) *dbCache {
 	}
 }
 
+// evalCache sections are keyed by (store ID, generation). Keeping a few
+// generations per store lets reads through a snapshot (frozen at an older
+// generation) and reads of the live store share the cache without evicting
+// each other.
 var evalCache = struct {
 	sync.Mutex
-	dbs map[uint64]*dbCache
-}{dbs: make(map[uint64]*dbCache)}
+	dbs map[uint64]map[uint64]*dbCache // store ID -> generation -> section
+}{dbs: make(map[uint64]map[uint64]*dbCache)}
 
 // cacheDisabled turns the process-wide cache off when set (see SetCache).
 var cacheDisabled atomic.Bool
@@ -63,31 +70,52 @@ var cacheDisabled atomic.Bool
 func SetCache(on bool) {
 	cacheDisabled.Store(!on)
 	evalCache.Lock()
-	evalCache.dbs = make(map[uint64]*dbCache)
+	evalCache.dbs = make(map[uint64]map[uint64]*dbCache)
 	evalCache.Unlock()
 }
 
-// forDB returns the cache section for the database at its current
-// generation, discarding any section left over from an older generation.
-// Caller holds evalCache.Mutex.
-func forDB(d *db.Database, gen uint64) *dbCache {
-	c := evalCache.dbs[d.ID()]
-	if c != nil && c.gen == gen {
+// forDB returns the cache section for the store at the given generation,
+// creating it if needed. Creating a section at a new generation while older
+// ones exist counts as an invalidation (the store moved on); the oldest
+// generation is evicted once the per-store cap is hit. Caller holds
+// evalCache.Mutex.
+func forDB(d db.Reader, gen uint64) *dbCache {
+	gens := evalCache.dbs[d.ID()]
+	if gens == nil {
+		if len(evalCache.dbs) >= cacheMaxDBs {
+			// Too many live stores: drop an arbitrary one to stay bounded.
+			for id := range evalCache.dbs {
+				delete(evalCache.dbs, id)
+				break
+			}
+		}
+		gens = make(map[uint64]*dbCache)
+		evalCache.dbs[d.ID()] = gens
+	}
+	if c := gens[gen]; c != nil {
 		return c
 	}
-	if len(evalCache.dbs) >= cacheMaxDBs && c == nil {
-		// Too many live databases: drop an arbitrary section to stay bounded.
-		for id := range evalCache.dbs {
-			delete(evalCache.dbs, id)
-			break
+	if len(gens) > 0 {
+		rec().Inc(MetricCacheInvalidations)
+		if len(gens) >= cacheMaxGens {
+			oldest, first := uint64(0), true
+			for g := range gens {
+				if first || g < oldest {
+					oldest, first = g, false
+				}
+			}
+			delete(gens, oldest)
 		}
 	}
-	if c != nil {
-		rec().Inc(MetricCacheInvalidations)
-	}
-	c = newDBCache(gen)
-	evalCache.dbs[d.ID()] = c
+	c := newDBCache(gen)
+	gens[gen] = c
 	return c
+}
+
+// section returns the existing cache section for the reader's current
+// generation, or nil. Caller holds evalCache.Mutex.
+func section(d db.Reader) *dbCache {
+	return evalCache.dbs[d.ID()][d.Generation()]
 }
 
 // fingerprint renders the query's canonical cache identity. Query.String is
@@ -118,14 +146,14 @@ func holdsKey(fp, seed string) string      { return "h\x00" + fp + "\x00" + seed
 // lookupTuples consults the cache for a []db.Tuple entry. The returned slice
 // is a fresh copy of the cached spine (tuples themselves are shared and
 // treated as immutable, as everywhere in the engine).
-func lookupTuples(d *db.Database, key string) ([]db.Tuple, bool) {
+func lookupTuples(d db.Reader, key string) ([]db.Tuple, bool) {
 	if cacheDisabled.Load() {
 		return nil, false
 	}
 	evalCache.Lock()
 	defer evalCache.Unlock()
-	c := evalCache.dbs[d.ID()]
-	if c == nil || c.gen != d.Generation() {
+	c := section(d)
+	if c == nil {
 		rec().Inc(MetricCacheMisses)
 		return nil, false
 	}
@@ -142,7 +170,7 @@ func lookupTuples(d *db.Database, key string) ([]db.Tuple, bool) {
 // entry is dropped unless the database is still at gen (an edit that raced
 // the evaluation — only possible for callers that broke the serialization
 // contract — must not poison the cache).
-func storeTuples(d *db.Database, gen uint64, key string, v []db.Tuple) {
+func storeTuples(d db.Reader, gen uint64, key string, v []db.Tuple) {
 	if cacheDisabled.Load() || d.Generation() != gen {
 		return
 	}
@@ -150,21 +178,21 @@ func storeTuples(d *db.Database, gen uint64, key string, v []db.Tuple) {
 	defer evalCache.Unlock()
 	c := forDB(d, gen)
 	if c.size() >= cacheMaxEntries {
-		evalCache.dbs[d.ID()] = newDBCache(gen)
-		c = evalCache.dbs[d.ID()]
+		c = newDBCache(gen)
+		evalCache.dbs[d.ID()][gen] = c
 	}
 	c.results[key] = append([]db.Tuple(nil), v...)
 }
 
 // lookupWitnesses / storeWitnesses do the same for witness-set entries.
-func lookupWitnesses(d *db.Database, key string) ([][]db.Fact, bool) {
+func lookupWitnesses(d db.Reader, key string) ([][]db.Fact, bool) {
 	if cacheDisabled.Load() {
 		return nil, false
 	}
 	evalCache.Lock()
 	defer evalCache.Unlock()
-	c := evalCache.dbs[d.ID()]
-	if c == nil || c.gen != d.Generation() {
+	c := section(d)
+	if c == nil {
 		rec().Inc(MetricCacheMisses)
 		return nil, false
 	}
@@ -177,7 +205,7 @@ func lookupWitnesses(d *db.Database, key string) ([][]db.Fact, bool) {
 	return append([][]db.Fact(nil), v...), true
 }
 
-func storeWitnesses(d *db.Database, gen uint64, key string, v [][]db.Fact) {
+func storeWitnesses(d db.Reader, gen uint64, key string, v [][]db.Fact) {
 	if cacheDisabled.Load() || d.Generation() != gen {
 		return
 	}
@@ -185,21 +213,21 @@ func storeWitnesses(d *db.Database, gen uint64, key string, v [][]db.Fact) {
 	defer evalCache.Unlock()
 	c := forDB(d, gen)
 	if c.size() >= cacheMaxEntries {
-		evalCache.dbs[d.ID()] = newDBCache(gen)
-		c = evalCache.dbs[d.ID()]
+		c = newDBCache(gen)
+		evalCache.dbs[d.ID()][gen] = c
 	}
 	c.witnesses[key] = append([][]db.Fact(nil), v...)
 }
 
 // lookupHolds / storeHolds memoize boolean satisfiability checks.
-func lookupHolds(d *db.Database, key string) (bool, bool) {
+func lookupHolds(d db.Reader, key string) (bool, bool) {
 	if cacheDisabled.Load() {
 		return false, false
 	}
 	evalCache.Lock()
 	defer evalCache.Unlock()
-	c := evalCache.dbs[d.ID()]
-	if c == nil || c.gen != d.Generation() {
+	c := section(d)
+	if c == nil {
 		rec().Inc(MetricCacheMisses)
 		return false, false
 	}
@@ -212,7 +240,7 @@ func lookupHolds(d *db.Database, key string) (bool, bool) {
 	return v, true
 }
 
-func storeHolds(d *db.Database, gen uint64, key string, v bool) {
+func storeHolds(d db.Reader, gen uint64, key string, v bool) {
 	if cacheDisabled.Load() || d.Generation() != gen {
 		return
 	}
@@ -220,8 +248,8 @@ func storeHolds(d *db.Database, gen uint64, key string, v bool) {
 	defer evalCache.Unlock()
 	c := forDB(d, gen)
 	if c.size() >= cacheMaxEntries {
-		evalCache.dbs[d.ID()] = newDBCache(gen)
-		c = evalCache.dbs[d.ID()]
+		c = newDBCache(gen)
+		evalCache.dbs[d.ID()][gen] = c
 	}
 	c.holds[key] = v
 }

@@ -86,12 +86,12 @@ func TestCloneEditNeverServesStaleCache(t *testing.T) {
 // surfaces as a divergence from NaiveResult.
 func FuzzEvalCacheInterleave(f *testing.F) {
 	f.Add([]byte{})
-	f.Add([]byte{0, 4, 0, 4})                      // insert, eval, insert, eval
-	f.Add([]byte{0, 4, 1, 4})                      // insert, eval, delete, eval
-	f.Add([]byte{0, 4, 2, 8, 4, 3, 4})             // warm, clone, edit clone, eval both
-	f.Add([]byte{0, 4, 5, 4, 5, 4})                // toggle cache off and on between evals
-	f.Add([]byte{0, 8, 16, 24, 4, 2, 3, 1, 4, 3})  // mixed script
-	f.Add([]byte{0, 0, 4, 4, 1, 1, 4, 4})          // duplicate no-op edits
+	f.Add([]byte{0, 4, 0, 4})                     // insert, eval, insert, eval
+	f.Add([]byte{0, 4, 1, 4})                     // insert, eval, delete, eval
+	f.Add([]byte{0, 4, 2, 8, 4, 3, 4})            // warm, clone, edit clone, eval both
+	f.Add([]byte{0, 4, 5, 4, 5, 4})               // toggle cache off and on between evals
+	f.Add([]byte{0, 8, 16, 24, 4, 2, 3, 1, 4, 3}) // mixed script
+	f.Add([]byte{0, 0, 4, 4, 1, 1, 4, 4})         // duplicate no-op edits
 	f.Fuzz(func(t *testing.T, script []byte) {
 		defer SetCache(true)
 		s := schema.New(

@@ -10,7 +10,7 @@ import (
 )
 
 // Eval returns all valid total assignments A(Q,D) in deterministic order.
-func Eval(q *cq.Query, d *db.Database, opts ...Option) []Assignment {
+func Eval(q *cq.Query, d db.Reader, opts ...Option) []Assignment {
 	out := collect(q, d, Assignment{}, resolve(opts))
 	sortAssignments(out)
 	return out
@@ -20,7 +20,7 @@ func Eval(q *cq.Query, d *db.Database, opts ...Option) []Assignment {
 // assignments, in deterministic (lexicographic) order. Results are memoized
 // per database generation, so re-evaluating an unchanged database is an O(1)
 // lookup (plus a copy of the answer spine).
-func Result(q *cq.Query, d *db.Database, opts ...Option) []db.Tuple {
+func Result(q *cq.Query, d db.Reader, opts ...Option) []db.Tuple {
 	if r := rec(); r != nil {
 		defer r.Timer(MetricResultSeconds)()
 	}
@@ -41,7 +41,7 @@ func Result(q *cq.Query, d *db.Database, opts ...Option) []db.Tuple {
 }
 
 // ResultUnion returns the union of Result over the disjuncts of a UCQ.
-func ResultUnion(u *cq.Union, d *db.Database, opts ...Option) []db.Tuple {
+func ResultUnion(u *cq.Union, d db.Reader, opts ...Option) []db.Tuple {
 	if r := rec(); r != nil {
 		defer r.Timer(MetricResultUnionSeconds)()
 	}
@@ -69,7 +69,7 @@ func ResultUnion(u *cq.Union, d *db.Database, opts ...Option) []db.Tuple {
 
 // Extensions returns all valid total assignments extending the partial
 // assignment seed, in deterministic order.
-func Extensions(q *cq.Query, d *db.Database, seed Assignment, opts ...Option) []Assignment {
+func Extensions(q *cq.Query, d db.Reader, seed Assignment, opts ...Option) []Assignment {
 	out := collect(q, d, seed, resolve(opts))
 	sortAssignments(out)
 	return out
@@ -77,7 +77,7 @@ func Extensions(q *cq.Query, d *db.Database, seed Assignment, opts ...Option) []
 
 // AssignmentsFor returns A(t,Q,D): the valid assignments of Q w.r.t. D that
 // yield answer t. It returns nil when t conflicts with the head shape.
-func AssignmentsFor(q *cq.Query, d *db.Database, t db.Tuple, opts ...Option) []Assignment {
+func AssignmentsFor(q *cq.Query, d db.Reader, t db.Tuple, opts ...Option) []Assignment {
 	seed, ok := PartialFromAnswer(q, t)
 	if !ok {
 		return nil
@@ -92,7 +92,7 @@ func AssignmentsFor(q *cq.Query, d *db.Database, t db.Tuple, opts ...Option) []A
 // same witness, e.g. by permuting symmetric atoms). Witness sets are memoized
 // per database generation — the question-selection loop of Algorithm 1
 // re-enumerates the same answer's witnesses between crowd questions.
-func Witnesses(q *cq.Query, d *db.Database, t db.Tuple, opts ...Option) [][]db.Fact {
+func Witnesses(q *cq.Query, d db.Reader, t db.Tuple, opts ...Option) [][]db.Fact {
 	start := time.Now()
 	cfg := resolve(opts)
 	var key string
@@ -142,7 +142,7 @@ func witnessKey(w []db.Fact) string {
 // seed) has at least one valid extension w.r.t. D — i.e. whether the partial
 // assignment is satisfiable (§2). Outcomes are memoized per database
 // generation and seed.
-func Holds(q *cq.Query, d *db.Database, seed Assignment, opts ...Option) bool {
+func Holds(q *cq.Query, d db.Reader, seed Assignment, opts ...Option) bool {
 	cfg := resolve(opts)
 	var key string
 	if !cfg.noCache {
@@ -165,12 +165,12 @@ func Holds(q *cq.Query, d *db.Database, seed Assignment, opts ...Option) bool {
 
 // Satisfiable reports whether the partial assignment α for Q is satisfiable
 // w.r.t. D: some extension to a total assignment is valid (§2).
-func Satisfiable(q *cq.Query, d *db.Database, partial Assignment, opts ...Option) bool {
+func Satisfiable(q *cq.Query, d db.Reader, partial Assignment, opts ...Option) bool {
 	return Holds(q, d, partial, opts...)
 }
 
 // AnswerHolds reports whether tuple t ∈ Q(D).
-func AnswerHolds(q *cq.Query, d *db.Database, t db.Tuple, opts ...Option) bool {
+func AnswerHolds(q *cq.Query, d db.Reader, t db.Tuple, opts ...Option) bool {
 	seed, ok := PartialFromAnswer(q, t)
 	if !ok {
 		return false
@@ -179,7 +179,7 @@ func AnswerHolds(q *cq.Query, d *db.Database, t db.Tuple, opts ...Option) bool {
 }
 
 // AnswerHoldsUnion reports whether t is an answer of the union over D.
-func AnswerHoldsUnion(u *cq.Union, d *db.Database, t db.Tuple, opts ...Option) bool {
+func AnswerHoldsUnion(u *cq.Union, d db.Reader, t db.Tuple, opts ...Option) bool {
 	if r := rec(); r != nil {
 		defer r.Timer(MetricAnswerHoldsUnionSeconds)()
 	}
@@ -222,7 +222,7 @@ func (s *assignmentsByKey) Swap(i, j int) {
 // an inequality already violated, or an atom fully grounded by the seed whose
 // fact is absent from D, prunes the whole enumeration. It reports false when
 // the seed is contradictory.
-func validateSeed(q *cq.Query, d *db.Database, a Assignment) bool {
+func validateSeed(q *cq.Query, d db.Reader, a Assignment) bool {
 	for _, e := range q.Ineqs {
 		if !a.IneqHolds(e) {
 			return false
@@ -244,7 +244,7 @@ func validateSeed(q *cq.Query, d *db.Database, a Assignment) bool {
 // yield for each; yield returns false to stop the enumeration. It uses
 // index-nested-loop joins with a greedy "fewest matching tuples first" atom
 // order, re-planned at every step against the current bindings.
-func search(q *cq.Query, d *db.Database, seed Assignment, yield func(Assignment) bool) {
+func search(q *cq.Query, d db.Reader, seed Assignment, yield func(Assignment) bool) {
 	// Validate seeded inequalities and ground atoms up front.
 	a := seed.Clone()
 	if !validateSeed(q, d, a) {
@@ -259,7 +259,7 @@ func search(q *cq.Query, d *db.Database, seed Assignment, yield func(Assignment)
 
 // searchRec extends a over the remaining atoms. Returns false if the caller
 // should stop enumerating.
-func searchRec(q *cq.Query, d *db.Database, a Assignment, remaining []int, yield func(Assignment) bool) bool {
+func searchRec(q *cq.Query, d db.Reader, a Assignment, remaining []int, yield func(Assignment) bool) bool {
 	if len(remaining) == 0 {
 		if !negsHold(q, d, a) {
 			return true // blocked by a negated atom; keep enumerating
@@ -272,7 +272,7 @@ func searchRec(q *cq.Query, d *db.Database, a Assignment, remaining []int, yield
 	var bestBindings []db.Binding
 	for pos, ai := range remaining {
 		atom := q.Atoms[ai]
-		rel := d.Relation(atom.Rel)
+		rel := d.Rel(atom.Rel)
 		if rel == nil {
 			return true // unknown relation: no matches, prune this branch
 		}
@@ -287,7 +287,7 @@ func searchRec(q *cq.Query, d *db.Database, a Assignment, remaining []int, yield
 	}
 	ai := remaining[bestPos]
 	atom := q.Atoms[ai]
-	rel := d.Relation(atom.Rel)
+	rel := d.Rel(atom.Rel)
 	rest := make([]int, 0, len(remaining)-1)
 	rest = append(rest, remaining[:bestPos]...)
 	rest = append(rest, remaining[bestPos+1:]...)
@@ -317,7 +317,7 @@ func searchRec(q *cq.Query, d *db.Database, a Assignment, remaining []int, yield
 // may resolve to a fact present in D. Unbound variables in a negated atom
 // (possible only for unsafe queries) make the check vacuously true for that
 // atom.
-func negsHold(q *cq.Query, d *db.Database, a Assignment) bool {
+func negsHold(q *cq.Query, d db.Reader, a Assignment) bool {
 	for _, atom := range q.Negs {
 		f, ok := a.AtomFact(atom)
 		if !ok {
@@ -334,7 +334,7 @@ func negsHold(q *cq.Query, d *db.Database, a Assignment) bool {
 // under the assignment — the tuples whose presence blocks the assignment from
 // being valid. Used by the cleaner to repair answers of queries with
 // negation.
-func BlockingFacts(q *cq.Query, d *db.Database, a Assignment) []db.Fact {
+func BlockingFacts(q *cq.Query, d db.Reader, a Assignment) []db.Fact {
 	var out []db.Fact
 	for _, atom := range q.Negs {
 		f, ok := a.AtomFact(atom)

@@ -20,7 +20,7 @@ func sortTuples(seen map[string]db.Tuple) []db.Tuple {
 // order, checking constraints only at the leaves. It exists as an oracle for
 // correctness tests of the indexed evaluator and for ablation benchmarks;
 // production callers use Eval.
-func NaiveEval(q *cq.Query, d *db.Database) []Assignment {
+func NaiveEval(q *cq.Query, d db.Reader) []Assignment {
 	var out []Assignment
 	var rec func(i int, a Assignment)
 	rec = func(i int, a Assignment) {
@@ -39,7 +39,7 @@ func NaiveEval(q *cq.Query, d *db.Database) []Assignment {
 			return
 		}
 		atom := q.Atoms[i]
-		rel := d.Relation(atom.Rel)
+		rel := d.Rel(atom.Rel)
 		if rel == nil {
 			return
 		}
@@ -58,7 +58,7 @@ func NaiveEval(q *cq.Query, d *db.Database) []Assignment {
 }
 
 // NaiveResult computes Q(D) via NaiveEval.
-func NaiveResult(q *cq.Query, d *db.Database) []db.Tuple {
+func NaiveResult(q *cq.Query, d db.Reader) []db.Tuple {
 	seen := make(map[string]db.Tuple)
 	for _, a := range NaiveEval(q, d) {
 		if t, ok := a.HeadTuple(q); ok {

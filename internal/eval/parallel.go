@@ -19,7 +19,7 @@ const parallelMinScan = 8
 // performs (worker 0's results first, then worker 1's, …) is deterministic
 // for a given scan. It reports ok = false when the enumeration does not
 // parallelize profitably — the caller must then run the serial search.
-func searchParallel(q *cq.Query, d *db.Database, seed Assignment, workers int, newYield func(w int) func(Assignment) bool) (ok bool) {
+func searchParallel(q *cq.Query, d db.Reader, seed Assignment, workers int, newYield func(w int) func(Assignment) bool) (ok bool) {
 	if workers <= 1 {
 		return false
 	}
@@ -33,7 +33,7 @@ func searchParallel(q *cq.Query, d *db.Database, seed Assignment, workers int, n
 	var bestBindings []db.Binding
 	for pos := range q.Atoms {
 		atom := q.Atoms[pos]
-		rel := d.Relation(atom.Rel)
+		rel := d.Rel(atom.Rel)
 		if rel == nil {
 			return true // unknown relation: no matches at all
 		}
@@ -50,7 +50,7 @@ func searchParallel(q *cq.Query, d *db.Database, seed Assignment, workers int, n
 		return false // no atoms (boolean edge case): serial handles it
 	}
 	atom := q.Atoms[bestPos]
-	scan := d.Relation(atom.Rel).Scan(bestBindings)
+	scan := d.Rel(atom.Rel).Scan(bestBindings)
 	if len(scan) < parallelMinScan || len(scan) < workers {
 		return false
 	}
@@ -113,7 +113,7 @@ func searchParallel(q *cq.Query, d *db.Database, seed Assignment, workers int, n
 // serially via search, or via searchParallel with per-worker slices merged
 // in worker order. Callers sort the result, so the two paths produce
 // byte-identical output.
-func collect(q *cq.Query, d *db.Database, seed Assignment, cfg config) []Assignment {
+func collect(q *cq.Query, d db.Reader, seed Assignment, cfg config) []Assignment {
 	if cfg.workers > 1 {
 		parts := make([][]Assignment, cfg.workers)
 		if searchParallel(q, d, seed, cfg.workers, func(w int) func(Assignment) bool {
@@ -140,7 +140,7 @@ func collect(q *cq.Query, d *db.Database, seed Assignment, cfg config) []Assignm
 // collectResult gathers the distinct head tuples of all valid assignments
 // extending the empty seed — the enumeration core of Result — serially or in
 // parallel with per-worker dedup maps merged afterwards.
-func collectResult(q *cq.Query, d *db.Database, cfg config) map[string]db.Tuple {
+func collectResult(q *cq.Query, d db.Reader, cfg config) map[string]db.Tuple {
 	if cfg.workers > 1 {
 		parts := make([]map[string]db.Tuple, cfg.workers)
 		if searchParallel(q, d, Assignment{}, cfg.workers, func(w int) func(Assignment) bool {

@@ -2,6 +2,7 @@ package experiment
 
 import (
 	"fmt"
+	"os"
 	"runtime"
 	"strings"
 	"time"
@@ -22,6 +23,11 @@ type EvalBenchOpts struct {
 	Repeats int
 	// Soccer sizes the benchmark database (default full 20 tournaments).
 	Soccer dataset.SoccerOpts
+	// StoreDir is where the disk-backed store of the mem-vs-disk comparison
+	// lives (empty = fresh temp dir, removed afterwards).
+	StoreDir string
+	// StoreShards is the disk store's hash fan-out (0 = db.DefaultShards).
+	StoreShards int
 }
 
 func (o *EvalBenchOpts) applyDefaults() {
@@ -57,17 +63,41 @@ type EvalBenchRow struct {
 	Identical bool `json:"identical"`
 }
 
+// StoreBenchRow compares cold evaluation of one query on the in-memory
+// store against the disk-backed store holding the same facts.
+type StoreBenchRow struct {
+	Name string `json:"name"`
+	// MemColdNS and DiskColdNS are cache-bypassed serial evaluation times.
+	MemColdNS  int64 `json:"mem_cold_ns"`
+	DiskColdNS int64 `json:"disk_cold_ns"`
+	// DiskPenalty = disk/mem (interning round-trips make disk reads slower;
+	// the trajectory watches that this stays a small constant).
+	DiskPenalty float64 `json:"disk_penalty"`
+	// Identical reports byte-identical answers across the two backends.
+	Identical bool `json:"identical"`
+}
+
 // EvalBenchReport is the full benchmark output — the JSON shape of
 // BENCH_eval.json, the repo's evaluation-performance trajectory.
 type EvalBenchReport struct {
-	Facts      int            `json:"facts"`
-	Workers    int            `json:"workers"`
-	GOMAXPROCS int            `json:"gomaxprocs"`
+	Facts      int `json:"facts"`
+	Workers    int `json:"workers"`
+	GOMAXPROCS int `json:"gomaxprocs"`
 	// NaiveAgrees reports that the indexed evaluator matched the naive
 	// reference evaluator on every query over a reduced instance (the
 	// full-scale instance is out of the naive evaluator's reach).
 	NaiveAgrees bool           `json:"naive_agrees"`
 	Rows        []EvalBenchRow `json:"rows"`
+	// Store is the mem-vs-disk cold-evaluation comparison (Q1-Q5 over the
+	// same facts; empty if the disk store could not be opened).
+	Store      []StoreBenchRow `json:"store,omitempty"`
+	StoreError string          `json:"store_error,omitempty"`
+	// Clone-cost guard: DeepCopyNS is the historical O(|D|) per-job copy,
+	// CloneNS/SnapshotNS the copy-on-write replacements (ns per op on the
+	// benchmark database).
+	DeepCopyNS int64 `json:"deep_copy_ns"`
+	CloneNS    int64 `json:"clone_ns"`
+	SnapshotNS int64 `json:"snapshot_ns"`
 }
 
 // tuplesFingerprint canonicalizes an answer set for byte-identity checks.
@@ -82,7 +112,7 @@ func tuplesFingerprint(ts []db.Tuple) string {
 
 // timeEval times one evaluation configuration, returning the minimum of
 // repeats runs and the fingerprint of the (identical across runs) output.
-func timeEval(q *cq.Query, d *db.Database, repeats int, opts ...eval.Option) (time.Duration, string) {
+func timeEval(q *cq.Query, d db.Reader, repeats int, opts ...eval.Option) (time.Duration, string) {
 	best := time.Duration(-1)
 	var fp string
 	for i := 0; i < repeats; i++ {
@@ -177,7 +207,82 @@ func EvalBench(opts EvalBenchOpts) EvalBenchReport {
 		}
 		rep.Rows = append(rep.Rows, agg)
 	}
+
+	storeBench(&rep, d, queries, names, opts, byName)
+	cloneBench(&rep, d)
 	return rep
+}
+
+// storeBench materializes the benchmark facts into a disk-backed store and
+// re-times cold evaluation there, recording the per-query penalty relative
+// to the in-memory store.
+func storeBench(rep *EvalBenchReport, d *db.Database, queries []*cq.Query, names []string, opts EvalBenchOpts, byName map[string]EvalBenchRow) {
+	dir := opts.StoreDir
+	if dir == "" {
+		tmp, err := os.MkdirTemp("", "qoco-evalbench-*")
+		if err != nil {
+			rep.StoreError = err.Error()
+			return
+		}
+		defer os.RemoveAll(tmp)
+		dir = tmp
+	}
+	dsk, err := db.OpenDisk(dir, d.Schema(), opts.StoreShards)
+	if err != nil {
+		rep.StoreError = err.Error()
+		return
+	}
+	defer dsk.Close()
+	if dsk.Len() == 0 {
+		if _, err := db.Copy(dsk, d); err != nil {
+			rep.StoreError = err.Error()
+			return
+		}
+		if err := dsk.Sync(); err != nil {
+			rep.StoreError = err.Error()
+			return
+		}
+	}
+	for i, q := range queries {
+		mem := byName[names[i]]
+		memFP := tuplesFingerprint(eval.Result(q, d, eval.NoCache()))
+		diskCold, diskFP := timeEval(q, dsk, opts.Repeats, eval.NoCache())
+		row := StoreBenchRow{
+			Name:       names[i],
+			MemColdNS:  mem.ColdNS,
+			DiskColdNS: diskCold.Nanoseconds(),
+			Identical:  memFP == diskFP,
+		}
+		if mem.ColdNS > 0 {
+			row.DiskPenalty = float64(row.DiskColdNS) / float64(mem.ColdNS)
+		}
+		rep.Store = append(rep.Store, row)
+	}
+}
+
+// cloneBench times the historical O(|D|) physical copy against the
+// copy-on-write Clone and Snapshot that replaced it in the job path.
+func cloneBench(rep *EvalBenchReport, d *db.Database) {
+	best := time.Duration(-1)
+	for i := 0; i < 3; i++ {
+		start := time.Now()
+		_ = db.DeepCopy(d)
+		if el := time.Since(start); best < 0 || el < best {
+			best = el
+		}
+	}
+	rep.DeepCopyNS = best.Nanoseconds()
+	const reps = 1000
+	start := time.Now()
+	for i := 0; i < reps; i++ {
+		_ = d.Clone()
+	}
+	rep.CloneNS = time.Since(start).Nanoseconds() / reps
+	start = time.Now()
+	for i := 0; i < reps; i++ {
+		_ = d.Snapshot()
+	}
+	rep.SnapshotNS = time.Since(start).Nanoseconds() / reps
 }
 
 // RenderEvalBench formats the benchmark report as an aligned text table.
@@ -197,5 +302,22 @@ func RenderEvalBench(rep EvalBenchReport) string {
 			time.Duration(r.ColdNS), time.Duration(r.WarmNS), time.Duration(r.ParallelNS),
 			r.WarmSpeedup, r.ParallelSpeedup, ok)
 	}
+	if len(rep.Store) > 0 {
+		fmt.Fprintf(&b, "\nStore backends — cold evaluation, mem vs disk\n")
+		fmt.Fprintf(&b, "%-7s %12s %12s %9s %-3s\n", "name", "mem", "disk", "penalty", "ok")
+		for _, r := range rep.Store {
+			ok := "yes"
+			if !r.Identical {
+				ok = "NO"
+			}
+			fmt.Fprintf(&b, "%-7s %12s %12s %8.2fx %-3s\n",
+				r.Name, time.Duration(r.MemColdNS), time.Duration(r.DiskColdNS), r.DiskPenalty, ok)
+		}
+	}
+	if rep.StoreError != "" {
+		fmt.Fprintf(&b, "\nstore benchmark skipped: %s\n", rep.StoreError)
+	}
+	fmt.Fprintf(&b, "\nPer-job copies: deep copy %s, COW clone %s, snapshot %s\n",
+		time.Duration(rep.DeepCopyNS), time.Duration(rep.CloneNS), time.Duration(rep.SnapshotNS))
 	return b.String()
 }

@@ -31,7 +31,7 @@ type DNF struct {
 
 // Of computes the why-provenance of answer t for q over d: one term per
 // witness.
-func Of(q *cq.Query, d *db.Database, t db.Tuple) *DNF {
+func Of(q *cq.Query, d db.Reader, t db.Tuple) *DNF {
 	p := &DNF{facts: make(map[string]db.Fact)}
 	for _, w := range eval.Witnesses(q, d, t) {
 		term := make([]string, 0, len(w))

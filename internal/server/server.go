@@ -96,7 +96,7 @@ type jobStatus struct {
 // {"error": "..."} shape; the crowd console is served at /.
 type Server struct {
 	queue   *Queue
-	d       *db.Database
+	d       db.Store
 	cfg     core.Config
 	mux     *http.ServeMux
 	monitor *view.Monitor
@@ -124,11 +124,13 @@ type Server struct {
 	wrapOracle func(crowd.Oracle) crowd.Oracle
 }
 
-// New builds a server over the database. cfg configures the cleaner; its
-// Oracle is the server's own question queue. cfg.Parallel is honored. When
-// cfg.Obs is nil the server creates its own recorder; either way the recorder
-// is shared by the queue and every cleaner and served at /api/v1/metrics.
-func New(d *db.Database, cfg core.Config) *Server {
+// New builds a server over any db.Store backend (callers passing the
+// historical *db.Database keep compiling unchanged). cfg configures the
+// cleaner; its Oracle is the server's own question queue. cfg.Parallel is
+// honored. When cfg.Obs is nil the server creates its own recorder; either
+// way the recorder is shared by the queue and every cleaner and served at
+// /api/v1/metrics.
+func New(d db.Store, cfg core.Config) *Server {
 	if cfg.Obs == nil {
 		cfg.Obs = obs.New()
 	}
@@ -165,6 +167,7 @@ func New(d *db.Database, cfg core.Config) *Server {
 	s.mux.HandleFunc("/api/v1/jobs/{id}", s.v1Job)
 	s.mux.HandleFunc("/api/v1/query", s.v1Query)
 	s.mux.HandleFunc("/api/v1/metrics", s.v1Metrics)
+	s.mux.HandleFunc("/api/v1/db", s.v1DB)
 	s.mux.HandleFunc("/api/v1/views", s.v1Views)
 	s.mux.HandleFunc("/api/v1/views/{name}", s.v1View)
 	s.mux.HandleFunc("/api/v1/views/{name}/{action}", s.v1ViewAction)
@@ -421,6 +424,19 @@ func (s *Server) v1Metrics(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.obs.Handler().ServeHTTP(w, r)
+}
+
+// v1DB serves GET /api/v1/db: the fact store's stats — backend, generation,
+// per-relation fact counts, shard fan-out, and on-disk footprint.
+func (s *Server) v1DB(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		methodNotAllowed(w, http.MethodGet)
+		return
+	}
+	s.dbMu.RLock()
+	st := s.d.Stats()
+	s.dbMu.RUnlock()
+	writeJSON(w, http.StatusOK, st)
 }
 
 // --- deprecated unversioned handlers ---

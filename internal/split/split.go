@@ -21,7 +21,7 @@ import (
 // whole witness).
 type Strategy interface {
 	Name() string
-	Split(q *cq.Query, d *db.Database) (left, right *cq.Query, ok bool)
+	Split(q *cq.Query, d db.Reader) (left, right *cq.Query, ok bool)
 }
 
 // Naive never splits; with it Algorithm 2 degenerates to the naive approach
@@ -33,7 +33,7 @@ type Naive struct{}
 func (Naive) Name() string { return "Naive" }
 
 // Split implements Strategy; it always reports ok = false.
-func (Naive) Split(*cq.Query, *db.Database) (*cq.Query, *cq.Query, bool) {
+func (Naive) Split(*cq.Query, db.Reader) (*cq.Query, *cq.Query, bool) {
 	return nil, nil, false
 }
 
@@ -51,7 +51,7 @@ func NewRandom(rng *rand.Rand) *Random { return &Random{rng: rng} }
 func (*Random) Name() string { return "Random" }
 
 // Split implements Strategy.
-func (r *Random) Split(q *cq.Query, _ *db.Database) (*cq.Query, *cq.Query, bool) {
+func (r *Random) Split(q *cq.Query, _ db.Reader) (*cq.Query, *cq.Query, bool) {
 	n := len(q.Atoms)
 	if n < 2 {
 		return nil, nil, false
@@ -84,7 +84,7 @@ type MinCut struct{}
 func (MinCut) Name() string { return "Min-Cut" }
 
 // Split implements Strategy.
-func (MinCut) Split(q *cq.Query, _ *db.Database) (*cq.Query, *cq.Query, bool) {
+func (MinCut) Split(q *cq.Query, _ db.Reader) (*cq.Query, *cq.Query, bool) {
 	n := len(q.Atoms)
 	if n < 2 {
 		return nil, nil, false
@@ -156,7 +156,7 @@ type Provenance struct{}
 func (Provenance) Name() string { return "Provenance" }
 
 // Split implements Strategy.
-func (Provenance) Split(q *cq.Query, d *db.Database) (*cq.Query, *cq.Query, bool) {
+func (Provenance) Split(q *cq.Query, d db.Reader) (*cq.Query, *cq.Query, bool) {
 	if len(q.Atoms) < 2 {
 		return nil, nil, false
 	}

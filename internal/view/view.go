@@ -32,14 +32,14 @@ type View struct {
 }
 
 // New materializes the query over the database.
-func New(name string, q *cq.Query, d *db.Database) *View {
+func New(name string, q *cq.Query, d db.Reader) *View {
 	v := &View{Name: name, Query: q}
 	v.Refresh(d)
 	return v
 }
 
 // Refresh recomputes the materialization from scratch.
-func (v *View) Refresh(d *db.Database) {
+func (v *View) Refresh(d db.Reader) {
 	v.rows = make(map[string]db.Tuple)
 	v.support = make(map[string]int)
 	for _, a := range eval.Eval(v.Query, d) {
@@ -82,7 +82,7 @@ func (v *View) Support(t db.Tuple) int { return v.support[t.Key()] }
 // Negated atoms are handled symmetrically: an inserted fact can block
 // previously valid assignments (support losses), and a deleted fact can
 // unblock assignments (support gains).
-func (v *View) Apply(d *db.Database, e db.Edit) (appeared, disappeared []db.Tuple) {
+func (v *View) Apply(d db.Store, e db.Edit) (appeared, disappeared []db.Tuple) {
 	f := e.Fact
 	var gains, losses map[string]int
 	if e.Op == db.Insert {
@@ -117,7 +117,7 @@ func (v *View) Apply(d *db.Database, e db.Edit) (appeared, disappeared []db.Tupl
 // fact in at least one positive atom. With tempInsert the fact is absent from
 // d (a deletion happened) and is re-inserted temporarily to evaluate the
 // pre-delete state.
-func (v *View) matchPositive(d *db.Database, f db.Fact, tempInsert bool) map[string]int {
+func (v *View) matchPositive(d db.Store, f db.Fact, tempInsert bool) map[string]int {
 	if tempInsert {
 		if changed, _ := d.InsertFact(f); changed {
 			defer d.DeleteFact(f)
@@ -130,7 +130,7 @@ func (v *View) matchPositive(d *db.Database, f db.Fact, tempInsert bool) map[str
 // grounds to the fact and that are valid when the fact is absent. With
 // tempDelete the fact is present in d (an insertion happened) and is removed
 // temporarily to evaluate the pre-insert state.
-func (v *View) matchNegative(d *db.Database, f db.Fact, tempDelete bool) map[string]int {
+func (v *View) matchNegative(d db.Store, f db.Fact, tempDelete bool) map[string]int {
 	if len(v.Query.Negs) == 0 {
 		return nil
 	}
@@ -145,7 +145,7 @@ func (v *View) matchNegative(d *db.Database, f db.Fact, tempDelete bool) map[str
 // matchAtoms enumerates valid assignments (over d's current state) that
 // ground one of the given atoms to the fact, deduplicated across atom
 // positions, counted per answer key. Answer tuples are cached in rows.
-func (v *View) matchAtoms(d *db.Database, atoms []cq.Atom, f db.Fact) map[string]int {
+func (v *View) matchAtoms(d db.Reader, atoms []cq.Atom, f db.Fact) map[string]int {
 	seen := make(map[string]bool)
 	deltas := make(map[string]int)
 	for _, atom := range atoms {
@@ -204,18 +204,24 @@ func sortTuples(ts []db.Tuple) {
 // consistent: every edit must flow through Apply. It is the "QOCO monitors
 // the views served to users" deployment mode of §1.
 type Monitor struct {
-	d     *db.Database
+	d     db.Store
 	views map[string]*View
 	order []string
 }
 
-// NewMonitor creates a monitor over the database.
-func NewMonitor(d *db.Database) *Monitor {
+// NewMonitor creates a monitor over the store.
+func NewMonitor(d db.Store) *Monitor {
 	return &Monitor{d: d, views: make(map[string]*View)}
 }
 
-// Database returns the monitored database.
-func (m *Monitor) Database() *db.Database { return m.d }
+// Store returns the monitored store.
+func (m *Monitor) Store() db.Store { return m.d }
+
+// Database returns the monitored store as an in-memory *db.Database.
+//
+// Deprecated: it exists for callers that predate the Store interface and
+// panics when the monitor holds a different backend; use Store instead.
+func (m *Monitor) Database() *db.Database { return m.d.(*db.Database) }
 
 // Register materializes a query as a named view.
 func (m *Monitor) Register(name string, q *cq.Query) (*View, error) {

@@ -138,7 +138,7 @@ func TestWALReplayEquivalence(t *testing.T) {
 		db.Insertion(db.NewFact("R", "a", "c")),
 		db.Deletion(db.NewFact("R", "a", "b")),
 		db.Insertion(db.NewFact("S", "a")),
-		db.Deletion(db.NewFact("S", "zzz")), // no-op: not journaled
+		db.Deletion(db.NewFact("S", "zzz")),     // no-op: not journaled
 		db.Insertion(db.NewFact("R", "a", "c")), // no-op: duplicate
 	}
 	for _, e := range edits {

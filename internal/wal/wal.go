@@ -77,10 +77,10 @@ func (r record) edit() (db.Edit, error) {
 }
 
 // Store is a directory holding a snapshot and a journal, together with the
-// live in-memory database they encode.
+// live fact store they encode.
 type Store struct {
 	dir     string
-	d       *db.Database
+	d       db.Store
 	journal *os.File
 	w       *bufio.Writer
 
@@ -92,14 +92,27 @@ type Store struct {
 // first, then the journal is replayed over it. The schema must match the one
 // the store was created with.
 func Open(dir string, s *schema.Schema) (*Store, error) {
+	return OpenWith(dir, s, nil)
+}
+
+// OpenWith is Open with an explicit target store for the decoded facts: the
+// snapshot and journal replay into target, and subsequent edits journal on
+// top of it. A nil target means a fresh in-memory db.New(s). The target must
+// be empty and share the schema.
+func OpenWith(dir string, s *schema.Schema, target db.Store) (*Store, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("wal: creating %s: %w", dir, err)
 	}
-	d := db.New(s)
+	var d db.Store
+	if target != nil {
+		d = target
+	} else {
+		d = db.New(s)
+	}
 	// Snapshot (optional).
 	snap, err := os.Open(filepath.Join(dir, snapshotFile))
 	if err == nil {
-		loadErr := d.LoadCSV(snap)
+		loadErr := db.LoadCSV(d, snap)
 		snap.Close()
 		if loadErr != nil {
 			return nil, fmt.Errorf("wal: loading snapshot: %w", loadErr)
@@ -212,7 +225,7 @@ func scanJournal(path string, fn func(line []byte) error) (torn bool, err error)
 }
 
 // replay applies the journal at path to d.
-func replay(path string, d *db.Database) error {
+func replay(path string, d db.Store) error {
 	_, err := scanJournal(path, func(line []byte) error {
 		var r record
 		if err := json.Unmarshal(line, &r); err != nil {
@@ -238,9 +251,16 @@ type fatalReplayError struct{ err error }
 
 func (e *fatalReplayError) Error() string { return e.err.Error() }
 
-// Database returns the live database. Mutations must flow through Apply (or
+// Target returns the live fact store. Mutations must flow through Apply (or
 // the EditHook) to be durable.
-func (s *Store) Database() *db.Database { return s.d }
+func (s *Store) Target() db.Store { return s.d }
+
+// Database returns the live store as an in-memory *db.Database.
+//
+// Deprecated: it exists for callers that predate the Store interface and
+// panics when the store was opened with a different backend (OpenWith); use
+// Target instead.
+func (s *Store) Database() *db.Database { return s.d.(*db.Database) }
 
 // Apply journals and applies an edit. No-op edits (inserting a present fact,
 // deleting an absent one) are not journaled. Once a journal append has
@@ -325,7 +345,7 @@ func (s *Store) Compact() error {
 	if err != nil {
 		return fmt.Errorf("wal: creating snapshot: %w", err)
 	}
-	if err := s.d.WriteCSV(tmp); err != nil {
+	if err := db.WriteCSV(tmp, s.d); err != nil {
 		tmp.Close()
 		os.Remove(tmp.Name())
 		return fmt.Errorf("wal: writing snapshot: %w", err)

@@ -35,7 +35,7 @@ func (e Explanation) Right() []int { return e.Order[e.PickyPos:] }
 
 // Explain computes the Explanation for q over d. Queries with fewer than two
 // atoms have no join to blame; ok is false for those.
-func Explain(q *cq.Query, d *db.Database) (Explanation, bool) {
+func Explain(q *cq.Query, d db.Reader) (Explanation, bool) {
 	if len(q.Atoms) < 2 {
 		return Explanation{}, false
 	}
