@@ -49,7 +49,8 @@ func run() error {
 	sqlText := flag.String("sql", "", "query to clean, as a SELECT statement (alternative to -query)")
 	oracleKind := flag.String("oracle", "human", "oracle: human (stdin) or perfect (built-in ground truth)")
 	transcript := flag.Bool("transcript", false, "log every crowd question and answer to stderr")
-	dbinfo := flag.Bool("dbinfo", false, "print the fact store's stats (backend, relations, shards, disk bytes) as JSON and exit")
+	dbinfo := flag.Bool("dbinfo", false, "print the fact store's stats (backend, relations, shards, disk bytes, per-shard garbage) as JSON and exit")
+	compact := flag.Bool("compact", false, "compact the disk store's segments (drop dead records), print the result as JSON, and exit")
 	scfg := storecfg.Register(flag.CommandLine)
 	flag.Parse()
 
@@ -66,6 +67,22 @@ func run() error {
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
 		return enc.Encode(d.Stats())
+	}
+	if *compact {
+		cds, ok := d.(*db.DiskStore)
+		if !ok {
+			return fmt.Errorf("-compact requires the disk backend (-store disk)")
+		}
+		res, err := cds.Compact(0)
+		if err != nil {
+			return fmt.Errorf("compacting store: %w", err)
+		}
+		if err := cds.Sync(); err != nil {
+			return err
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(res)
 	}
 	var q *cq.Query
 	switch {

@@ -103,6 +103,10 @@ func run() error {
 		"resolved crowd questions retained at /api/v1/questions/log (0 disables)")
 	evalWorkers := flag.Int("eval-workers", 1,
 		"query-evaluation parallelism: top-level scans are partitioned across this many goroutines (1 = serial, -1 = GOMAXPROCS)")
+	compactEvery := flag.Duration("compact-store", 0,
+		"background disk-store compaction interval (0 disables); each run rewrites segment shards past -compact-garbage")
+	compactGarbage := flag.Float64("compact-garbage", 0.5,
+		"garbage ratio (dead records / total records) above which a segment shard is compacted")
 	scfg := storecfg.Register(flag.CommandLine)
 	flag.Parse()
 
@@ -111,17 +115,32 @@ func run() error {
 		return err
 	}
 	d, err := scfg.Materialize(seed)
+	var bootErr error
 	if err != nil {
-		return err
+		if !errors.Is(err, db.ErrCorrupt) {
+			return err
+		}
+		// Detected storage corruption: boot degraded instead of crash-looping.
+		// The store stays quarantined, /readyz reports not-ready with the
+		// typed error, and data endpoints return 503 until an operator runs
+		// the recovery runbook (docs/OPERATIONS.md) and restarts.
+		log.Printf("storage corruption detected: %v", err)
+		log.Printf("booting DEGRADED with an empty in-memory placeholder; see docs/OPERATIONS.md (quarantine runbook)")
+		bootErr = err
+		d = db.New(seed.Schema())
 	}
 	defer d.Close()
 
 	srv := server.New(d, core.Config{EvalWorkers: *evalWorkers})
+	if bootErr != nil {
+		srv.SetStoreError(bootErr)
+	}
 	// Route evaluator and wal metrics (witness enumeration latencies, torn-tail
 	// recoveries, journal append failures) into the same recorder the server
 	// serves at /api/v1/metrics.
 	eval.Instrument(srv.Obs())
 	wal.Instrument(srv.Obs())
+	db.Instrument(srv.Obs())
 	if *questionDeadline > 0 {
 		srv.Queue().SetDeadline(*questionDeadline, *maxReasks)
 	}
@@ -156,6 +175,40 @@ func run() error {
 			log.Printf("recovered %d interrupted job(s) from the journal", resumed)
 		}
 	}
+
+	// Background segment compaction: reclaim dead records from the disk
+	// store on a timer, pausing while the server drains (compaction takes
+	// the database write lock, which would stall a draining job's exit).
+	compactDone := make(chan struct{})
+	if *compactEvery > 0 {
+		go func() {
+			ticker := time.NewTicker(*compactEvery)
+			defer ticker.Stop()
+			for {
+				select {
+				case <-compactDone:
+					return
+				case <-ticker.C:
+				}
+				if srv.Draining() || srv.StoreError() != nil {
+					continue
+				}
+				res, ok, err := srv.CompactStore(*compactGarbage)
+				if err != nil {
+					log.Printf("store compaction: %v", err)
+					continue
+				}
+				if !ok {
+					return // in-memory backend: nothing will ever compact
+				}
+				if res.ShardsCompacted > 0 {
+					log.Printf("store compaction: %d shard(s), %d dead record(s), %d -> %d bytes",
+						res.ShardsCompacted, res.RecordsDropped, res.BytesBefore, res.BytesAfter)
+				}
+			}
+		}()
+	}
+	defer close(compactDone)
 
 	mux := http.NewServeMux()
 	mux.Handle("/", srv.Handler())

@@ -4,14 +4,17 @@ import (
 	"bufio"
 	"encoding/binary"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"hash/fnv"
 	"io"
 	"os"
 	"path/filepath"
 	"sort"
+	"strings"
 	"sync/atomic"
 
+	"repro/internal/faultfs"
 	"repro/internal/schema"
 )
 
@@ -30,6 +33,14 @@ import (
 // nothing. A process kill between Syncs loses at most the buffered tail;
 // reopening truncates each segment at its last complete, valid record
 // (per-shard prefix recovery, the same torn-tail contract as the WAL).
+//
+// Robustness model (v2 format, record.go): every record carries a CRC-32C
+// trailer and every Sync appends a commit marker, so recovery can prove
+// whether a decode failure is a torn tail (truncate and continue) or
+// corruption (typed *CorruptError; the file is quarantined and a sticky
+// QUARANTINE marker blocks reopens rather than inventing facts). All file
+// I/O goes through a faultfs.FS so the whole story is provable under
+// seeded fault injection (internal/check.CheckDiskFaults).
 
 const (
 	// diskMetaFile pins the shard fan-out a store was created with; reopens
@@ -38,18 +49,57 @@ const (
 	diskMetaFile = "store.json"
 	diskSymsFile = "symbols.dat"
 
+	// formatVersion is the on-disk format for newly created stores. Version
+	// 1 (no checksums, no commit markers) is still read and written
+	// transparently for stores created before the bump.
+	formatVersion = 2
+
 	// DefaultShards is the per-relation shard fan-out used when OpenDisk is
 	// given a non-positive count.
 	DefaultShards = 4
 
 	opInsert = 1
 	opDelete = 2
+	// opCommit marks a Sync: it carries no data, but its presence
+	// guarantees the synced region ends with a valid record, which is what
+	// lets recovery refuse to classify synced-region corruption as a torn
+	// tail (v2 only).
+	opCommit = 3
 )
 
-// diskMeta is the persisted store descriptor.
+// diskMeta is the persisted store descriptor. Checksum (v2+) covers
+// Version and Shards: a bit flip in either would silently re-route every
+// tuple to the wrong shard, so the metadata must be self-validating.
 type diskMeta struct {
-	Version int `json:"version"`
-	Shards  int `json:"shards"`
+	Version  int    `json:"version"`
+	Shards   int    `json:"shards"`
+	Checksum uint32 `json:"checksum,omitempty"`
+}
+
+// metaChecksum is the self-check over the load-bearing metadata fields.
+func metaChecksum(version, shards int) uint32 {
+	return crc32c([]byte(fmt.Sprintf("qoco-meta;v=%d;shards=%d", version, shards)))
+}
+
+// DiskOption configures OpenDisk.
+type DiskOption func(*diskOptions)
+
+type diskOptions struct {
+	fs      faultfs.FS
+	version int
+}
+
+// WithFS routes every file operation through fsys — the fault-injection
+// seam. Production opens use the default, faultfs.OS().
+func WithFS(fsys faultfs.FS) DiskOption {
+	return func(o *diskOptions) { o.fs = fsys }
+}
+
+// WithFormatVersion pins the on-disk format for newly created stores (1 or
+// 2); reopens always use the version recorded in the store's metadata.
+// Exists so tests (and emergency rollbacks) can produce legacy stores.
+func WithFormatVersion(v int) DiskOption {
+	return func(o *diskOptions) { o.version = v }
 }
 
 // DiskStore is the disk-backed Store implementation. Its concurrency
@@ -57,20 +107,34 @@ type diskMeta struct {
 // be serialized by the caller. Forks and snapshots share shard state
 // copy-on-write and the symbol table outright.
 type DiskStore struct {
-	dir     string
-	schema  *schema.Schema
-	nshards int
-	id      uint64
-	gen     uint64
-	syms    *symtab
-	rels    map[string]*diskRel
+	dir      string
+	schema   *schema.Schema
+	nshards  int
+	version  int
+	fs       faultfs.FS
+	id       uint64
+	gen      uint64
+	syms     *symtab
+	rels     map[string]*diskRel
+	relNames []string // sorted; fixes file-op order for deterministic fault injection
+
+	// Recovery counters, frozen at open (surfaced via Stats).
+	tornTails       int64
+	tornBytes       int64
+	recordsReplayed int64
+	leftoverQuar    int // *.quarantined files present in the dir at open
+
+	// Compaction counters (surfaced via Stats).
+	compactRuns      int64
+	compactShards    int64
+	compactReclaimed int64
 
 	// detached marks forks and snapshot backings: in-memory overlays that
 	// never touch the segment files (their edits are not durable — the
 	// cleaner's working copies and the WAL cover durability above).
 	detached bool
 	closed   bool
-	err      error // first segment append failure; sticky, poisons mutations
+	err      error // first append/fsync failure; sticky, poisons mutations
 }
 
 type diskRel struct {
@@ -81,10 +145,12 @@ type diskRel struct {
 }
 
 type diskShard struct {
-	f      *os.File      // nil on detached stores
-	w      *bufio.Writer // nil iff f is nil
-	state  *shardState
-	shared atomic.Bool // state may be shared with a fork/snapshot; copy before mutating
+	file    faultfs.File  // nil on detached stores
+	w       *bufio.Writer // nil iff file is nil
+	state   *shardState
+	shared  atomic.Bool // state may be shared with a fork/snapshot; copy before mutating
+	records int         // insert/delete records in the segment (file + buffer)
+	dirty   bool        // records appended since the last commit marker (v2)
 }
 
 // shardState is one shard's in-memory contents: interned tuples keyed by
@@ -140,114 +206,223 @@ func segName(rel string, shard int) string {
 // OpenDisk opens (creating if empty) the disk-backed store in dir for the
 // given schema. shards fixes the per-relation hash fan-out on first
 // creation; reopens always use the fan-out recorded in the store's
-// metadata. The schema must match the one the store was created with —
-// records that no longer decode under it are discarded as torn tails.
-func OpenDisk(dir string, s *schema.Schema, shards int) (*DiskStore, error) {
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+// metadata. The schema must match the one the store was created with.
+// Detected corruption — as opposed to a recoverable torn tail — returns a
+// *CorruptError (errors.Is ErrCorrupt), quarantines the damaged file, and
+// leaves a sticky QUARANTINE marker so later opens keep failing until an
+// operator intervenes (docs/OPERATIONS.md).
+func OpenDisk(dir string, s *schema.Schema, shards int, opts ...DiskOption) (*DiskStore, error) {
+	o := diskOptions{fs: faultfs.OS(), version: formatVersion}
+	for _, opt := range opts {
+		opt(&o)
+	}
+	if o.version < 1 || o.version > formatVersion {
+		return nil, fmt.Errorf("db: unsupported store format version %d", o.version)
+	}
+	fsys := o.fs
+	if err := fsys.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("db: creating store dir %s: %w", dir, err)
 	}
-	if shards <= 0 {
-		shards = DefaultShards
+	if err := checkQuarantine(fsys, dir); err != nil {
+		return nil, err
 	}
+	leftoverQuar := cleanupStale(fsys, dir)
+
+	version := o.version
 	metaPath := filepath.Join(dir, diskMetaFile)
-	if raw, err := os.ReadFile(metaPath); err == nil {
+	if raw, err := fsys.ReadFile(metaPath); err == nil {
 		var m diskMeta
-		if err := json.Unmarshal(raw, &m); err != nil || m.Shards <= 0 {
-			return nil, fmt.Errorf("db: corrupt store metadata %s", metaPath)
+		// The checksum self-check runs before the newer-version refusal: a
+		// bit-flipped version byte must read as corruption, not as a
+		// plausible future format.
+		if jerr := json.Unmarshal(raw, &m); jerr != nil || m.Shards <= 0 || m.Version < 1 {
+			cerr := &CorruptError{Path: metaPath, Reason: "undecodable store metadata"}
+			quarantine(fsys, dir, cerr, false)
+			return nil, cerr
+		} else if m.Checksum != 0 && m.Checksum != metaChecksum(m.Version, m.Shards) {
+			cerr := &CorruptError{Path: metaPath, Reason: "store metadata checksum mismatch"}
+			quarantine(fsys, dir, cerr, false)
+			return nil, cerr
+		} else if m.Version > formatVersion {
+			return nil, fmt.Errorf("db: store %s uses format version %d, newer than this binary supports (%d)", dir, m.Version, formatVersion)
+		} else if m.Version >= 2 && m.Checksum == 0 {
+			cerr := &CorruptError{Path: metaPath, Reason: "v2 store metadata missing its checksum"}
+			quarantine(fsys, dir, cerr, false)
+			return nil, cerr
 		}
 		shards = m.Shards
+		version = m.Version
 	} else if os.IsNotExist(err) {
-		raw, _ := json.Marshal(diskMeta{Version: 1, Shards: shards})
-		if err := os.WriteFile(metaPath, raw, 0o644); err != nil {
+		if shards <= 0 {
+			shards = DefaultShards
+		}
+		m := diskMeta{Version: version, Shards: shards}
+		if version >= 2 {
+			m.Checksum = metaChecksum(m.Version, m.Shards)
+		}
+		if err := writeMetaAtomic(fsys, dir, m); err != nil {
 			return nil, fmt.Errorf("db: writing store metadata: %w", err)
 		}
 	} else {
 		return nil, fmt.Errorf("db: reading store metadata: %w", err)
 	}
 
-	syms, err := openSymtab(filepath.Join(dir, diskSymsFile))
+	syms, symRcv, err := openSymtab(fsys, filepath.Join(dir, diskSymsFile), version)
 	if err != nil {
+		var cerr *CorruptError
+		if errors.As(err, &cerr) {
+			quarantine(fsys, dir, cerr, true)
+		}
 		return nil, err
 	}
 	ds := &DiskStore{
-		dir:     dir,
-		schema:  s,
-		nshards: shards,
-		id:      lastDBID.Add(1),
-		syms:    syms,
-		rels:    make(map[string]*diskRel, s.Len()),
+		dir:          dir,
+		schema:       s,
+		nshards:      shards,
+		version:      version,
+		fs:           fsys,
+		id:           lastDBID.Add(1),
+		syms:         syms,
+		rels:         make(map[string]*diskRel, s.Len()),
+		relNames:     append([]string(nil), s.Names()...),
+		leftoverQuar: leftoverQuar,
 	}
-	for _, name := range s.Names() {
+	sort.Strings(ds.relNames)
+	ds.recordsReplayed += symRcv.records
+	ds.tornBytes += symRcv.tornBytes
+	if symRcv.tornBytes > 0 {
+		ds.tornTails++
+	}
+	for _, name := range ds.relNames {
 		rel, _ := s.Relation(name)
 		dr := &diskRel{store: ds, name: name, arity: rel.Arity(), shards: make([]*diskShard, shards)}
+		ds.rels[name] = dr
 		for i := 0; i < shards; i++ {
 			sh, err := ds.openShard(filepath.Join(dir, segName(name, i)), rel.Arity())
 			if err != nil {
 				ds.Close()
+				var cerr *CorruptError
+				if errors.As(err, &cerr) {
+					quarantine(fsys, dir, cerr, true)
+				}
 				return nil, err
 			}
 			dr.shards[i] = sh
 		}
-		ds.rels[name] = dr
 	}
+	if ds.tornTails > 0 {
+		rec().Add(MetricRecoveryTornTails, ds.tornTails)
+		rec().Add(MetricRecoveryTornBytes, ds.tornBytes)
+	}
+	rec().Add(MetricRecoveryRecords, ds.recordsReplayed)
 	return ds, nil
 }
 
-// openShard replays one segment file into a fresh shard state, truncating
-// the file at its last complete, valid record (crash-recovery semantics:
-// any suffix written after the last flush may be torn).
+// cleanupStale removes temp files left by a crash mid-install (metadata
+// or compaction rewrites that never reached their rename) and counts the
+// *.quarantined files an operator has not yet dealt with.
+func cleanupStale(fsys faultfs.FS, dir string) (quarantined int) {
+	entries, err := fsys.ReadDir(dir)
+	if err != nil {
+		return 0
+	}
+	for _, e := range entries {
+		name := e.Name()
+		if strings.Contains(name, ".tmp-") || strings.Contains(name, ".compact-") {
+			_ = fsys.Remove(filepath.Join(dir, name))
+		}
+		if strings.HasSuffix(name, ".quarantined") {
+			quarantined++
+		}
+	}
+	return quarantined
+}
+
+// writeMetaAtomic installs the store descriptor via temp file + fsync +
+// rename + directory fsync, so a crash can never leave a torn store.json.
+func writeMetaAtomic(fsys faultfs.FS, dir string, m diskMeta) error {
+	raw, err := json.Marshal(m)
+	if err != nil {
+		return err
+	}
+	tmp, err := fsys.CreateTemp(dir, diskMetaFile+".tmp-*")
+	if err != nil {
+		return err
+	}
+	tmpName := tmp.Name()
+	if _, err := tmp.Write(raw); err != nil {
+		tmp.Close()
+		_ = fsys.Remove(tmpName)
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		_ = fsys.Remove(tmpName)
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		_ = fsys.Remove(tmpName)
+		return err
+	}
+	if err := faultfs.RenameAndSyncDir(fsys, tmpName, filepath.Join(dir, diskMetaFile)); err != nil {
+		_ = fsys.Remove(tmpName)
+		return err
+	}
+	return nil
+}
+
+// openShard replays one segment file into a fresh shard state. A torn tail
+// (incomplete final record with nothing valid after it) is truncated away;
+// under the v2 format any other decode failure is corruption and returns a
+// *CorruptError (record.go documents the classification argument).
 func (s *DiskStore) openShard(path string, arity int) (*diskShard, error) {
 	state := newShardState(arity)
-	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	raw, err := s.fs.ReadFile(path)
+	if err != nil && !os.IsNotExist(err) {
+		return nil, fmt.Errorf("db: reading segment %s: %w", path, err)
+	}
+	symCount := uint32(s.syms.size())
+	good := 0
+	records := 0
+	for off := 0; off < len(raw); {
+		r, perr := parseSegRecord(raw, off, s.version, arity, symCount)
+		if perr != nil {
+			if inv, ok := perr.(*invalidRecord); ok {
+				return nil, &CorruptError{Path: path, Offset: int64(off), Reason: inv.reason}
+			}
+			if s.version >= 2 && resyncSeg(raw, off+1, s.version, arity, symCount) {
+				return nil, &CorruptError{Path: path, Offset: int64(off),
+					Reason: "incomplete record followed by intact records"}
+			}
+			s.tornTails++
+			s.tornBytes += int64(len(raw) - good)
+			break
+		}
+		switch r.op {
+		case opInsert:
+			state.insert(packKey(r.ids), r.ids)
+			records++
+		case opDelete:
+			state.delete(packKey(r.ids))
+			records++
+		}
+		off += r.n
+		good = off
+	}
+	s.recordsReplayed += int64(records)
+	f, err := s.fs.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
 	if err != nil {
 		return nil, fmt.Errorf("db: opening segment %s: %w", path, err)
 	}
-	br := bufio.NewReader(f)
-	good := int64(0)
-	off := int64(0)
-	symCount := uint32(s.syms.size())
-	for {
-		payloadLen, err := binary.ReadUvarint(br)
-		if err != nil {
-			break // EOF or a torn length header
-		}
-		hdrLen := uvarintLen(payloadLen)
-		if payloadLen == 0 || payloadLen > uint64(1+binary.MaxVarintLen32*arity) {
-			break // implausible record: treat as torn tail
-		}
-		payload := make([]byte, payloadLen)
-		if _, err := io.ReadFull(br, payload); err != nil {
-			break // truncated payload
-		}
-		ids, ok := decodeRecord(payload, arity, symCount)
-		if !ok {
-			break // undecodable record: discard it and everything after
-		}
-		op := payload[0]
-		key := packKey(ids)
-		if op == opInsert {
-			state.insert(key, ids)
-		} else {
-			state.delete(key)
-		}
-		off += int64(hdrLen) + int64(payloadLen)
-		good = off
-	}
-	if err := f.Truncate(good); err != nil {
+	if err := f.Truncate(int64(good)); err != nil {
 		f.Close()
 		return nil, fmt.Errorf("db: truncating torn segment tail %s: %w", path, err)
 	}
-	if _, err := f.Seek(good, io.SeekStart); err != nil {
+	if _, err := f.Seek(int64(good), io.SeekStart); err != nil {
 		f.Close()
 		return nil, fmt.Errorf("db: seeking segment %s: %w", path, err)
 	}
-	return &diskShard{f: f, w: bufio.NewWriter(f), state: state}, nil
-}
-
-// uvarintLen returns the encoded size of v.
-func uvarintLen(v uint64) int {
-	var b [binary.MaxVarintLen64]byte
-	return binary.PutUvarint(b[:], v)
+	return &diskShard{file: f, w: bufio.NewWriter(f), state: state, records: records}, nil
 }
 
 // decodeRecord parses a segment payload: op byte + arity interned IDs, all
@@ -346,20 +521,15 @@ func (sh *diskShard) materialize() {
 
 // appendRecord buffers one segment record; new symbols referenced by it
 // were already flushed by symtab.intern.
-func (sh *diskShard) appendRecord(op byte, ids []uint32) error {
-	payload := make([]byte, 1, 1+binary.MaxVarintLen32*len(ids))
-	payload[0] = op
-	var tmp [binary.MaxVarintLen64]byte
-	for _, id := range ids {
-		n := binary.PutUvarint(tmp[:], uint64(id))
-		payload = append(payload, tmp[:n]...)
-	}
-	n := binary.PutUvarint(tmp[:], uint64(len(payload)))
-	if _, err := sh.w.Write(tmp[:n]); err != nil {
+func (sh *diskShard) appendRecord(version int, op byte, ids []uint32) error {
+	if _, err := sh.w.Write(appendSegRecord(nil, version, op, ids)); err != nil {
 		return err
 	}
-	_, err := sh.w.Write(payload)
-	return err
+	if op != opCommit {
+		sh.records++
+		sh.dirty = true
+	}
+	return nil
 }
 
 // --- Store interface ---
@@ -374,6 +544,11 @@ func (s *DiskStore) Generation() uint64 { return s.gen }
 
 // Schema returns the store's schema.
 func (s *DiskStore) Schema() *schema.Schema { return s.schema }
+
+// Err returns the sticky write-path error, if any: once an append, flush,
+// or fsync has failed, every further mutation and Sync fails with it, and
+// health checks (server /readyz) surface it.
+func (s *DiskStore) Err() error { return s.err }
 
 // Rel returns the named relation's read view, or nil if unknown.
 func (s *DiskStore) Rel(name string) Rel {
@@ -400,13 +575,8 @@ func (s *DiskStore) Len() int {
 
 // Facts returns every fact in deterministic order.
 func (s *DiskStore) Facts() []Fact {
-	names := make([]string, 0, len(s.rels))
-	for n := range s.rels {
-		names = append(names, n)
-	}
-	sort.Strings(names)
 	out := make([]Fact, 0, s.Len())
-	for _, n := range names {
+	for _, n := range s.relNames {
 		for _, t := range s.rels[n].Tuples() {
 			out = append(out, Fact{Rel: n, Args: t})
 		}
@@ -443,7 +613,7 @@ func (s *DiskStore) InsertFact(f Fact) (bool, error) {
 		return false, nil
 	}
 	if !s.detached {
-		if err := sh.appendRecord(opInsert, ids); err != nil {
+		if err := sh.appendRecord(s.version, opInsert, ids); err != nil {
 			s.err = fmt.Errorf("db: appending segment record: %w", err)
 			return false, s.err
 		}
@@ -480,7 +650,7 @@ func (s *DiskStore) DeleteFact(f Fact) (bool, error) {
 		return false, nil
 	}
 	if !s.detached {
-		if err := sh.appendRecord(opDelete, ids); err != nil {
+		if err := sh.appendRecord(s.version, opDelete, ids); err != nil {
 			s.err = fmt.Errorf("db: appending segment record: %w", err)
 			return false, s.err
 		}
@@ -521,9 +691,12 @@ func (s *DiskStore) forkDetached() *DiskStore {
 		dir:      s.dir,
 		schema:   s.schema,
 		nshards:  s.nshards,
+		version:  s.version,
+		fs:       s.fs,
 		id:       lastDBID.Add(1),
 		syms:     s.syms,
 		rels:     make(map[string]*diskRel, len(s.rels)),
+		relNames: s.relNames,
 		detached: true,
 	}
 	for name, r := range s.rels {
@@ -553,8 +726,10 @@ func (s *DiskStore) Snapshot() Snapshot {
 	return &diskSnapshot{d: s.forkDetached(), id: s.id, gen: s.gen}
 }
 
-// Stats describes the store: per-relation fact counts and the on-disk
-// footprint (current file sizes plus bytes still buffered).
+// Stats describes the store: per-relation fact counts, the on-disk
+// footprint (current file sizes plus bytes still buffered), per-shard
+// live/dead record counts with garbage ratios, and the recovery and
+// compaction counters.
 func (s *DiskStore) Stats() Stats {
 	st := Stats{
 		Backend:    "disk",
@@ -567,30 +742,59 @@ func (s *DiskStore) Stats() Stats {
 		st.Relations[n] = r.Len()
 		st.TotalFacts += r.Len()
 	}
-	if !s.detached {
-		for _, r := range s.rels {
-			for _, sh := range r.shards {
-				if sh.f == nil {
-					continue
-				}
-				if fi, err := sh.f.Stat(); err == nil {
-					st.DiskBytes += fi.Size()
-				}
-				st.DiskBytes += int64(sh.w.Buffered())
+	if s.detached {
+		return st
+	}
+	st.FormatVersion = s.version
+	st.TornTails = s.tornTails
+	st.TornBytesTruncated = s.tornBytes
+	st.RecordsReplayed = s.recordsReplayed
+	st.QuarantinedFiles = s.leftoverQuar
+	st.CompactionRuns = s.compactRuns
+	st.CompactionReclaimedBytes = s.compactReclaimed
+	totalRecords, totalDead := 0, 0
+	for _, name := range s.relNames {
+		r := s.rels[name]
+		for i, sh := range r.shards {
+			if sh.file == nil {
+				continue
 			}
+			var bytes int64
+			if fi, err := sh.file.Stat(); err == nil {
+				bytes = fi.Size()
+			}
+			bytes += int64(sh.w.Buffered())
+			st.DiskBytes += bytes
+			live := len(sh.state.tuples)
+			dead := sh.records - live
+			seg := SegmentStat{Relation: name, Shard: i, Live: live, Dead: dead, Bytes: bytes}
+			if sh.records > 0 {
+				seg.GarbageRatio = float64(dead) / float64(sh.records)
+			}
+			st.Segments = append(st.Segments, seg)
+			totalRecords += sh.records
+			totalDead += dead
 		}
-		if fi, err := os.Stat(filepath.Join(s.dir, diskSymsFile)); err == nil {
-			st.DiskBytes += fi.Size()
-		}
-		if fi, err := os.Stat(filepath.Join(s.dir, diskMetaFile)); err == nil {
-			st.DiskBytes += fi.Size()
-		}
+	}
+	if totalRecords > 0 {
+		st.GarbageRatio = float64(totalDead) / float64(totalRecords)
+	}
+	if fi, err := s.fs.Stat(filepath.Join(s.dir, diskSymsFile)); err == nil {
+		st.DiskBytes += fi.Size()
+	}
+	if fi, err := s.fs.Stat(filepath.Join(s.dir, diskMetaFile)); err == nil {
+		st.DiskBytes += fi.Size()
 	}
 	return st
 }
 
 // Sync flushes every buffered segment record and fsyncs the symbol table
 // and all segment files: after Sync, nothing applied so far can be lost.
+// Under the v2 format each dirty file first gets a commit marker, so the
+// synced region always ends with a valid record (the torn-vs-corrupt
+// classifier depends on this — record.go). Flush and fsync failures are
+// both sticky: an fsync that failed may have dropped arbitrary dirty
+// pages, so the store fails stop rather than risk acknowledging lost data.
 func (s *DiskStore) Sync() error {
 	if s.detached || s.closed {
 		return nil
@@ -599,20 +803,29 @@ func (s *DiskStore) Sync() error {
 		return s.err
 	}
 	if err := s.syms.sync(); err != nil {
+		s.err = err
 		return err
 	}
-	for _, r := range s.rels {
-		for _, sh := range r.shards {
+	for _, name := range s.relNames {
+		for _, sh := range s.rels[name].shards {
 			if sh.w == nil {
 				continue
+			}
+			if s.version >= 2 && sh.dirty {
+				if err := sh.appendRecord(s.version, opCommit, nil); err != nil {
+					s.err = fmt.Errorf("db: appending commit marker: %w", err)
+					return s.err
+				}
 			}
 			if err := sh.w.Flush(); err != nil {
 				s.err = fmt.Errorf("db: flushing segment: %w", err)
 				return s.err
 			}
-			if err := sh.f.Sync(); err != nil {
-				return fmt.Errorf("db: syncing segment: %w", err)
+			if err := sh.file.Sync(); err != nil {
+				s.err = fmt.Errorf("db: syncing segment: %w", err)
+				return s.err
 			}
+			sh.dirty = false
 		}
 	}
 	return nil
@@ -625,21 +838,32 @@ func (s *DiskStore) Close() error {
 	}
 	s.closed = true
 	var first error
-	for _, r := range s.rels {
+	for _, name := range s.relNames {
+		r := s.rels[name]
+		if r == nil {
+			continue // partially opened store (OpenDisk failure path)
+		}
 		for _, sh := range r.shards {
-			if sh.f == nil {
+			if sh == nil || sh.file == nil {
 				continue
 			}
-			if err := sh.w.Flush(); err != nil && first == nil {
-				first = fmt.Errorf("db: flushing segment: %w", err)
+			if s.err == nil {
+				if s.version >= 2 && sh.dirty {
+					if err := sh.appendRecord(s.version, opCommit, nil); err != nil && first == nil {
+						first = fmt.Errorf("db: appending commit marker: %w", err)
+					}
+				}
+				if err := sh.w.Flush(); err != nil && first == nil {
+					first = fmt.Errorf("db: flushing segment: %w", err)
+				}
 			}
-			if err := sh.f.Close(); err != nil && first == nil {
+			if err := sh.file.Close(); err != nil && first == nil {
 				first = err
 			}
-			sh.f, sh.w = nil, nil
+			sh.file, sh.w = nil, nil
 		}
 	}
-	if err := s.syms.close(true); err != nil && first == nil {
+	if err := s.syms.close(s.err == nil); err != nil && first == nil {
 		first = err
 	}
 	return first
@@ -654,10 +878,13 @@ func (s *DiskStore) Crash() {
 	}
 	s.closed = true
 	for _, r := range s.rels {
+		if r == nil {
+			continue
+		}
 		for _, sh := range r.shards {
-			if sh.f != nil {
-				sh.f.Close()
-				sh.f, sh.w = nil, nil
+			if sh != nil && sh.file != nil {
+				sh.file.Close()
+				sh.file, sh.w = nil, nil
 			}
 		}
 	}

@@ -1,0 +1,121 @@
+package db
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"repro/internal/faultfs"
+)
+
+// FuzzSegmentReplay feeds arbitrary bytes to the segment recovery path: it
+// must never panic, must classify every failure as typed corruption
+// (errors.Is ErrCorrupt, sticky across reopens), and on success must reopen
+// deterministically to the same facts.
+func FuzzSegmentReplay(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{5, 9, 9}) // torn: length header promising absent bytes
+	f.Add(appendSegRecord(nil, formatVersion, opInsert, []uint32{0, 1}))
+	rec := appendSegRecord(nil, formatVersion, opInsert, []uint32{2, 3})
+	f.Add(appendSegRecord(rec, formatVersion, opCommit, nil))
+	flipped := append([]byte(nil), rec...)
+	flipped[1] ^= 0x10
+	f.Add(appendSegRecord(flipped, formatVersion, opCommit, nil)) // corrupt mid-file
+	f.Add(appendSegRecord(nil, 1, opInsert, []uint32{0, 1}))      // v1-shaped bytes under v2
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		dir := t.TempDir()
+		ds, err := OpenDisk(dir, testSchema(), 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Intern a handful of symbols so fuzzed IDs can be in range.
+		for _, fa := range []Fact{NewFact("Teams", "A", "B"), NewFact("Teams", "C", "D")} {
+			if _, err := ds.InsertFact(fa); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := ds.Close(); err != nil {
+			t.Fatal(err)
+		}
+		seg := filepath.Join(dir, segName("Goals", 0))
+		if err := os.WriteFile(seg, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		re, err := OpenDisk(dir, testSchema(), 1)
+		if err != nil {
+			if !errors.Is(err, ErrCorrupt) {
+				t.Fatalf("open error not typed corruption: %v", err)
+			}
+			if _, err2 := OpenDisk(dir, testSchema(), 1); !errors.Is(err2, ErrCorrupt) {
+				t.Fatalf("quarantine not sticky: second open = %v", err2)
+			}
+			return
+		}
+		facts := re.Facts()
+		if err := re.Close(); err != nil {
+			t.Fatalf("clean close after replay: %v", err)
+		}
+		re2, err := OpenDisk(dir, testSchema(), 1)
+		if err != nil {
+			t.Fatalf("deterministic reopen failed: %v", err)
+		}
+		defer re2.Close()
+		if got := re2.Facts(); !reflect.DeepEqual(got, facts) {
+			t.Fatalf("reopen facts differ:\n first: %v\nsecond: %v", facts, got)
+		}
+	})
+}
+
+// FuzzSymtabReplay feeds arbitrary bytes to the symbol-table recovery path:
+// no panic, failures are typed *CorruptError, successes reopen to the same
+// interned symbols.
+func FuzzSymtabReplay(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{200, 1, 'x'}) // torn tail
+	f.Add(appendSymRecord(nil, formatVersion, "alpha", false))
+	two := appendSymRecord(appendSymRecord(nil, formatVersion, "alpha", false), formatVersion, "", false)
+	f.Add(appendSymRecord(two, formatVersion, "", true)) // two symbols + marker
+	flipped := append([]byte(nil), two...)
+	flipped[2] ^= 0x04
+	f.Add(appendSymRecord(flipped, formatVersion, "", true))
+	f.Add(appendSymRecord(nil, 1, "legacy", false)) // v1-shaped bytes under v2
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		path := filepath.Join(t.TempDir(), "symbols.dat")
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		st, _, err := openSymtab(faultfs.OS(), path, formatVersion)
+		if err != nil {
+			var cerr *CorruptError
+			if !errors.As(err, &cerr) {
+				t.Fatalf("open error not *CorruptError: %v", err)
+			}
+			return
+		}
+		n := st.size()
+		var syms []string
+		for i := 0; i < n; i++ {
+			syms = append(syms, st.str(uint32(i)))
+		}
+		if err := st.close(true); err != nil {
+			t.Fatalf("clean close after replay: %v", err)
+		}
+		st2, _, err := openSymtab(faultfs.OS(), path, formatVersion)
+		if err != nil {
+			t.Fatalf("deterministic reopen failed: %v", err)
+		}
+		defer st2.close(false)
+		if st2.size() != n {
+			t.Fatalf("reopen size = %d, want %d", st2.size(), n)
+		}
+		for i, v := range syms {
+			if got := st2.str(uint32(i)); got != v {
+				t.Fatalf("symbol %d = %q after reopen, want %q", i, got, v)
+			}
+		}
+	})
+}

@@ -1,0 +1,254 @@
+package db
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+)
+
+// On-disk record formats.
+//
+// v1 (legacy, still read and written transparently for stores created
+// before the format bump):
+//
+//	segment record: uvarint(len(payload)) payload
+//	payload:        op byte, then arity × uvarint(symbol ID)
+//	symbol record:  uvarint(len(value)) value-bytes
+//
+// v2 (the default for new stores) adds a CRC-32C trailer and commit
+// markers:
+//
+//	segment record: uvarint(len(payload)) payload crc32c(payload)[4, LE]
+//	payload:        op ∈ {opInsert, opDelete} + ids, or just {opCommit}
+//	symbol record:  uvarint(k) body crc32c(body)[4, LE]
+//	                k = 0 → commit marker, empty body
+//	                k > 0 → body is a symbol value of k−1 bytes
+//
+// The trailer lets recovery tell a torn tail from corruption. A torn write
+// can only leave an INCOMPLETE record: tearing keeps a prefix, and any
+// strict prefix of a record either ends inside the body/trailer (too few
+// bytes) or inside a multi-byte length varint (whose every strict prefix
+// ends with an MSB-set byte and so fails to decode). A record that is
+// COMPLETE — its length decodes and all its bytes are present — but
+// invalid (checksum mismatch, bad op, out-of-range symbol ID, implausible
+// length, trailing junk) therefore cannot be a tear: it is corruption,
+// wherever it sits in the file.
+//
+// The one ambiguous shape is an incomplete record at EOF whose damage
+// *shrank* the file (bit rot plus truncation) — indistinguishable locally
+// from a tear. Two mechanisms close it: a byte-granularity resync scan (a
+// failed record followed by any later valid record is corruption, since a
+// tear ends the file), and commit markers appended on every Sync, which
+// guarantee the synced region always ends with a valid record — so
+// corruption of synced data is always followed by at least the marker and
+// never classifies as a tear.
+
+const (
+	// maxSymbolLen bounds one interned symbol (1 MiB) — v2 only; length
+	// values past it are corruption, not data.
+	maxSymbolLen = 1 << 20
+)
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+func crc32c(b []byte) uint32 { return crc32.Checksum(b, castagnoli) }
+
+// errShortRecord marks an incomplete record: a candidate torn tail,
+// pending the resync scan.
+var errShortRecord = errors.New("incomplete record")
+
+// invalidRecord marks a complete record that failed validation —
+// corruption by the argument above.
+type invalidRecord struct{ reason string }
+
+func (e *invalidRecord) Error() string { return e.reason }
+
+// maxSegPayload is the largest well-formed segment payload for a relation
+// of the given arity.
+func maxSegPayload(arity int) uint64 {
+	return uint64(1 + binary.MaxVarintLen32*arity)
+}
+
+// segRec is one parsed segment record.
+type segRec struct {
+	op  byte
+	ids []uint32
+	n   int // encoded size, header through trailer
+}
+
+// parseSegRecord decodes the record at raw[off:] under the given format
+// version. Errors are errShortRecord (incomplete: torn-tail candidate) or
+// *invalidRecord (complete but corrupt). v1 records carry no checksum, so
+// every v1 failure is reported as errShortRecord — the legacy format
+// cannot distinguish the two.
+func parseSegRecord(raw []byte, off int, version, arity int, symCount uint32) (segRec, error) {
+	payloadLen, sz := binary.Uvarint(raw[off:])
+	if sz == 0 {
+		return segRec{}, errShortRecord
+	}
+	if sz < 0 {
+		if version < 2 {
+			return segRec{}, errShortRecord
+		}
+		return segRec{}, &invalidRecord{"length varint overflow"}
+	}
+	if payloadLen == 0 || payloadLen > maxSegPayload(arity) {
+		if version < 2 {
+			return segRec{}, errShortRecord
+		}
+		return segRec{}, &invalidRecord{fmt.Sprintf("implausible record length %d", payloadLen)}
+	}
+	end := off + sz + int(payloadLen)
+	if version >= 2 {
+		end += 4 // CRC trailer
+	}
+	if end > len(raw) {
+		return segRec{}, errShortRecord
+	}
+	payload := raw[off+sz : off+sz+int(payloadLen)]
+	if version >= 2 {
+		if got, want := crc32c(payload), binary.LittleEndian.Uint32(raw[end-4:end]); got != want {
+			return segRec{}, &invalidRecord{fmt.Sprintf("checksum mismatch: computed %08x, stored %08x", got, want)}
+		}
+	}
+	op := payload[0]
+	switch op {
+	case opCommit:
+		if version < 2 || len(payload) != 1 {
+			return segRec{}, segInvalid(version, "malformed commit marker")
+		}
+		return segRec{op: op, n: end - off}, nil
+	case opInsert, opDelete:
+		ids, ok := decodeRecord(payload, arity, symCount)
+		if !ok {
+			return segRec{}, segInvalid(version, "undecodable record body")
+		}
+		return segRec{op: op, ids: ids, n: end - off}, nil
+	}
+	return segRec{}, segInvalid(version, fmt.Sprintf("unknown op %d", op))
+}
+
+// segInvalid downgrades invalid verdicts to torn-tail candidates for v1
+// files, which carry no checksums to justify the stronger claim.
+func segInvalid(version int, reason string) error {
+	if version < 2 {
+		return errShortRecord
+	}
+	return &invalidRecord{reason}
+}
+
+// appendSegRecord encodes one segment record onto dst in the given format
+// version. ids is nil for commit markers.
+func appendSegRecord(dst []byte, version int, op byte, ids []uint32) []byte {
+	payload := make([]byte, 1, 1+binary.MaxVarintLen32*len(ids))
+	payload[0] = op
+	var tmp [binary.MaxVarintLen64]byte
+	for _, id := range ids {
+		n := binary.PutUvarint(tmp[:], uint64(id))
+		payload = append(payload, tmp[:n]...)
+	}
+	n := binary.PutUvarint(tmp[:], uint64(len(payload)))
+	dst = append(dst, tmp[:n]...)
+	dst = append(dst, payload...)
+	if version >= 2 {
+		var crc [4]byte
+		binary.LittleEndian.PutUint32(crc[:], crc32c(payload))
+		dst = append(dst, crc[:]...)
+	}
+	return dst
+}
+
+// symRec is one parsed symbol-table record.
+type symRec struct {
+	val    string
+	marker bool
+	n      int
+}
+
+// parseSymRecord decodes the symbol record at raw[off:] under the given
+// format version, with the same errShortRecord / *invalidRecord split as
+// parseSegRecord.
+func parseSymRecord(raw []byte, off int, version int) (symRec, error) {
+	k, sz := binary.Uvarint(raw[off:])
+	if sz == 0 {
+		return symRec{}, errShortRecord
+	}
+	if sz < 0 {
+		if version < 2 {
+			return symRec{}, errShortRecord
+		}
+		return symRec{}, &invalidRecord{"length varint overflow"}
+	}
+	if version < 2 {
+		// v1: uvarint(len) + bytes, no trailer, no markers, no plausibility
+		// cap (exact legacy semantics: present means valid).
+		end := off + sz + int(k)
+		if end > len(raw) || end < off {
+			return symRec{}, errShortRecord
+		}
+		return symRec{val: string(raw[off+sz : end]), n: end - off}, nil
+	}
+	if k > maxSymbolLen+1 {
+		return symRec{}, &invalidRecord{fmt.Sprintf("implausible symbol length %d", k)}
+	}
+	vlen := int(k) - 1 // k = 0 is a commit marker with an empty body
+	if k == 0 {
+		vlen = 0
+	}
+	end := off + sz + vlen + 4
+	if end > len(raw) {
+		return symRec{}, errShortRecord
+	}
+	body := raw[off+sz : off+sz+vlen]
+	if got, want := crc32c(body), binary.LittleEndian.Uint32(raw[end-4:end]); got != want {
+		return symRec{}, &invalidRecord{fmt.Sprintf("checksum mismatch: computed %08x, stored %08x", got, want)}
+	}
+	if k == 0 {
+		return symRec{marker: true, n: end - off}, nil
+	}
+	return symRec{val: string(body), n: end - off}, nil
+}
+
+// appendSymRecord encodes one symbol record (or, with marker set, a commit
+// marker — v2 only) onto dst.
+func appendSymRecord(dst []byte, version int, v string, marker bool) []byte {
+	var tmp [binary.MaxVarintLen64]byte
+	if version < 2 {
+		n := binary.PutUvarint(tmp[:], uint64(len(v)))
+		dst = append(dst, tmp[:n]...)
+		return append(dst, v...)
+	}
+	k := uint64(len(v)) + 1
+	if marker {
+		k = 0
+	}
+	n := binary.PutUvarint(tmp[:], k)
+	dst = append(dst, tmp[:n]...)
+	dst = append(dst, v...)
+	var crc [4]byte
+	binary.LittleEndian.PutUint32(crc[:], crc32c([]byte(v)))
+	return append(dst, crc[:]...)
+}
+
+// resyncSeg reports whether any byte offset after a failed record parses
+// as a complete, valid segment record — in which case the failure was
+// corruption, not a tear (a tear ends the file).
+func resyncSeg(raw []byte, from int, version, arity int, symCount uint32) bool {
+	for i := from; i < len(raw); i++ {
+		if _, err := parseSegRecord(raw, i, version, arity, symCount); err == nil {
+			return true
+		}
+	}
+	return false
+}
+
+// resyncSym is resyncSeg for the symbol table.
+func resyncSym(raw []byte, from int, version int) bool {
+	for i := from; i < len(raw); i++ {
+		if _, err := parseSymRecord(raw, i, version); err == nil {
+			return true
+		}
+	}
+	return false
+}

@@ -127,6 +127,44 @@ type Stats struct {
 	Symbols int `json:"symbols,omitempty"`
 	// DiskBytes is the on-disk footprint in bytes (0 for mem).
 	DiskBytes int64 `json:"disk_bytes"`
+
+	// FormatVersion is the on-disk record format (disk stores only; 0 for
+	// mem). Version 2 adds per-record CRC-32C checksums and commit markers.
+	FormatVersion int `json:"format_version,omitempty"`
+	// Segments reports per-shard live/dead record counts and garbage
+	// ratios, sorted by (relation, shard) — the numbers the compaction
+	// trigger acts on (disk stores only).
+	Segments []SegmentStat `json:"segments,omitempty"`
+	// GarbageRatio is dead records over total records across all segments.
+	GarbageRatio float64 `json:"garbage_ratio,omitempty"`
+
+	// Recovery counters, frozen when the store was opened.
+	TornTails          int64 `json:"torn_tails,omitempty"`
+	TornBytesTruncated int64 `json:"torn_bytes_truncated,omitempty"`
+	RecordsReplayed    int64 `json:"records_replayed,omitempty"`
+	// QuarantinedFiles counts *.quarantined files still present in the
+	// store directory (corrupt files moved aside by a previous open whose
+	// QUARANTINE marker an operator has since cleared).
+	QuarantinedFiles int `json:"quarantined_files,omitempty"`
+
+	// Compaction counters for this open.
+	CompactionRuns           int64 `json:"compaction_runs,omitempty"`
+	CompactionReclaimedBytes int64 `json:"compaction_reclaimed_bytes,omitempty"`
+}
+
+// SegmentStat describes one relation shard's segment file.
+type SegmentStat struct {
+	Relation string `json:"relation"`
+	Shard    int    `json:"shard"`
+	// Live is the tuple count; Dead the insert/delete records the segment
+	// still carries for tuples that are no longer (or were re-) present —
+	// the bytes compaction reclaims.
+	Live int `json:"live_records"`
+	Dead int `json:"dead_records"`
+	// Bytes is the segment size (file plus write buffer).
+	Bytes int64 `json:"bytes"`
+	// GarbageRatio is Dead over total records (0 for an empty segment).
+	GarbageRatio float64 `json:"garbage_ratio"`
 }
 
 // Distance returns the size of the symmetric difference |D − D′| + |D′ − D|

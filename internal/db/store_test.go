@@ -5,6 +5,8 @@ import (
 	"math/rand"
 	"path/filepath"
 	"testing"
+
+	"repro/internal/faultfs"
 )
 
 // openTestDisk opens a disk store in a fresh temp dir and registers cleanup.
@@ -379,7 +381,7 @@ func TestStatsShapes(t *testing.T) {
 func TestSymtabTornTail(t *testing.T) {
 	dir := t.TempDir()
 	path := filepath.Join(dir, "syms.dat")
-	s, err := openSymtab(path)
+	s, _, err := openSymtab(faultfs.OS(), path, formatVersion)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -393,7 +395,7 @@ func TestSymtabTornTail(t *testing.T) {
 	}
 	// Append a torn record: a length header promising more bytes than exist.
 	appendBytes(t, path, []byte{200, 1, 'x'})
-	re, err := openSymtab(path)
+	re, _, err := openSymtab(faultfs.OS(), path, formatVersion)
 	if err != nil {
 		t.Fatalf("reopen with torn tail: %v", err)
 	}

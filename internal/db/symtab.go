@@ -2,26 +2,36 @@ package db
 
 import (
 	"bufio"
-	"encoding/binary"
 	"fmt"
 	"io"
 	"os"
 	"sync"
+
+	"repro/internal/faultfs"
 )
 
 // symtab interns constant values to dense uint32 IDs, backed by an
-// append-only log (uvarint length + raw bytes per symbol, ID = ordinal).
-// Interning is what lets the disk store hold each distinct string once no
-// matter how many tuples reference it. A symtab is shared between a
-// DiskStore and all its forks/snapshots, so it carries its own lock.
+// append-only log (record.go documents both on-disk formats). Interning is
+// what lets the disk store hold each distinct string once no matter how
+// many tuples reference it. A symtab is shared between a DiskStore and all
+// its forks/snapshots, so it carries its own lock.
 type symtab struct {
 	mu   sync.RWMutex
 	ids  map[string]uint32
 	strs []string
 
-	f   *os.File      // nil for a purely in-memory table
-	w   *bufio.Writer // nil iff f is nil
-	err error         // first append failure; sticky, poisons durable interning
+	fs      faultfs.FS
+	version int
+	f       faultfs.File  // nil for a purely in-memory table
+	w       *bufio.Writer // nil iff f is nil
+	dirty   bool          // symbols appended since the last commit marker (v2)
+	err     error         // first append failure; sticky, poisons durable interning
+}
+
+// symRecovery describes what openSymtab found while replaying the log.
+type symRecovery struct {
+	records   int64 // symbol records replayed
+	tornBytes int64 // bytes truncated from a torn tail
 }
 
 // newSymtab returns an empty in-memory symbol table.
@@ -30,42 +40,58 @@ func newSymtab() *symtab {
 }
 
 // openSymtab loads (or creates) the symbol log at path. A torn tail — an
-// entry whose bytes end mid-record, the signature of a crash mid-append —
-// is truncated away; symbols past it were never referenced by any synced
-// fact record (facts are only written after their symbols are flushed).
-func openSymtab(path string) (*symtab, error) {
+// incomplete record at EOF with nothing valid after it, the signature of a
+// crash mid-append — is truncated away; symbols past it were never
+// referenced by any surviving fact record (facts are only written after
+// their symbols are flushed). Under the v2 format a complete-but-invalid
+// record, or an incomplete one followed by valid data, is corruption and
+// returns a *CorruptError (see record.go for why the two are separable).
+func openSymtab(fsys faultfs.FS, path string, version int) (*symtab, symRecovery, error) {
 	s := newSymtab()
-	raw, err := os.ReadFile(path)
+	s.fs = fsys
+	s.version = version
+	var rcv symRecovery
+	raw, err := fsys.ReadFile(path)
 	if err != nil && !os.IsNotExist(err) {
-		return nil, fmt.Errorf("db: reading symbol table: %w", err)
+		return nil, rcv, fmt.Errorf("db: reading symbol table: %w", err)
 	}
 	good := 0
 	for off := 0; off < len(raw); {
-		n, sz := binary.Uvarint(raw[off:])
-		if sz <= 0 || off+sz+int(n) > len(raw) {
-			break // torn tail: a partial length header or truncated payload
+		r, perr := parseSymRecord(raw, off, version)
+		if perr != nil {
+			if inv, ok := perr.(*invalidRecord); ok {
+				return nil, rcv, &CorruptError{Path: path, Offset: int64(off), Reason: inv.reason}
+			}
+			if version >= 2 && resyncSym(raw, off+1, version) {
+				return nil, rcv, &CorruptError{Path: path, Offset: int64(off),
+					Reason: "incomplete record followed by intact records"}
+			}
+			rcv.tornBytes = int64(len(raw) - good)
+			break
 		}
-		v := string(raw[off+sz : off+sz+int(n)])
-		s.ids[v] = uint32(len(s.strs))
-		s.strs = append(s.strs, v)
-		off += sz + int(n)
+		if !r.marker {
+			s.ids[r.val] = uint32(len(s.strs))
+			s.strs = append(s.strs, r.val)
+			rcv.records++
+		}
+		off += r.n
 		good = off
 	}
-	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY, 0o644)
+	f, err := fsys.OpenFile(path, os.O_CREATE|os.O_WRONLY, 0o644)
 	if err != nil {
-		return nil, fmt.Errorf("db: opening symbol table: %w", err)
+		return nil, rcv, fmt.Errorf("db: opening symbol table: %w", err)
 	}
 	if err := f.Truncate(int64(good)); err != nil {
 		f.Close()
-		return nil, fmt.Errorf("db: truncating torn symbol tail: %w", err)
+		return nil, rcv, fmt.Errorf("db: truncating torn symbol tail: %w", err)
 	}
 	if _, err := f.Seek(int64(good), io.SeekStart); err != nil {
 		f.Close()
-		return nil, fmt.Errorf("db: seeking symbol table: %w", err)
+		return nil, rcv, fmt.Errorf("db: seeking symbol table: %w", err)
 	}
 	s.f = f
 	s.w = bufio.NewWriter(f)
-	return s, nil
+	return s, rcv, nil
 }
 
 // intern returns the ID for v, assigning (and, for durable tables,
@@ -89,13 +115,9 @@ func (s *symtab) intern(v string) (uint32, error) {
 		if s.err != nil {
 			return 0, s.err
 		}
-		var hdr [binary.MaxVarintLen64]byte
-		n := binary.PutUvarint(hdr[:], uint64(len(v)))
-		if _, err := s.w.Write(hdr[:n]); err == nil {
-			_, err = s.w.WriteString(v)
-			if err == nil {
-				err = s.w.Flush()
-			}
+		recBytes := appendSymRecord(nil, s.version, v, false)
+		if _, err := s.w.Write(recBytes); err == nil {
+			err = s.w.Flush()
 			if err != nil {
 				s.err = fmt.Errorf("db: appending symbol: %w", err)
 				return 0, s.err
@@ -104,6 +126,7 @@ func (s *symtab) intern(v string) (uint32, error) {
 			s.err = fmt.Errorf("db: appending symbol: %w", err)
 			return 0, s.err
 		}
+		s.dirty = true
 	}
 	id = uint32(len(s.strs))
 	s.ids[v] = id
@@ -137,7 +160,24 @@ func (s *symtab) size() int {
 	return n
 }
 
-// sync fsyncs the symbol log.
+// markerLocked appends a commit marker if symbols landed since the last
+// one (v2 stores only). Callers hold s.mu and flush afterwards; once the
+// marker is durable, corruption of any earlier synced record can never be
+// mistaken for a torn tail.
+func (s *symtab) markerLocked() error {
+	if s.w == nil || s.version < 2 || !s.dirty {
+		return nil
+	}
+	if _, err := s.w.Write(appendSymRecord(nil, s.version, "", true)); err != nil {
+		return err
+	}
+	s.dirty = false
+	return nil
+}
+
+// sync fsyncs the symbol log. Both flush and fsync failures are sticky: a
+// device that failed an fsync may have dropped arbitrary dirty pages, so
+// no later ack can be trusted (fail-stop, as for segment files).
 func (s *symtab) sync() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -147,12 +187,17 @@ func (s *symtab) sync() error {
 	if s.err != nil {
 		return s.err
 	}
+	if err := s.markerLocked(); err != nil {
+		s.err = fmt.Errorf("db: appending symbol commit marker: %w", err)
+		return s.err
+	}
 	if err := s.w.Flush(); err != nil {
 		s.err = fmt.Errorf("db: flushing symbol table: %w", err)
 		return s.err
 	}
 	if err := s.f.Sync(); err != nil {
-		return fmt.Errorf("db: syncing symbol table: %w", err)
+		s.err = fmt.Errorf("db: syncing symbol table: %w", err)
+		return s.err
 	}
 	return nil
 }
@@ -166,8 +211,11 @@ func (s *symtab) close(flush bool) error {
 		return nil
 	}
 	var err error
-	if flush {
-		err = s.w.Flush()
+	if flush && s.err == nil {
+		err = s.markerLocked()
+		if ferr := s.w.Flush(); err == nil {
+			err = ferr
+		}
 	}
 	if cerr := s.f.Close(); err == nil {
 		err = cerr

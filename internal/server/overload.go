@@ -146,6 +146,12 @@ func (s *Server) registerHealth() {
 		}
 		return nil
 	})
+	s.health.Add("store", func() error {
+		if err := s.StoreError(); err != nil {
+			return fmt.Errorf("store failing: %w", err)
+		}
+		return nil
+	})
 	s.health.Add("admission", func() error {
 		ctrl := s.Admission()
 		if ctrl == nil {

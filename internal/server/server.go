@@ -107,11 +107,12 @@ type Server struct {
 	// question queue), while query/view reads take the read lock.
 	dbMu sync.RWMutex
 
-	mu      sync.Mutex
-	nextJob int
-	jobs    map[int]*Job
-	jobLog  *wal.JobLog
-	closing bool // graceful shutdown: in-flight jobs stay open in the journal
+	mu       sync.Mutex
+	nextJob  int
+	jobs     map[int]*Job
+	jobLog   *wal.JobLog
+	closing  bool  // graceful shutdown: in-flight jobs stay open in the journal
+	storeErr error // sticky storage failure set by the boot path (storage.go)
 
 	// Overload protection (see overload.go). All nil-safe: a server without
 	// an admission controller admits everything, as before.
@@ -297,6 +298,9 @@ func (s *Server) v1Clean(w http.ResponseWriter, r *http.Request) {
 		methodNotAllowed(w, http.MethodPost)
 		return
 	}
+	if s.storageUnavailable(w, true) {
+		return
+	}
 	var req cleanRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 		writeAPIError(w, http.StatusBadRequest, "bad_request", fmt.Sprintf("bad request body: %v", err))
@@ -402,6 +406,9 @@ func (s *Server) v1Query(w http.ResponseWriter, r *http.Request) {
 		methodNotAllowed(w, http.MethodGet)
 		return
 	}
+	if s.storageUnavailable(w, true) {
+		return
+	}
 	req := cleanRequest{Query: r.URL.Query().Get("q"), SQL: r.URL.Query().Get("sql")}
 	q, err := s.parseQuery(req)
 	if err != nil {
@@ -431,6 +438,9 @@ func (s *Server) v1Metrics(w http.ResponseWriter, r *http.Request) {
 func (s *Server) v1DB(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
 		methodNotAllowed(w, http.MethodGet)
+		return
+	}
+	if s.storageUnavailable(w, true) {
 		return
 	}
 	s.dbMu.RLock()
@@ -497,6 +507,9 @@ func (s *Server) parseQuery(req cleanRequest) (*cq.Query, error) {
 func (s *Server) handleClean(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("POST only"))
+		return
+	}
+	if s.storageUnavailable(w, false) {
 		return
 	}
 	var req cleanRequest
@@ -686,6 +699,9 @@ func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
 		writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("GET only"))
+		return
+	}
+	if s.storageUnavailable(w, false) {
 		return
 	}
 	req := cleanRequest{Query: r.URL.Query().Get("q"), SQL: r.URL.Query().Get("sql")}

@@ -5,6 +5,7 @@
 package storecfg
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -61,6 +62,9 @@ func (c *Config) Materialize(seed *db.Database) (db.Store, error) {
 		}
 		ds, err := db.OpenDisk(dir, seed.Schema(), c.Shards)
 		if err != nil {
+			if errors.Is(err, db.ErrCorrupt) {
+				return nil, fmt.Errorf("%w\n(the damaged file was quarantined; see docs/OPERATIONS.md, \"Storage corruption and quarantine\")", err)
+			}
 			return nil, err
 		}
 		if ds.Len() == 0 && seed.Len() > 0 {

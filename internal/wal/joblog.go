@@ -7,6 +7,8 @@ import (
 	"path/filepath"
 	"sort"
 	"sync"
+
+	"repro/internal/faultfs"
 )
 
 // JobLog is a WAL-style append journal for cleaning jobs: each job's spec is
@@ -26,7 +28,7 @@ import (
 // Close, mirroring Store.
 type JobLog struct {
 	mu     sync.Mutex
-	f      *os.File
+	f      faultfs.File
 	err    error
 	maxJob int
 }
@@ -36,6 +38,7 @@ type JobLogOption func(*jobLogOptions)
 
 type jobLogOptions struct {
 	compact bool
+	fs      faultfs.FS
 }
 
 // WithCompaction rewrites the journal during open, dropping every job that
@@ -47,6 +50,12 @@ type jobLogOptions struct {
 // servers never reuse the ID of a compacted-away job.
 func WithCompaction() JobLogOption {
 	return func(o *jobLogOptions) { o.compact = true }
+}
+
+// WithJobLogFS routes the job log's file operations through fsys — the
+// fault-injection seam shared with internal/db. Defaults to faultfs.OS().
+func WithJobLogFS(fsys faultfs.FS) JobLogOption {
+	return func(o *jobLogOptions) { o.fs = fsys }
 }
 
 // JobRecord is one job reconstructed from the log.
@@ -79,19 +88,19 @@ type jobEvent struct {
 // mid-append is tolerated and counted under MetricTornTails; corruption
 // elsewhere is an error.
 func OpenJobLog(path string, opts ...JobLogOption) (*JobLog, []JobRecord, error) {
-	var options jobLogOptions
+	options := jobLogOptions{fs: faultfs.OS()}
 	for _, o := range opts {
 		o(&options)
 	}
 	if dir := filepath.Dir(path); dir != "." {
-		if err := os.MkdirAll(dir, 0o755); err != nil {
+		if err := options.fs.MkdirAll(dir, 0o755); err != nil {
 			return nil, nil, fmt.Errorf("wal: creating %s: %w", dir, err)
 		}
 	}
 	byID := make(map[int]*JobRecord)
 	var order []int
 	maxJob := 0
-	_, err := scanJournal(path, func(line []byte) error {
+	_, err := scanJournal(options.fs, path, func(line []byte) error {
 		var ev jobEvent
 		if err := json.Unmarshal(line, &ev); err != nil {
 			return err
@@ -137,13 +146,13 @@ func OpenJobLog(path string, opts ...JobLogOption) (*JobLog, []JobRecord, error)
 		}
 	}
 	if options.compact && live < len(jobs) {
-		if err := compactJobLog(path, jobs, maxJob); err != nil {
+		if err := compactJobLog(options.fs, path, jobs, maxJob); err != nil {
 			return nil, nil, err
 		}
 		rec().Inc(MetricCompactions)
 		rec().Add(MetricCompactedJobs, int64(len(jobs)-live))
 	}
-	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	f, err := options.fs.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
 	if err != nil {
 		return nil, nil, fmt.Errorf("wal: opening job log: %w", err)
 	}
@@ -151,15 +160,16 @@ func OpenJobLog(path string, opts ...JobLogOption) (*JobLog, []JobRecord, error)
 }
 
 // compactJobLog rewrites the journal at path keeping only unfinished jobs,
-// prefixed by the seq floor. The rewrite goes through a temp file, fsync and
-// atomic rename: a crash mid-compaction leaves either the old journal or the
-// new one, never a mix.
-func compactJobLog(path string, jobs []JobRecord, maxJob int) error {
-	tmp, err := os.CreateTemp(filepath.Dir(path), filepath.Base(path)+".compact-*")
+// prefixed by the seq floor. The rewrite goes through a temp file, fsync,
+// atomic rename, and a directory fsync (rename alone is not durable on
+// ext4): a crash mid-compaction leaves either the old journal or the new
+// one, never a mix.
+func compactJobLog(fsys faultfs.FS, path string, jobs []JobRecord, maxJob int) error {
+	tmp, err := fsys.CreateTemp(filepath.Dir(path), filepath.Base(path)+".compact-*")
 	if err != nil {
 		return fmt.Errorf("wal: compacting job log: %w", err)
 	}
-	defer os.Remove(tmp.Name())
+	defer fsys.Remove(tmp.Name())
 	write := func(ev jobEvent) error {
 		raw, err := json.Marshal(ev)
 		if err != nil {
@@ -196,7 +206,7 @@ func compactJobLog(path string, jobs []JobRecord, maxJob int) error {
 	if werr != nil {
 		return fmt.Errorf("wal: compacting job log: %w", werr)
 	}
-	if err := os.Rename(tmp.Name(), path); err != nil {
+	if err := faultfs.RenameAndSyncDir(fsys, tmp.Name(), path); err != nil {
 		return fmt.Errorf("wal: compacting job log: %w", err)
 	}
 	return nil

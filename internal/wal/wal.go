@@ -19,6 +19,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/db"
+	"repro/internal/faultfs"
 	"repro/internal/obs"
 	"repro/internal/schema"
 )
@@ -76,12 +77,26 @@ func (r record) edit() (db.Edit, error) {
 	}
 }
 
+// Option configures Open/OpenWith.
+type Option func(*options)
+
+type options struct {
+	fs faultfs.FS
+}
+
+// WithFS routes every file operation through fsys — the fault-injection
+// seam shared with internal/db. Production opens use faultfs.OS().
+func WithFS(fsys faultfs.FS) Option {
+	return func(o *options) { o.fs = fsys }
+}
+
 // Store is a directory holding a snapshot and a journal, together with the
 // live fact store they encode.
 type Store struct {
 	dir     string
+	fs      faultfs.FS
 	d       db.Store
-	journal *os.File
+	journal faultfs.File
 	w       *bufio.Writer
 
 	mu        sync.Mutex
@@ -91,16 +106,20 @@ type Store struct {
 // Open loads the store in dir (creating it if empty): the snapshot is read
 // first, then the journal is replayed over it. The schema must match the one
 // the store was created with.
-func Open(dir string, s *schema.Schema) (*Store, error) {
-	return OpenWith(dir, s, nil)
+func Open(dir string, s *schema.Schema, opts ...Option) (*Store, error) {
+	return OpenWith(dir, s, nil, opts...)
 }
 
 // OpenWith is Open with an explicit target store for the decoded facts: the
 // snapshot and journal replay into target, and subsequent edits journal on
 // top of it. A nil target means a fresh in-memory db.New(s). The target must
 // be empty and share the schema.
-func OpenWith(dir string, s *schema.Schema, target db.Store) (*Store, error) {
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+func OpenWith(dir string, s *schema.Schema, target db.Store, opts ...Option) (*Store, error) {
+	o := options{fs: faultfs.OS()}
+	for _, opt := range opts {
+		opt(&o)
+	}
+	if err := o.fs.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("wal: creating %s: %w", dir, err)
 	}
 	var d db.Store
@@ -110,7 +129,7 @@ func OpenWith(dir string, s *schema.Schema, target db.Store) (*Store, error) {
 		d = db.New(s)
 	}
 	// Snapshot (optional).
-	snap, err := os.Open(filepath.Join(dir, snapshotFile))
+	snap, err := o.fs.Open(filepath.Join(dir, snapshotFile))
 	if err == nil {
 		loadErr := db.LoadCSV(d, snap)
 		snap.Close()
@@ -121,15 +140,15 @@ func OpenWith(dir string, s *schema.Schema, target db.Store) (*Store, error) {
 		return nil, fmt.Errorf("wal: opening snapshot: %w", err)
 	}
 	// Journal replay (optional).
-	if err := replay(filepath.Join(dir, journalFile), d); err != nil {
+	if err := replay(o.fs, filepath.Join(dir, journalFile), d); err != nil {
 		return nil, err
 	}
 	// Open the journal for appending.
-	j, err := os.OpenFile(filepath.Join(dir, journalFile), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	j, err := o.fs.OpenFile(filepath.Join(dir, journalFile), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
 	if err != nil {
 		return nil, fmt.Errorf("wal: opening journal: %w", err)
 	}
-	return &Store{dir: dir, d: d, journal: j, w: bufio.NewWriter(j)}, nil
+	return &Store{dir: dir, fs: o.fs, d: d, journal: j, w: bufio.NewWriter(j)}, nil
 }
 
 // ErrCorrupt is the sentinel matched (via errors.Is) by every journal
@@ -175,8 +194,8 @@ func tornCandidate(err error) bool {
 // failures that cannot result from tearing (valid JSON with an invalid
 // payload, or a fatalReplayError from fn) surface as *CorruptError in any
 // position. A missing file is an empty journal.
-func scanJournal(path string, fn func(line []byte) error) (torn bool, err error) {
-	f, err := os.Open(path)
+func scanJournal(fsys faultfs.FS, path string, fn func(line []byte) error) (torn bool, err error) {
+	f, err := fsys.Open(path)
 	if os.IsNotExist(err) {
 		return false, nil
 	}
@@ -225,8 +244,8 @@ func scanJournal(path string, fn func(line []byte) error) (torn bool, err error)
 }
 
 // replay applies the journal at path to d.
-func replay(path string, d db.Store) error {
-	_, err := scanJournal(path, func(line []byte) error {
+func replay(fsys faultfs.FS, path string, d db.Store) error {
+	_, err := scanJournal(fsys, path, func(line []byte) error {
 		var r record
 		if err := json.Unmarshal(line, &r); err != nil {
 			return err
@@ -335,32 +354,34 @@ func (s *Store) Sync() error {
 }
 
 // Compact writes a fresh snapshot of the live database and truncates the
-// journal. The snapshot is written to a temporary file and renamed, so a
-// crash mid-compaction leaves the previous snapshot+journal intact.
+// journal. The snapshot is written to a temporary file, fsynced, atomically
+// renamed, and the directory fsynced (rename alone is not durable on ext4),
+// so a crash mid-compaction leaves either the previous snapshot+journal or
+// the new snapshot — never a torn one.
 func (s *Store) Compact() error {
 	if err := s.Sync(); err != nil {
 		return err
 	}
-	tmp, err := os.CreateTemp(s.dir, "snapshot-*.tmp")
+	tmp, err := s.fs.CreateTemp(s.dir, "snapshot-*.tmp")
 	if err != nil {
 		return fmt.Errorf("wal: creating snapshot: %w", err)
 	}
 	if err := db.WriteCSV(tmp, s.d); err != nil {
 		tmp.Close()
-		os.Remove(tmp.Name())
+		s.fs.Remove(tmp.Name())
 		return fmt.Errorf("wal: writing snapshot: %w", err)
 	}
 	if err := tmp.Sync(); err != nil {
 		tmp.Close()
-		os.Remove(tmp.Name())
+		s.fs.Remove(tmp.Name())
 		return fmt.Errorf("wal: syncing snapshot: %w", err)
 	}
 	if err := tmp.Close(); err != nil {
-		os.Remove(tmp.Name())
+		s.fs.Remove(tmp.Name())
 		return fmt.Errorf("wal: closing snapshot: %w", err)
 	}
-	if err := os.Rename(tmp.Name(), filepath.Join(s.dir, snapshotFile)); err != nil {
-		os.Remove(tmp.Name())
+	if err := faultfs.RenameAndSyncDir(s.fs, tmp.Name(), filepath.Join(s.dir, snapshotFile)); err != nil {
+		s.fs.Remove(tmp.Name())
 		return fmt.Errorf("wal: installing snapshot: %w", err)
 	}
 	// Truncate the journal now that its effects are in the snapshot.
