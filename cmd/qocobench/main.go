@@ -13,6 +13,7 @@
 //	qocobench -fig overload   # admission-control rate sweep (-json for JSON)
 //	qocobench -fig eval       # evaluator cold/warm/parallel benchmark
 //	qocobench -fig eval -json # …writing BENCH_eval.json (the bench trajectory)
+//	qocobench -fig cluster    # 3-replica failover soak with chaos kills
 package main
 
 import (
@@ -22,21 +23,24 @@ import (
 	"os"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/dataset"
 	"repro/internal/experiment"
 	"repro/internal/storecfg"
 )
 
 func main() {
-	fig := flag.String("fig", "all", "figure to regenerate: 3a, 3b, 3c, 3d, 3e, 3f, 4, dbgroup, sweep, errsweep, heuristics, overload, eval, or all")
+	fig := flag.String("fig", "all", "figure to regenerate: 3a, 3b, 3c, 3d, 3e, 3f, 4, dbgroup, sweep, errsweep, heuristics, overload, eval, cluster, or all")
 	seeds := flag.Int("seeds", 3, "number of random seeds to average over")
 	tournaments := flag.Int("tournaments", 0, "number of World Cup editions in the Soccer database (0 = full 20)")
 	wrong := flag.Int("wrong", 5, "wrong answers injected per query (Figures 3a, 3c, 4)")
 	missing := flag.Int("missing", 5, "missing answers injected per query (Figures 3b, 3c, 4)")
 	errRate := flag.Float64("errrate", 0.1, "per-question error rate of imperfect experts (Figure 4)")
 	overloadDur := flag.Duration("overload-duration", 2*time.Second, "load duration per rate point of the overload sweep")
-	jsonOut := flag.Bool("json", false, "overload: emit JSON to stdout; eval: write BENCH_eval.json")
+	jsonOut := flag.Bool("json", false, "overload/cluster: emit JSON to stdout; eval: write BENCH_eval.json")
 	parallel := flag.Int("parallel", 4, "eval-benchmark worker count measured against serial evaluation")
+	clusterSubs := flag.Int("cluster-submissions", 2000, "cleaning jobs submitted by the cluster soak (-fig cluster)")
+	clusterKills := flag.Int("cluster-kills", 12, "kill/restart chaos rounds in the cluster soak (-fig cluster)")
 	scfg := storecfg.Register(flag.CommandLine)
 	flag.Parse()
 
@@ -145,8 +149,44 @@ func main() {
 		}
 		any = true
 	}
+	// The cluster soak drives thousands of submissions through a 3-replica
+	// in-process cluster under a kill/restart chaos loop with a 30%-faulty
+	// crowd, then audits every journal for exactly-once execution. It is a
+	// wall-clock robustness exercise, so like overload it only runs by name.
+	if *fig == "cluster" {
+		rep, err := cluster.RunSoak(cluster.SoakOptions{
+			Seed:        int64(*seeds),
+			Submissions: *clusterSubs,
+			KillCycles:  *clusterKills,
+			FaultRate:   0.3,
+			Timeout:     10 * time.Minute,
+			Logf: func(format string, args ...interface{}) {
+				fmt.Fprintf(os.Stderr, format+"\n", args...)
+			},
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cluster soak: %v\n", err)
+			os.Exit(1)
+		}
+		if *jsonOut {
+			enc := json.NewEncoder(os.Stdout)
+			enc.SetIndent("", "  ")
+			if err := enc.Encode(rep); err != nil {
+				fmt.Fprintf(os.Stderr, "encoding cluster soak: %v\n", err)
+				os.Exit(1)
+			}
+		} else {
+			fmt.Printf("cluster soak: %d submissions (%d acked, %d shed), %d kills\n",
+				rep.Submissions, rep.Acked, rep.Unacked, rep.Kills)
+			fmt.Printf("  takeovers %d (%d jobs adopted), answers replayed %d, boot fences %d, full syncs %d, forwarded %d\n",
+				rep.Takeovers, rep.TakeoverJobs, rep.Replayed, rep.BootHandoffs, rep.FullSyncs, rep.Forwarded)
+			fmt.Printf("  terminal states: %v\n", rep.States)
+			fmt.Println("  exactly-once journal audit: PASS")
+		}
+		any = true
+	}
 	if !any {
-		fmt.Fprintf(os.Stderr, "unknown figure %q (want 3a..3f, 4, dbgroup, sweep, errsweep, heuristics, overload, eval, all)\n", *fig)
+		fmt.Fprintf(os.Stderr, "unknown figure %q (want 3a..3f, 4, dbgroup, sweep, errsweep, heuristics, overload, eval, cluster, all)\n", *fig)
 		os.Exit(2)
 	}
 }

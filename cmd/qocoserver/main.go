@@ -28,6 +28,14 @@
 // ready while draining, the journal is failing, or the admission queue is
 // saturated). Shutdown drains first: admission stops, -drain-timeout lets
 // in-flight jobs finish, then remaining questions are released edit-free.
+//
+// Clustering (see docs/CLUSTER.md): -peers plus -replica-id joins a static
+// cluster — submissions are routed to their consistent-hash owner (proxied,
+// or 307-redirected with -cluster-route redirect) and peers are
+// health-probed every -cluster-probe. Adding -replication DIR (requires
+// -journal) ships every job-journal event to this replica's successor; when
+// a replica dies its successor replays the shipped journal and resumes its
+// jobs, and the dead replica's restart is fenced so nothing runs twice.
 package main
 
 import (
@@ -36,6 +44,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"math/rand"
 	"net/http"
 	"net/http/pprof"
 	"os"
@@ -44,6 +53,7 @@ import (
 	"time"
 
 	"repro/internal/admission"
+	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/dataset"
 	"repro/internal/db"
@@ -107,6 +117,16 @@ func run() error {
 		"background disk-store compaction interval (0 disables); each run rewrites segment shards past -compact-garbage")
 	compactGarbage := flag.Float64("compact-garbage", 0.5,
 		"garbage ratio (dead records / total records) above which a segment shard is compacted")
+	peersFlag := flag.String("peers", "",
+		"cluster membership as comma-separated id=url pairs (e.g. r0=http://h0:8080,r1=http://h1:8080); empty runs single-node")
+	replicaID := flag.String("replica-id", "",
+		"this replica's id within -peers (required when -peers is set)")
+	replicationDir := flag.String("replication", "",
+		"directory for received replica journals; enables synchronous journal replication to this replica's successor (requires -journal and -peers)")
+	clusterProbe := flag.Duration("cluster-probe", 2*time.Second,
+		"cluster health-probe interval against each peer's /readyz")
+	clusterRoute := flag.String("cluster-route", "proxy",
+		"how submissions reach their ring owner: proxy (transparent) or redirect (307)")
 	scfg := storecfg.Register(flag.CommandLine)
 	flag.Parse()
 
@@ -153,20 +173,73 @@ func run() error {
 		QueueTimeout:  *queueTimeout,
 		Obs:           srv.Obs(),
 	}))
+	clustered := *peersFlag != ""
+	if *replicationDir != "" {
+		if !clustered {
+			return errors.New("-replication requires -peers")
+		}
+		if *journal == "" {
+			return errors.New("-replication requires -journal (replication ships the job journal)")
+		}
+	}
 	var jobLog *wal.JobLog
+	var records []wal.JobRecord
 	if *journal != "" {
 		log.Printf("opening job journal %s", *journal)
 		var walOpts []wal.JobLogOption
 		if *compactJournal {
 			walOpts = append(walOpts, wal.WithCompaction())
 		}
-		jl, records, err := wal.OpenJobLog(*journal, walOpts...)
+		jl, recs, err := wal.OpenJobLog(*journal, walOpts...)
 		if err != nil {
 			return err
 		}
-		jobLog = jl
+		jobLog, records = jl, recs
 		defer jobLog.Close()
 		srv.SetJobLog(jobLog)
+	}
+
+	// Cluster mode: routing, membership, and (with -replication) journal
+	// replication with failover. Journal recovery runs through the node's
+	// boot-fencing path so jobs already claimed by a takeover are skipped.
+	var node *cluster.Node
+	if clustered {
+		peers, err := cluster.ParsePeers(*peersFlag)
+		if err != nil {
+			return err
+		}
+		if *replicaID == "" {
+			return errors.New("-peers requires -replica-id")
+		}
+		switch *clusterRoute {
+		case "proxy", "redirect":
+		default:
+			return fmt.Errorf("unknown -cluster-route %q (want proxy or redirect)", *clusterRoute)
+		}
+		node, err = cluster.NewNode(srv, jobLog, records, cluster.Config{
+			Self:          *replicaID,
+			Peers:         peers,
+			Dir:           *replicationDir,
+			Replicate:     *replicationDir != "",
+			Redirect:      *clusterRoute == "redirect",
+			ProbeInterval: *clusterProbe,
+			Obs:           srv.Obs(),
+			Logf:          log.Printf,
+		})
+		if err != nil {
+			return err
+		}
+		resumed, rerr := node.BootRecover(records)
+		if rerr != nil {
+			log.Printf("recovery: %v", rerr)
+		}
+		if resumed > 0 {
+			log.Printf("recovered %d interrupted job(s) from the journal", resumed)
+		}
+		node.Start()
+		log.Printf("cluster: replica %s of %d peers (replication %v, routing %s)",
+			*replicaID, len(peers), *replicationDir != "", *clusterRoute)
+	} else if jobLog != nil {
 		resumed, rerr := srv.Recover(records)
 		if rerr != nil {
 			log.Printf("recovery: %v", rerr)
@@ -179,17 +252,25 @@ func run() error {
 	// Background segment compaction: reclaim dead records from the disk
 	// store on a timer, pausing while the server drains (compaction takes
 	// the database write lock, which would stall a draining job's exit).
+	// The period is jittered ±10% per cycle so a fleet of replicas started
+	// together (or restarted by the same supervisor) doesn't compact — and
+	// take the database write lock — in lockstep.
 	compactDone := make(chan struct{})
 	if *compactEvery > 0 {
 		go func() {
-			ticker := time.NewTicker(*compactEvery)
-			defer ticker.Stop()
+			jittered := func() time.Duration {
+				base := float64(*compactEvery)
+				return time.Duration(base*0.9 + rand.Float64()*0.2*base)
+			}
+			timer := time.NewTimer(jittered())
+			defer timer.Stop()
 			for {
 				select {
 				case <-compactDone:
 					return
-				case <-ticker.C:
+				case <-timer.C:
 				}
+				timer.Reset(jittered())
 				if srv.Draining() || srv.StoreError() != nil {
 					continue
 				}
@@ -211,7 +292,11 @@ func run() error {
 	defer close(compactDone)
 
 	mux := http.NewServeMux()
-	mux.Handle("/", srv.Handler())
+	if node != nil {
+		mux.Handle("/", node.Handler())
+	} else {
+		mux.Handle("/", srv.Handler())
+	}
 	if *debug {
 		mux.HandleFunc("/debug/pprof/", pprof.Index)
 		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -254,6 +339,11 @@ func run() error {
 		log.Printf("drain: %v", err)
 	}
 	log.Printf("releasing pending crowd questions")
+	if node != nil {
+		// Stop probing and seal journal shipping only after the drain window:
+		// events journaled by draining jobs still reach the successor.
+		node.Stop()
+	}
 	// Unblock oracle calls so any remaining cleaning jobs finish with
 	// edit-free answers instead of holding Shutdown past the grace period.
 	srv.Close()

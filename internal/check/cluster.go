@@ -1,0 +1,306 @@
+package check
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/crowd"
+	"repro/internal/db"
+	"repro/internal/eval"
+	"repro/internal/server"
+	"repro/internal/wal"
+)
+
+// CheckClusterHandoff is the journal-handoff property behind the cluster's
+// failover path: a cleaning job whose journal was replicated to a successor
+// resumes there, after a crash at a seed-chosen kill point, without
+// inventing or losing a single answer.
+//
+// A reference run over the instance counts the job's total crowd answers A.
+// Then, for kill points K in {0, A/2, A} (seed-permuted), a primary runs the
+// same job with its job journal shipped event-by-event into a real
+// wal.ReplicaLog, crashes after exactly K answers, and a recovery server
+// replays the replica's records. The property asserts, for every K:
+//
+//   - the replica journal holds exactly K answers (replication is
+//     synchronous: the successor's copy is a prefix of the primary's)
+//   - the recovery run replays exactly K answers and asks the crowd exactly
+//     A-K fresh ones — journaled answers are never re-asked, unjournaled
+//     ones never invented
+//   - the recovered run converges: NaiveResult(Q, D2) = NaiveResult(Q, DG)
+func CheckClusterHandoff(ins *Instance) error {
+	total, err := clusterReferenceRun(ins)
+	if err != nil {
+		return err
+	}
+	kills := []int{0, total / 2, total}
+	rnd := rand.New(rand.NewSource(ins.Seed ^ 0x5eed))
+	rnd.Shuffle(len(kills), func(i, j int) { kills[i], kills[j] = kills[j], kills[i] })
+	seen := map[int]bool{}
+	for _, k := range kills {
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		if err := clusterHandoffAt(ins, k, total); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// clusterReferenceRun completes the job uninterrupted and returns its total
+// crowd-answer count.
+func clusterReferenceRun(ins *Instance) (int, error) {
+	run, err := startClusterRun(ins, nil)
+	if err != nil {
+		return 0, err
+	}
+	defer run.close()
+	if err := run.submit(ins); err != nil {
+		return 0, fmt.Errorf("cluster handoff (reference): %w\n%s", err, ins.Repro())
+	}
+	if err := run.answerUntilDone(nil); err != nil {
+		return 0, fmt.Errorf("cluster handoff (reference): %w\n%s", err, ins.Repro())
+	}
+	return int(run.answered.Load()), nil
+}
+
+// clusterHandoffAt crashes the primary after k answers and recovers on a
+// fresh server from the replica log.
+func clusterHandoffAt(ins *Instance, k, total int) error {
+	dir, err := os.MkdirTemp("", "qoco-check-cluster-")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+	rl, err := wal.OpenReplicaLog(filepath.Join(dir, "replica.log"))
+	if err != nil {
+		return err
+	}
+	defer rl.Close()
+	if err := rl.Reset("primary-boot", 0, nil); err != nil {
+		return err
+	}
+
+	run, err := startClusterRun(ins, rl)
+	if err != nil {
+		return err
+	}
+	if err := run.submit(ins); err != nil {
+		run.close()
+		return fmt.Errorf("cluster handoff (K=%d primary): %w\n%s", k, err, ins.Repro())
+	}
+	stop := fmt.Errorf("kill point")
+	err = run.answerUntilDone(func() error {
+		if int(run.shippedAnswers.Load()) >= k {
+			return stop
+		}
+		return nil
+	})
+	if err != nil && err != stop {
+		run.close()
+		return fmt.Errorf("cluster handoff (K=%d primary): %w\n%s", k, err, ins.Repro())
+	}
+	run.close() // crash
+
+	recs := rl.Jobs()
+	journaled := 0
+	for _, r := range recs {
+		for _, as := range r.Answers {
+			journaled += len(as)
+		}
+	}
+	if journaled != k {
+		return fmt.Errorf("cluster handoff (K=%d): replica journal holds %d answers, want exactly K\n%s",
+			k, journaled, ins.Repro())
+	}
+
+	// Recovery replica: same instance, fresh database, replayed journal.
+	rec, err := startClusterRun(ins, nil)
+	if err != nil {
+		return err
+	}
+	defer rec.close()
+	if _, err := rec.srv.Recover(recs); err != nil {
+		return fmt.Errorf("cluster handoff (K=%d): Recover: %w\n%s", k, err, ins.Repro())
+	}
+	if err := rec.driveRecovered(); err != nil {
+		return fmt.Errorf("cluster handoff (K=%d recovery): %w\n%s", k, err, ins.Repro())
+	}
+
+	if replayed := rec.srv.Obs().Counter(server.MetricQuestionsReplayed); replayed != int64(k) {
+		return fmt.Errorf("cluster handoff (K=%d): recovery replayed %d answers, want exactly K\n%s",
+			k, replayed, ins.Repro())
+	}
+	if fresh := int(rec.answered.Load()); fresh != total-k {
+		return fmt.Errorf("cluster handoff (K=%d): recovery asked %d fresh answers, want %d (A=%d)\n%s",
+			k, fresh, total-k, total, ins.Repro())
+	}
+	got := eval.NaiveResult(ins.Query, rec.d)
+	want := eval.NaiveResult(ins.Query, ins.DG)
+	if !tuplesEqual(got, want) {
+		return fmt.Errorf("cluster handoff (K=%d): recovered Q(D') = %s but Q(DG) = %s\n%s",
+			k, formatTuples(got), formatTuples(want), ins.Repro())
+	}
+	return nil
+}
+
+// clusterRun is one server incarnation driving the instance's job.
+type clusterRun struct {
+	d       *db.Database
+	srv     *server.Server
+	jl      *wal.JobLog
+	dir     string
+	oracle  crowd.Oracle
+	jobID   int
+	started bool
+
+	answered       atomic.Int64 // crowd answers posted to this incarnation
+	shippedAnswers atomic.Int64 // answer events durably journaled (and shipped)
+}
+
+// startClusterRun boots a server over a clone of the dirty database with a
+// journaling job log; when rl is non-nil every journal event is shipped into
+// it synchronously, the way a cluster successor receives them.
+func startClusterRun(ins *Instance, rl *wal.ReplicaLog) (*clusterRun, error) {
+	dir, err := os.MkdirTemp("", "qoco-check-cluster-run-")
+	if err != nil {
+		return nil, err
+	}
+	jl, _, err := wal.OpenJobLog(filepath.Join(dir, "jobs.log"))
+	if err != nil {
+		os.RemoveAll(dir)
+		return nil, err
+	}
+	run := &clusterRun{d: ins.D.Clone(), jl: jl, dir: dir, oracle: crowd.NewPerfect(ins.DG)}
+	var seq uint64
+	jl.SetShipper(func(ev wal.JobEvent) {
+		if ev.Ev == "answer" {
+			run.shippedAnswers.Add(1)
+		}
+		// End events are deliberately not shipped: the property exercises
+		// crashes at answer boundaries, and a crash always lands before the
+		// terminal record reaches the successor — otherwise there would be
+		// nothing to recover.
+		if rl != nil && ev.Ev != "end" {
+			seq++
+			if _, err := rl.Append("primary-boot", seq, ev); err != nil {
+				panic(fmt.Sprintf("check: replica append: %v", err))
+			}
+		}
+	})
+	run.srv = server.New(run.d, core.Config{RNG: rand.New(rand.NewSource(ins.Seed))})
+	run.srv.SetJobLog(jl)
+	return run, nil
+}
+
+// submit starts the instance's job through the public submission surface.
+func (r *clusterRun) submit(ins *Instance) error {
+	raw, _ := json.Marshal(map[string]string{"query": ins.Query.String()})
+	req := httptest.NewRequest(http.MethodPost, "/api/v1/clean", bytes.NewReader(raw))
+	req.Header.Set("Content-Type", "application/json")
+	rec := httptest.NewRecorder()
+	r.srv.Handler().ServeHTTP(rec, req)
+	if rec.Code != http.StatusAccepted {
+		return fmt.Errorf("submit = %d: %s", rec.Code, rec.Body.String())
+	}
+	var job struct {
+		ID int `json:"id"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &job); err != nil {
+		return err
+	}
+	r.jobID = job.ID
+	r.started = true
+	return nil
+}
+
+// driveRecovered drains the already-recovered job without a new submission.
+func (r *clusterRun) driveRecovered() error {
+	r.started = true
+	return r.answerUntilDone(nil)
+}
+
+// answerUntilDone answers questions with the perfect oracle until the job
+// terminates or gate returns a sentinel error (the kill point). Before each
+// answer it waits for the previous one to be durably journaled, so gate sees
+// an exact count.
+func (r *clusterRun) answerUntilDone(gate func() error) error {
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		if time.Now().After(deadline) {
+			return fmt.Errorf("job did not terminate")
+		}
+		done, state, err := r.jobState()
+		if err != nil {
+			return err
+		}
+		if done {
+			if state != string(server.JobDone) {
+				return fmt.Errorf("job ended %s, want done", state)
+			}
+			return nil
+		}
+		if gate != nil {
+			if err := gate(); err != nil {
+				return err
+			}
+		}
+		pend := r.srv.Queue().Pending()
+		if len(pend) == 0 {
+			time.Sleep(200 * time.Microsecond)
+			continue
+		}
+		qu := pend[0]
+		a, err := cluster.AnswerQuestion(context.Background(), qu, r.oracle)
+		if err != nil {
+			return err
+		}
+		before := r.shippedAnswers.Load()
+		if err := r.srv.Queue().Answer(qu.ID, a); err != nil {
+			continue // lost a race with a deadline or shutdown
+		}
+		r.answered.Add(1)
+		// Wait until the answer is journaled (or the job ended) so kill
+		// points count durable answers exactly.
+		for r.shippedAnswers.Load() == before {
+			if done, _, _ := r.jobState(); done {
+				break
+			}
+			time.Sleep(50 * time.Microsecond)
+		}
+	}
+}
+
+// jobState reports whether the run's job reached a terminal state.
+func (r *clusterRun) jobState() (bool, string, error) {
+	for _, s := range r.srv.JobSummaries() {
+		if s.ID == r.jobID || r.jobID == 0 {
+			switch s.State {
+			case server.JobRunning:
+				return false, string(s.State), nil
+			default:
+				return true, string(s.State), nil
+			}
+		}
+	}
+	return false, "", nil
+}
+
+func (r *clusterRun) close() {
+	r.srv.Close()
+	_ = r.jl.Close()
+	os.RemoveAll(r.dir)
+}

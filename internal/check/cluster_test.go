@@ -1,0 +1,15 @@
+package check
+
+import (
+	"testing"
+)
+
+// TestClusterHandoffDifferential: the journal-handoff property behind
+// cluster failover — for kill points K in {0, A/2, A} a primary crashes
+// after exactly K durably-replicated answers and a successor recovers from
+// the replica log, replaying exactly K answers, asking exactly A-K fresh
+// ones, and converging to Q(DG). Each trial runs several full cleaning
+// jobs, so the sweep is narrower than the pure in-memory properties.
+func TestClusterHandoffDifferential(t *testing.T) {
+	sweep(t, trials(t, 40), CheckClusterHandoff)
+}

@@ -1,0 +1,69 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/cq"
+	"repro/internal/crowd"
+	"repro/internal/db"
+	"repro/internal/eval"
+	"repro/internal/server"
+)
+
+// AnswerQuestion answers one pending server question by consulting a
+// crowd.Oracle, translating between the HTTP queue's wire shapes and the
+// oracle interface. The soak harness (and any scripted crowd) uses it to
+// drain a replica's question queue; the returned Answer is what a human
+// would have posted to /api/v1/questions/{id}/answer.
+func AnswerQuestion(ctx context.Context, qu *server.Question, oracle crowd.Oracle) (server.Answer, error) {
+	switch qu.Kind {
+	case server.KindVerifyFact:
+		if len(qu.Fact) == 0 {
+			return server.Answer{}, fmt.Errorf("cluster: verify-fact question %d without fact", qu.ID)
+		}
+		v := oracle.VerifyFact(ctx, db.NewFact(qu.Fact[0], qu.Fact[1:]...))
+		return server.Answer{Bool: &v}, nil
+	case server.KindVerifyAnswer:
+		q, err := cq.Parse(qu.Query)
+		if err != nil {
+			return server.Answer{}, fmt.Errorf("cluster: question %d query: %w", qu.ID, err)
+		}
+		v := oracle.VerifyAnswer(ctx, q, db.Tuple(qu.Tuple))
+		return server.Answer{Bool: &v}, nil
+	case server.KindComplete:
+		q, err := cq.Parse(qu.Query)
+		if err != nil {
+			return server.Answer{}, fmt.Errorf("cluster: question %d query: %w", qu.ID, err)
+		}
+		partial := eval.Assignment{}
+		for k, v := range qu.Partial {
+			partial[k] = v
+		}
+		full, ok := oracle.Complete(ctx, q, partial)
+		if !ok {
+			return server.Answer{None: true}, nil
+		}
+		// The queue only wants the previously-unbound variables back.
+		bindings := make(map[string]string, len(qu.Unbound))
+		for _, v := range qu.Unbound {
+			bindings[v] = full[v]
+		}
+		return server.Answer{Bindings: bindings}, nil
+	case server.KindCompleteResult:
+		q, err := cq.Parse(qu.Query)
+		if err != nil {
+			return server.Answer{}, fmt.Errorf("cluster: question %d query: %w", qu.ID, err)
+		}
+		current := make([]db.Tuple, len(qu.Current))
+		for i, row := range qu.Current {
+			current[i] = db.Tuple(row)
+		}
+		t, ok := oracle.CompleteResult(ctx, q, current)
+		if !ok {
+			return server.Answer{None: true}, nil
+		}
+		return server.Answer{Tuple: []string(t)}, nil
+	}
+	return server.Answer{}, fmt.Errorf("cluster: unknown question kind %q", qu.Kind)
+}

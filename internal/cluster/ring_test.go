@@ -1,0 +1,113 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+)
+
+func testPeers(n int) []Peer {
+	peers := make([]Peer, n)
+	for i := range peers {
+		peers[i] = Peer{ID: fmt.Sprintf("r%d", i), URL: fmt.Sprintf("http://host%d", i)}
+	}
+	return peers
+}
+
+func allAlive(string) bool { return true }
+
+// TestRingOwnerStability: ownership is deterministic, spreads keys across
+// peers, moves only a dead peer's keys, and moves them back on recovery.
+func TestRingOwnerStability(t *testing.T) {
+	peers := testPeers(3)
+	ring := NewRing(peers, 64)
+	keys := make([]string, 200)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("query-%d\x00client-%d", i, i%7)
+	}
+
+	before := make(map[string]string)
+	counts := make(map[string]int)
+	for _, k := range keys {
+		p, ok := ring.Owner(k, allAlive)
+		if !ok {
+			t.Fatalf("Owner(%q) found no peer", k)
+		}
+		if again, _ := ring.Owner(k, allAlive); again.ID != p.ID {
+			t.Fatalf("Owner(%q) not deterministic: %s then %s", k, p.ID, again.ID)
+		}
+		before[k] = p.ID
+		counts[p.ID]++
+	}
+	for _, p := range peers {
+		if counts[p.ID] == 0 {
+			t.Errorf("peer %s owns no keys out of %d — hashing is not spreading", p.ID, len(keys))
+		}
+	}
+
+	dead := "r1"
+	alive := func(id string) bool { return id != dead }
+	for _, k := range keys {
+		p, ok := ring.Owner(k, alive)
+		if !ok {
+			t.Fatalf("Owner(%q) with one dead peer found none", k)
+		}
+		if p.ID == dead {
+			t.Fatalf("Owner(%q) returned the dead peer", k)
+		}
+		if before[k] != dead && p.ID != before[k] {
+			t.Errorf("key %q moved from %s to %s although its owner is alive", k, before[k], p.ID)
+		}
+	}
+	// Recovery: every key returns to its original owner.
+	for _, k := range keys {
+		if p, _ := ring.Owner(k, allAlive); p.ID != before[k] {
+			t.Errorf("key %q did not return to %s after recovery (got %s)", k, before[k], p.ID)
+		}
+	}
+}
+
+// TestRingSuccessor: the successor circle is the sorted-ID ring, skips dead
+// peers, and never returns the peer itself.
+func TestRingSuccessor(t *testing.T) {
+	ring := NewRing(testPeers(3), 8)
+	cases := []struct {
+		after string
+		alive func(string) bool
+		want  string
+		ok    bool
+	}{
+		{"r0", allAlive, "r1", true},
+		{"r1", allAlive, "r2", true},
+		{"r2", allAlive, "r0", true},                                   // wraps
+		{"r0", func(id string) bool { return id != "r1" }, "r2", true}, // skips dead
+		{"r0", func(id string) bool { return id == "r0" }, "", false},  // nobody else alive
+	}
+	for _, c := range cases {
+		got, ok := ring.Successor(c.after, c.alive)
+		if ok != c.ok || (ok && got.ID != c.want) {
+			t.Errorf("Successor(%s) = %v %v, want %v %v", c.after, got.ID, ok, c.want, c.ok)
+		}
+	}
+	if i := ring.Index("r1"); i != 1 {
+		t.Errorf("Index(r1) = %d, want 1", i)
+	}
+	if i := ring.Index("nope"); i != -1 {
+		t.Errorf("Index(nope) = %d, want -1", i)
+	}
+}
+
+// TestParsePeers covers the -peers flag syntax.
+func TestParsePeers(t *testing.T) {
+	peers, err := ParsePeers("r0=http://h0:8080/, r1=http://h1:8080")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(peers) != 2 || peers[0].URL != "http://h0:8080" {
+		t.Errorf("ParsePeers = %+v, want trailing slash trimmed", peers)
+	}
+	for _, bad := range []string{"", "r0=http://h0", "r0=http://h0,r0=http://h1", "justanurl"} {
+		if _, err := ParsePeers(bad); err == nil {
+			t.Errorf("ParsePeers(%q) accepted, want error", bad)
+		}
+	}
+}

@@ -1,0 +1,70 @@
+package cluster
+
+import (
+	"os"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// soakSeeds mirrors the repo-wide fault-seed matrix: QOCO_FAULT_SEED (a
+// comma-separated list) when set, a fixed default otherwise.
+func soakSeeds(t *testing.T) []int64 {
+	env := os.Getenv("QOCO_FAULT_SEED")
+	if env == "" {
+		return []int64{1, 42}
+	}
+	var seeds []int64
+	for _, part := range strings.Split(env, ",") {
+		n, err := strconv.ParseInt(strings.TrimSpace(part), 10, 64)
+		if err != nil {
+			t.Fatalf("bad QOCO_FAULT_SEED entry %q: %v", part, err)
+		}
+		seeds = append(seeds, n)
+	}
+	return seeds
+}
+
+// TestClusterSoak is the failover soak: hundreds of cleaning jobs against a
+// 3-replica cluster with a 30%-faulty crowd, while a chaos loop kills and
+// restarts replicas. RunSoak fails unless every acked job reaches a terminal
+// state exactly once, as audited from the job journals. QOCO_CLUSTER_SOAK=long
+// runs the nightly-sized leg.
+func TestClusterSoak(t *testing.T) {
+	if testing.Short() {
+		t.Skip("cluster soak is not a -short test")
+	}
+	opts := SoakOptions{Submissions: 120, KillCycles: 4}
+	if os.Getenv("QOCO_CLUSTER_SOAK") == "long" {
+		opts.Submissions = 1500
+		opts.KillCycles = 12
+	}
+	for _, seed := range soakSeeds(t) {
+		seed := seed
+		t.Run("seed="+strconv.FormatInt(seed, 10), func(t *testing.T) {
+			opts := opts
+			opts.Seed = seed
+			opts.Logf = t.Logf
+			report, err := RunSoak(opts)
+			if err != nil {
+				t.Fatalf("soak failed: %v (report %+v)", err, report)
+			}
+			t.Logf("soak report: %+v", report)
+			if report.Acked == 0 {
+				t.Fatal("soak acked no submissions")
+			}
+			if report.Kills == 0 {
+				t.Fatal("chaos loop killed nothing")
+			}
+			if report.Takeovers == 0 {
+				t.Error("no takeover happened across the kill cycles — the soak is not exercising failover")
+			}
+			if report.Replayed == 0 {
+				t.Error("no journaled answer was replayed — recovery re-asked everything")
+			}
+			if report.Forwarded == 0 {
+				t.Error("no submission was proxied to its ring owner")
+			}
+		})
+	}
+}

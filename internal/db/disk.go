@@ -10,8 +10,10 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"runtime"
 	"sort"
 	"strings"
+	"sync"
 	"sync/atomic"
 
 	"repro/internal/faultfs"
@@ -85,8 +87,9 @@ func metaChecksum(version, shards int) uint32 {
 type DiskOption func(*diskOptions)
 
 type diskOptions struct {
-	fs      faultfs.FS
-	version int
+	fs            faultfs.FS
+	version       int
+	replayWorkers int
 }
 
 // WithFS routes every file operation through fsys — the fault-injection
@@ -100,6 +103,15 @@ func WithFS(fsys faultfs.FS) DiskOption {
 // Exists so tests (and emergency rollbacks) can produce legacy stores.
 func WithFormatVersion(v int) DiskOption {
 	return func(o *diskOptions) { o.version = v }
+}
+
+// WithReplayWorkers bounds the open-time segment-replay parallelism; n <= 0
+// (the default) means GOMAXPROCS. File operations stay serial and in sorted
+// relation order regardless — only the pure parse of already-read segment
+// bytes fans out — so fault injection and recovery counters are
+// byte-identical to a serial open. 1 forces a fully serial replay.
+func WithReplayWorkers(n int) DiskOption {
+	return func(o *diskOptions) { o.replayWorkers = n }
 }
 
 // DiskStore is the disk-backed Store implementation. Its concurrency
@@ -293,22 +305,79 @@ func OpenDisk(dir string, s *schema.Schema, shards int, opts ...DiskOption) (*Di
 	if symRcv.tornBytes > 0 {
 		ds.tornTails++
 	}
+	// Segment replay is split into three passes so the parse — the CPU-bound
+	// part of a large open — can fan out across replayWorkers goroutines
+	// while every file operation stays serial and in sorted relation order
+	// (the order deterministic fault injection counts on). Pass 1 reads all
+	// segment bytes, pass 2 parses them in parallel (replayShard is pure),
+	// pass 3 aggregates counters, surfaces the first error in segment order,
+	// and opens the append handles.
+	type pendingShard struct {
+		rel   *diskRel
+		idx   int
+		path  string
+		arity int
+		raw   []byte
+		rep   shardReplay
+	}
+	var pend []*pendingShard
 	for _, name := range ds.relNames {
 		rel, _ := s.Relation(name)
 		dr := &diskRel{store: ds, name: name, arity: rel.Arity(), shards: make([]*diskShard, shards)}
 		ds.rels[name] = dr
 		for i := 0; i < shards; i++ {
-			sh, err := ds.openShard(filepath.Join(dir, segName(name, i)), rel.Arity())
-			if err != nil {
+			path := filepath.Join(dir, segName(name, i))
+			raw, err := fsys.ReadFile(path)
+			if err != nil && !os.IsNotExist(err) {
 				ds.Close()
-				var cerr *CorruptError
-				if errors.As(err, &cerr) {
-					quarantine(fsys, dir, cerr, true)
-				}
-				return nil, err
+				return nil, fmt.Errorf("db: reading segment %s: %w", path, err)
 			}
-			dr.shards[i] = sh
+			pend = append(pend, &pendingShard{rel: dr, idx: i, path: path, arity: rel.Arity(), raw: raw})
 		}
+	}
+	symCount := uint32(ds.syms.size())
+	workers := o.replayWorkers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(pend) {
+		workers = len(pend)
+	}
+	if workers > 1 {
+		var wg sync.WaitGroup
+		work := make(chan *pendingShard)
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for p := range work {
+					p.rep = replayShard(p.raw, version, p.arity, symCount, p.path)
+					p.raw = nil
+				}
+			}()
+		}
+		for _, p := range pend {
+			work <- p
+		}
+		close(work)
+		wg.Wait()
+	} else {
+		for _, p := range pend {
+			p.rep = replayShard(p.raw, version, p.arity, symCount, p.path)
+			p.raw = nil
+		}
+	}
+	for _, p := range pend {
+		sh, err := ds.finishShard(p.path, p.rep)
+		if err != nil {
+			ds.Close()
+			var cerr *CorruptError
+			if errors.As(err, &cerr) {
+				quarantine(fsys, dir, cerr, true)
+			}
+			return nil, err
+		}
+		p.rel.shards[p.idx] = sh
 	}
 	if ds.tornTails > 0 {
 		rec().Add(MetricRecoveryTornTails, ds.tornTails)
@@ -371,58 +440,76 @@ func writeMetaAtomic(fsys faultfs.FS, dir string, m diskMeta) error {
 	return nil
 }
 
-// openShard replays one segment file into a fresh shard state. A torn tail
-// (incomplete final record with nothing valid after it) is truncated away;
-// under the v2 format any other decode failure is corruption and returns a
-// *CorruptError (record.go documents the classification argument).
-func (s *DiskStore) openShard(path string, arity int) (*diskShard, error) {
-	state := newShardState(arity)
-	raw, err := s.fs.ReadFile(path)
-	if err != nil && !os.IsNotExist(err) {
-		return nil, fmt.Errorf("db: reading segment %s: %w", path, err)
-	}
-	symCount := uint32(s.syms.size())
-	good := 0
-	records := 0
+// shardReplay is the pure result of parsing one segment's bytes.
+type shardReplay struct {
+	state     *shardState
+	records   int   // insert/delete records replayed
+	good      int   // byte offset of the last intact record's end
+	tornBytes int64 // bytes truncated from a torn tail (0 if clean)
+	err       error // *CorruptError on any non-tail decode failure
+}
+
+// replayShard parses one segment file's bytes into a fresh shard state. A
+// torn tail (incomplete final record with nothing valid after it) is marked
+// for truncation; under the v2 format any other decode failure is
+// corruption (record.go documents the classification argument). The
+// function touches no file or store state, so shards replay in parallel.
+func replayShard(raw []byte, version, arity int, symCount uint32, path string) shardReplay {
+	rep := shardReplay{state: newShardState(arity)}
 	for off := 0; off < len(raw); {
-		r, perr := parseSegRecord(raw, off, s.version, arity, symCount)
+		r, perr := parseSegRecord(raw, off, version, arity, symCount)
 		if perr != nil {
 			if inv, ok := perr.(*invalidRecord); ok {
-				return nil, &CorruptError{Path: path, Offset: int64(off), Reason: inv.reason}
+				rep.err = &CorruptError{Path: path, Offset: int64(off), Reason: inv.reason}
+				return rep
 			}
-			if s.version >= 2 && resyncSeg(raw, off+1, s.version, arity, symCount) {
-				return nil, &CorruptError{Path: path, Offset: int64(off),
+			if version >= 2 && resyncSeg(raw, off+1, version, arity, symCount) {
+				rep.err = &CorruptError{Path: path, Offset: int64(off),
 					Reason: "incomplete record followed by intact records"}
+				return rep
 			}
-			s.tornTails++
-			s.tornBytes += int64(len(raw) - good)
+			rep.tornBytes = int64(len(raw) - rep.good)
 			break
 		}
 		switch r.op {
 		case opInsert:
-			state.insert(packKey(r.ids), r.ids)
-			records++
+			rep.state.insert(packKey(r.ids), r.ids)
+			rep.records++
 		case opDelete:
-			state.delete(packKey(r.ids))
-			records++
+			rep.state.delete(packKey(r.ids))
+			rep.records++
 		}
 		off += r.n
-		good = off
+		rep.good = off
 	}
-	s.recordsReplayed += int64(records)
+	return rep
+}
+
+// finishShard folds one shard's replay into the store counters and opens
+// its append handle, truncating any torn tail. Called serially in segment
+// order so errors and counters land deterministically.
+func (s *DiskStore) finishShard(path string, rep shardReplay) (*diskShard, error) {
+	if rep.err != nil {
+		return nil, rep.err
+	}
+	if rep.tornBytes > 0 {
+		s.tornTails++
+		s.tornBytes += rep.tornBytes
+	}
+	s.recordsReplayed += int64(rep.records)
 	f, err := s.fs.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
 	if err != nil {
 		return nil, fmt.Errorf("db: opening segment %s: %w", path, err)
 	}
-	if err := f.Truncate(int64(good)); err != nil {
+	if err := f.Truncate(int64(rep.good)); err != nil {
 		f.Close()
 		return nil, fmt.Errorf("db: truncating torn segment tail %s: %w", path, err)
 	}
-	if _, err := f.Seek(int64(good), io.SeekStart); err != nil {
+	if _, err := f.Seek(int64(rep.good), io.SeekStart); err != nil {
 		f.Close()
 		return nil, fmt.Errorf("db: seeking segment %s: %w", path, err)
 	}
-	return &diskShard{file: f, w: bufio.NewWriter(f), state: state, records: records}, nil
+	return &diskShard{file: f, w: bufio.NewWriter(f), state: rep.state, records: rep.records}, nil
 }
 
 // decodeRecord parses a segment payload: op byte + arity interned IDs, all

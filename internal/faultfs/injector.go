@@ -357,9 +357,9 @@ type injFile struct {
 	f  File
 }
 
-func (x *injFile) Name() string                 { return x.f.Name() }
-func (x *injFile) Stat() (os.FileInfo, error)   { return x.f.Stat() }
-func (x *injFile) Close() error                 { return x.f.Close() } // process-local, never faulted
+func (x *injFile) Name() string               { return x.f.Name() }
+func (x *injFile) Stat() (os.FileInfo, error) { return x.f.Stat() }
+func (x *injFile) Close() error               { return x.f.Close() } // process-local, never faulted
 func (x *injFile) Seek(off int64, whence int) (int64, error) {
 	return x.f.Seek(off, whence)
 }

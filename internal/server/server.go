@@ -36,6 +36,11 @@ const (
 	// crowd question exhausted its deadline re-asks and was answered with the
 	// edit-free default: Q(D) = Q(DG) is not guaranteed.
 	JobDegraded JobState = "degraded"
+	// JobHandoff is a pseudo-terminal state used only in journals by the
+	// cluster layer: the job's record was adopted by another replica, which
+	// owns its real outcome from here on. A journal end event in this state
+	// fences the job against double execution without claiming a result.
+	JobHandoff JobState = "handoff"
 )
 
 // Job metric names recorded when the server's recorder is active.
@@ -109,6 +114,8 @@ type Server struct {
 
 	mu       sync.Mutex
 	nextJob  int
+	idIndex  int // job-ID residue class in cluster mode (see SetJobIDSpace)
+	idStride int // 0 or 1 outside a cluster
 	jobs     map[int]*Job
 	jobLog   *wal.JobLog
 	closing  bool  // graceful shutdown: in-flight jobs stay open in the journal
@@ -537,8 +544,7 @@ func (s *Server) handleClean(w http.ResponseWriter, r *http.Request) {
 // shed submission never leaves a trace in the journal.
 func (s *Server) startJob(q *cq.Query, grant *admission.Grant) Job {
 	s.mu.Lock()
-	s.nextJob++
-	id := s.nextJob
+	id := s.nextJobIDLocked()
 	jl := s.jobLog
 	s.mu.Unlock()
 	if jl != nil {
@@ -548,6 +554,99 @@ func (s *Server) startJob(q *cq.Query, grant *admission.Grant) Job {
 		_ = jl.Start(id, q.String())
 	}
 	return s.launchJob(id, q, false, grant)
+}
+
+// SetJobIDSpace partitions the job-ID space for cluster operation: a server
+// with index i in an N-replica cluster only issues IDs congruent to i modulo
+// stride (= N), so IDs minted by different replicas can never collide and any
+// job's origin replica is derivable as id mod stride. Recovery floors
+// (SetJobLog, Recover) still apply: the next issued ID is the smallest member
+// of the residue class above every ID ever seen. index/stride of 0/0 (or any
+// stride < 2) restores the default dense numbering.
+func (s *Server) SetJobIDSpace(index, stride int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.idIndex, s.idStride = index, stride
+}
+
+// nextJobIDLocked issues the next job ID in this server's residue class.
+// Callers hold s.mu.
+func (s *Server) nextJobIDLocked() int {
+	id := s.nextJob + 1
+	if s.idStride > 1 {
+		for id%s.idStride != s.idIndex {
+			id++
+		}
+	}
+	s.nextJob = id
+	return id
+}
+
+// JobSummary is one job's identity and lifecycle state, without the live
+// run internals — the shape the cluster layer exchanges for claim fencing.
+type JobSummary struct {
+	ID    int      `json:"id"`
+	Query string   `json:"query"`
+	State JobState `json:"state"`
+}
+
+// JobSummaries snapshots every known job's ID, query, and state.
+func (s *Server) JobSummaries() []JobSummary {
+	s.mu.Lock()
+	out := make([]JobSummary, 0, len(s.jobs))
+	for _, job := range s.jobs {
+		out = append(out, JobSummary{ID: job.ID, Query: job.Query, State: job.State})
+	}
+	s.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// HasJob reports whether the server already tracks a job with this ID.
+func (s *Server) HasJob(id int) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_, ok := s.jobs[id]
+	return ok
+}
+
+// Abandon hands running jobs off to another replica: each named job that is
+// still running is stopped (context cancelled, pending questions released)
+// and moves to the JobHandoff state, which finishJob journals in place of a
+// real terminal state — the adopting replica's journal owns the job's real
+// outcome. The return values let the caller distinguish the three cases the
+// cluster fence protocol needs: abandoned lists the jobs THIS call stopped;
+// states reports the current state of named jobs it did not touch (already
+// terminal, or handed off by an earlier call); jobs unknown to this server
+// appear in neither.
+func (s *Server) Abandon(ids []int) (abandoned []int, states map[int]JobState) {
+	states = make(map[int]JobState)
+	var cancels []context.CancelFunc
+	s.mu.Lock()
+	for _, id := range ids {
+		job, ok := s.jobs[id]
+		if !ok {
+			continue
+		}
+		if job.State != JobRunning {
+			states[id] = job.State
+			continue
+		}
+		job.State = JobHandoff
+		abandoned = append(abandoned, id)
+		if job.cancel != nil {
+			cancels = append(cancels, job.cancel)
+			job.cancel = nil
+		}
+	}
+	s.mu.Unlock()
+	for _, c := range cancels {
+		c()
+	}
+	for _, id := range abandoned {
+		s.queue.CancelJob(id)
+	}
+	return abandoned, states
 }
 
 // launchJob runs job id against the crowd queue. The run carries a
@@ -596,8 +695,8 @@ func (s *Server) finishJob(job *Job, report *core.Report, err error) {
 	job.Report = report
 	job.cleaner = nil
 	switch {
-	case job.State == JobCancelled:
-		// State was set by the DELETE handler; nothing to decide.
+	case job.State == JobCancelled, job.State == JobHandoff:
+		// State was set by the DELETE handler or by Abandon; nothing to decide.
 	case err != nil:
 		job.State = JobFailed
 		job.Error = err.Error()
@@ -629,7 +728,7 @@ func (s *Server) finishJob(job *Job, report *core.Report, err error) {
 	}
 	// A cancelled job is finished by user decision even when the cancel races
 	// a shutdown: journal its end so it is not resurrected.
-	if jl != nil && (!closing || state == JobCancelled) {
+	if jl != nil && (!closing || state == JobCancelled || state == JobHandoff) {
 		_ = jl.End(job.ID, string(state))
 	}
 }

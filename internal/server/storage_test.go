@@ -108,11 +108,18 @@ func TestQuarantinedStoreSurfacesReadyz(t *testing.T) {
 		if res.StatusCode != http.StatusServiceUnavailable {
 			t.Errorf("GET %s status = %d, want 503", path, res.StatusCode)
 		}
+		if res.Header.Get("Retry-After") == "" {
+			t.Errorf("GET %s: storage 503 without Retry-After", path)
+		}
 	}
 	res2 := postJSON(t, ts.URL+"/api/v1/clean", map[string]string{"query": "q(x) :- R(x,y)"})
 	defer res2.Body.Close()
 	if res2.StatusCode != http.StatusServiceUnavailable {
 		t.Errorf("POST /api/v1/clean status = %d, want 503", res2.StatusCode)
+	}
+	// Storage 503s back clients off like the admission shed paths do.
+	if res2.Header.Get("Retry-After") == "" {
+		t.Error("storage 503 on /api/v1/clean without Retry-After")
 	}
 	var env struct {
 		Error struct {

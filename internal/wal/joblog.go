@@ -5,7 +5,6 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
-	"sort"
 	"sync"
 
 	"repro/internal/faultfs"
@@ -27,10 +26,11 @@ import (
 // first write failure is sticky and surfaces from every later append and
 // Close, mirroring Store.
 type JobLog struct {
-	mu     sync.Mutex
-	f      faultfs.File
-	err    error
-	maxJob int
+	mu      sync.Mutex
+	f       faultfs.File
+	err     error
+	maxJob  int
+	shipper func(JobEvent) // replication hook; called under mu after a durable append
 }
 
 // JobLogOption configures OpenJobLog.
@@ -71,10 +71,13 @@ type JobRecord struct {
 	State string
 }
 
-// jobEvent is one journaled line. A "seq" event carries no job of its own:
+// JobEvent is one journaled line. A "seq" event carries no job of its own:
 // it records the highest job ID issued before a compaction dropped the
-// records that proved it.
-type jobEvent struct {
+// records that proved it. The type is exported so a replication layer can
+// ship the exact bytes-equivalent events a journal appends (see SetShipper
+// and ReplicaLog in ship.go); the wire encoding is unchanged from when it
+// was internal.
+type JobEvent struct {
 	Ev     string          `json:"ev"` // "start", "answer", "end", "seq"
 	Job    int             `json:"job"`
 	Query  string          `json:"query,omitempty"`  // start
@@ -97,56 +100,26 @@ func OpenJobLog(path string, opts ...JobLogOption) (*JobLog, []JobRecord, error)
 			return nil, nil, fmt.Errorf("wal: creating %s: %w", dir, err)
 		}
 	}
-	byID := make(map[int]*JobRecord)
-	var order []int
-	maxJob := 0
+	fold := NewFold()
 	_, err := scanJournal(options.fs, path, func(line []byte) error {
-		var ev jobEvent
+		var ev JobEvent
 		if err := json.Unmarshal(line, &ev); err != nil {
 			return err
 		}
-		if ev.Job > maxJob {
-			maxJob = ev.Job
-		}
-		switch ev.Ev {
-		case "start":
-			if _, ok := byID[ev.Job]; !ok {
-				order = append(order, ev.Job)
-			}
-			byID[ev.Job] = &JobRecord{ID: ev.Job, Query: ev.Query, Answers: make(map[string][]json.RawMessage)}
-		case "answer":
-			r, ok := byID[ev.Job]
-			if !ok {
-				return &fatalReplayError{fmt.Errorf("wal: job log answer for unknown job %d", ev.Job)}
-			}
-			r.Answers[ev.Key] = append(r.Answers[ev.Key], append(json.RawMessage(nil), ev.Answer...))
-		case "end":
-			r, ok := byID[ev.Job]
-			if !ok {
-				return &fatalReplayError{fmt.Errorf("wal: job log end for unknown job %d", ev.Job)}
-			}
-			r.Done = true
-			r.State = ev.State
-		case "seq":
-			// ID floor from a previous compaction; already folded into maxJob.
-		default:
-			return fmt.Errorf("wal: bad job event %q", ev.Ev)
-		}
-		return nil
+		return fold.Apply(ev)
 	})
 	if err != nil {
 		return nil, nil, err
 	}
-	jobs := make([]JobRecord, 0, len(order))
+	jobs := fold.Records()
 	live := 0
-	for _, id := range order {
-		jobs = append(jobs, *byID[id])
-		if !byID[id].Done {
+	for i := range jobs {
+		if !jobs[i].Done {
 			live++
 		}
 	}
 	if options.compact && live < len(jobs) {
-		if err := compactJobLog(options.fs, path, jobs, maxJob); err != nil {
+		if err := compactJobLog(options.fs, path, jobs, fold.MaxJob()); err != nil {
 			return nil, nil, err
 		}
 		rec().Inc(MetricCompactions)
@@ -156,7 +129,7 @@ func OpenJobLog(path string, opts ...JobLogOption) (*JobLog, []JobRecord, error)
 	if err != nil {
 		return nil, nil, fmt.Errorf("wal: opening job log: %w", err)
 	}
-	return &JobLog{f: f, maxJob: maxJob}, jobs, nil
+	return &JobLog{f: f, maxJob: fold.MaxJob()}, jobs, nil
 }
 
 // compactJobLog rewrites the journal at path keeping only unfinished jobs,
@@ -170,7 +143,7 @@ func compactJobLog(fsys faultfs.FS, path string, jobs []JobRecord, maxJob int) e
 		return fmt.Errorf("wal: compacting job log: %w", err)
 	}
 	defer fsys.Remove(tmp.Name())
-	write := func(ev jobEvent) error {
+	write := func(ev JobEvent) error {
 		raw, err := json.Marshal(ev)
 		if err != nil {
 			return err
@@ -178,22 +151,14 @@ func compactJobLog(fsys faultfs.FS, path string, jobs []JobRecord, maxJob int) e
 		_, err = tmp.Write(append(raw, '\n'))
 		return err
 	}
-	werr := write(jobEvent{Ev: "seq", Job: maxJob})
+	werr := write(JobEvent{Ev: "seq", Job: maxJob})
 	for _, r := range jobs {
 		if werr != nil || r.Done {
 			continue
 		}
-		werr = write(jobEvent{Ev: "start", Job: r.ID, Query: r.Query})
-		keys := make([]string, 0, len(r.Answers))
-		for k := range r.Answers {
-			keys = append(keys, k)
-		}
-		sort.Strings(keys)
-		for _, k := range keys {
-			for _, a := range r.Answers[k] {
-				if werr == nil {
-					werr = write(jobEvent{Ev: "answer", Job: r.ID, Key: k, Answer: a})
-				}
+		for _, ev := range EventsOf(r) {
+			if werr == nil {
+				werr = write(ev)
 			}
 		}
 	}
@@ -221,9 +186,21 @@ func (l *JobLog) MaxJob() int {
 	return l.maxJob
 }
 
+// SetShipper installs a hook invoked synchronously for every event the log
+// durably appends, in append order, after the local write and fsync succeed.
+// The replication layer uses it to stream the journal to a successor replica;
+// events that fail to reach local disk are never shipped, so a receiver's
+// copy is always a prefix-or-equal of the sender's durable journal. The hook
+// runs under the log's append lock: it must not call back into the log.
+func (l *JobLog) SetShipper(fn func(JobEvent)) {
+	l.mu.Lock()
+	l.shipper = fn
+	l.mu.Unlock()
+}
+
 // append journals one event, fsyncing before returning. The first failure is
 // sticky: later appends fail fast with it.
-func (l *JobLog) append(ev jobEvent) error {
+func (l *JobLog) append(ev JobEvent) error {
 	raw, err := json.Marshal(ev)
 	if err != nil {
 		return fmt.Errorf("wal: encoding job event: %w", err)
@@ -246,12 +223,15 @@ func (l *JobLog) append(ev jobEvent) error {
 		rec().Inc(MetricAppendErrors)
 		return l.err
 	}
+	if l.shipper != nil {
+		l.shipper(ev)
+	}
 	return nil
 }
 
 // Start journals a job spec. Call before the job asks its first question.
 func (l *JobLog) Start(job int, query string) error {
-	return l.append(jobEvent{Ev: "start", Job: job, Query: query})
+	return l.append(JobEvent{Ev: "start", Job: job, Query: query})
 }
 
 // Answer journals one consumed crowd answer under the question's content
@@ -262,13 +242,13 @@ func (l *JobLog) Answer(job int, key string, answer interface{}) error {
 	if err != nil {
 		return fmt.Errorf("wal: encoding answer: %w", err)
 	}
-	return l.append(jobEvent{Ev: "answer", Job: job, Key: key, Answer: raw})
+	return l.append(JobEvent{Ev: "answer", Job: job, Key: key, Answer: raw})
 }
 
 // End journals a job's terminal state; jobs without an end event are
 // recovered at the next boot.
 func (l *JobLog) End(job int, state string) error {
-	return l.append(jobEvent{Ev: "end", Job: job, State: state})
+	return l.append(JobEvent{Ev: "end", Job: job, State: state})
 }
 
 // Err returns the first append failure, nil if none.
