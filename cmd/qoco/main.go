@@ -51,6 +51,7 @@ func run() error {
 	transcript := flag.Bool("transcript", false, "log every crowd question and answer to stderr")
 	dbinfo := flag.Bool("dbinfo", false, "print the fact store's stats (backend, relations, shards, disk bytes, per-shard garbage) as JSON and exit")
 	compact := flag.Bool("compact", false, "compact the disk store's segments (drop dead records), print the result as JSON, and exit")
+	ivm := flag.Bool("ivm", true, "maintained (incremental view maintenance) evaluation during cleaning; output is identical either way (see docs/EVAL.md)")
 	scfg := storecfg.Register(flag.CommandLine)
 	flag.Parse()
 
@@ -130,7 +131,7 @@ func run() error {
 		fmt.Printf("  %s\n", t)
 	}
 
-	cleaner := core.New(d, oracle, core.Config{})
+	cleaner := core.New(d, oracle, core.Config{Incremental: *ivm})
 	report, err := cleaner.Clean(context.Background(), q)
 	if err != nil {
 		return err

@@ -13,6 +13,8 @@
 //	qocobench -fig overload   # admission-control rate sweep (-json for JSON)
 //	qocobench -fig eval       # evaluator cold/warm/parallel benchmark
 //	qocobench -fig eval -json # …writing BENCH_eval.json (the bench trajectory)
+//	qocobench -fig ivm        # per-edit incremental maintenance vs cold re-eval
+//	qocobench -fig ivm -json  # …writing BENCH_ivm.json (the IVM trajectory)
 //	qocobench -fig cluster    # 3-replica failover soak with chaos kills
 package main
 
@@ -30,7 +32,7 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "all", "figure to regenerate: 3a, 3b, 3c, 3d, 3e, 3f, 4, dbgroup, sweep, errsweep, heuristics, overload, eval, cluster, or all")
+	fig := flag.String("fig", "all", "figure to regenerate: 3a, 3b, 3c, 3d, 3e, 3f, 4, dbgroup, sweep, errsweep, heuristics, overload, eval, ivm, cluster, or all")
 	seeds := flag.Int("seeds", 3, "number of random seeds to average over")
 	tournaments := flag.Int("tournaments", 0, "number of World Cup editions in the Soccer database (0 = full 20)")
 	wrong := flag.Int("wrong", 5, "wrong answers injected per query (Figures 3a, 3c, 4)")
@@ -39,6 +41,8 @@ func main() {
 	overloadDur := flag.Duration("overload-duration", 2*time.Second, "load duration per rate point of the overload sweep")
 	jsonOut := flag.Bool("json", false, "overload/cluster: emit JSON to stdout; eval: write BENCH_eval.json")
 	parallel := flag.Int("parallel", 4, "eval-benchmark worker count measured against serial evaluation")
+	evalWorkers := flag.Int("eval-workers", 0, "parallel workers for the figures' upper-bound witness enumerations (0 = serial)")
+	ivmEdits := flag.Int("ivm-edits", 40, "length of the IVM benchmark's seeded edit script (-fig ivm)")
 	clusterSubs := flag.Int("cluster-submissions", 2000, "cleaning jobs submitted by the cluster soak (-fig cluster)")
 	clusterKills := flag.Int("cluster-kills", 12, "kill/restart chaos rounds in the cluster soak (-fig cluster)")
 	scfg := storecfg.Register(flag.CommandLine)
@@ -49,6 +53,7 @@ func main() {
 		MissingAnswers: *missing,
 		ExpertError:    *errRate,
 		Soccer:         dataset.SoccerOpts{Tournaments: *tournaments},
+		EvalWorkers:    *evalWorkers,
 	}
 	for s := int64(1); s <= int64(*seeds); s++ {
 		cfg.Seeds = append(cfg.Seeds, s)
@@ -149,6 +154,42 @@ func main() {
 		}
 		any = true
 	}
+	// The IVM benchmark measures wall-clock per-edit maintenance against cold
+	// re-evaluation, so like eval it only runs when asked for by name. With
+	// -json it records the run into BENCH_ivm.json, the repo's incremental-
+	// maintenance trajectory.
+	if *fig == "ivm" {
+		rep := experiment.IVMBench(experiment.IVMBenchOpts{
+			Edits:  *ivmEdits,
+			Seed:   int64(*seeds),
+			Soccer: cfg.Soccer,
+		})
+		if *jsonOut {
+			f, err := os.Create("BENCH_ivm.json")
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "creating BENCH_ivm.json: %v\n", err)
+				os.Exit(1)
+			}
+			enc := json.NewEncoder(f)
+			enc.SetIndent("", "  ")
+			if err := enc.Encode(rep); err != nil {
+				fmt.Fprintf(os.Stderr, "encoding ivm benchmark: %v\n", err)
+				os.Exit(1)
+			}
+			if err := f.Close(); err != nil {
+				fmt.Fprintf(os.Stderr, "closing BENCH_ivm.json: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Println("wrote BENCH_ivm.json")
+		} else {
+			fmt.Print(experiment.RenderIVMBench(rep), "\n")
+		}
+		if !rep.Identical {
+			fmt.Fprintln(os.Stderr, "ivm benchmark: maintained evaluation diverged from cold re-evaluation")
+			os.Exit(1)
+		}
+		any = true
+	}
 	// The cluster soak drives thousands of submissions through a 3-replica
 	// in-process cluster under a kill/restart chaos loop with a 30%-faulty
 	// crowd, then audits every journal for exactly-once execution. It is a
@@ -186,7 +227,7 @@ func main() {
 		any = true
 	}
 	if !any {
-		fmt.Fprintf(os.Stderr, "unknown figure %q (want 3a..3f, 4, dbgroup, sweep, errsweep, heuristics, overload, eval, cluster, all)\n", *fig)
+		fmt.Fprintf(os.Stderr, "unknown figure %q (want 3a..3f, 4, dbgroup, sweep, errsweep, heuristics, overload, eval, ivm, cluster, all)\n", *fig)
 		os.Exit(2)
 	}
 }

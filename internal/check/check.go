@@ -2,6 +2,8 @@
 // seeded random QOCO instances (schemas, databases, CQ≠ and union queries,
 // edit scripts), replays them through every optimized path and its naive
 // reference — the indexed/cached/parallel evaluator vs NaiveResult, the
+// incrementally maintained views and the IVM engine vs refresh-from-scratch
+// and cold evaluation after every edit, the
 // greedy hitting-set heuristics vs exact branch-and-bound vs brute-force
 // subset enumeration, the end-to-end cleaner vs the ground truth it is
 // supposed to converge to, and WAL journal replay vs direct edit

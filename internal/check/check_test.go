@@ -56,6 +56,22 @@ func TestEvalParity(t *testing.T) {
 	sweep(t, trials(t, 600), CheckEvalParity)
 }
 
+// TestViewParity: incrementally maintained views (flat and
+// witness-tracking) stay identical to refreshed-from-scratch references
+// after every edit of every generated script, including union disjuncts and
+// negated-atom queries.
+func TestViewParity(t *testing.T) {
+	sweep(t, trials(t, 500), CheckViewParity)
+}
+
+// TestIVMParity: with a view.Engine registered as the store's maintainer,
+// every maintained evaluation path (Result, Witnesses, AnswerHolds, Holds,
+// ResultUnion) is byte-identical to the naive reference at every step of the
+// edit script, and out-of-band edits force a correct cold fallback.
+func TestIVMParity(t *testing.T) {
+	sweep(t, trials(t, 500), CheckIVMParity)
+}
+
 // TestCleanerConvergence: the end-to-end cleaner with a perfect oracle
 // reaches Q(D') = Q(DG) with only distance-reducing edits.
 func TestCleanerConvergence(t *testing.T) {

@@ -1,0 +1,154 @@
+package check
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/cq"
+	"repro/internal/db"
+	"repro/internal/eval"
+	"repro/internal/view"
+)
+
+// CheckViewParity replays the instance's edit script through incrementally
+// maintained views and compares, after every edit, against views refreshed
+// from scratch over the same store:
+//
+//   - flat (support-counting) views registered on a Monitor, one per
+//     distinct query among ins.Query and the union's disjuncts — rows and
+//     per-answer support counts must match a fresh view.New
+//   - witness-tracking views (view.NewMaintained) applied directly — rows,
+//     support, and per-answer witness sets must match both a fresh
+//     view.NewMaintained and the cold eval.Witnesses enumeration, in the
+//     same canonical order
+//
+// Negated atoms are covered by the generator (a third of queries carry one),
+// which is exactly where delta evaluation is easiest to get wrong: an
+// insertion can delete answers and a deletion can create them.
+func CheckViewParity(ins *Instance) error {
+	d := ins.D.Clone()
+	queries := distinctQueries(ins)
+
+	m := view.NewMonitor(d)
+	flat := make([]*view.View, len(queries))
+	maintained := make([]*view.View, len(queries))
+	for i, q := range queries {
+		v, err := m.Register(fmt.Sprintf("v%d", i), q)
+		if err != nil {
+			return fmt.Errorf("view parity: Register(%s): %w", q, err)
+		}
+		flat[i] = v
+		maintained[i] = view.NewMaintained(fmt.Sprintf("w%d", i), q, d)
+	}
+
+	check := func(step string) error {
+		for i, q := range queries {
+			ref := view.New("ref", q, d)
+			if err := viewsAgree(step, q, flat[i], ref, d, false); err != nil {
+				return err
+			}
+			refW := view.NewMaintained("refw", q, d)
+			if err := viewsAgree(step, q, maintained[i], refW, d, true); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := check("initial"); err != nil {
+		return err
+	}
+
+	for ei, e := range ins.Edits {
+		// A no-op edit (inserting a present fact, deleting an absent one) must
+		// not be propagated into directly-applied views; the Monitor makes the
+		// same call internally from the store's changed flag.
+		changed := (e.Op == db.Insert) != d.Has(e.Fact)
+		if _, _, err := m.Apply(e); err != nil {
+			return fmt.Errorf("view parity: edit %d (%v): %w", ei, e, err)
+		}
+		if changed {
+			for i := range queries {
+				maintained[i].Apply(d, e)
+			}
+		}
+		if err := check(fmt.Sprintf("after edit %d (%v)", ei, e)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// distinctQueries collects ins.Query plus the union's disjuncts, deduplicated
+// by their canonical rendering (the same fingerprint the IVM engine keys on).
+func distinctQueries(ins *Instance) []*cq.Query {
+	var out []*cq.Query
+	seen := map[string]bool{}
+	add := func(q *cq.Query) {
+		if q == nil || seen[q.String()] {
+			return
+		}
+		seen[q.String()] = true
+		out = append(out, q)
+	}
+	add(ins.Query)
+	if ins.Union != nil {
+		for _, q := range ins.Union.Disjuncts {
+			add(q)
+		}
+	}
+	return out
+}
+
+// viewsAgree compares an incrementally maintained view against a freshly
+// refreshed reference: rows, support counts, and (for witness-tracking views)
+// witness sets, which must also match the cold eval.Witnesses enumeration
+// byte for byte.
+func viewsAgree(step string, q *cq.Query, got, ref *view.View, d db.Reader, wits bool) error {
+	if gk, rk := rowsKey(got.Rows()), rowsKey(ref.Rows()); gk != rk {
+		return fmt.Errorf("view parity (%s, %s): incremental rows %q, refreshed %q", step, q, gk, rk)
+	}
+	for _, t := range ref.Rows() {
+		if gs, rs := got.Support(t), ref.Support(t); gs != rs {
+			return fmt.Errorf("view parity (%s, %s): support(%v) = %d, refreshed %d", step, q, t, gs, rs)
+		}
+		if !wits {
+			continue
+		}
+		gw, ok := got.WitnessSets(t)
+		if !ok {
+			return fmt.Errorf("view parity (%s, %s): maintained view lost witness tracking", step, q)
+		}
+		rw, _ := ref.WitnessSets(t)
+		if gk, rk := witnessSetsKey(gw), witnessSetsKey(rw); gk != rk {
+			return fmt.Errorf("view parity (%s, %s): witnesses(%v) = %q, refreshed %q", step, q, t, gk, rk)
+		}
+		cold := eval.Witnesses(q, d, t, eval.NoCache())
+		if gk, ck := witnessSetsKey(gw), witnessSetsKey(cold); gk != ck {
+			return fmt.Errorf("view parity (%s, %s): witnesses(%v) = %q, cold eval %q", step, q, t, gk, ck)
+		}
+	}
+	return nil
+}
+
+// rowsKey canonicalizes a sorted row list for exact (order-included)
+// comparison.
+func rowsKey(ts []db.Tuple) string {
+	var b strings.Builder
+	for _, t := range ts {
+		b.WriteString(t.Key())
+		b.WriteByte(';')
+	}
+	return b.String()
+}
+
+// witnessSetsKey canonicalizes a witness-set list, preserving order: the
+// maintained and cold paths promise the same canonical (witness-key) order,
+// so parity here is byte-identity, not set equality.
+func witnessSetsKey(sets [][]db.Fact) string {
+	var b strings.Builder
+	for _, w := range sets {
+		b.WriteString(eval.WitnessSetKey(w))
+		b.WriteByte('|')
+	}
+	return b.String()
+}

@@ -26,7 +26,9 @@ import (
 func (c *Cleaner) Clean(ctx context.Context, q *cq.Query) (*Report, error) {
 	r := &Report{}
 	degStart := degradedCount(c.raw)
+	c.beginMaintained(q)
 	finish := func(err error) (*Report, error) {
+		c.finishEval()
 		r.Crowd = c.oracle.Snapshot()
 		if n := degradedCount(c.raw) - degStart; n > 0 {
 			r.Degraded = true
@@ -214,7 +216,9 @@ func (c *Cleaner) verifyAnswers(ctx context.Context, q *cq.Query, tuples []db.Tu
 func (c *Cleaner) CleanUnion(ctx context.Context, u *cq.Union) (*Report, error) {
 	r := &Report{}
 	degStart := degradedCount(c.raw)
+	c.beginMaintained(u.Disjuncts...)
 	finish := func(err error) (*Report, error) {
+		c.finishEval()
 		r.Crowd = c.oracle.Snapshot()
 		if n := degradedCount(c.raw) - degStart; n > 0 {
 			r.Degraded = true

@@ -14,11 +14,13 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/cq"
 	"repro/internal/crowd"
 	"repro/internal/db"
 	"repro/internal/eval"
 	"repro/internal/obs"
 	"repro/internal/split"
+	"repro/internal/view"
 )
 
 // Metric names the cleaner records under when Config.Obs is set.
@@ -155,6 +157,16 @@ type Config struct {
 	// differing elsewhere must be false and is marked so without asking the
 	// crowd. Default off.
 	UseKeys bool
+	// Incremental enables maintained (counting-IVM) evaluation for Clean and
+	// CleanUnion: the run materializes the query (and, transiently, each
+	// embedded Q|t) as witness-tracking views in a view.Engine registered
+	// with the evaluator, and every edit the cleaner applies propagates as a
+	// delta through the views instead of forcing cold re-evaluation. Output
+	// is byte-identical to non-incremental runs (the differential harness
+	// enforces it); only the evaluation cost changes. Requires that OnEdit
+	// hooks never edit the store themselves (the existing monitor contract).
+	// Default off. See docs/EVAL.md.
+	Incremental bool
 	// OnEdit, when non-nil, is invoked after every edit the cleaner applies
 	// to the database. The view monitor uses it to maintain materialized
 	// views incrementally while QOCO repairs the underlying data.
@@ -282,6 +294,12 @@ type Cleaner struct {
 	unsat      map[string]bool      // partial-assignment keys known non-satisfiable
 	factAsks   map[string]*factWait // verify-fact questions currently at the oracle
 	iteration  int                  // current Algorithm 3 round, for Progress
+
+	// engine is the maintained-evaluation engine of the current Incremental
+	// run; nil outside Clean/CleanUnion or when Incremental is off. It is
+	// only touched from the cleaning goroutine (edits are serialized), so it
+	// needs no lock of its own.
+	engine *view.Engine
 }
 
 // factWait tracks one in-flight TRUE(R(ā))? question so concurrent callers
@@ -480,8 +498,49 @@ func (c *Cleaner) apply(r *Report, e db.Edit) error {
 		r.Deletions++
 		c.cfg.Obs.Inc(MetricEditsDelete)
 	}
+	// The engine must see the edit immediately after the store (its delta
+	// base is the pre-edit generation); OnEdit hooks run after, and their own
+	// view maintenance toggles facts temporarily (bumping the generation
+	// without changing state), so the engine is restamped once they return.
+	if c.engine != nil {
+		c.engine.Apply(e)
+	}
 	if c.cfg.OnEdit != nil {
 		c.cfg.OnEdit(e)
+		if c.engine != nil {
+			c.engine.Restamp()
+		}
 	}
 	return nil
+}
+
+// beginMaintained starts maintained (IVM) evaluation for a run: it builds the
+// engine, materializes the given queries as witness-tracking views, and
+// registers the engine with the evaluator. A no-op unless Config.Incremental
+// is set; a query that fails validation disables maintained mode for the run
+// (evaluation of that query will surface the problem on its own terms).
+func (c *Cleaner) beginMaintained(qs ...*cq.Query) {
+	if !c.cfg.Incremental {
+		return
+	}
+	engine := view.NewEngine(c.d)
+	for _, q := range qs {
+		if err := engine.Ensure(q); err != nil {
+			return
+		}
+	}
+	c.engine = engine
+	eval.SetMaintainer(c.d.ID(), c.engine)
+}
+
+// finishEval releases the run's evaluation state: the maintained engine (if
+// any) is unregistered, and the store's evaluation-cache sections are dropped
+// so a finished run never leaks cache memory into the next job (the sections
+// are generation-stamped and thus useless to anyone else anyway).
+func (c *Cleaner) finishEval() {
+	if c.engine != nil {
+		eval.ClearMaintainer(c.d.ID(), c.engine)
+		c.engine = nil
+	}
+	eval.InvalidateDB(c.d.ID())
 }

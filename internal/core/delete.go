@@ -258,10 +258,12 @@ func (c *Cleaner) markFalse(key string) {
 
 // WrongAnswerUpperBound returns the number of distinct witness tuples of t,
 // the cost of the naive algorithm that verifies every tuple of every witness
-// (the "total" bar in Figure 3a).
-func WrongAnswerUpperBound(q *cq.Query, d db.Reader, t db.Tuple) int {
+// (the "total" bar in Figure 3a). The options are forwarded to the witness
+// enumeration, so callers with a cache or parallel configuration (qocobench's
+// Figure-3 sweeps) no longer pay a cold serial evaluation per bound.
+func WrongAnswerUpperBound(q *cq.Query, d db.Reader, t db.Tuple, opts ...eval.Option) int {
 	seen := make(map[string]bool)
-	for _, w := range eval.Witnesses(q, d, t) {
+	for _, w := range eval.Witnesses(q, d, t, opts...) {
 		for _, f := range w {
 			seen[f.Key()] = true
 		}
@@ -271,8 +273,12 @@ func WrongAnswerUpperBound(q *cq.Query, d db.Reader, t db.Tuple) int {
 
 // MissingAnswerUpperBound returns the number of unique variables of Q|t, the
 // worst-case number of values the crowd must provide under the naive
-// no-split insertion (the "total" bar in Figure 3b).
-func MissingAnswerUpperBound(q *cq.Query, t db.Tuple) int {
+// no-split insertion (the "total" bar in Figure 3b). The bound is purely
+// syntactic today; the options parameter keeps the signature symmetric with
+// WrongAnswerUpperBound so Figure-3 callers thread one option set through
+// both bounds.
+func MissingAnswerUpperBound(q *cq.Query, t db.Tuple, opts ...eval.Option) int {
+	_ = opts
 	qt, err := q.Embed(t)
 	if err != nil {
 		return 0

@@ -56,6 +56,16 @@ func (c *Cleaner) addMissingAnswer(ctx context.Context, r *Report, q *cq.Query, 
 		}
 		qt = boolQt
 	}
+	// Under maintained evaluation, materialize Q|t transiently: the Holds
+	// probes below and every edit of this insertion then cost O(delta)
+	// instead of re-enumerating Q|t per round. Released on return unless the
+	// engine already maintained an identical query (a boolean Q embeds to
+	// itself), which must survive this call.
+	if c.engine != nil && !c.engine.Maintains(qt) {
+		if err := c.engine.Ensure(qt); err == nil {
+			defer c.engine.Release(qt)
+		}
+	}
 	// Lines 1-2: all-constant atoms of Q|t hold in DG whenever t is a true
 	// answer, so insert them without asking.
 	for _, f := range qt.GroundAtoms() {

@@ -74,6 +74,44 @@ func SetCache(on bool) {
 	evalCache.Unlock()
 }
 
+// InvalidateDB drops every cache section of the store with the given ID.
+// The generation stamp already prevents stale reads; this hook exists so a
+// finished job's sections are reclaimed immediately instead of lingering (up
+// to cacheMaxGens generations per store) until cap-driven eviction. The
+// cleaner calls it when a run finishes and the server calls it when a job
+// reaches a terminal state. Idempotent and safe to call concurrently with
+// evaluations.
+func InvalidateDB(id uint64) {
+	evalCache.Lock()
+	_, ok := evalCache.dbs[id]
+	if ok {
+		delete(evalCache.dbs, id)
+	}
+	evalCache.Unlock()
+	if ok {
+		rec().Inc(MetricCacheDBInvalidations)
+	}
+}
+
+// CacheStats is a point-in-time summary of one store's cache footprint,
+// exposed so tests can assert that finished jobs do not leak sections.
+type CacheStats struct {
+	Sections int // cache sections (generations) held for the store
+	Entries  int // memoized entries across those sections
+}
+
+// CacheStatsFor reports the cache footprint of the store with the given ID.
+func CacheStatsFor(id uint64) CacheStats {
+	evalCache.Lock()
+	defer evalCache.Unlock()
+	var s CacheStats
+	for _, c := range evalCache.dbs[id] {
+		s.Sections++
+		s.Entries += c.size()
+	}
+	return s
+}
+
 // forDB returns the cache section for the store at the given generation,
 // creating it if needed. Creating a section at a new generation while older
 // ones exist counts as an invalidation (the store moved on); the oldest

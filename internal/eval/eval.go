@@ -31,6 +31,10 @@ func Result(q *cq.Query, d db.Reader, opts ...Option) []db.Tuple {
 		if out, ok := lookupTuples(d, key); ok {
 			return out
 		}
+		if out, ok := maintainedResult(d, q); ok {
+			storeTuples(d, d.Generation(), key, out)
+			return out
+		}
 	}
 	gen := d.Generation()
 	out := sortTuples(collectResult(q, d, cfg))
@@ -89,9 +93,11 @@ func AssignmentsFor(q *cq.Query, d db.Reader, t db.Tuple, opts ...Option) []Assi
 
 // Witnesses returns the witness sets for answer t: one set of facts per valid
 // assignment in A(t,Q,D), deduplicated (distinct assignments can induce the
-// same witness, e.g. by permuting symmetric atoms). Witness sets are memoized
-// per database generation — the question-selection loop of Algorithm 1
-// re-enumerates the same answer's witnesses between crowd questions.
+// same witness, e.g. by permuting symmetric atoms) and sorted canonically by
+// witness key, so the maintained (IVM) path and cold enumeration produce
+// byte-identical output. Witness sets are memoized per database generation —
+// the question-selection loop of Algorithm 1 re-enumerates the same answer's
+// witnesses between crowd questions.
 func Witnesses(q *cq.Query, d db.Reader, t db.Tuple, opts ...Option) [][]db.Fact {
 	start := time.Now()
 	cfg := resolve(opts)
@@ -102,25 +108,59 @@ func Witnesses(q *cq.Query, d db.Reader, t db.Tuple, opts ...Option) [][]db.Fact
 			observeWitnesses(start, out)
 			return out
 		}
+		if out, ok := maintainedWitnesses(d, q, t); ok {
+			storeWitnesses(d, d.Generation(), key, out)
+			observeWitnesses(start, out)
+			return out
+		}
 	}
 	gen := d.Generation()
 	asgs := AssignmentsFor(q, d, t, opts...)
 	seen := make(map[string]bool)
 	var out [][]db.Fact
+	var keys []string
 	for _, a := range asgs {
 		w := a.Witness(q)
 		k := witnessKey(w)
 		if !seen[k] {
 			seen[k] = true
 			out = append(out, w)
+			keys = append(keys, k)
 		}
 	}
+	sortWitnessSets(out, keys)
 	if !cfg.noCache {
 		storeWitnesses(d, gen, key, out)
 	}
 	observeWitnesses(start, out)
 	return out
 }
+
+// sortWitnessSets orders witness sets by their precomputed canonical keys.
+func sortWitnessSets(out [][]db.Fact, keys []string) {
+	if len(out) < 2 {
+		return
+	}
+	sort.Sort(&witnessesByKey{sets: out, keys: keys})
+}
+
+type witnessesByKey struct {
+	sets [][]db.Fact
+	keys []string
+}
+
+func (s *witnessesByKey) Len() int           { return len(s.sets) }
+func (s *witnessesByKey) Less(i, j int) bool { return s.keys[i] < s.keys[j] }
+func (s *witnessesByKey) Swap(i, j int) {
+	s.sets[i], s.sets[j] = s.sets[j], s.sets[i]
+	s.keys[i], s.keys[j] = s.keys[j], s.keys[i]
+}
+
+// WitnessSetKey returns the canonical identity of one witness set — the
+// dedup and sort key Witnesses uses. The view engine keys its maintained
+// witness counts by it so the incremental path reproduces Witnesses' output
+// exactly.
+func WitnessSetKey(w []db.Fact) string { return witnessKey(w) }
 
 // witnessKey builds the dedup key of one witness set with a single
 // allocation (the sets are sorted, so concatenated fact keys are canonical).
@@ -150,6 +190,10 @@ func Holds(q *cq.Query, d db.Reader, seed Assignment, opts ...Option) bool {
 		if v, ok := lookupHolds(d, key); ok {
 			return v
 		}
+		if v, ok := maintainedHolds(d, q, seed); ok {
+			storeHolds(d, d.Generation(), key, v)
+			return v
+		}
 	}
 	gen := d.Generation()
 	found := false
@@ -174,6 +218,11 @@ func AnswerHolds(q *cq.Query, d db.Reader, t db.Tuple, opts ...Option) bool {
 	seed, ok := PartialFromAnswer(q, t)
 	if !ok {
 		return false
+	}
+	if !resolve(opts).noCache {
+		if v, ok := maintainedAnswerHolds(d, q, t); ok {
+			return v
+		}
 	}
 	return Holds(q, d, seed, opts...)
 }

@@ -34,6 +34,16 @@ const (
 	// MetricCacheInvalidations counts cache sections discarded because the
 	// database moved to a new edit generation.
 	MetricCacheInvalidations = "eval.cache.invalidations"
+	// MetricCacheDBInvalidations counts whole stores dropped from the cache
+	// via InvalidateDB (a cleaning job finished and released its sections).
+	MetricCacheDBInvalidations = "eval.cache.db_invalidations"
+	// MetricMaintainedHits / MetricMaintainedMisses count evaluation calls
+	// served from (or declined by) a registered incremental-view maintainer
+	// (see Maintainer and internal/view). Misses are counted only when a
+	// maintainer is registered for the store, so the ratio measures
+	// maintained-mode coverage.
+	MetricMaintainedHits   = "eval.maintained.hits"
+	MetricMaintainedMisses = "eval.maintained.misses"
 	// MetricParallelRuns counts enumerations that ran on the partitioned
 	// parallel path; MetricParallelWorkers is the distribution of worker
 	// counts actually used.

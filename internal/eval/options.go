@@ -30,10 +30,12 @@ func Parallel(n int) Option {
 	}
 }
 
-// NoCache makes the call bypass the evaluation cache: nothing is looked up
-// and nothing is stored. Benchmarks use it to measure cold evaluation; it is
-// also the escape hatch for callers that mutate the database outside
-// db.Database's mutation methods (none in this repository do).
+// NoCache makes the call bypass the evaluation cache AND any registered
+// incremental-view maintainer: nothing is looked up and nothing is stored,
+// the call always enumerates cold. Benchmarks and the differential harness
+// use it to measure (and cross-check against) cold evaluation; it is also
+// the escape hatch for callers that mutate the database outside db.Store's
+// mutation methods (none in this repository do).
 func NoCache() Option {
 	return func(c *config) { c.noCache = true }
 }

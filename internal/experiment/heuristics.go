@@ -35,7 +35,7 @@ func HeuristicsAblation(cfg Config) []Row {
 			noise.InjectWrong(d, dg, q, cfg.WrongAnswers, rng)
 
 			lower := len(eval.Result(q, d))
-			upper := lower + deletionUpperBound(q, d, dg)
+			upper := lower + deletionUpperBound(q, d, dg, cfg.evalOpts()...)
 
 			coreCfg := core.Config{Deletion: policy, RNG: rng}
 			if policy == core.PolicyTrust || policy == core.PolicyInfluence {

@@ -157,6 +157,21 @@ func TestServerEndToEnd(t *testing.T) {
 		time.Sleep(5 * time.Millisecond)
 	}
 
+	// Terminal state released the store's eval-cache sections (finishJob
+	// calls eval.InvalidateDB). The poller can observe JobDone a beat before
+	// finishJob's last line runs, so allow a short settle.
+	leakDeadline := time.Now().Add(2 * time.Second)
+	for {
+		if st := eval.CacheStatsFor(d.ID()); st.Sections == 0 && st.Entries == 0 {
+			break
+		}
+		if time.Now().After(leakDeadline) {
+			t.Fatalf("eval cache still holds sections for the store after job completion: %+v",
+				eval.CacheStatsFor(d.ID()))
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+
 	// The database now matches the ground truth on the query.
 	want := eval.Result(dataset.IntroQ1(), dg)
 	got := eval.Result(dataset.IntroQ1(), d)

@@ -9,7 +9,11 @@
 // A View materializes the answers of a CQ≠ over a database and keeps, per
 // answer, the number of valid assignments supporting it; edits flowing
 // through the Monitor update that support incrementally (delta evaluation)
-// instead of recomputing the view.
+// instead of recomputing the view. A maintained View additionally keeps the
+// witness sets of every answer with per-witness assignment counts, and the
+// Engine aggregates maintained views into an eval.Maintainer that serves the
+// cleaner's Result/Witnesses/AnswerHolds/Holds calls in place of cold
+// re-evaluation (counting-based incremental view maintenance).
 package view
 
 import (
@@ -22,13 +26,25 @@ import (
 )
 
 // View is a materialized CQ≠ view: the current answer tuples plus the number
-// of valid assignments supporting each.
+// of valid assignments supporting each. With witness tracking enabled it also
+// maintains, per answer, the distinct witness sets with the number of valid
+// assignments inducing each.
 type View struct {
 	Name  string
 	Query *cq.Query
 
 	rows    map[string]db.Tuple
 	support map[string]int // answer key -> |A(t, Q, D)|
+
+	trackWits bool
+	wits      map[string]map[string]*witnessEntry // answer key -> witness key -> entry
+}
+
+// witnessEntry counts the valid assignments inducing one witness set of one
+// answer. The witness disappears when the count drops to zero.
+type witnessEntry struct {
+	facts []db.Fact
+	count int
 }
 
 // New materializes the query over the database.
@@ -38,10 +54,23 @@ func New(name string, q *cq.Query, d db.Reader) *View {
 	return v
 }
 
+// NewMaintained materializes the query with witness tracking: the view keeps
+// every answer's witness sets up to date under Apply, which is what lets the
+// Engine serve eval.Witnesses (and the hitting-set instance built from it)
+// without re-enumeration.
+func NewMaintained(name string, q *cq.Query, d db.Reader) *View {
+	v := &View{Name: name, Query: q, trackWits: true}
+	v.Refresh(d)
+	return v
+}
+
 // Refresh recomputes the materialization from scratch.
 func (v *View) Refresh(d db.Reader) {
 	v.rows = make(map[string]db.Tuple)
 	v.support = make(map[string]int)
+	if v.trackWits {
+		v.wits = make(map[string]map[string]*witnessEntry)
+	}
 	for _, a := range eval.Eval(v.Query, d) {
 		t, ok := a.HeadTuple(v.Query)
 		if !ok {
@@ -50,6 +79,9 @@ func (v *View) Refresh(d db.Reader) {
 		k := t.Key()
 		v.rows[k] = t
 		v.support[k]++
+		if v.trackWits {
+			v.addWitness(k, a)
+		}
 	}
 }
 
@@ -75,6 +107,30 @@ func (v *View) Has(t db.Tuple) bool {
 // Support returns the number of valid assignments supporting the answer.
 func (v *View) Support(t db.Tuple) int { return v.support[t.Key()] }
 
+// WitnessSets returns the answer's maintained witness sets in the canonical
+// order of eval.Witnesses (sorted by witness key). ok is false when the view
+// does not track witnesses. The inner fact slices are shared and must be
+// treated as immutable, as everywhere in the engine.
+func (v *View) WitnessSets(t db.Tuple) (sets [][]db.Fact, ok bool) {
+	if !v.trackWits {
+		return nil, false
+	}
+	byW := v.wits[t.Key()]
+	if len(byW) == 0 {
+		return nil, true
+	}
+	keys := make([]string, 0, len(byW))
+	for wk := range byW {
+		keys = append(keys, wk)
+	}
+	sort.Strings(keys)
+	sets = make([][]db.Fact, len(keys))
+	for i, wk := range keys {
+		sets[i] = byW[wk].facts
+	}
+	return sets, true
+}
+
 // Apply updates the materialization for a single edit. The database must
 // already reflect the edit (for insertions the fact is present; for deletions
 // it is absent). It returns the answers whose membership flipped.
@@ -84,7 +140,7 @@ func (v *View) Support(t db.Tuple) int { return v.support[t.Key()] }
 // unblock assignments (support gains).
 func (v *View) Apply(d db.Store, e db.Edit) (appeared, disappeared []db.Tuple) {
 	f := e.Fact
-	var gains, losses map[string]int
+	var gains, losses []deltaAsg
 	if e.Op == db.Insert {
 		gains = v.matchPositive(d, f, false)
 		losses = v.matchNegative(d, f, true)
@@ -92,13 +148,21 @@ func (v *View) Apply(d db.Store, e db.Edit) (appeared, disappeared []db.Tuple) {
 		losses = v.matchPositive(d, f, true)
 		gains = v.matchNegative(d, f, false)
 	}
-	for k, n := range gains {
+	for k, n := range countByAnswer(gains) {
 		if v.support[k] == 0 {
 			appeared = append(appeared, v.rows[k])
 		}
 		v.support[k] += n
 	}
-	for k, n := range losses {
+	if v.trackWits {
+		for _, da := range gains {
+			v.addWitness(da.key, da.asg)
+		}
+		for _, da := range losses {
+			v.dropWitness(da.key, da.asg)
+		}
+	}
+	for k, n := range countByAnswer(losses) {
 		v.support[k] -= n
 		if v.support[k] <= 0 {
 			if t, ok := v.rows[k]; ok {
@@ -106,6 +170,7 @@ func (v *View) Apply(d db.Store, e db.Edit) (appeared, disappeared []db.Tuple) {
 			}
 			delete(v.support, k)
 			delete(v.rows, k)
+			delete(v.wits, k)
 		}
 	}
 	sortTuples(appeared)
@@ -113,11 +178,67 @@ func (v *View) Apply(d db.Store, e db.Edit) (appeared, disappeared []db.Tuple) {
 	return appeared, disappeared
 }
 
-// matchPositive counts, per answer key, the valid assignments that use the
-// fact in at least one positive atom. With tempInsert the fact is absent from
-// d (a deletion happened) and is re-inserted temporarily to evaluate the
+// addWitness counts one valid assignment into the answer's witness table.
+func (v *View) addWitness(k string, a eval.Assignment) {
+	w := a.Witness(v.Query)
+	wk := eval.WitnessSetKey(w)
+	byW := v.wits[k]
+	if byW == nil {
+		byW = make(map[string]*witnessEntry)
+		v.wits[k] = byW
+	}
+	ent := byW[wk]
+	if ent == nil {
+		ent = &witnessEntry{facts: w}
+		byW[wk] = ent
+	}
+	ent.count++
+}
+
+// dropWitness removes one no-longer-valid assignment from the witness table.
+func (v *View) dropWitness(k string, a eval.Assignment) {
+	byW := v.wits[k]
+	if byW == nil {
+		return
+	}
+	wk := eval.WitnessSetKey(a.Witness(v.Query))
+	ent := byW[wk]
+	if ent == nil {
+		return
+	}
+	ent.count--
+	if ent.count <= 0 {
+		delete(byW, wk)
+		if len(byW) == 0 {
+			delete(v.wits, k)
+		}
+	}
+}
+
+// deltaAsg is one valid assignment gained or lost by an edit, with its
+// answer key precomputed.
+type deltaAsg struct {
+	key string
+	asg eval.Assignment
+}
+
+// countByAnswer folds delta assignments into per-answer counts.
+func countByAnswer(deltas []deltaAsg) map[string]int {
+	if len(deltas) == 0 {
+		return nil
+	}
+	out := make(map[string]int)
+	for _, da := range deltas {
+		out[da.key]++
+	}
+	return out
+}
+
+// matchPositive enumerates, per answer key, the valid assignments that use
+// the fact in at least one positive atom. With tempInsert the fact is absent
+// from d (a deletion happened) and is re-inserted temporarily to evaluate the
 // pre-delete state.
-func (v *View) matchPositive(d db.Store, f db.Fact, tempInsert bool) map[string]int {
+func (v *View) matchPositive(d db.Store, f db.Fact, tempInsert bool) []deltaAsg {
 	if tempInsert {
 		if changed, _ := d.InsertFact(f); changed {
 			defer d.DeleteFact(f)
@@ -126,11 +247,11 @@ func (v *View) matchPositive(d db.Store, f db.Fact, tempInsert bool) map[string]
 	return v.matchAtoms(d, v.Query.Atoms, f)
 }
 
-// matchNegative counts, per answer key, the assignments whose negated atom
-// grounds to the fact and that are valid when the fact is absent. With
+// matchNegative enumerates, per answer key, the assignments whose negated
+// atom grounds to the fact and that are valid when the fact is absent. With
 // tempDelete the fact is present in d (an insertion happened) and is removed
 // temporarily to evaluate the pre-insert state.
-func (v *View) matchNegative(d db.Store, f db.Fact, tempDelete bool) map[string]int {
+func (v *View) matchNegative(d db.Store, f db.Fact, tempDelete bool) []deltaAsg {
 	if len(v.Query.Negs) == 0 {
 		return nil
 	}
@@ -144,10 +265,10 @@ func (v *View) matchNegative(d db.Store, f db.Fact, tempDelete bool) map[string]
 
 // matchAtoms enumerates valid assignments (over d's current state) that
 // ground one of the given atoms to the fact, deduplicated across atom
-// positions, counted per answer key. Answer tuples are cached in rows.
-func (v *View) matchAtoms(d db.Reader, atoms []cq.Atom, f db.Fact) map[string]int {
+// positions. Answer tuples are cached in rows.
+func (v *View) matchAtoms(d db.Reader, atoms []cq.Atom, f db.Fact) []deltaAsg {
 	seen := make(map[string]bool)
-	deltas := make(map[string]int)
+	var deltas []deltaAsg
 	for _, atom := range atoms {
 		if atom.Rel != f.Rel {
 			continue
@@ -167,7 +288,7 @@ func (v *View) matchAtoms(d db.Reader, atoms []cq.Atom, f db.Fact) map[string]in
 				continue
 			}
 			k := t.Key()
-			deltas[k]++
+			deltas = append(deltas, deltaAsg{key: k, asg: a})
 			v.rows[k] = t
 		}
 	}

@@ -1,13 +1,10 @@
 package view
 
 import (
-	"context"
 	"math/rand"
 	"testing"
 
-	"repro/internal/core"
 	"repro/internal/cq"
-	"repro/internal/crowd"
 	"repro/internal/dataset"
 	"repro/internal/db"
 	"repro/internal/eval"
@@ -178,39 +175,6 @@ func TestMonitorRegisterAndApply(t *testing.T) {
 	a2, d2, err := m.Apply(db.Insertion(db.NewFact("Teams", "ITA", "EU")))
 	if err != nil || len(a2) != 0 || len(d2) != 0 {
 		t.Errorf("idempotent edit changed views: %v %v %v", a2, d2, err)
-	}
-}
-
-// TestMonitorWithCleaner wires the monitor's EditHook into a cleaning run:
-// the views stay exactly in sync with the database as QOCO repairs it.
-func TestMonitorWithCleaner(t *testing.T) {
-	d, dg := dataset.Figure1()
-	m := NewMonitor(d)
-	vQ1, err := m.Register("winners", dataset.IntroQ1())
-	if err != nil {
-		t.Fatal(err)
-	}
-	vQ2, err := m.Register("scorers", dataset.IntroQ2())
-	if err != nil {
-		t.Fatal(err)
-	}
-
-	cl := core.New(d, crowd.NewPerfect(dg), core.Config{
-		RNG:    rand.New(rand.NewSource(3)),
-		OnEdit: m.EditHook(),
-	})
-	if _, err := cl.Clean(context.Background(), dataset.IntroQ1()); err != nil {
-		t.Fatal(err)
-	}
-
-	// winners view must now match Q1 over the repaired database (= over DG).
-	if rowsKey(vQ1.Rows()) != rowsKey(eval.Result(dataset.IntroQ1(), d)) {
-		t.Errorf("winners view stale: %v vs %v", vQ1.Rows(), eval.Result(dataset.IntroQ1(), d))
-	}
-	// The scorers view was maintained through the same edits even though it
-	// was not the query being cleaned.
-	if rowsKey(vQ2.Rows()) != rowsKey(eval.Result(dataset.IntroQ2(), d)) {
-		t.Errorf("scorers view stale: %v vs %v", vQ2.Rows(), eval.Result(dataset.IntroQ2(), d))
 	}
 }
 
