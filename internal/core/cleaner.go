@@ -165,7 +165,10 @@ type Config struct {
 	// is byte-identical to non-incremental runs (the differential harness
 	// enforces it); only the evaluation cost changes. Requires that OnEdit
 	// hooks never edit the store themselves (the existing monitor contract).
-	// Default off. See docs/EVAL.md.
+	// The zero Config leaves it off, but note that the qoco CLI and
+	// qocoserver wire it to their -ivm flag, which defaults to on — operators
+	// assessing the maintained code path's blast radius should assume it is
+	// active unless -ivm=false was passed. See docs/EVAL.md.
 	Incremental bool
 	// OnEdit, when non-nil, is invoked after every edit the cleaner applies
 	// to the database. The view monitor uses it to maintain materialized
@@ -499,17 +502,18 @@ func (c *Cleaner) apply(r *Report, e db.Edit) error {
 		c.cfg.Obs.Inc(MetricEditsDelete)
 	}
 	// The engine must see the edit immediately after the store (its delta
-	// base is the pre-edit generation); OnEdit hooks run after, and their own
-	// view maintenance toggles facts temporarily (bumping the generation
-	// without changing state), so the engine is restamped once they return.
+	// base is the pre-edit generation). OnEdit hooks run after; view
+	// maintenance is read-only (pre-state matches evaluate through a
+	// db.Overlay), so a hook honoring the no-store-edits contract leaves the
+	// generation untouched. If a hook edits the store anyway, the next
+	// engine.Apply sees the generation mismatch and degrades to a stale
+	// engine (cold fallback until Sync) instead of serving deltas computed
+	// off the wrong base.
 	if c.engine != nil {
 		c.engine.Apply(e)
 	}
 	if c.cfg.OnEdit != nil {
 		c.cfg.OnEdit(e)
-		if c.engine != nil {
-			c.engine.Restamp()
-		}
 	}
 	return nil
 }

@@ -1,0 +1,155 @@
+package db
+
+import (
+	"testing"
+)
+
+// overlayBase builds a small database for overlay tests.
+func overlayBase(t *testing.T) *Database {
+	t.Helper()
+	d := New(testSchema())
+	for _, f := range []Fact{
+		NewFact("Teams", "ESP", "EU"),
+		NewFact("Teams", "GER", "EU"),
+		NewFact("Goals", "Iniesta", "11.07.10"),
+	} {
+		if _, err := d.InsertFact(f); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return d
+}
+
+func TestOverlayInsert(t *testing.T) {
+	d := overlayBase(t)
+	f := NewFact("Teams", "ITA", "EU")
+	gen, baseLen := d.Generation(), d.Len()
+	o := Overlay(d, Insertion(f))
+
+	if o == Reader(d) {
+		t.Fatalf("insert of an absent fact must not collapse to base")
+	}
+	if !o.Has(f) {
+		t.Errorf("overlay lacks the inserted fact")
+	}
+	if o.Has(NewFact("Teams", "BRA", "SA")) {
+		t.Errorf("overlay invents unrelated facts")
+	}
+	if !o.Has(NewFact("Teams", "ESP", "EU")) {
+		t.Errorf("overlay dropped a base fact")
+	}
+	if got := o.Len(); got != baseLen+1 {
+		t.Errorf("Len = %d, want %d", got, baseLen+1)
+	}
+	if o.ID() == d.ID() {
+		t.Errorf("overlay shares the base store identity; caches could alias them")
+	}
+
+	r := o.Rel("Teams")
+	if r.Len() != 3 {
+		t.Errorf("Teams Len = %d, want 3", r.Len())
+	}
+	if !r.Has(Tuple{"ITA", "EU"}) || r.Has(Tuple{"BRA", "SA"}) {
+		t.Errorf("Rel.Has wrong on overlay tuples")
+	}
+	ts := r.Tuples()
+	if len(ts) != 3 || !ts[1].Equal(Tuple{"GER", "EU"}) {
+		t.Errorf("Tuples = %v, want sorted [ESP GER ITA]", ts)
+	}
+	n := 0
+	r.Each(func(Tuple) bool { n++; return true })
+	if n != 3 {
+		t.Errorf("Each visited %d tuples, want 3", n)
+	}
+	if got := r.MatchCount([]Binding{{Col: 1, Value: "EU"}}); got != 3 {
+		t.Errorf("MatchCount(continent=EU) = %d, want 3", got)
+	}
+	if got := len(r.Scan([]Binding{{Col: 0, Value: "ITA"}})); got != 1 {
+		t.Errorf("Scan(name=ITA) returned %d tuples, want 1", got)
+	}
+	if got := len(r.Scan([]Binding{{Col: 1, Value: "SA"}})); got != 0 {
+		t.Errorf("Scan(continent=SA) returned %d tuples, want 0", got)
+	}
+	if got := len(o.Facts()); got != baseLen+1 {
+		t.Errorf("Facts returned %d facts, want %d", got, baseLen+1)
+	}
+
+	// Goals is not the edited relation: reads pass straight through.
+	if o.Rel("Goals").Len() != 1 {
+		t.Errorf("untouched relation changed size")
+	}
+	// The base store itself must be untouched.
+	if d.Generation() != gen || d.Len() != baseLen || d.Has(f) {
+		t.Errorf("overlay mutated the base store")
+	}
+}
+
+func TestOverlayDelete(t *testing.T) {
+	d := overlayBase(t)
+	f := NewFact("Teams", "ESP", "EU")
+	gen, baseLen := d.Generation(), d.Len()
+	o := Overlay(d, Deletion(f))
+
+	if o.Has(f) {
+		t.Errorf("overlay still has the deleted fact")
+	}
+	if !o.Has(NewFact("Teams", "GER", "EU")) {
+		t.Errorf("overlay dropped an unrelated fact")
+	}
+	if got := o.Len(); got != baseLen-1 {
+		t.Errorf("Len = %d, want %d", got, baseLen-1)
+	}
+
+	r := o.Rel("Teams")
+	if r.Len() != 1 || r.Has(Tuple{"ESP", "EU"}) {
+		t.Errorf("Rel still shows the deleted tuple")
+	}
+	if ts := r.Tuples(); len(ts) != 1 || !ts[0].Equal(Tuple{"GER", "EU"}) {
+		t.Errorf("Tuples = %v, want [GER]", ts)
+	}
+	n := 0
+	r.Each(func(Tuple) bool { n++; return true })
+	if n != 1 {
+		t.Errorf("Each visited %d tuples, want 1", n)
+	}
+	if got := r.MatchCount([]Binding{{Col: 1, Value: "EU"}}); got != 1 {
+		t.Errorf("MatchCount(continent=EU) = %d, want 1", got)
+	}
+	if got := len(r.Scan([]Binding{{Col: 1, Value: "EU"}})); got != 1 {
+		t.Errorf("Scan(continent=EU) returned %d tuples, want 1", got)
+	}
+	if got := len(o.Facts()); got != baseLen-1 {
+		t.Errorf("Facts returned %d facts, want %d", got, baseLen-1)
+	}
+	if d.Generation() != gen || !d.Has(f) {
+		t.Errorf("overlay mutated the base store")
+	}
+}
+
+// TestOverlayNoop: a virtual edit the base already reflects returns base
+// itself, keeping its real identity for sound caching.
+func TestOverlayNoop(t *testing.T) {
+	d := overlayBase(t)
+	if o := Overlay(d, Insertion(NewFact("Teams", "ESP", "EU"))); o != Reader(d) {
+		t.Errorf("no-op insert overlay is not base")
+	}
+	if o := Overlay(d, Deletion(NewFact("Teams", "ITA", "EU"))); o != Reader(d) {
+		t.Errorf("no-op delete overlay is not base")
+	}
+}
+
+// TestOverlayEachStops: Each must honor an early stop from the callback in
+// both modes.
+func TestOverlayEachStops(t *testing.T) {
+	d := overlayBase(t)
+	for _, e := range []Edit{
+		Insertion(NewFact("Teams", "ITA", "EU")),
+		Deletion(NewFact("Teams", "ESP", "EU")),
+	} {
+		n := 0
+		Overlay(d, e).Rel("Teams").Each(func(Tuple) bool { n++; return false })
+		if n != 1 {
+			t.Errorf("edit %v: Each visited %d tuples after stop, want 1", e, n)
+		}
+	}
+}

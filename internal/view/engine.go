@@ -21,10 +21,9 @@ import (
 // to the cold path until Sync rebuilds the views. Correctness therefore never
 // depends on the caller's discipline — only performance does.
 //
-// Note that View.Apply itself toggles the edited fact temporarily to evaluate
-// pre-state matches, which bumps the store generation as a side effect; the
-// engine records the post-Apply generation, so those internal bumps are
-// invisible to callers.
+// View maintenance itself only reads the store: pre-state matches evaluate
+// through a db.Overlay, so Apply never moves the generation beyond the edit
+// it was told about and never writes to a journaled backend.
 //
 // Concurrency: Ensure/Release/Apply/Sync mutate and must be serialized with
 // each other and with store edits by the caller (the cleaner and the server's
@@ -117,20 +116,11 @@ func (e *Engine) Apply(ed db.Edit) {
 	for _, v := range e.views {
 		v.Apply(e.d, ed)
 	}
-	e.synced = e.d.Generation()
-}
-
-// Restamp re-records the store's current generation as in sync without
-// rebuilding anything, on the caller's assertion that the store state is
-// semantically unchanged since the engine last saw it. The cleaner uses it
-// after OnEdit hooks run: monitor views toggle the edited fact temporarily to
-// evaluate pre-state matches, which bumps the generation while restoring the
-// state exactly. A stale engine stays stale — Restamp cannot substitute for
-// Sync.
-func (e *Engine) Restamp() {
-	if !e.stale {
-		e.synced = e.d.Generation()
-	}
+	// View maintenance is read-only, so the store is still at synced+1. Record
+	// exactly that (not Generation()) — if anything did move the store during
+	// the loop, the next Apply sees the mismatch and degrades to stale instead
+	// of silently absorbing an unseen edit.
+	e.synced++
 }
 
 // Maintains reports whether q is registered with the engine, synced or not

@@ -138,7 +138,12 @@ func (v *View) WitnessSets(t db.Tuple) (sets [][]db.Fact, ok bool) {
 // Negated atoms are handled symmetrically: an inserted fact can block
 // previously valid assignments (support losses), and a deleted fact can
 // unblock assignments (support gains).
-func (v *View) Apply(d db.Store, e db.Edit) (appeared, disappeared []db.Tuple) {
+//
+// Apply only reads d: the pre-edit state its delta rules need is
+// reconstructed through a db.Overlay, never by editing the store (which
+// would bump the generation and, on journaled backends, append non-semantic
+// records to the durable log).
+func (v *View) Apply(d db.Reader, e db.Edit) (appeared, disappeared []db.Tuple) {
 	f := e.Fact
 	var gains, losses []deltaAsg
 	if e.Op == db.Insert {
@@ -235,32 +240,31 @@ func countByAnswer(deltas []deltaAsg) map[string]int {
 }
 
 // matchPositive enumerates, per answer key, the valid assignments that use
-// the fact in at least one positive atom. With tempInsert the fact is absent
-// from d (a deletion happened) and is re-inserted temporarily to evaluate the
-// pre-delete state.
-func (v *View) matchPositive(d db.Store, f db.Fact, tempInsert bool) []deltaAsg {
-	if tempInsert {
-		if changed, _ := d.InsertFact(f); changed {
-			defer d.DeleteFact(f)
-		}
+// the fact in at least one positive atom. With preDelete the fact is absent
+// from d (a deletion happened) and the enumeration runs against a read-only
+// overlay showing the pre-delete state — d itself is never mutated, so no
+// generation bump and no journal traffic.
+func (v *View) matchPositive(d db.Reader, f db.Fact, preDelete bool) []deltaAsg {
+	r := d
+	if preDelete {
+		r = db.Overlay(d, db.Insertion(f))
 	}
-	return v.matchAtoms(d, v.Query.Atoms, f)
+	return v.matchAtoms(r, v.Query.Atoms, f)
 }
 
 // matchNegative enumerates, per answer key, the assignments whose negated
 // atom grounds to the fact and that are valid when the fact is absent. With
-// tempDelete the fact is present in d (an insertion happened) and is removed
-// temporarily to evaluate the pre-insert state.
-func (v *View) matchNegative(d db.Store, f db.Fact, tempDelete bool) []deltaAsg {
+// preInsert the fact is present in d (an insertion happened) and the
+// enumeration runs against a read-only overlay showing the pre-insert state.
+func (v *View) matchNegative(d db.Reader, f db.Fact, preInsert bool) []deltaAsg {
 	if len(v.Query.Negs) == 0 {
 		return nil
 	}
-	if tempDelete {
-		if changed, _ := d.DeleteFact(f); changed {
-			defer d.InsertFact(f)
-		}
+	r := d
+	if preInsert {
+		r = db.Overlay(d, db.Deletion(f))
 	}
-	return v.matchAtoms(d, v.Query.Negs, f)
+	return v.matchAtoms(r, v.Query.Negs, f)
 }
 
 // matchAtoms enumerates valid assignments (over d's current state) that
