@@ -28,11 +28,13 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/dataset"
 	"repro/internal/experiment"
+	"repro/internal/metamorph"
+	"repro/internal/obs"
 	"repro/internal/storecfg"
 )
 
 func main() {
-	fig := flag.String("fig", "all", "figure to regenerate: 3a, 3b, 3c, 3d, 3e, 3f, 4, dbgroup, sweep, errsweep, heuristics, overload, eval, ivm, cluster, or all")
+	fig := flag.String("fig", "all", "figure to regenerate: 3a, 3b, 3c, 3d, 3e, 3f, 4, dbgroup, sweep, errsweep, heuristics, overload, eval, ivm, cluster, metamorph, or all")
 	seeds := flag.Int("seeds", 3, "number of random seeds to average over")
 	tournaments := flag.Int("tournaments", 0, "number of World Cup editions in the Soccer database (0 = full 20)")
 	wrong := flag.Int("wrong", 5, "wrong answers injected per query (Figures 3a, 3c, 4)")
@@ -43,6 +45,7 @@ func main() {
 	parallel := flag.Int("parallel", 4, "eval-benchmark worker count measured against serial evaluation")
 	evalWorkers := flag.Int("eval-workers", 0, "parallel workers for the figures' upper-bound witness enumerations (0 = serial)")
 	ivmEdits := flag.Int("ivm-edits", 40, "length of the IVM benchmark's seeded edit script (-fig ivm)")
+	metamorphSeeds := flag.Int("metamorph-seeds", 2000, "seeded workloads per oracle in the metamorphic sweep (-fig metamorph)")
 	clusterSubs := flag.Int("cluster-submissions", 2000, "cleaning jobs submitted by the cluster soak (-fig cluster)")
 	clusterKills := flag.Int("cluster-kills", 12, "kill/restart chaos rounds in the cluster soak (-fig cluster)")
 	scfg := storecfg.Register(flag.CommandLine)
@@ -190,6 +193,34 @@ func main() {
 		}
 		any = true
 	}
+	// The metamorphic sweep drives seeded random SQL/Datalog workloads through
+	// the full equivalence-oracle battery (internal/metamorph). It exits
+	// nonzero on any divergence, with the shrunk reproduction in the report —
+	// CI runs it full-width as the frontend/eval-stack gate.
+	if *fig == "metamorph" {
+		rec := obs.New()
+		metamorph.Instrument(rec)
+		rep, err := metamorph.Run(metamorph.Options{Seeds: *metamorphSeeds, KeepGoing: true})
+		metamorph.Instrument(nil)
+		if *jsonOut {
+			enc := json.NewEncoder(os.Stdout)
+			enc.SetIndent("", "  ")
+			if encErr := enc.Encode(rep); encErr != nil {
+				fmt.Fprintf(os.Stderr, "encoding metamorph report: %v\n", encErr)
+				os.Exit(1)
+			}
+		} else {
+			fmt.Print(rep.Render())
+			fmt.Printf("counters: workloads=%d divergences=%d\n",
+				rec.Snapshot().Counters[metamorph.MetricWorkloads],
+				rec.Snapshot().Counters[metamorph.MetricDivergences])
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "metamorphic sweep: %v\n", err)
+			os.Exit(1)
+		}
+		any = true
+	}
 	// The cluster soak drives thousands of submissions through a 3-replica
 	// in-process cluster under a kill/restart chaos loop with a 30%-faulty
 	// crowd, then audits every journal for exactly-once execution. It is a
@@ -227,7 +258,7 @@ func main() {
 		any = true
 	}
 	if !any {
-		fmt.Fprintf(os.Stderr, "unknown figure %q (want 3a..3f, 4, dbgroup, sweep, errsweep, heuristics, overload, eval, ivm, cluster, all)\n", *fig)
+		fmt.Fprintf(os.Stderr, "unknown figure %q (want 3a..3f, 4, dbgroup, sweep, errsweep, heuristics, overload, eval, ivm, cluster, metamorph, all)\n", *fig)
 		os.Exit(2)
 	}
 }

@@ -95,11 +95,13 @@ type Group struct {
 
 // Eval computes the aggregate over the database. Groups are ordered by key.
 // SUM/MIN/MAX require numeric values of the aggregated variable; non-numeric
-// values are an error.
-func Eval(q *Query, d db.Reader) ([]Group, error) {
+// values are an error. Options tune the body enumeration (eval.Parallel,
+// eval.NoCache) and must not change the result — the metamorphic harness
+// (internal/metamorph) compares aggregate output across option legs.
+func Eval(q *Query, d db.Reader, opts ...eval.Option) ([]Group, error) {
 	values := make(map[string]map[string]bool) // group key -> distinct of-values
 	keys := make(map[string]db.Tuple)
-	for _, a := range eval.Eval(q.Body, d) {
+	for _, a := range eval.Eval(q.Body, d, opts...) {
 		g, ok := a.HeadTuple(q.Body)
 		if !ok {
 			continue
@@ -122,8 +124,17 @@ func Eval(q *Query, d db.Reader) ([]Group, error) {
 		case Count:
 			g.Value = float64(len(vals))
 		default:
-			first := true
+			// Fold in sorted value order: float addition is not associative,
+			// so a map-order fold would make SUM depend on iteration order —
+			// the metamorphic harness compares aggregate output byte for byte
+			// across evaluation legs and needs the fold deterministic.
+			sorted := make([]string, 0, len(vals))
 			for v := range vals {
+				sorted = append(sorted, v)
+			}
+			sort.Strings(sorted)
+			first := true
+			for _, v := range sorted {
 				n, err := strconv.ParseFloat(v, 64)
 				if err != nil {
 					return nil, fmt.Errorf("agg: %s over non-numeric value %q", q.Kind, v)
@@ -151,8 +162,8 @@ func Eval(q *Query, d db.Reader) ([]Group, error) {
 
 // GroupValue returns the aggregate for one group (0, false if the group is
 // empty/absent).
-func GroupValue(q *Query, d db.Reader, group db.Tuple) (float64, bool, error) {
-	gs, err := Eval(q, d)
+func GroupValue(q *Query, d db.Reader, group db.Tuple, opts ...eval.Option) (float64, bool, error) {
+	gs, err := Eval(q, d, opts...)
 	if err != nil {
 		return 0, false, err
 	}
@@ -167,12 +178,12 @@ func GroupValue(q *Query, d db.Reader, group db.Tuple) (float64, bool, error) {
 // Diff compares the aggregate over two databases and returns the group keys
 // whose values differ (including groups present in only one side), ordered.
 // Experiment harnesses use it with the ground truth to locate wrong groups.
-func Diff(q *Query, d, dg db.Reader) ([]db.Tuple, error) {
-	a, err := Eval(q, d)
+func Diff(q *Query, d, dg db.Reader, opts ...eval.Option) ([]db.Tuple, error) {
+	a, err := Eval(q, d, opts...)
 	if err != nil {
 		return nil, err
 	}
-	b, err := Eval(q, dg)
+	b, err := Eval(q, dg, opts...)
 	if err != nil {
 		return nil, err
 	}

@@ -100,6 +100,39 @@ func TestSumMinMax(t *testing.T) {
 	check(Max, "b", 7)
 }
 
+// TestSumFoldDeterministic pins the SUM fold order. Float addition is not
+// associative — 0.1+0.2+0.3 yields different bits depending on grouping — and
+// Eval used to fold in map iteration order, making SUM value nondeterministic
+// across runs and evaluation legs. The fold is now over the sorted distinct
+// values; this asserts the exact float64 that order produces.
+func TestSumFoldDeterministic(t *testing.T) {
+	s := schema.New(schema.Relation{Name: "M", Attrs: []string{"g", "v"}})
+	d := db.New(s)
+	for _, v := range []string{"0.1", "0.2", "0.3"} {
+		d.InsertFact(db.NewFact("M", "k", v))
+	}
+	q, err := New("q", cq.MustParse("(g) :- M(g, v)"), Sum, "v")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Sorted order "0.1","0.2","0.3": (0.1+0.2)+0.3 == 0.6000000000000001,
+	// while 0.1+(0.2+0.3) == 0.6 exactly. Exact equality on purpose. The
+	// operands are float64 variables so the compiler cannot constant-fold
+	// the sum at untyped (exact) precision.
+	a, b, c := 0.1, 0.2, 0.3
+	want := (a + b) + c
+	for i := 0; i < 20; i++ {
+		got, ok, err := GroupValue(q, d, db.Tuple{"k"})
+		if err != nil || !ok {
+			t.Fatalf("GroupValue: %v %v", ok, err)
+		}
+		if got != want {
+			t.Fatalf("run %d: SUM = %v (bits %x), want exactly %v (bits %x)",
+				i, got, math.Float64bits(got), want, math.Float64bits(want))
+		}
+	}
+}
+
 func TestNonNumericSumFails(t *testing.T) {
 	d, _ := dataset.Figure1()
 	body := cq.MustParse("(x) :- Games(d, x, y, Final, u)")

@@ -16,6 +16,19 @@ const shrinkBudget = 2000
 // original seed so the report stays reproducible, and is returned unchanged
 // if the instance doesn't actually fail the property.
 func Shrink(ins *Instance, prop Property) *Instance {
+	return shrink(ins, prop, true)
+}
+
+// ShrinkData minimizes only the data parts of the instance — dirty facts,
+// ground-truth facts, and the edit script — leaving the query and union
+// untouched. Harnesses whose query artifact lives outside the Instance (the
+// SQL text of internal/metamorph's workloads) use it so the minimized
+// instance stays consistent with the externally-shrunk query.
+func ShrinkData(ins *Instance, prop Property) *Instance {
+	return shrink(ins, prop, false)
+}
+
+func shrink(ins *Instance, prop Property, shrinkQueries bool) *Instance {
 	budget := shrinkBudget
 	fails := func(c *Instance) bool {
 		if budget <= 0 {
@@ -44,6 +57,9 @@ func Shrink(ins *Instance, prop Property) *Instance {
 				cur, changed = cand, true
 				i--
 			}
+		}
+		if !shrinkQueries {
+			continue
 		}
 		// Drop union disjuncts (always keeping the primary query).
 		for cur.Union != nil && len(cur.Union.Disjuncts) > 1 {

@@ -1,0 +1,614 @@
+package metamorph
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"repro/internal/agg"
+	"repro/internal/check"
+	"repro/internal/cq"
+	"repro/internal/db"
+	"repro/internal/schema"
+	"repro/internal/sqlfe"
+)
+
+// Kind is the workload family.
+type Kind int
+
+// Workload kinds. KindDatalog workloads carry negation, which SQL cannot
+// express; they enter the battery as hand-built CQ≠ (check's generator) and
+// exercise the same rewrite legs minus the SQL-text ones.
+const (
+	KindSelect Kind = iota
+	KindUnion
+	KindAggregate
+	KindDatalog
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindSelect:
+		return "select"
+	case KindUnion:
+		return "union"
+	case KindAggregate:
+		return "aggregate"
+	case KindDatalog:
+		return "datalog"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Workload is one generated metamorphic test input: a SQL statement (or a
+// Datalog query), its parse, a database, and an edit script. The embedded
+// check.Instance carries the data parts so internal/check's shrinker applies.
+type Workload struct {
+	Seed int64
+	Kind Kind
+	// SQL is the rendered statement text ("" for KindDatalog). It is always
+	// re-renderable from Spec, which the shrinker mutates.
+	SQL  string
+	Spec *stmtSpec
+	// Ins holds schema, database, parsed query/union, and the edit script.
+	// For aggregates, Ins.Query is the aggregate's body.
+	Ins *check.Instance
+	// Agg is the parsed aggregate query (KindAggregate only).
+	Agg *agg.Query
+	// ParseErr records a legitimate front-end rejection (ErrAlwaysEmpty —
+	// the generated WHERE clause was contradictory). Eval oracles skip such
+	// workloads; the parse oracle asserts the rejection is typed.
+	ParseErr error
+}
+
+// stmtSpec is the generator's own statement AST: it renders deterministically
+// to SQL text, so the shrinker can drop parts and re-render.
+type stmtSpec struct {
+	arms []*armSpec
+	agg  *aggSpec // non-nil => aggregate statement over arms[0]
+}
+
+type armSpec struct {
+	distinct bool
+	lower    bool // render keywords lowercase (case-insensitivity fuzz)
+	star     bool
+	cols     []colSel
+	from     []fromSpec
+	preds    []predSpec
+}
+
+type fromSpec struct {
+	rel   string
+	alias string
+	asKw  bool // render the optional AS keyword
+	bare  bool // no alias rendered (alias == rel name)
+}
+
+// colSel references one column of one FROM item; qualify=false renders the
+// bare column name (only generated when unambiguous within the arm).
+type colSel struct {
+	item    int
+	col     int
+	qualify bool
+}
+
+type predSpec struct {
+	left     colSel
+	eq       bool // = vs <>
+	rightCol *colSel
+	lit      string // literal operand when rightCol == nil
+	numeric  bool   // render the literal unquoted
+}
+
+type aggSpec struct {
+	kind agg.Kind
+	col  colSel
+}
+
+// ---- value pools -----------------------------------------------------------
+
+// Mixed-column values: small enough to force joins, with awkward entries
+// (quotes, spaces, separators, empty, non-ASCII) stressing literal escaping
+// and every serialization layer downstream. All valid UTF-8 — the front end
+// rejects invalid UTF-8 by contract (see sqlfe.SyntaxError).
+var mixedPool = []string{"V0", "V1", "V2", "V3", "O'Hara", "a b", "", "A;B", "Ü"}
+
+// Numeric-column values: the last attribute of every relation draws from
+// this pool so SUM/MIN/MAX aggregates stay numeric through edits.
+var numericPool = []string{"1", "2", "3", "7", "10", "2.5"}
+
+// poolFor returns the value pool of one column of a relation.
+func poolFor(r schema.Relation, col int) []string {
+	if col == r.Arity()-1 {
+		return numericPool
+	}
+	return mixedPool
+}
+
+// ---- generation ------------------------------------------------------------
+
+// Generate builds the workload for a seed; the same seed always yields the
+// same workload, so a failure report's seed is a complete reproduction.
+func Generate(seed int64) *Workload {
+	rng := rand.New(rand.NewSource(seed))
+	roll := rng.Intn(20)
+	if roll < 3 {
+		// Datalog path: negation, boolean heads, awkward constants — the
+		// shapes SQL cannot express — from the differential generator.
+		return &Workload{Seed: seed, Kind: KindDatalog, Ins: check.Generate(seed)}
+	}
+
+	// Schema: 2-3 relations T0.., arity 1-3, attributes c0..c2.
+	nrel := 2 + rng.Intn(2)
+	rels := make([]schema.Relation, nrel)
+	for i := range rels {
+		arity := 1 + rng.Intn(3)
+		r := schema.Relation{Name: fmt.Sprintf("T%d", i)}
+		for j := 0; j < arity; j++ {
+			r.Attrs = append(r.Attrs, fmt.Sprintf("c%d", j))
+		}
+		rels[i] = r
+	}
+	s := schema.New(rels...)
+
+	w := &Workload{Seed: seed}
+	switch {
+	case roll < 12:
+		w.Kind = KindSelect
+		w.Spec = &stmtSpec{arms: []*armSpec{genArm(rng, rels, nil)}}
+	case roll < 16:
+		w.Kind = KindUnion
+		first := genArm(rng, rels, nil)
+		first.star = false
+		if len(first.cols) == 0 {
+			first.cols = []colSel{qualifiedCol(first, rels, 0, 0)}
+		}
+		spec := &stmtSpec{arms: []*armSpec{first}}
+		for extra := 1 + rng.Intn(2); extra > 0; extra-- {
+			arm := genArm(rng, rels, nil)
+			arm.star = false
+			alignArmColumns(rng, arm, rels, len(first.cols))
+			spec.arms = append(spec.arms, arm)
+		}
+		w.Spec = spec
+	default:
+		w.Kind = KindAggregate
+		ag := &aggSpec{kind: agg.Kind(rng.Intn(4))}
+		arm := genArm(rng, rels, ag)
+		arm.star = false
+		w.Spec = &stmtSpec{arms: []*armSpec{arm}, agg: ag}
+	}
+
+	// Database and edit script from the per-column pools.
+	ins := &check.Instance{Seed: seed, Schema: s, DG: db.New(s), D: db.New(s)}
+	randFact := func() db.Fact {
+		r := rels[rng.Intn(len(rels))]
+		args := make([]string, r.Arity())
+		for i := range args {
+			pool := poolFor(r, i)
+			args[i] = pool[rng.Intn(len(pool))]
+		}
+		return db.NewFact(r.Name, args...)
+	}
+	for i, n := 0, 5+rng.Intn(9); i < n; i++ {
+		ins.D.InsertFact(randFact())
+	}
+	for i, n := 0, rng.Intn(8); i < n; i++ {
+		f := randFact()
+		if rng.Intn(2) == 0 {
+			ins.Edits = append(ins.Edits, db.Insertion(f))
+		} else {
+			ins.Edits = append(ins.Edits, db.Deletion(f))
+		}
+	}
+	w.Ins = ins
+
+	w.reparse()
+	return w
+}
+
+// genArm generates one SELECT arm. When ag is non-nil the arm is an
+// aggregate arm: ag.col is chosen here, excluded from equality predicates
+// (equating the aggregated column with a constant or a group-by column is a
+// typed front-end rejection, not an equivalence bug — see
+// docs/oracles/aggregate.md) and from the select list.
+func genArm(rng *rand.Rand, rels []schema.Relation, ag *aggSpec) *armSpec {
+	arm := &armSpec{
+		distinct: rng.Intn(3) == 0,
+		lower:    rng.Intn(4) == 0,
+	}
+	nFrom := 1 + rng.Intn(3)
+	used := map[string]int{}
+	for i := 0; i < nFrom; i++ {
+		r := rels[rng.Intn(len(rels))]
+		used[r.Name]++
+		f := fromSpec{rel: r.Name}
+		if used[r.Name] == 1 && rng.Intn(3) == 0 {
+			f.bare = true
+			f.alias = r.Name
+		} else {
+			f.alias = fmt.Sprintf("a%d", i)
+			f.asKw = rng.Intn(3) == 0
+		}
+		arm.from = append(arm.from, f)
+	}
+	// Repeated bare relations would collide on alias; qualify them.
+	seen := map[string]bool{}
+	for i := range arm.from {
+		key := strings.ToLower(arm.from[i].alias)
+		if seen[key] {
+			arm.from[i].bare = false
+			arm.from[i].alias = fmt.Sprintf("a%d", i)
+		}
+		seen[strings.ToLower(arm.from[i].alias)] = true
+	}
+
+	relOf := func(item int) schema.Relation {
+		for _, r := range rels {
+			if r.Name == arm.from[item].rel {
+				return r
+			}
+		}
+		panic("unreachable: FROM item names a generated relation")
+	}
+	randCell := func() colSel {
+		item := rng.Intn(len(arm.from))
+		r := relOf(item)
+		return colSel{item: item, col: rng.Intn(r.Arity()), qualify: true}
+	}
+
+	// The aggregated column: prefer the numeric (last) attribute so SUM/MIN/
+	// MAX stay numeric; COUNT may aggregate anything.
+	if ag != nil {
+		item := rng.Intn(len(arm.from))
+		r := relOf(item)
+		col := r.Arity() - 1
+		if ag.kind == agg.Count {
+			col = rng.Intn(r.Arity())
+		}
+		ag.col = colSel{item: item, col: col, qualify: true}
+	}
+	sameCell := func(a, b colSel) bool { return a.item == b.item && a.col == b.col }
+	isAggCol := func(c colSel) bool { return ag != nil && sameCell(c, ag.col) }
+
+	// Select list: 1-3 cells (deduplicated only by chance — duplicate select
+	// columns are legal and exercise repeated head terms).
+	if ag == nil && rng.Intn(6) == 0 {
+		arm.star = true
+	} else {
+		for i, n := 0, 1+rng.Intn(3); i < n; i++ {
+			c := randCell()
+			if isAggCol(c) {
+				continue
+			}
+			arm.cols = append(arm.cols, c)
+		}
+		if len(arm.cols) == 0 {
+			c := qualifiedColAvoiding(arm, rels, ag)
+			arm.cols = append(arm.cols, c)
+		}
+	}
+
+	// Predicates: join equalities, literal bindings, inequalities.
+	numericCell := func(c colSel) bool {
+		r := relOf(c.item)
+		return c.col == r.Arity()-1
+	}
+	for i, n := 0, rng.Intn(5); i < n; i++ {
+		left := randCell()
+		p := predSpec{left: left, eq: rng.Intn(3) != 0}
+		if p.eq && isAggCol(left) {
+			p.eq = false // guardrail: no equalities on the aggregated column
+		}
+		if rng.Intn(2) == 0 {
+			// Column-column: prefer a same-pool partner so joins match.
+			right := randCell()
+			for tries := 0; tries < 4 && numericCell(right) != numericCell(left); tries++ {
+				right = randCell()
+			}
+			if p.eq && isAggCol(right) {
+				p.eq = false
+			}
+			p.rightCol = &right
+		} else {
+			r := relOf(left.item)
+			pool := poolFor(r, left.col)
+			p.lit = pool[rng.Intn(len(pool))]
+			if rng.Intn(8) == 0 {
+				p.lit = "Zz" // out-of-pool literal: empty selections
+			}
+			p.numeric = numericCell(left) && p.lit != "Zz"
+		}
+		arm.preds = append(arm.preds, p)
+	}
+
+	// Unqualify references that stay unambiguous within this arm.
+	unqualify := func(c *colSel) {
+		name := relOf(c.item).Attrs[c.col]
+		owners := 0
+		for item := range arm.from {
+			if relOf(item).AttrIndex(name) >= 0 {
+				owners++
+			}
+		}
+		if owners == 1 && rng.Intn(2) == 0 {
+			c.qualify = false
+		}
+	}
+	for i := range arm.cols {
+		unqualify(&arm.cols[i])
+	}
+	for i := range arm.preds {
+		unqualify(&arm.preds[i].left)
+		if arm.preds[i].rightCol != nil {
+			unqualify(arm.preds[i].rightCol)
+		}
+	}
+	if ag != nil {
+		unqualify(&ag.col)
+	}
+	return arm
+}
+
+// qualifiedCol returns a qualified colSel for the given item/col.
+func qualifiedCol(arm *armSpec, rels []schema.Relation, item, col int) colSel {
+	return colSel{item: item, col: col, qualify: true}
+}
+
+// qualifiedColAvoiding picks a select column that is not the aggregated one.
+func qualifiedColAvoiding(arm *armSpec, rels []schema.Relation, ag *aggSpec) colSel {
+	for item := range arm.from {
+		var r schema.Relation
+		for _, cand := range rels {
+			if cand.Name == arm.from[item].rel {
+				r = cand
+			}
+		}
+		for col := 0; col < r.Arity(); col++ {
+			c := colSel{item: item, col: col, qualify: true}
+			if ag == nil || ag.col.item != item || ag.col.col != col {
+				return c
+			}
+		}
+	}
+	// Single unary FROM item whose only column is aggregated: group by it
+	// anyway; the front end rejects it in a typed way and the parse oracle
+	// treats that as a guardrail (COUNT-only shapes avoid this by pool).
+	return colSel{item: 0, col: 0, qualify: true}
+}
+
+// alignArmColumns pads or trims a union arm's select list to width columns.
+// Arms generated as SELECT * arrive with an empty list and are reseeded.
+func alignArmColumns(rng *rand.Rand, arm *armSpec, rels []schema.Relation, width int) {
+	if len(arm.cols) == 0 {
+		arm.cols = []colSel{{item: 0, col: 0, qualify: true}}
+	}
+	for len(arm.cols) < width {
+		arm.cols = append(arm.cols, arm.cols[rng.Intn(len(arm.cols))])
+	}
+	arm.cols = arm.cols[:width]
+}
+
+// ---- rendering -------------------------------------------------------------
+
+// Render rebuilds the SQL text from the spec. Deterministic: the shrinker
+// re-renders after every candidate mutation.
+func (sp *stmtSpec) Render(s *schema.Schema) string {
+	parts := make([]string, len(sp.arms))
+	for i, arm := range sp.arms {
+		parts[i] = arm.render(s, sp.agg)
+	}
+	return strings.Join(parts, " UNION ")
+}
+
+func (arm *armSpec) kw(word string) string {
+	if arm.lower {
+		return strings.ToLower(word)
+	}
+	return word
+}
+
+func (arm *armSpec) render(s *schema.Schema, ag *aggSpec) string {
+	var b strings.Builder
+	b.WriteString(arm.kw("SELECT"))
+	b.WriteByte(' ')
+	if arm.distinct {
+		b.WriteString(arm.kw("DISTINCT"))
+		b.WriteByte(' ')
+	}
+	if arm.star {
+		b.WriteByte('*')
+	} else {
+		for i, c := range arm.cols {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			b.WriteString(arm.renderCol(s, c))
+		}
+		if ag != nil {
+			if len(arm.cols) > 0 {
+				b.WriteString(", ")
+			}
+			fmt.Fprintf(&b, "%s(%s)", ag.kind, arm.renderCol(s, ag.col))
+		}
+	}
+	b.WriteByte(' ')
+	b.WriteString(arm.kw("FROM"))
+	b.WriteByte(' ')
+	for i, f := range arm.from {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(f.rel)
+		if !f.bare {
+			if f.asKw {
+				b.WriteByte(' ')
+				b.WriteString(arm.kw("AS"))
+			}
+			b.WriteByte(' ')
+			b.WriteString(f.alias)
+		}
+	}
+	if len(arm.preds) > 0 {
+		b.WriteByte(' ')
+		b.WriteString(arm.kw("WHERE"))
+		b.WriteByte(' ')
+		for i, p := range arm.preds {
+			if i > 0 {
+				b.WriteByte(' ')
+				b.WriteString(arm.kw("AND"))
+				b.WriteByte(' ')
+			}
+			b.WriteString(arm.renderCol(s, p.left))
+			if p.eq {
+				b.WriteString(" = ")
+			} else {
+				b.WriteString(" <> ")
+			}
+			if p.rightCol != nil {
+				b.WriteString(arm.renderCol(s, *p.rightCol))
+			} else if p.numeric {
+				b.WriteString(p.lit)
+			} else {
+				b.WriteByte('\'')
+				b.WriteString(strings.ReplaceAll(p.lit, "'", "''"))
+				b.WriteByte('\'')
+			}
+		}
+	}
+	if ag != nil {
+		b.WriteByte(' ')
+		b.WriteString(arm.kw("GROUP"))
+		b.WriteByte(' ')
+		b.WriteString(arm.kw("BY"))
+		b.WriteByte(' ')
+		for i, c := range arm.cols {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			b.WriteString(arm.renderCol(s, c))
+		}
+	}
+	return b.String()
+}
+
+func (arm *armSpec) renderCol(s *schema.Schema, c colSel) string {
+	f := arm.from[c.item]
+	r, _ := s.Relation(f.rel)
+	name := r.Attrs[c.col]
+	if !c.qualify {
+		return name
+	}
+	return f.alias + "." + name
+}
+
+// ---- parsing the rendered statement ---------------------------------------
+
+// reparse renders the spec and parses it, refreshing SQL, Ins.Query,
+// Ins.Union, Agg, and ParseErr. KindDatalog workloads are untouched.
+func (w *Workload) reparse() {
+	if w.Kind == KindDatalog {
+		if w.Ins.Union == nil && w.Ins.Query != nil {
+			w.Ins.Union = &cq.Union{Disjuncts: []*cq.Query{w.Ins.Query}}
+		}
+		return
+	}
+	w.SQL = w.Spec.Render(w.Ins.Schema)
+	w.ParseErr = nil
+	w.Ins.Query, w.Ins.Union, w.Agg = nil, nil, nil
+	switch w.Kind {
+	case KindAggregate:
+		q, err := sqlfe.ParseAggregate(w.Ins.Schema, w.SQL)
+		if err != nil {
+			w.ParseErr = err
+			return
+		}
+		w.Agg = q
+		w.Ins.Query = q.Body
+	case KindUnion:
+		u, err := sqlfe.ParseUnion(w.Ins.Schema, w.SQL)
+		if err != nil {
+			w.ParseErr = err
+			return
+		}
+		w.Ins.Union = u
+		w.Ins.Query = u.Disjuncts[0]
+	default:
+		q, err := sqlfe.Parse(w.Ins.Schema, w.SQL)
+		if err != nil {
+			w.ParseErr = err
+			return
+		}
+		w.Ins.Query = q
+		w.Ins.Union = &cq.Union{Disjuncts: []*cq.Query{q}}
+	}
+}
+
+// expectedParseErr reports whether a front-end rejection of a generated
+// statement is legitimate: a contradictory WHERE clause (ErrAlwaysEmpty) or
+// the documented aggregate-column corner (see qualifiedColAvoiding).
+func (w *Workload) expectedParseErr() bool {
+	if w.ParseErr == nil {
+		return false
+	}
+	return errors.Is(w.ParseErr, sqlfe.ErrAlwaysEmpty) || isAggColumnErr(w.ParseErr)
+}
+
+// isAggColumnErr matches agg.New's typed rejections of degenerate aggregate
+// shapes the generator cannot always avoid.
+func isAggColumnErr(err error) bool {
+	msg := err.Error()
+	return strings.Contains(msg, "cannot be a group-by column") ||
+		strings.Contains(msg, "does not occur in the body") ||
+		strings.Contains(msg, "bound to the constant")
+}
+
+// Clone deep-copies the workload so shrinking can mutate candidates freely.
+func (w *Workload) Clone() *Workload {
+	c := &Workload{Seed: w.Seed, Kind: w.Kind, SQL: w.SQL, ParseErr: w.ParseErr}
+	c.Ins = w.Ins.Clone()
+	if w.Spec != nil {
+		spec := &stmtSpec{}
+		if w.Spec.agg != nil {
+			ag := *w.Spec.agg
+			spec.agg = &ag
+		}
+		for _, arm := range w.Spec.arms {
+			a := *arm
+			a.cols = append([]colSel(nil), arm.cols...)
+			a.from = append([]fromSpec(nil), arm.from...)
+			a.preds = make([]predSpec, len(arm.preds))
+			for i, p := range arm.preds {
+				a.preds[i] = p
+				if p.rightCol != nil {
+					rc := *p.rightCol
+					a.preds[i].rightCol = &rc
+				}
+			}
+			spec.arms = append(spec.arms, &a)
+		}
+		c.Spec = spec
+	}
+	c.reparse()
+	return c
+}
+
+// Repro renders the reproduction recipe: seed, kind, SQL text, and the
+// instance-level Datalog/data rendering from internal/check.
+func (w *Workload) Repro() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "workload: kind=%s seed=%d (metamorph.Generate(%d))\n", w.Kind, w.Seed, w.Seed)
+	if w.SQL != "" {
+		fmt.Fprintf(&b, "sql: %s\n", w.SQL)
+	}
+	if w.Agg != nil {
+		fmt.Fprintf(&b, "aggregate: %s\n", w.Agg)
+	}
+	if w.ParseErr != nil {
+		fmt.Fprintf(&b, "parse error: %v\n", w.ParseErr)
+	}
+	b.WriteString(w.Ins.Repro())
+	return b.String()
+}

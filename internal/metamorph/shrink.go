@@ -1,0 +1,197 @@
+package metamorph
+
+import (
+	"errors"
+
+	"repro/internal/check"
+)
+
+// specShrinkBudget bounds the spec-level candidate re-runs of one
+// minimization; check.ShrinkData has its own budget for the data phase.
+const specShrinkBudget = 300
+
+// Shrink greedily minimizes a failing workload against a property (normally
+// the failing oracle's Check). Two phases:
+//
+//  1. Spec-level SQL reduction: drop union arms, predicates, select columns
+//     (in lockstep across union arms, preserving column alignment), and
+//     unreferenced FROM items; re-render and re-parse after every candidate
+//     mutation, keeping candidates on which the property still fails.
+//  2. Data-level reduction via check.ShrinkData: dirty facts, ground-truth
+//     facts, and the edit script — the query parts stay untouched so the
+//     minimized instance remains consistent with the SQL text.
+//
+// Datalog workloads have no spec; they shrink with check.Shrink (query parts
+// included). A candidate on which the property merely skips (ErrSkip) does
+// not count as failing — shrinking must not walk out of the oracle's scope.
+func Shrink(w *Workload, prop func(*Workload) error) *Workload {
+	budget := specShrinkBudget
+	failing := func(c *Workload) bool {
+		if c == nil || budget <= 0 {
+			return false
+		}
+		budget--
+		err := prop(c)
+		return err != nil && !errors.Is(err, ErrSkip)
+	}
+	if !failing(w) {
+		return w
+	}
+	cur := w.Clone()
+
+	if cur.Kind != KindDatalog {
+		for changed := true; changed && budget > 0; {
+			changed = false
+			if shrinkSpec(cur, failing) {
+				changed = true
+			}
+		}
+	}
+
+	// Data phase: wrap the workload property as a check.Property over
+	// instances sharing cur's spec. ErrSkip counts as passing there too.
+	wrapped := func(ins *check.Instance) error {
+		c := cur.Clone()
+		c.Ins = ins.Clone()
+		c.reparse()
+		err := prop(c)
+		if err != nil && errors.Is(err, ErrSkip) {
+			return nil
+		}
+		return err
+	}
+	if cur.Kind == KindDatalog {
+		cur.Ins = check.Shrink(cur.Ins, wrapped)
+	} else {
+		cur.Ins = check.ShrinkData(cur.Ins, wrapped)
+	}
+	return cur
+}
+
+// shrinkSpec tries one round of spec-level reductions, returning whether any
+// candidate was kept. Every candidate is built by cloning, mutating the spec,
+// and re-parsing; candidates whose statement no longer parses are still
+// offered to the property (the parse oracle fails on unexpected rejections),
+// but the eval oracles skip them, so they are only kept when the failure
+// genuinely survives.
+func shrinkSpec(cur *Workload, failing func(*Workload) bool) bool {
+	changed := false
+	keep := func(c *Workload) bool {
+		if failing(c) {
+			*cur = *c
+			changed = true
+			return true
+		}
+		return false
+	}
+
+	// Drop union arms (keeping at least one).
+	for len(cur.Spec.arms) > 1 {
+		c := cur.Clone()
+		c.Spec.arms = c.Spec.arms[:len(c.Spec.arms)-1]
+		c.reparse()
+		if !keep(c) {
+			break
+		}
+	}
+
+	// Drop predicates, arm by arm.
+	for ai := range cur.Spec.arms {
+		for i := 0; i < len(cur.Spec.arms[ai].preds); i++ {
+			c := cur.Clone()
+			arm := c.Spec.arms[ai]
+			arm.preds = append(arm.preds[:i], arm.preds[i+1:]...)
+			c.reparse()
+			if keep(c) {
+				i--
+			}
+		}
+	}
+
+	// Drop select columns in lockstep across arms (unions must stay aligned).
+	for width := len(cur.Spec.arms[0].cols); width > 1; width = len(cur.Spec.arms[0].cols) {
+		dropped := false
+		for col := 0; col < width; col++ {
+			c := cur.Clone()
+			ok := true
+			for _, arm := range c.Spec.arms {
+				if arm.star || len(arm.cols) <= col || len(arm.cols) < 2 {
+					ok = false
+					break
+				}
+				arm.cols = append(arm.cols[:col], arm.cols[col+1:]...)
+			}
+			if !ok {
+				continue
+			}
+			c.reparse()
+			if keep(c) {
+				dropped = true
+				break
+			}
+		}
+		if !dropped {
+			break
+		}
+	}
+
+	// Drop FROM items no column reference uses (remapping later indices).
+	for ai := range cur.Spec.arms {
+		for i := 0; i < len(cur.Spec.arms[ai].from); i++ {
+			if len(cur.Spec.arms[ai].from) < 2 || fromItemReferenced(cur, ai, i) {
+				continue
+			}
+			c := cur.Clone()
+			dropFromItem(c.Spec.arms[ai], c.Spec.agg, ai == 0, i)
+			c.reparse()
+			if keep(c) {
+				i--
+			}
+		}
+	}
+	return changed
+}
+
+// fromItemReferenced reports whether any column reference of the arm (or the
+// aggregate column, when the arm is the aggregate arm) uses FROM item i.
+func fromItemReferenced(w *Workload, ai, i int) bool {
+	arm := w.Spec.arms[ai]
+	for _, c := range arm.cols {
+		if c.item == i {
+			return true
+		}
+	}
+	for _, p := range arm.preds {
+		if p.left.item == i || (p.rightCol != nil && p.rightCol.item == i) {
+			return true
+		}
+	}
+	if w.Spec.agg != nil && ai == 0 && w.Spec.agg.col.item == i {
+		return true
+	}
+	return false
+}
+
+// dropFromItem removes FROM item i from the arm and shifts every later item
+// index down by one. firstArm gates the aggregate-column remap (the aggregate
+// spec always refers to the first arm).
+func dropFromItem(arm *armSpec, ag *aggSpec, firstArm bool, i int) {
+	arm.from = append(arm.from[:i], arm.from[i+1:]...)
+	shift := func(c *colSel) {
+		if c.item > i {
+			c.item--
+		}
+	}
+	for j := range arm.cols {
+		shift(&arm.cols[j])
+	}
+	for j := range arm.preds {
+		shift(&arm.preds[j].left)
+		if arm.preds[j].rightCol != nil {
+			shift(arm.preds[j].rightCol)
+		}
+	}
+	if ag != nil && firstArm {
+		shift(&ag.col)
+	}
+}

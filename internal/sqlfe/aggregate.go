@@ -18,6 +18,9 @@ import (
 // values per group, matching the engine's set semantics). The non-aggregate
 // select columns must match the GROUP BY list.
 func ParseAggregate(s *schema.Schema, sql string) (*agg.Query, error) {
+	if err := checkSize(sql); err != nil {
+		return nil, err
+	}
 	stmt, spec, err := parseAggSelect(sql)
 	if err != nil {
 		return nil, err
@@ -80,6 +83,9 @@ func parseAggSelect(sql string) (*selectStmt, *aggSpec, error) {
 	if err := p.expectKeyword("SELECT"); err != nil {
 		return nil, nil, err
 	}
+	if keyword(p.peek(), "DISTINCT") {
+		p.next() // evaluation has set semantics; DISTINCT is implied
+	}
 	stmt := &selectStmt{}
 	var spec *aggSpec
 	for {
@@ -89,7 +95,7 @@ func parseAggSelect(sql string) (*selectStmt, *aggSpec, error) {
 		}
 		if kind, ok := aggKindOf(t.text); ok && p.peek().kind == tokLParen {
 			if spec != nil {
-				return nil, nil, fmt.Errorf("sqlfe: multiple aggregate functions are not supported")
+				return nil, nil, p.errf("multiple aggregate functions are not supported")
 			}
 			p.next() // (
 			col, err := p.parseColRef()
@@ -119,7 +125,7 @@ func parseAggSelect(sql string) (*selectStmt, *aggSpec, error) {
 		p.next()
 	}
 	if spec == nil {
-		return nil, nil, fmt.Errorf("sqlfe: no aggregate function in select list (use Parse for plain queries)")
+		return nil, nil, p.errf("no aggregate function in select list (use Parse for plain queries)")
 	}
 	if err := p.expectKeyword("FROM"); err != nil {
 		return nil, nil, err
@@ -133,7 +139,7 @@ func parseAggSelect(sql string) (*selectStmt, *aggSpec, error) {
 		if keyword(p.peek(), "AS") {
 			p.next()
 		}
-		if nt := p.peek(); nt.kind == tokIdent && !isKeyword(nt.text) && !strings.EqualFold(nt.text, "GROUP") {
+		if nt := p.peek(); nt.kind == tokIdent && !isKeyword(nt.text) {
 			p.next()
 			item.alias = nt.text
 		}
@@ -183,13 +189,13 @@ func parseAggSelect(sql string) (*selectStmt, *aggSpec, error) {
 	}
 	// The GROUP BY list must match the plain select columns.
 	if len(groupBy) != len(stmt.columns) {
-		return nil, nil, fmt.Errorf("sqlfe: GROUP BY lists %d columns, select list has %d non-aggregate columns",
+		return nil, nil, syntaxErrf(-1, "GROUP BY lists %d columns, select list has %d non-aggregate columns",
 			len(groupBy), len(stmt.columns))
 	}
 	for i, c := range stmt.columns {
 		g := groupBy[i]
 		if !strings.EqualFold(c.column, g.column) || !strings.EqualFold(c.qualifier, g.qualifier) {
-			return nil, nil, fmt.Errorf("sqlfe: select column %s does not match GROUP BY column %s", c, g)
+			return nil, nil, syntaxErrf(-1, "select column %s does not match GROUP BY column %s", c, g)
 		}
 	}
 	return stmt, spec, nil

@@ -1,0 +1,39 @@
+package sqlfe
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrSyntax is the sentinel every lexical or grammatical front-end error
+// matches (errors.Is). Callers that feed untrusted or generated SQL — the
+// server's query endpoints, the metamorphic harness — branch on it to
+// separate "malformed input" from semantic errors (unknown tables, arity
+// mismatches) and from engine failures. Semantic translation errors do NOT
+// match ErrSyntax; they come from a well-formed statement that names the
+// wrong things.
+var ErrSyntax = errors.New("sqlfe: syntax error")
+
+// SyntaxError is the typed error the lexer and parsers return for malformed
+// input: unterminated string literals, invalid UTF-8, unexpected tokens,
+// stray operators. It always matches ErrSyntax and never originates from a
+// panic — the front end must reject, not crash, on generator-shaped input.
+type SyntaxError struct {
+	Pos int    // byte offset into the statement, -1 if unknown
+	Msg string // human-readable description (without the "sqlfe:" prefix)
+}
+
+func (e *SyntaxError) Error() string {
+	if e.Pos >= 0 {
+		return fmt.Sprintf("sqlfe: %s (at byte %d)", e.Msg, e.Pos)
+	}
+	return "sqlfe: " + e.Msg
+}
+
+// Is makes every SyntaxError match the ErrSyntax sentinel.
+func (e *SyntaxError) Is(target error) bool { return target == ErrSyntax }
+
+// syntaxErrf builds a positioned SyntaxError.
+func syntaxErrf(pos int, format string, args ...interface{}) *SyntaxError {
+	return &SyntaxError{Pos: pos, Msg: fmt.Sprintf(format, args...)}
+}

@@ -1,15 +1,24 @@
 package sqlfe
 
 import (
+	"errors"
+	"strings"
 	"testing"
 
+	"repro/internal/cq"
 	"repro/internal/dataset"
 )
 
-// FuzzParse feeds arbitrary strings to the SQL front-end: it must never
-// panic, and successfully translated queries must validate against the
-// schema.
-func FuzzParse(f *testing.F) {
+// FuzzParseSQL feeds arbitrary strings to all three SQL front-end entry
+// points (Parse, ParseUnion, ParseAggregate). The contract under fuzzing:
+//
+//   - never panic, never loop: every input returns a query or an error
+//   - every rejection is a typed error with a non-empty message (syntax
+//     errors match ErrSyntax; unsatisfiable queries match ErrAlwaysEmpty)
+//   - parsing is deterministic: the same input yields the same outcome
+//   - successfully translated queries validate against the schema and
+//     round-trip through the Datalog printer/parser
+func FuzzParseSQL(f *testing.F) {
 	seeds := []string{
 		"SELECT name FROM Teams",
 		"SELECT g1.winner FROM Games g1, Games g2 WHERE g1.winner = g2.winner AND g1.date <> g2.date",
@@ -17,6 +26,11 @@ func FuzzParse(f *testing.F) {
 		"SELECT * FROM Goals",
 		"select a from b where c = 'unterminated",
 		"SELECT name FROM Teams UNION SELECT player FROM Goals",
+		"SELECT winner, COUNT(date) FROM Games GROUP BY winner",
+		"SELECT DISTINCT winner, SUM(date) FROM Games GROUP BY winner",
+		"SELECT name FROM Teams WHERE name = '\xff'",
+		"SELECT na\xffme FROM Teams",
+		"SELECT winner, COUNT((((date FROM Games GROUP BY winner",
 		"", "UNION", "SELECT", "SELECT FROM WHERE",
 	}
 	for _, s := range seeds {
@@ -25,14 +39,66 @@ func FuzzParse(f *testing.F) {
 	s := dataset.WorldCupSchema()
 	f.Fuzz(func(t *testing.T, input string) {
 		q, err := Parse(s, input)
+		q2, err2 := Parse(s, input)
+		if (err == nil) != (err2 == nil) {
+			t.Fatalf("nondeterministic outcome for %q: %v vs %v", input, err, err2)
+		}
 		if err != nil {
-			return
+			requireTyped(t, input, err)
+			if err.Error() != err2.Error() {
+				t.Fatalf("nondeterministic error for %q: %q vs %q", input, err, err2)
+			}
+		} else {
+			if !q.Equal(q2) {
+				t.Fatalf("nondeterministic translation for %q: %s vs %s", input, q, q2)
+			}
+			if err := q.Validate(s); err != nil {
+				t.Fatalf("translated query invalid for %q: %v", input, err)
+			}
+			text := q.String()
+			rt, err := cq.Parse(text)
+			if err != nil {
+				t.Fatalf("translated query does not reparse for %q: Parse(%q): %v", input, text, err)
+			}
+			if !rt.Equal(q) {
+				t.Fatalf("round trip changed the query for %q: %q -> %q", input, text, rt)
+			}
+			if _, err := ParseUnion(s, input); err != nil {
+				t.Fatalf("plain SELECT accepted but union parse failed for %q: %v", input, err)
+			}
 		}
-		if err := q.Validate(s); err != nil {
-			t.Fatalf("translated query invalid for %q: %v", input, err)
+		if u, err := ParseUnion(s, input); err != nil {
+			requireTyped(t, input, err)
+		} else {
+			for _, dq := range u.Disjuncts {
+				if err := dq.Validate(s); err != nil {
+					t.Fatalf("union disjunct invalid for %q: %v", input, err)
+				}
+			}
 		}
-		if _, err := ParseUnion(s, input); err != nil {
-			t.Fatalf("plain SELECT accepted but union parse failed for %q: %v", input, err)
+		if aq, err := ParseAggregate(s, input); err != nil {
+			requireTyped(t, input, err)
+		} else if err := aq.Body.Validate(s); err != nil {
+			t.Fatalf("aggregate body invalid for %q: %v", input, err)
 		}
 	})
+}
+
+// requireTyped asserts a front-end rejection carries a usable type and
+// message: anything else is a silently mis-tokenized input.
+func requireTyped(t *testing.T, input string, err error) {
+	t.Helper()
+	if err.Error() == "" {
+		t.Fatalf("empty error message for %q", input)
+	}
+	var se *SyntaxError
+	if !errors.Is(err, ErrSyntax) && !errors.Is(err, ErrAlwaysEmpty) && !errors.As(err, &se) {
+		// Semantic rejections (unknown relation, arity mismatch, aggregate
+		// shape) are allowed as plain errors, but must identify themselves.
+		msg := err.Error()
+		if !strings.Contains(msg, "sqlfe:") && !strings.Contains(msg, "cq:") &&
+			!strings.Contains(msg, "agg:") && !strings.Contains(msg, "schema:") {
+			t.Fatalf("untyped error for %q: %v", input, err)
+		}
+	}
 }

@@ -58,9 +58,11 @@ type lexer struct {
 	err   error
 }
 
-func (l *lexer) fail(format string, args ...interface{}) token {
+// fail records a typed syntax error at pos (the first error wins) and
+// returns an EOF token so the parsers unwind without panicking.
+func (l *lexer) fail(pos int, format string, args ...interface{}) token {
 	if l.err == nil {
-		l.err = fmt.Errorf("sqlfe: "+format, args...)
+		l.err = syntaxErrf(pos, format, args...)
 	}
 	return token{kind: tokEOF, pos: l.pos}
 }
@@ -94,13 +96,13 @@ func (l *lexer) next() token {
 				l.pos += 2
 				return token{tokNeq, "<>", l.pos - 2}
 			}
-			return l.fail("unsupported operator at position %d (only = and <> are supported)", l.pos)
+			return l.fail(l.pos, "unsupported operator '<' (only = and <> are supported)")
 		case c == '!':
 			if strings.HasPrefix(l.input[l.pos:], "!=") {
 				l.pos += 2
 				return token{tokNeq, "!=", l.pos - 2}
 			}
-			return l.fail("unexpected '!' at position %d", l.pos)
+			return l.fail(l.pos, "unexpected '!'")
 		case c == '\'' || c == '"':
 			return l.lexString(c)
 		case c >= '0' && c <= '9':
@@ -125,13 +127,20 @@ func (l *lexer) lexString(quote byte) token {
 				i += 2
 				continue
 			}
+			lit := b.String()
+			if !utf8.ValidString(lit) {
+				// A literal with invalid UTF-8 would round-trip through the
+				// constant pipeline as mojibake-prone bytes; reject it here
+				// instead of silently mis-tokenizing.
+				return l.fail(start, "string literal contains invalid UTF-8")
+			}
 			l.pos = i + 1
-			return token{tokString, b.String(), start}
+			return token{tokString, lit, start}
 		}
 		b.WriteByte(c)
 		i++
 	}
-	return l.fail("unterminated string starting at position %d", start)
+	return l.fail(start, "unterminated string literal")
 }
 
 func (l *lexer) lexNumber() token {
@@ -161,7 +170,10 @@ func (l *lexer) lexIdent() token {
 		l.pos += size
 	}
 	if l.pos == start {
-		return l.fail("unexpected character %q at position %d", l.input[start], start)
+		if r, size := utf8.DecodeRuneInString(l.input[start:]); r == utf8.RuneError && size == 1 {
+			return l.fail(start, "invalid UTF-8 byte 0x%02x", l.input[start])
+		}
+		return l.fail(start, "unexpected character %q", l.input[start])
 	}
 	return token{tokIdent, l.input[start:l.pos], start}
 }

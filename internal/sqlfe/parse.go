@@ -1,7 +1,6 @@
 package sqlfe
 
 import (
-	"fmt"
 	"strings"
 
 	"repro/internal/cq"
@@ -46,9 +45,29 @@ type selectStmt struct {
 	preds   []pred
 }
 
+// maxStatementBytes bounds accepted statement size. The grammar is fully
+// iterative (no recursive descent, so no stack hazard), but the translator
+// is quadratic in FROM-list length; a hard cap turns pathological generated
+// input into a typed error instead of a resource sink.
+const maxStatementBytes = 1 << 20
+
+// checkSize rejects oversized statements with a typed syntax error.
+func checkSize(sql string) error {
+	if len(sql) > maxStatementBytes {
+		return syntaxErrf(maxStatementBytes, "statement exceeds %d bytes", maxStatementBytes)
+	}
+	return nil
+}
+
 // Parse translates a SELECT statement into a conjunctive query with
 // inequalities over the given schema. The resulting query is validated.
+// Malformed input yields a typed *SyntaxError (matching ErrSyntax); a
+// well-formed statement naming unknown tables or columns yields a semantic
+// error that does not match ErrSyntax.
 func Parse(s *schema.Schema, sql string) (*cq.Query, error) {
+	if err := checkSize(sql); err != nil {
+		return nil, err
+	}
 	stmt, err := parseSelect(sql)
 	if err != nil {
 		return nil, err
@@ -96,12 +115,12 @@ func (p *parser) peek() token {
 }
 
 // errf returns the pending lexer error if any (it is more precise), otherwise
-// the formatted parser error.
+// a typed SyntaxError positioned at the current lexer offset.
 func (p *parser) errf(format string, args ...interface{}) error {
 	if p.lex.err != nil {
 		return p.lex.err
 	}
-	return fmt.Errorf("sqlfe: "+format, args...)
+	return syntaxErrf(p.lex.pos, format, args...)
 }
 
 // keyword reports whether tok is the given (case-insensitive) keyword.
@@ -115,7 +134,7 @@ func (p *parser) expectKeyword(kw string) error {
 		return p.lex.err
 	}
 	if !keyword(t, kw) {
-		return fmt.Errorf("sqlfe: expected %s, got %s", kw, t)
+		return syntaxErrf(t.pos, "expected %s, got %s", kw, t)
 	}
 	return nil
 }
@@ -193,9 +212,13 @@ func parseSelect(sql string) (*selectStmt, error) {
 	return stmt, nil
 }
 
+// isKeyword lists the reserved words a bare identifier cannot shadow. UNION,
+// ALL, GROUP, and BY are included so a trailing "... UNION" is a syntax error
+// rather than a table silently aliased as "UNION" — found by FuzzParseSQL:
+// Parse accepted "SELECT name FROM Teams UNION" while ParseUnion rejected it.
 func isKeyword(s string) bool {
 	switch strings.ToUpper(s) {
-	case "SELECT", "DISTINCT", "FROM", "WHERE", "AND", "AS":
+	case "SELECT", "DISTINCT", "FROM", "WHERE", "AND", "AS", "UNION", "ALL", "GROUP", "BY":
 		return true
 	}
 	return false
@@ -210,7 +233,7 @@ func (p *parser) parseColRef() (colRef, error) {
 		p.next()
 		c := p.next()
 		if c.kind != tokIdent {
-			return colRef{}, fmt.Errorf("sqlfe: expected column after %s., got %s", t.text, c)
+			return colRef{}, p.errf("expected column after %s., got %s", t.text, c)
 		}
 		return colRef{qualifier: t.text, column: c.text}, nil
 	}
@@ -234,7 +257,7 @@ func (p *parser) parsePred() (pred, error) {
 			p.next()
 			c := p.next()
 			if c.kind != tokIdent {
-				return pred{}, fmt.Errorf("sqlfe: expected column after %s., got %s", rt.text, c)
+				return pred{}, p.errf("expected column after %s., got %s", rt.text, c)
 			}
 			right = operand{isCol: true, col: colRef{qualifier: rt.text, column: c.text}}
 		} else {

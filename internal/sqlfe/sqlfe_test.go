@@ -237,3 +237,111 @@ func TestMustParsePanics(t *testing.T) {
 	}()
 	MustParse(d.Schema(), "not sql")
 }
+
+// TestTypedSyntaxErrors pins the lexer/parser hardening: malformed inputs
+// (minimized from FuzzParseSQL findings) must produce a *SyntaxError matching
+// ErrSyntax — never a panic, never a silently mis-tokenized parse.
+func TestTypedSyntaxErrors(t *testing.T) {
+	s := dataset.WorldCupSchema()
+	cases := []struct{ name, sql, wantSub string }{
+		{"unterminated literal", "select a from b where c = 'unterminated", "unterminated string"},
+		{"invalid utf8 ident", "SELECT na\xffme FROM Teams", "invalid UTF-8"},
+		{"invalid utf8 literal", "SELECT name FROM Teams WHERE name = '\xff'", "invalid UTF-8"},
+		{"trailing union", "SELECT name FROM Teams UNION", "expected SELECT"},
+		{"union as alias", "SELECT name FROM Teams UNION garbage", "expected SELECT"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, err := ParseUnion(s, c.sql)
+			if err == nil {
+				t.Fatalf("ParseUnion(%q): want error", c.sql)
+			}
+			if !errors.Is(err, ErrSyntax) {
+				t.Errorf("err = %v, want ErrSyntax", err)
+			}
+			var se *SyntaxError
+			if !errors.As(err, &se) {
+				t.Errorf("err = %T, want *SyntaxError", err)
+			}
+			if !strings.Contains(err.Error(), c.wantSub) {
+				t.Errorf("err = %v, want substring %q", err, c.wantSub)
+			}
+		})
+	}
+	// Plain Parse must reject a trailing UNION too (it used to swallow it as
+	// a table alias while ParseUnion errored — the two entry points silently
+	// disagreed on the same text).
+	if _, err := Parse(s, "SELECT name FROM Teams UNION"); !errors.Is(err, ErrSyntax) {
+		t.Errorf("Parse with trailing UNION: err = %v, want ErrSyntax", err)
+	}
+}
+
+// TestOversizedStatementRejected pins the resource guard: statements beyond
+// maxStatementBytes fail fast with a typed error on every entry point.
+func TestOversizedStatementRejected(t *testing.T) {
+	s := dataset.WorldCupSchema()
+	sql := "SELECT name FROM Teams WHERE name = '" + strings.Repeat("x", maxStatementBytes) + "'"
+	for name, parse := range map[string]func() error{
+		"Parse":          func() error { _, err := Parse(s, sql); return err },
+		"ParseUnion":     func() error { _, err := ParseUnion(s, sql); return err },
+		"ParseAggregate": func() error { _, err := ParseAggregate(s, sql); return err },
+	} {
+		if err := parse(); !errors.Is(err, ErrSyntax) {
+			t.Errorf("%s on oversized statement: err = %v, want ErrSyntax", name, err)
+		}
+	}
+}
+
+// TestNestedParensAggregateTyped pins the fuzz finding that deeply nested
+// parentheses inside an aggregate must fail with a typed error.
+func TestNestedParensAggregateTyped(t *testing.T) {
+	s := dataset.WorldCupSchema()
+	_, err := ParseAggregate(s, "SELECT winner, COUNT((((date FROM Games GROUP BY winner")
+	if err == nil {
+		t.Fatal("want error")
+	}
+	if !errors.Is(err, ErrSyntax) {
+		t.Errorf("err = %v, want ErrSyntax", err)
+	}
+}
+
+// TestAggregateDistinct pins the first metamorphic-sweep catch: ParseAggregate
+// rejected SELECT DISTINCT while plain Parse accepted it. DISTINCT is implied
+// by set semantics, so both forms must translate identically.
+func TestAggregateDistinct(t *testing.T) {
+	s := dataset.WorldCupSchema()
+	plain := MustParseAggregate(s, "SELECT winner, COUNT(date) FROM Games GROUP BY winner")
+	distinct, err := ParseAggregate(s, "SELECT DISTINCT winner, COUNT(date) FROM Games GROUP BY winner")
+	if err != nil {
+		t.Fatalf("ParseAggregate with DISTINCT: %v", err)
+	}
+	if !distinct.Body.Equal(plain.Body) || distinct.Kind != plain.Kind || distinct.Of != plain.Of {
+		t.Errorf("DISTINCT changed the translation: %s vs %s", distinct, plain)
+	}
+}
+
+// TestUnionDropsEmptyDisjuncts pins the union-alignment fix found by the
+// metamorphic union-permutation oracle: a disjunct with a contradictory WHERE
+// contributes nothing and must be dropped, not fail the whole union — only an
+// all-empty union is ErrAlwaysEmpty. Before the fix, `Q UNION empty` was
+// rejected while `Q` alone parsed, making disjunct order observable.
+func TestUnionDropsEmptyDisjuncts(t *testing.T) {
+	d, _ := dataset.Figure1()
+	s := d.Schema()
+	u, err := ParseUnion(s, "SELECT name FROM Teams UNION SELECT name FROM Teams WHERE name <> name")
+	if err != nil {
+		t.Fatalf("ParseUnion with one empty disjunct: %v", err)
+	}
+	if len(u.Disjuncts) != 1 {
+		t.Fatalf("got %d disjuncts, want 1 (empty disjunct dropped)", len(u.Disjuncts))
+	}
+	want := eval.ResultUnion(MustParseUnion(s, "SELECT name FROM Teams"), d)
+	got := eval.ResultUnion(u, d)
+	if len(got) != len(want) {
+		t.Errorf("results differ: %v vs %v", got, want)
+	}
+	_, err = ParseUnion(s, "SELECT name FROM Teams WHERE name <> name UNION SELECT name FROM Teams WHERE name <> name")
+	if !errors.Is(err, ErrAlwaysEmpty) {
+		t.Errorf("all-empty union: err = %v, want ErrAlwaysEmpty", err)
+	}
+}

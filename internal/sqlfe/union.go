@@ -1,6 +1,7 @@
 package sqlfe
 
 import (
+	"errors"
 	"strings"
 
 	"repro/internal/cq"
@@ -10,15 +11,34 @@ import (
 // ParseUnion translates one or more SELECT statements joined by UNION into a
 // union of conjunctive queries (evaluation has set semantics, so UNION and
 // UNION ALL coincide; the ALL keyword is accepted and ignored).
+//
+// A disjunct whose WHERE clause is contradictory (ErrAlwaysEmpty) contributes
+// no answers and is dropped rather than failing the whole union; only a union
+// of entirely unsatisfiable disjuncts is itself ErrAlwaysEmpty. (Found by the
+// metamorphic union-permutation oracle: rejecting `Q UNION empty` while
+// accepting Q made disjunct order observable.)
 func ParseUnion(s *schema.Schema, sql string) (*cq.Union, error) {
+	if err := checkSize(sql); err != nil {
+		return nil, err
+	}
 	parts := splitUnion(sql)
 	qs := make([]*cq.Query, 0, len(parts))
+	var firstEmpty error
 	for _, part := range parts {
 		q, err := Parse(s, strings.TrimSpace(part))
 		if err != nil {
+			if errors.Is(err, ErrAlwaysEmpty) {
+				if firstEmpty == nil {
+					firstEmpty = err
+				}
+				continue
+			}
 			return nil, err
 		}
 		qs = append(qs, q)
+	}
+	if len(qs) == 0 {
+		return nil, firstEmpty
 	}
 	return cq.NewUnion(qs...)
 }
